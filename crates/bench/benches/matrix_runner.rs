@@ -1,0 +1,45 @@
+//! Criterion benchmark of the FLiT matrix runner: the 244-compilation ×
+//! 19-example MFEM sweep (the workload behind Tables 1–2 and Figures
+//! 4–6), sequential vs parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flit_core::runner::{run_matrix, RunnerConfig};
+use flit_core::test::FlitTest;
+use flit_mfem::{mfem_examples, mfem_program};
+use flit_toolchain::compilation::{compilation_matrix, mfem_matrix};
+use flit_toolchain::compiler::CompilerKind;
+
+fn bench_sweep(c: &mut Criterion) {
+    let program = mfem_program();
+    let tests = mfem_examples();
+    let dyn_tests: Vec<&dyn FlitTest> = tests.iter().map(|t| t as &dyn FlitTest).collect();
+
+    let gcc_only = compilation_matrix(CompilerKind::Gcc);
+    let mut group = c.benchmark_group("mfem_sweep");
+    group.sample_size(10);
+    group.bench_function("gcc_68_compilations_seq", |b| {
+        b.iter(|| {
+            run_matrix(
+                &program,
+                &dyn_tests,
+                &gcc_only,
+                &RunnerConfig {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.bench_function("gcc_68_compilations_par", |b| {
+        b.iter(|| run_matrix(&program, &dyn_tests, &gcc_only, &RunnerConfig::default()))
+    });
+    let full = mfem_matrix();
+    group.bench_function("full_244_compilations_par", |b| {
+        b.iter(|| run_matrix(&program, &dyn_tests, &full, &RunnerConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Regenerate **Figure 4**: speedup vs compilation for MFEM examples 5
+//! and 9, compilations sorted by speedup, bitwise-equal vs variable.
+
+use flit_bench::mfem_sweep;
+use flit_core::analysis::speedup_series;
+use flit_mfem::mfem_program;
+use flit_report::plot::series_plot;
+
+fn main() {
+    let program = mfem_program();
+    let db = mfem_sweep(&program);
+
+    for (ex, paper) in [
+        (
+            "ex05",
+            "paper 4(a): fastest bitwise-equal g++ -O3 @ 1.128 — the fastest overall",
+        ),
+        (
+            "ex09",
+            "paper 4(b): fastest variable icpc -O3 -fp-model fast=1 @ 1.396 ≫ fastest equal 1.094",
+        ),
+    ] {
+        let series = speedup_series(&db, ex);
+        let points: Vec<(f64, bool)> = series
+            .iter()
+            .map(|p| (p.speedup, p.bitwise_equal))
+            .collect();
+        println!(
+            "{}",
+            series_plot(
+                &format!("Figure 4, MFEM example {ex}: speedup vs compilation (sorted)"),
+                &points,
+                16,
+            )
+        );
+        let fastest_equal = series
+            .iter()
+            .filter(|p| p.bitwise_equal)
+            .last();
+        let fastest_variable = series.iter().filter(|p| !p.bitwise_equal).last();
+        if let Some(p) = fastest_equal {
+            println!("  fastest bitwise-equal: {} @ {:.3}", p.label, p.speedup);
+        }
+        if let Some(p) = fastest_variable {
+            println!(
+                "  fastest variable:      {} @ {:.3} (variability {:.2e})",
+                p.label, p.speedup, p.comparison
+            );
+        }
+        println!("  ({paper})");
+        println!();
+    }
+}

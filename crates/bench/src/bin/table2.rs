@@ -1,0 +1,62 @@
+//! Regenerate **Table 2**: compiler characterization of Bisect with
+//! MFEM — average test executions, File Bisect successes, Symbol Bisect
+//! successes. "A failure here means the resulting mixed executable
+//! crashed."
+
+use flit_bench::{bisect_all_variable, mfem_study::default_threads, mfem_sweep};
+use flit_mfem::mfem_program;
+use flit_report::table::{Align, Table};
+
+fn main() {
+    let program = mfem_program();
+    let db = mfem_sweep(&program);
+    let character = bisect_all_variable(&program, &db, default_threads());
+
+    let mut table = Table::new(&[
+        "",
+        "g++",
+        "clang++",
+        "icpc",
+        "total",
+    ])
+    .with_title("Table 2: compiler characterization of Bisect with MFEM")
+    .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+
+    let total_execs: usize = character.iter().map(|(_, c)| c.executions).sum();
+    let total_searches: usize = character.iter().map(|(_, c)| c.searches).sum();
+    let mut avg_row = vec!["average test executions".to_string()];
+    let mut file_row = vec!["File Bisect successes".to_string()];
+    let mut sym_row = vec!["Symbol Bisect successes".to_string()];
+    for (_, c) in &character {
+        avg_row.push(format!("{:.0}", c.avg_executions()));
+        file_row.push(format!("{}/{}", c.file_successes, c.searches));
+        sym_row.push(format!("{}/{}", c.symbol_successes, c.with_files));
+    }
+    avg_row.push(format!(
+        "{:.0}",
+        total_execs as f64 / total_searches.max(1) as f64
+    ));
+    file_row.push(format!(
+        "{}/{}",
+        character.iter().map(|(_, c)| c.file_successes).sum::<usize>(),
+        total_searches
+    ));
+    sym_row.push(format!(
+        "{}/{}",
+        character.iter().map(|(_, c)| c.symbol_successes).sum::<usize>(),
+        character.iter().map(|(_, c)| c.with_files).sum::<usize>()
+    ));
+    table.row(&avg_row);
+    table.row(&file_row);
+    table.row(&sym_row);
+    println!("{}", table.render());
+    println!("(paper: avg execs 64/29/27 → 30; file 78/78, 24/24, 778/984 = 880/1,086; symbol 51/78, 24/24, 585/778 = 660/880)");
+    for (compiler, c) in &character {
+        println!(
+            "  {compiler:?}: {} crashes out of {} searches ({:.1}%)",
+            c.crashes,
+            c.searches,
+            100.0 * c.crashes as f64 / c.searches.max(1) as f64
+        );
+    }
+}

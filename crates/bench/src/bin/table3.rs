@@ -1,0 +1,58 @@
+//! Regenerate **Table 3**: general statistics of the code used by the
+//! MFEM examples (plus the LULESH counts quoted in §3.5).
+
+use flit_lulesh::{lulesh_program, LULESH_FP_OPS, LULESH_SLOC};
+use flit_mfem::codebase::{mfem_program, stats_of, TABLE3};
+use flit_report::table::{Align, Table};
+
+fn main() {
+    let mfem = mfem_program();
+    let s = stats_of(&mfem);
+
+    let mut table = Table::new(&["statistic", "measured", "paper"])
+        .with_title("Table 3: general statistics of the code used by the MFEM examples")
+        .with_aligns(&[Align::Left, Align::Right, Align::Right]);
+    table.row(&[
+        "source files".into(),
+        s.files.to_string(),
+        TABLE3.files.to_string(),
+    ]);
+    table.row(&[
+        "average functions per file".into(),
+        s.avg_functions_per_file.to_string(),
+        TABLE3.avg_functions_per_file.to_string(),
+    ]);
+    table.row(&[
+        "total functions".into(),
+        s.exported_functions.to_string(),
+        TABLE3.exported_functions.to_string(),
+    ]);
+    table.row(&[
+        "source lines of code".into(),
+        s.sloc.to_string(),
+        TABLE3.sloc.to_string(),
+    ]);
+    println!("{}", table.render());
+
+    let lulesh = lulesh_program();
+    let fp_ops: usize = lulesh
+        .files
+        .iter()
+        .flat_map(|f| &f.functions)
+        .map(|f| f.kernel.fp_sites())
+        .sum();
+    let mut t2 = Table::new(&["statistic", "measured", "paper"])
+        .with_title("LULESH (§3.5)")
+        .with_aligns(&[Align::Left, Align::Right, Align::Right]);
+    t2.row(&[
+        "source lines of code".into(),
+        lulesh.total_sloc().to_string(),
+        LULESH_SLOC.to_string(),
+    ]);
+    t2.row(&[
+        "floating point operations".into(),
+        fp_ops.to_string(),
+        LULESH_FP_OPS.to_string(),
+    ]);
+    println!("{}", t2.render());
+}

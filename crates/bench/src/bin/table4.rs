@@ -1,0 +1,53 @@
+//! Regenerate **Table 4**: Bisect statistics of the Laghos experiment —
+//! baselines × digit-limited comparisons × BisectBiggest k. Prefixed by
+//! the §3.4 xsw hunt.
+
+use flit_laghos::experiment::{hunt_xsw_bug, table4_grid};
+use flit_report::table::{Align, Table};
+
+fn main() {
+    // Act 1: the xsw undefined-behaviour hunt on the public branch.
+    let hunt = hunt_xsw_bug();
+    println!("xsw hunt (public branch, xlc++ -O3 vs g++ -O2):");
+    println!(
+        "  found symbols {:?} in {} program executions (paper: the two visible symbols nearest the macro, 45 executions)",
+        hunt.symbols.iter().map(|s| s.symbol.as_str()).collect::<Vec<_>>(),
+        hunt.executions
+    );
+    println!();
+
+    // Act 2: Table 4 on the xsw-fixed branch.
+    let grid = table4_grid();
+    let mut table = Table::new(&[
+        "baseline",
+        "digits",
+        "k",
+        "# files",
+        "# funcs",
+        "# runs",
+        "top = viscosity?",
+    ])
+    .with_title("Table 4: Bisect statistics of the Laghos experiment (vs xlc++ -O3)")
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+    ]);
+    for cell in &grid {
+        table.row(&[
+            cell.baseline.clone(),
+            cell.digits.map(|d| d.to_string()).unwrap_or("all".into()),
+            cell.k.map(|k| k.to_string()).unwrap_or("all".into()),
+            cell.files.to_string(),
+            cell.funcs.to_string(),
+            cell.runs.to_string(),
+            if cell.top_is_viscosity { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(paper: digit-limited rows find 1 file / 1 func in 14-18 runs; full-precision k=all finds 5-7 funcs in 57-69 runs; every configuration identifies the ==0.0 viscosity comparison as the top contributor)");
+}

@@ -1,0 +1,199 @@
+//! `BisectBiggest` (§2.5): uniform-cost search for the `k` biggest
+//! contributors.
+//!
+//! "This variant is based on Uniform Cost Search and can exit early.
+//! … When a file or symbol is found to have a smaller Test value than
+//! the kth found symbol's Test value, it exits early. It is not able to
+//! dynamically verify assumptions, but can significantly improve
+//! performance if only the top few most contributing functions are
+//! desired."
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::algo::BisectOutcome;
+use crate::test_fn::{MemoTest, TestError, TestFn};
+
+/// A frontier node: a subset with its Test value, ordered by value.
+struct Node<I> {
+    value: f64,
+    items: Vec<I>,
+}
+
+impl<I> PartialEq for Node<I> {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value && self.items.len() == other.items.len()
+    }
+}
+impl<I> Eq for Node<I> {}
+impl<I> PartialOrd for Node<I> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<I> Ord for Node<I> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on value; ties prefer smaller subsets (closer to a
+        // singleton find).
+        self.value
+            .partial_cmp(&other.value)
+            .unwrap_or(Ordering::Equal)
+            .then(other.items.len().cmp(&self.items.len()))
+    }
+}
+
+/// Find up to `k` elements with the largest singleton Test values.
+///
+/// Uniform-cost search: repeatedly expand the frontier subset with the
+/// largest metric; a singleton popped from the frontier is a find. Exits
+/// early once the best frontier value no longer beats the k-th find.
+pub fn bisect_biggest<I, F>(
+    test_fn: F,
+    items: &[I],
+    k: usize,
+) -> Result<BisectOutcome<I>, TestError>
+where
+    I: Clone + Ord + std::hash::Hash,
+    F: TestFn<I>,
+{
+    let mut test = MemoTest::new(test_fn);
+    let mut found: Vec<(I, f64)> = Vec::new();
+    let mut heap: BinaryHeap<Node<I>> = BinaryHeap::new();
+
+    let v0 = test.test(items)?;
+    if v0 > 0.0 && k > 0 {
+        heap.push(Node {
+            value: v0,
+            items: items.to_vec(),
+        });
+    }
+
+    while let Some(Node { value, items: cur }) = heap.pop() {
+        // Early exit: nothing on the frontier can beat the k-th find.
+        if found.len() >= k
+            && value <= found.last().map(|(_, v)| *v).unwrap_or(f64::INFINITY)
+        {
+            break;
+        }
+        if cur.len() == 1 {
+            found.push((cur[0].clone(), value));
+            found.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+            found.truncate(k);
+            continue;
+        }
+        let mid = cur.len() / 2;
+        for half in [&cur[..mid], &cur[mid..]] {
+            if half.is_empty() {
+                continue;
+            }
+            let v = test.test(half)?;
+            if v > 0.0 {
+                heap.push(Node {
+                    value: v,
+                    items: half.to_vec(),
+                });
+            }
+        }
+    }
+
+    Ok(BisectOutcome {
+        found,
+        executions: test.executions(),
+        violations: vec![], // BisectBiggest cannot verify assumptions
+        trace: vec![],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted(weights: Vec<(u32, f64)>) -> impl FnMut(&[u32]) -> Result<f64, TestError> {
+        move |items: &[u32]| {
+            Ok(items
+                .iter()
+                .map(|i| {
+                    weights
+                        .iter()
+                        .find(|(w, _)| w == i)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(0.0)
+                })
+                .sum())
+        }
+    }
+
+    #[test]
+    fn finds_the_single_biggest() {
+        let items: Vec<u32> = (0..256).collect();
+        let out = bisect_biggest(
+            weighted(vec![(10, 0.5), (99, 4.0), (200, 1.5)]),
+            &items,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.found.len(), 1);
+        assert_eq!(out.found[0], (99, 4.0));
+    }
+
+    #[test]
+    fn finds_top_k_in_order() {
+        let items: Vec<u32> = (0..128).collect();
+        let out = bisect_biggest(
+            weighted(vec![(3, 1.0), (60, 8.0), (100, 2.0), (17, 0.25)]),
+            &items,
+            3,
+        )
+        .unwrap();
+        let found: Vec<(u32, f64)> = out.found.clone();
+        assert_eq!(found, vec![(60, 8.0), (100, 2.0), (3, 1.0)]);
+    }
+
+    #[test]
+    fn k_larger_than_contributors_finds_all() {
+        let items: Vec<u32> = (0..64).collect();
+        let out = bisect_biggest(weighted(vec![(5, 1.0), (50, 2.0)]), &items, 10).unwrap();
+        assert_eq!(out.found.len(), 2);
+    }
+
+    #[test]
+    fn early_exit_beats_full_bisect_for_small_k() {
+        // Many contributors, but we only want the top one: UCS should
+        // spend fewer executions than finding all of them.
+        let weights: Vec<(u32, f64)> = (0..16).map(|j| (j * 61 + 7, 1.0 + j as f64)).collect();
+        let items: Vec<u32> = (0..1024).collect();
+        let top1 = bisect_biggest(weighted(weights.clone()), &items, 1).unwrap();
+        assert_eq!(top1.found.len(), 1);
+        assert_eq!(top1.found[0].1, 16.0);
+        let all = crate::algo::bisect_all(weighted(weights), &items).unwrap();
+        assert_eq!(all.found.len(), 16);
+        assert!(
+            top1.executions < all.executions,
+            "UCS top-1 ({}) should beat full bisect ({})",
+            top1.executions,
+            all.executions
+        );
+    }
+
+    #[test]
+    fn zero_variability_or_zero_k_is_cheap() {
+        let items: Vec<u32> = (0..512).collect();
+        let out = bisect_biggest(weighted(vec![]), &items, 3).unwrap();
+        assert!(out.found.is_empty());
+        assert_eq!(out.executions, 1);
+        let out = bisect_biggest(weighted(vec![(1, 1.0)]), &items, 0).unwrap();
+        assert!(out.found.is_empty());
+    }
+
+    #[test]
+    fn crash_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let err = bisect_biggest(
+            |_: &[u32]| Err::<f64, _>(TestError::Crash("boom".into())),
+            &items,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TestError::Crash(_)));
+    }
+}

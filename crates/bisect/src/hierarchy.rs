@@ -1,0 +1,661 @@
+//! The dual-level File → Symbol search (§2.3).
+//!
+//! "We perform this Bisect algorithm on a dual-level hierarchy, first by
+//! searching for the files where the compiler caused variability, and
+//! then searching the functions within each found file."
+//!
+//! File Bisect's Test function links objects from the two compilations
+//! per Figure 3 (left); Symbol Bisect recompiles the found file with
+//! `-fPIC` — verifying variability survives the recompile — and links
+//! two complementarily-weakened copies per Figure 3 (right). If `-fPIC`
+//! removes the variability, "the search cannot go deeper; we must be
+//! content with reporting the file containing the variability."
+
+use std::collections::BTreeSet;
+
+use flit_program::build::{
+    file_mixed_executable, pic_probe_executable, symbol_mixed_executable, Build,
+};
+use flit_program::engine::{Engine, RunError};
+use flit_program::model::Driver;
+use flit_toolchain::compiler::CompilerKind;
+
+use crate::algo::{bisect_all, AssumptionViolation};
+use crate::biggest::bisect_biggest;
+use crate::test_fn::{TestError, TestFn};
+
+/// Configuration for a hierarchical search.
+#[derive(Debug, Clone)]
+pub struct HierarchicalConfig {
+    /// The compiler driving the mixed links (FLiT uses a consistent
+    /// driver and a common C++ standard library — §2.3).
+    pub link_driver: CompilerKind,
+    /// `Some(k)` runs `BisectBiggest` at both levels; `None` runs the
+    /// verifying `BisectAll`.
+    pub k: Option<usize>,
+}
+
+impl HierarchicalConfig {
+    /// BisectAll through a GNU-driven link.
+    pub fn all() -> Self {
+        HierarchicalConfig {
+            link_driver: CompilerKind::Gcc,
+            k: None,
+        }
+    }
+
+    /// BisectBiggest(k) through a GNU-driven link.
+    pub fn biggest(k: usize) -> Self {
+        HierarchicalConfig {
+            link_driver: CompilerKind::Gcc,
+            k: Some(k),
+        }
+    }
+}
+
+/// A file-level finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileFinding {
+    /// Index in the program's file list.
+    pub file_id: usize,
+    /// File name.
+    pub file_name: String,
+    /// Singleton Test value of this file.
+    pub value: f64,
+}
+
+/// A symbol-level finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolFinding {
+    /// The function's symbol name.
+    pub symbol: String,
+    /// The file defining it.
+    pub file_id: usize,
+    /// Singleton Test value of this symbol.
+    pub value: f64,
+}
+
+/// How the search ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchOutcome {
+    /// Both levels completed.
+    Completed,
+    /// The whole variable file set tested clean through the bisection
+    /// link: the original variability came from the *link step* itself
+    /// (the Intel vendor-math substitution on MFEM examples 4, 5, 9, 10
+    /// and 15).
+    LinkStepOnly,
+    /// A mixed executable crashed (Table 2's File Bisect failures).
+    Crashed(String),
+    /// A dynamic-verification assertion failed; results may be
+    /// incomplete (the user is notified, §2.4).
+    AssumptionViolated,
+}
+
+/// Result of [`bisect_hierarchical`].
+#[derive(Debug, Clone)]
+pub struct HierarchicalResult {
+    /// How the search ended.
+    pub outcome: SearchOutcome,
+    /// Variability-inducing files.
+    pub files: Vec<FileFinding>,
+    /// Variability-inducing symbols across all searched files.
+    pub symbols: Vec<SymbolFinding>,
+    /// Files whose variability disappeared under the `-fPIC` probe
+    /// (file-level blame only).
+    pub file_level_only: Vec<usize>,
+    /// Total program executions (file level + probes + symbol level,
+    /// including the baseline reference run).
+    pub executions: usize,
+    /// Assumption violations from the verifying searches.
+    pub violations: Vec<String>,
+}
+
+impl HierarchicalResult {
+    /// Did the search complete with full dynamic verification?
+    pub fn verified_complete(&self) -> bool {
+        self.outcome == SearchOutcome::Completed && self.violations.is_empty()
+    }
+
+    /// Library-level blame (the coarsest level of Figure 1's "Library,
+    /// Source, and Function Blame"): found files grouped by their
+    /// top-level directory, each with the summed Test magnitude.
+    pub fn library_blame(&self) -> Vec<(String, f64)> {
+        let mut groups: std::collections::BTreeMap<String, f64> =
+            std::collections::BTreeMap::new();
+        for f in &self.files {
+            let lib = f
+                .file_name
+                .split('/')
+                .next()
+                .unwrap_or(&f.file_name)
+                .to_string();
+            *groups.entry(lib).or_default() += f.value;
+        }
+        let mut v: Vec<(String, f64)> = groups.into_iter().collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+fn run_to_test_error(e: RunError) -> TestError {
+    match e {
+        RunError::Crash(s) => TestError::Crash(s),
+        RunError::MissingSymbol(s) => TestError::Link(format!("undefined symbol `{s}`")),
+    }
+}
+
+/// Run the full hierarchical search.
+///
+/// * `baseline` / `variable` — the two builds (identical program
+///   structure; different compilations and/or different bodies, as in
+///   the injection study).
+/// * `driver` — the test driver (entry points and input scheme).
+/// * `input` — the FLiT test input vector.
+/// * `compare` — the user's comparison metric
+///   (`||baseline − actual||₂` in the MFEM study).
+pub fn bisect_hierarchical(
+    baseline: &Build,
+    variable: &Build,
+    driver: &Driver,
+    input: &[f64],
+    compare: &dyn Fn(&[f64], &[f64]) -> f64,
+    cfg: &HierarchicalConfig,
+) -> HierarchicalResult {
+    let mut executions = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+
+    // Reference run under the trusted baseline build.
+    let base_exe = match baseline.executable() {
+        Ok(e) => e,
+        Err(e) => {
+            return HierarchicalResult {
+                outcome: SearchOutcome::Crashed(format!("baseline link failed: {e}")),
+                files: vec![],
+                symbols: vec![],
+                file_level_only: vec![],
+                executions,
+                violations,
+            }
+        }
+    };
+    executions += 1;
+    let base_out = match Engine::with_variant(baseline.program, variable.program, &base_exe)
+        .run(driver, input)
+    {
+        Ok(o) => o.output,
+        Err(e) => {
+            return HierarchicalResult {
+                outcome: SearchOutcome::Crashed(format!("baseline run failed: {e}")),
+                files: vec![],
+                symbols: vec![],
+                file_level_only: vec![],
+                executions,
+                violations,
+            }
+        }
+    };
+
+    // ---- File Bisect ----
+    let file_ids: Vec<usize> = (0..baseline.program.files.len()).collect();
+    let mut file_execs = 0usize;
+    let file_test = |items: &[usize]| -> Result<f64, TestError> {
+        let set: BTreeSet<usize> = items.iter().copied().collect();
+        let exe = file_mixed_executable(baseline, variable, &set, cfg.link_driver)
+            .map_err(|e| TestError::Link(e.to_string()))?;
+        let out = Engine::with_variant(baseline.program, variable.program, &exe)
+            .run(driver, input)
+            .map_err(run_to_test_error)?;
+        Ok(compare(&base_out, &out.output))
+    };
+    let counted_file_test = CountingTest {
+        inner: file_test,
+        count: &mut file_execs,
+    };
+
+    let file_outcome = match cfg.k {
+        None => bisect_all(counted_file_test, &file_ids),
+        Some(k) => bisect_biggest(counted_file_test, &file_ids, k),
+    };
+    executions += file_execs;
+
+    let file_result = match file_outcome {
+        Ok(r) => r,
+        Err(TestError::Crash(s)) => {
+            return HierarchicalResult {
+                outcome: SearchOutcome::Crashed(s),
+                files: vec![],
+                symbols: vec![],
+                file_level_only: vec![],
+                executions,
+                violations,
+            }
+        }
+        Err(TestError::Link(s)) => {
+            return HierarchicalResult {
+                outcome: SearchOutcome::Crashed(format!("link: {s}")),
+                files: vec![],
+                symbols: vec![],
+                file_level_only: vec![],
+                executions,
+                violations,
+            }
+        }
+    };
+    for v in &file_result.violations {
+        violations.push(violation_string(v, |id| {
+            baseline.program.files[*id].name.clone()
+        }));
+    }
+
+    let files: Vec<FileFinding> = file_result
+        .found
+        .iter()
+        .map(|(id, value)| FileFinding {
+            file_id: *id,
+            file_name: baseline.program.files[*id].name.clone(),
+            value: *value,
+        })
+        .collect();
+
+    if files.is_empty() {
+        let outcome = if violations.is_empty() {
+            // Nothing found and nothing flagged: the mixed link cannot
+            // reproduce the variability — link-step blame.
+            SearchOutcome::LinkStepOnly
+        } else {
+            SearchOutcome::AssumptionViolated
+        };
+        return HierarchicalResult {
+            outcome,
+            files,
+            symbols: vec![],
+            file_level_only: vec![],
+            executions,
+            violations,
+        };
+    }
+
+    // ---- Symbol Bisect per found file ----
+    let mut symbols: Vec<SymbolFinding> = Vec::new();
+    let mut file_level_only: Vec<usize> = Vec::new();
+
+    for finding in &files {
+        let fid = finding.file_id;
+        // -fPIC probe: does the variability survive the recompile?
+        let probe = match pic_probe_executable(baseline, variable, fid, cfg.link_driver) {
+            Ok(exe) => exe,
+            Err(e) => {
+                return HierarchicalResult {
+                    outcome: SearchOutcome::Crashed(format!("pic probe link: {e}")),
+                    files,
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                }
+            }
+        };
+        executions += 1;
+        let probe_out = match Engine::with_variant(baseline.program, variable.program, &probe)
+            .run(driver, input)
+        {
+            Ok(o) => o.output,
+            Err(RunError::Crash(s)) => {
+                return HierarchicalResult {
+                    outcome: SearchOutcome::Crashed(s),
+                    files,
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                }
+            }
+            Err(e) => {
+                return HierarchicalResult {
+                    outcome: SearchOutcome::Crashed(e.to_string()),
+                    files,
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                }
+            }
+        };
+        if compare(&base_out, &probe_out) == 0.0 {
+            file_level_only.push(fid);
+            continue;
+        }
+
+        let syms = baseline.program.exported_symbols_of_file(fid);
+        if syms.is_empty() {
+            file_level_only.push(fid);
+            continue;
+        }
+        let mut sym_execs = 0usize;
+        let sym_test = |items: &[String]| -> Result<f64, TestError> {
+            let set: BTreeSet<String> = items.iter().cloned().collect();
+            let exe = symbol_mixed_executable(baseline, variable, fid, &set, cfg.link_driver)
+                .map_err(|e| TestError::Link(e.to_string()))?;
+            let out = Engine::with_variant(baseline.program, variable.program, &exe)
+                .run(driver, input)
+                .map_err(run_to_test_error)?;
+            Ok(compare(&base_out, &out.output))
+        };
+        let counted_sym_test = CountingTest {
+            inner: sym_test,
+            count: &mut sym_execs,
+        };
+        let sym_outcome = match cfg.k {
+            None => bisect_all(counted_sym_test, &syms),
+            Some(k) => bisect_biggest(counted_sym_test, &syms, k),
+        };
+        executions += sym_execs;
+        match sym_outcome {
+            Ok(r) => {
+                for v in &r.violations {
+                    violations.push(violation_string(v, |s| s.clone()));
+                }
+                if r.found.is_empty() {
+                    // Exported-symbol interposition cannot reproduce it
+                    // (e.g. variability lives in statics/inlined code).
+                    file_level_only.push(fid);
+                }
+                for (symbol, value) in r.found {
+                    symbols.push(SymbolFinding {
+                        symbol,
+                        file_id: fid,
+                        value,
+                    });
+                }
+            }
+            Err(TestError::Crash(s)) => {
+                return HierarchicalResult {
+                    outcome: SearchOutcome::Crashed(s),
+                    files,
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                }
+            }
+            Err(TestError::Link(s)) => {
+                return HierarchicalResult {
+                    outcome: SearchOutcome::Crashed(format!("link: {s}")),
+                    files,
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                }
+            }
+        }
+    }
+
+    let outcome = if violations.is_empty() {
+        SearchOutcome::Completed
+    } else {
+        SearchOutcome::AssumptionViolated
+    };
+    HierarchicalResult {
+        outcome,
+        files,
+        symbols,
+        file_level_only,
+        executions,
+        violations,
+    }
+}
+
+fn violation_string<I>(v: &AssumptionViolation<I>, name: impl Fn(&I) -> String) -> String {
+    match v {
+        AssumptionViolation::SingletonBlame { element } => format!(
+            "singleton-blame assumption violated at `{}` (possible false negatives)",
+            name(element)
+        ),
+        AssumptionViolation::UniqueError {
+            items_value,
+            found_value,
+        } => format!(
+            "unique-error assumption violated: Test(items)={items_value} != Test(found)={found_value}"
+        ),
+    }
+}
+
+/// Adapter: counts real executions through an external counter so the
+/// hierarchical result can report a single total.
+struct CountingTest<'c, F> {
+    inner: F,
+    count: &'c mut usize,
+}
+
+impl<I, F> TestFn<I> for CountingTest<'_, F>
+where
+    F: FnMut(&[I]) -> Result<f64, TestError>,
+{
+    fn test(&mut self, items: &[I]) -> Result<f64, TestError> {
+        *self.count += 1;
+        (self.inner)(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit_fpsim::ulp::l2_diff;
+    use flit_program::kernel::Kernel;
+    use flit_program::model::{Function, SimProgram, SourceFile};
+    use flit_toolchain::compilation::Compilation;
+    use flit_toolchain::compiler::OptLevel;
+    use flit_toolchain::flags::Switch;
+
+    /// A program with known blame structure: files 1 and 3 contain
+    /// env-sensitive functions, the rest are benign.
+    fn program() -> SimProgram {
+        SimProgram::new(
+            "hier-test",
+            vec![
+                SourceFile::new(
+                    "io.cpp",
+                    vec![
+                        Function::exported("io_read", Kernel::Benign { flavor: 0 }),
+                        Function::exported("io_write", Kernel::Benign { flavor: 1 }),
+                    ],
+                ),
+                SourceFile::new(
+                    "assemble.cpp",
+                    vec![
+                        Function::exported("assemble_mass", Kernel::DotMix { stride: 3 }),
+                        Function::exported("assemble_aux", Kernel::Benign { flavor: 2 }),
+                    ],
+                ),
+                SourceFile::new(
+                    "mesh.cpp",
+                    vec![Function::exported("mesh_permute", Kernel::Benign { flavor: 3 })],
+                ),
+                SourceFile::new(
+                    "solver.cpp",
+                    vec![
+                        Function::exported("solver_norm", Kernel::NormScale),
+                        Function::exported("solver_post", Kernel::Benign { flavor: 4 }),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    fn driver() -> Driver {
+        Driver::new(
+            "hier",
+            vec![
+                "io_read".into(),
+                "assemble_mass".into(),
+                "assemble_aux".into(),
+                "mesh_permute".into(),
+                "solver_norm".into(),
+                "solver_post".into(),
+                "io_write".into(),
+            ],
+            2,
+            64,
+        )
+    }
+
+    fn l2_compare(a: &[f64], b: &[f64]) -> f64 {
+        l2_diff(a, b)
+    }
+
+    #[test]
+    fn finds_both_files_and_their_symbols() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(
+            &p,
+            Compilation::new(
+                flit_toolchain::compiler::CompilerKind::Gcc,
+                OptLevel::O3,
+                vec![Switch::Avx2FmaUnsafe],
+            ),
+            1,
+        );
+        let res = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+        );
+        assert_eq!(res.outcome, SearchOutcome::Completed, "{:?}", res.violations);
+        let mut file_ids: Vec<usize> = res.files.iter().map(|f| f.file_id).collect();
+        file_ids.sort();
+        assert_eq!(file_ids, vec![1, 3], "blamed files");
+        let mut syms: Vec<&str> = res.symbols.iter().map(|s| s.symbol.as_str()).collect();
+        syms.sort();
+        assert_eq!(syms, vec!["assemble_mass", "solver_norm"]);
+        assert!(res.verified_complete());
+        // O(k log N) scale: a handful of file tests + per-file symbol
+        // searches; far below exhaustive.
+        assert!(res.executions < 40, "executions = {}", res.executions);
+    }
+
+    #[test]
+    fn biggest_k1_finds_the_dominant_file_only() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(
+            &p,
+            Compilation::new(
+                flit_toolchain::compiler::CompilerKind::Gcc,
+                OptLevel::O3,
+                vec![Switch::Avx2FmaUnsafe],
+            ),
+            1,
+        );
+        let res = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::biggest(1),
+        );
+        assert_eq!(res.outcome, SearchOutcome::Completed);
+        assert_eq!(res.files.len(), 1);
+        assert!(res.symbols.len() <= 1);
+    }
+
+    #[test]
+    fn clean_compilation_is_link_step_only_shape() {
+        // Baseline vs plain -O3 (value-safe): nothing to find; the
+        // search reports that the mixed link shows no variability.
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(
+            &p,
+            Compilation::new(
+                flit_toolchain::compiler::CompilerKind::Gcc,
+                OptLevel::O3,
+                vec![],
+            ),
+            1,
+        );
+        let res = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+        );
+        assert_eq!(res.outcome, SearchOutcome::LinkStepOnly);
+        assert!(res.files.is_empty());
+    }
+
+    #[test]
+    fn extended_precision_blame_stops_at_file_level() {
+        // x87 extended-precision variability washes out under the -fPIC
+        // probe: the file is reported, no symbols.
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(
+            &p,
+            Compilation::new(
+                flit_toolchain::compiler::CompilerKind::Gcc,
+                OptLevel::O2,
+                vec![Switch::FpMath387],
+            ),
+            1,
+        );
+        let res = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+        );
+        assert_eq!(res.outcome, SearchOutcome::Completed);
+        assert!(!res.files.is_empty());
+        assert!(res.symbols.is_empty(), "symbols: {:?}", res.symbols);
+        assert_eq!(
+            res.file_level_only.len(),
+            res.files.len(),
+            "every found file should be file-level-only under x87 blame"
+        );
+    }
+
+    #[test]
+    fn executions_are_counted_and_deterministic() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(
+            &p,
+            Compilation::new(
+                flit_toolchain::compiler::CompilerKind::Gcc,
+                OptLevel::O3,
+                vec![Switch::Avx2FmaUnsafe],
+            ),
+            1,
+        );
+        let r1 = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+        );
+        let r2 = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+        );
+        assert_eq!(r1.executions, r2.executions);
+        assert_eq!(r1.files, r2.files);
+        assert_eq!(r1.symbols, r2.symbols);
+    }
+}

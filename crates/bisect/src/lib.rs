@@ -1,0 +1,36 @@
+//! # flit-bisect
+//!
+//! The paper's central algorithmic contribution: a suite of bisection
+//! algorithms that root-cause compiler-induced result variability down
+//! to source files and functions.
+//!
+//! * [`algo`] — Algorithm 1 (`BisectOne` / `BisectAll`) exactly as
+//!   printed, including the two dynamic-verification assertions that
+//!   check the **Unique Error** and **Singleton Blame Site** assumptions
+//!   at run time (§2.2, §2.4).
+//! * [`biggest`] — `BisectBiggest` (§2.5): uniform-cost search for the
+//!   `k` largest contributors with early exit.
+//! * [`hierarchy`] — the dual-level File→Symbol search (§2.3), built on
+//!   the linker/objcopy machinery: File Bisect mixes object files,
+//!   Symbol Bisect re-compiles the found file with `-fPIC` and links two
+//!   complementarily-weakened copies.
+//! * [`baselines`] — Zeller–Hildebrandt `ddmin` (delta debugging) and a
+//!   linear scan, implemented for the complexity comparisons
+//!   (O(k·log N) vs O(k²·log N) vs O(N)).
+//! * [`test_fn`] — the memoizing `Test` wrapper with execution counting
+//!   (the paper reports searches in *program executions*; memoization is
+//!   why the verification assertions cost only `1 + k` extra runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod baselines;
+pub mod biggest;
+pub mod hierarchy;
+pub mod test_fn;
+
+pub use algo::{bisect_all, bisect_all_unpruned, bisect_one, AssumptionViolation, BisectOutcome, TraceRow};
+pub use biggest::bisect_biggest;
+pub use hierarchy::{bisect_hierarchical, HierarchicalConfig, HierarchicalResult, SearchOutcome};
+pub use test_fn::{MemoTest, TestError, TestFn};

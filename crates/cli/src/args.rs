@@ -1,0 +1,281 @@
+//! Hand-rolled argument parsing (no external dependency; the surface is
+//! small and stable).
+
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+}
+
+/// The `flit` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List bundled applications.
+    Apps,
+    /// Sweep the compilation matrix for one application.
+    Run {
+        /// Application name.
+        app: String,
+        /// Restrict to one compiler (`gcc`, `clang`, `icpc`, `xlc`).
+        compiler: Option<String>,
+        /// Emit the results database as JSON instead of a table.
+        json: bool,
+    },
+    /// Performance-vs-reproducibility analysis.
+    Analyze {
+        /// Application name.
+        app: String,
+    },
+    /// Hierarchical File → Symbol bisection of one variable compilation.
+    Bisect {
+        /// Application name.
+        app: String,
+        /// Test name (defaults to the app's first test).
+        test: Option<String>,
+        /// The variable compilation, e.g. `"icpc -O2"` or
+        /// `"g++ -O3 -mavx2 -mfma"`.
+        compilation: String,
+        /// `BisectBiggest(k)` instead of the verifying `BisectAll`.
+        biggest: Option<usize>,
+    },
+    /// Run the perturbation-injection study.
+    Inject {
+        /// Application name.
+        app: String,
+        /// Cap the number of sites (all four OP's still run per site).
+        limit: Option<usize>,
+    },
+    /// The full Figure-1 workflow: determinism check → sweep → analysis
+    /// → bisect everything variable.
+    Workflow {
+        /// Application name.
+        app: String,
+        /// Cap on bisections (default: all).
+        max_bisections: Option<usize>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure, with a message for the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+flit — compiler-induced variability tester (FLiT reproduction)
+
+USAGE:
+  flit apps
+  flit run <app> [--compiler gcc|clang|icpc|xlc] [--json]
+  flit analyze <app>
+  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>]
+  flit inject <app> [--limit <n-sites>]
+  flit workflow <app> [--max-bisections <n>]
+  flit help
+";
+
+/// Parse a command line (excluding the program name).
+pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
+    let mut it = args.iter();
+    let cmd = it.next().map(|s| s.as_str()).unwrap_or("help");
+    let rest: Vec<&String> = it.collect();
+    let flag_value = |name: &str| -> Option<String> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.to_string())
+    };
+    let has_flag = |name: &str| rest.iter().any(|a| a.as_str() == name);
+    let positional = || -> Result<String, ParseError> {
+        rest.first()
+            .filter(|a| !a.starts_with("--"))
+            .map(|s| s.to_string())
+            .ok_or_else(|| ParseError(format!("`{cmd}` needs an application name\n\n{USAGE}")))
+    };
+
+    let command = match cmd {
+        "apps" => Command::Apps,
+        "run" => Command::Run {
+            app: positional()?,
+            compiler: flag_value("--compiler"),
+            json: has_flag("--json"),
+        },
+        "analyze" => Command::Analyze { app: positional()? },
+        "bisect" => {
+            let compilation = flag_value("--compilation").ok_or_else(|| {
+                ParseError(format!("`bisect` needs --compilation\n\n{USAGE}"))
+            })?;
+            let biggest = match flag_value("--biggest") {
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| ParseError(format!("--biggest takes a number, got `{v}`")))?,
+                ),
+                None => None,
+            };
+            Command::Bisect {
+                app: positional()?,
+                test: flag_value("--test"),
+                compilation,
+                biggest,
+            }
+        }
+        "inject" => {
+            let limit = match flag_value("--limit") {
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| ParseError(format!("--limit takes a number, got `{v}`")))?,
+                ),
+                None => None,
+            };
+            Command::Inject {
+                app: positional()?,
+                limit,
+            }
+        }
+        "workflow" => {
+            let max_bisections = match flag_value("--max-bisections") {
+                Some(v) => Some(v.parse::<usize>().map_err(|_| {
+                    ParseError(format!("--max-bisections takes a number, got `{v}`"))
+                })?),
+                None => None,
+            };
+            Command::Workflow {
+                app: positional()?,
+                max_bisections,
+            }
+        }
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(ParseError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    };
+    Ok(Cli { command })
+}
+
+/// Parse a compilation label like `"icpc -O2 -fp-model fast=2"` back
+/// into a [`flit_toolchain::compilation::Compilation`], by matching
+/// against the known matrix (plus the xlc catalog).
+pub fn parse_compilation(
+    label: &str,
+) -> Result<flit_toolchain::compilation::Compilation, ParseError> {
+    use flit_toolchain::compilation::compilation_matrix;
+    use flit_toolchain::compiler::CompilerKind;
+    let all = [
+        CompilerKind::Gcc,
+        CompilerKind::Clang,
+        CompilerKind::Icpc,
+        CompilerKind::Xlc,
+    ];
+    let norm = label.split_whitespace().collect::<Vec<_>>().join(" ");
+    for compiler in all {
+        for comp in compilation_matrix(compiler) {
+            if comp.label() == norm {
+                return Ok(comp);
+            }
+        }
+    }
+    Err(ParseError(format!(
+        "unknown compilation `{label}` (expected e.g. \"g++ -O3 -mavx2 -mfma\" from the study matrix)"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_subcommands() {
+        assert_eq!(parse(&v(&["apps"])).unwrap().command, Command::Apps);
+        assert_eq!(
+            parse(&v(&["run", "mfem", "--compiler", "gcc", "--json"]))
+                .unwrap()
+                .command,
+            Command::Run {
+                app: "mfem".into(),
+                compiler: Some("gcc".into()),
+                json: true
+            }
+        );
+        assert_eq!(
+            parse(&v(&["analyze", "laghos"])).unwrap().command,
+            Command::Analyze {
+                app: "laghos".into()
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "bisect",
+                "mfem",
+                "--test",
+                "ex13",
+                "--compilation",
+                "icpc -O2",
+                "--biggest",
+                "2"
+            ]))
+            .unwrap()
+            .command,
+            Command::Bisect {
+                app: "mfem".into(),
+                test: Some("ex13".into()),
+                compilation: "icpc -O2".into(),
+                biggest: Some(2)
+            }
+        );
+        assert_eq!(
+            parse(&v(&["inject", "lulesh", "--limit", "10"]))
+                .unwrap()
+                .command,
+            Command::Inject {
+                app: "lulesh".into(),
+                limit: Some(10)
+            }
+        );
+        assert_eq!(
+            parse(&v(&["workflow", "laghos", "--max-bisections", "3"]))
+                .unwrap()
+                .command,
+            Command::Workflow {
+                app: "laghos".into(),
+                max_bisections: Some(3)
+            }
+        );
+        assert_eq!(parse(&v(&[])).unwrap().command, Command::Help);
+        assert_eq!(parse(&v(&["help"])).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["run"])).is_err());
+        assert!(parse(&v(&["bisect", "mfem"])).is_err());
+        assert!(parse(&v(&["bisect", "mfem", "--compilation", "g++ -O2", "--biggest", "x"])).is_err());
+        assert!(parse(&v(&["inject", "lulesh", "--limit", "NaN"])).is_err());
+    }
+
+    #[test]
+    fn compilation_labels_round_trip() {
+        for label in [
+            "g++ -O0",
+            "g++ -O3 -mavx2 -mfma -funsafe-math-optimizations",
+            "icpc -O2 -fp-model fast=2",
+            "xlc++ -O3 -qstrict=vectorprecision",
+        ] {
+            let c = parse_compilation(label).unwrap();
+            assert_eq!(c.label(), label);
+        }
+        assert!(parse_compilation("tcc -O9").is_err());
+    }
+}

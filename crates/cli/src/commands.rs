@@ -1,0 +1,457 @@
+//! Command implementations. Every command returns its report as a
+//! `String` (so it can be tested) and the binary prints it.
+
+use flit_bisect::hierarchy::{bisect_hierarchical, HierarchicalConfig, SearchOutcome};
+use flit_core::analysis::{
+    category_bars, compiler_summary, fastest_is_reproducible_count, variability_summary,
+};
+use flit_core::metrics::l2_compare;
+use flit_core::runner::{run_matrix, RunnerConfig};
+use flit_core::test::FlitTest;
+use flit_inject::study::{run_study, StudyConfig};
+use flit_program::build::Build;
+use flit_report::table::{fmt_f64, Align, Table};
+use flit_toolchain::compilation::{compilation_matrix, Compilation};
+use flit_toolchain::compiler::CompilerKind;
+
+use crate::apps::{app_names, resolve_app, BundledApp};
+use crate::args::{parse_compilation, Cli, Command, ParseError, USAGE};
+
+/// Execute a parsed command line.
+pub fn execute(cli: &Cli) -> Result<String, ParseError> {
+    match &cli.command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Apps => Ok(cmd_apps()),
+        Command::Run {
+            app,
+            compiler,
+            json,
+        } => cmd_run(app, compiler.as_deref(), *json),
+        Command::Analyze { app } => cmd_analyze(app),
+        Command::Bisect {
+            app,
+            test,
+            compilation,
+            biggest,
+        } => cmd_bisect(app, test.as_deref(), compilation, *biggest),
+        Command::Inject { app, limit } => cmd_inject(app, *limit),
+        Command::Workflow {
+            app,
+            max_bisections,
+        } => cmd_workflow(app, *max_bisections),
+    }
+}
+
+fn get_app(name: &str) -> Result<BundledApp, ParseError> {
+    resolve_app(name).ok_or_else(|| {
+        ParseError(format!(
+            "unknown application `{name}` (available: {})",
+            app_names().join(", ")
+        ))
+    })
+}
+
+fn matrix_for(app: &BundledApp, compiler: Option<&str>) -> Result<Vec<Compilation>, ParseError> {
+    let compilers: Vec<CompilerKind> = match compiler {
+        None => {
+            if app.name.starts_with("laghos") {
+                vec![CompilerKind::Gcc, CompilerKind::Xlc]
+            } else {
+                CompilerKind::MFEM_STUDY.to_vec()
+            }
+        }
+        Some("gcc") | Some("g++") => vec![CompilerKind::Gcc],
+        Some("clang") | Some("clang++") => vec![CompilerKind::Clang],
+        Some("icpc") | Some("intel") => vec![CompilerKind::Icpc],
+        Some("xlc") | Some("xlc++") => vec![CompilerKind::Xlc],
+        Some(other) => {
+            return Err(ParseError(format!(
+                "unknown compiler `{other}` (gcc, clang, icpc, xlc)"
+            )))
+        }
+    };
+    Ok(compilers
+        .into_iter()
+        .flat_map(compilation_matrix)
+        .collect())
+}
+
+fn cmd_apps() -> String {
+    let mut out = String::from("bundled applications:\n");
+    for name in app_names() {
+        let app = resolve_app(name).expect("listed apps resolve");
+        out.push_str(&format!(
+            "  {:<12} {} ({} files, {} functions, {} tests)\n",
+            app.name,
+            app.description,
+            app.program.files.len(),
+            app.program.total_functions(),
+            app.tests.len(),
+        ));
+    }
+    out
+}
+
+fn cmd_run(app: &str, compiler: Option<&str>, json: bool) -> Result<String, ParseError> {
+    let app = get_app(app)?;
+    let comps = matrix_for(&app, compiler)?;
+    let dyn_tests: Vec<&dyn FlitTest> = app.tests.iter().map(|t| t as &dyn FlitTest).collect();
+    let db = run_matrix(&app.program, &dyn_tests, &comps, &RunnerConfig::default());
+    if json {
+        return Ok(db.to_json());
+    }
+    let mut table = Table::new(&["test", "variable / total", "worst comparison"])
+        .with_aligns(&[Align::Left, Align::Right, Align::Right])
+        .with_title(format!(
+            "flit run {}: {} compilations x {} tests",
+            app.name,
+            comps.len(),
+            app.tests.len()
+        ));
+    for test in db.tests() {
+        let rows = db.for_test(&test);
+        let variable = rows.iter().filter(|r| r.is_variable()).count();
+        let worst = rows
+            .iter()
+            .map(|r| r.comparison)
+            .filter(|c| c.is_finite())
+            .fold(0.0f64, f64::max);
+        table.row(&[
+            test.clone(),
+            format!("{variable} / {}", rows.len()),
+            fmt_f64(worst, 2),
+        ]);
+    }
+    Ok(table.render())
+}
+
+fn cmd_analyze(app: &str) -> Result<String, ParseError> {
+    let app = get_app(app)?;
+    let comps = matrix_for(&app, None)?;
+    let dyn_tests: Vec<&dyn FlitTest> = app.tests.iter().map(|t| t as &dyn FlitTest).collect();
+    let db = run_matrix(&app.program, &dyn_tests, &comps, &RunnerConfig::default());
+
+    let mut out = String::new();
+    let mut table = Table::new(&["compiler", "variable runs", "best average flags", "speedup"])
+        .with_title(format!("flit analyze {}", app.name))
+        .with_aligns(&[Align::Left, Align::Right, Align::Left, Align::Right]);
+    for compiler in db
+        .compilations()
+        .iter()
+        .map(|c| c.compiler)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let s = compiler_summary(&db, compiler);
+        table.row(&[
+            compiler.to_string(),
+            format!("{}/{}", s.variable_runs, s.total_runs),
+            s.best_flags,
+            fmt_f64(s.best_avg_speedup, 3),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let (wins, total) = fastest_is_reproducible_count(&db);
+    out.push_str(&format!(
+        "\n{wins} of {total} tests have their fastest compilation among the bitwise-equal ones\n\n"
+    ));
+    for test in db.tests() {
+        let v = variability_summary(&db, &test);
+        let bars = category_bars(&db, &test);
+        let fastest = bars
+            .fastest_variable
+            .map(|p| format!("fastest variable {:.3} ({})", p.speedup, p.label))
+            .unwrap_or_else(|| "no variable compilations".into());
+        out.push_str(&format!(
+            "  {test}: {}/{} variable, rel err [{:.1e}, {:.1e}], {fastest}\n",
+            v.variable_compilations,
+            v.total_compilations,
+            v.min_rel_err,
+            v.max_rel_err
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_bisect(
+    app: &str,
+    test: Option<&str>,
+    compilation: &str,
+    biggest: Option<usize>,
+) -> Result<String, ParseError> {
+    let app = get_app(app)?;
+    let comp = parse_compilation(compilation)?;
+    let test = match test {
+        Some(name) => app
+            .tests
+            .iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| ParseError(format!("unknown test `{name}` for {}", app.name)))?,
+        None => &app.tests[0],
+    };
+    let baseline = Build::new(&app.program, Compilation::baseline());
+    let variable = Build::tagged(&app.program, comp.clone(), 1);
+    let cfg = HierarchicalConfig {
+        link_driver: CompilerKind::Gcc,
+        k: biggest,
+    };
+    let input = test.default_input();
+    let res = bisect_hierarchical(
+        &baseline,
+        &variable,
+        test.driver(),
+        &input[..test.inputs_per_run().min(input.len())],
+        &l2_compare,
+        &cfg,
+    );
+
+    let mut out = format!(
+        "flit bisect {}: test {} | baseline {} | variable {}\n\n",
+        app.name,
+        test.name(),
+        Compilation::baseline().label(),
+        comp.label()
+    );
+    match res.outcome {
+        SearchOutcome::Crashed(ref why) => {
+            out.push_str(&format!("search ABORTED: mixed executable crashed ({why})\n"));
+        }
+        SearchOutcome::LinkStepOnly => {
+            out.push_str(
+                "no file blame: the variability is introduced by the link step itself\n",
+            );
+        }
+        _ => {
+            out.push_str(&format!("files  ({}):\n", res.files.len()));
+            for f in &res.files {
+                out.push_str(&format!("  {:<28} Test = {:.3e}\n", f.file_name, f.value));
+            }
+            out.push_str(&format!("symbols ({}):\n", res.symbols.len()));
+            for s in &res.symbols {
+                out.push_str(&format!("  {:<28} Test = {:.3e}\n", s.symbol, s.value));
+            }
+            for fid in &res.file_level_only {
+                out.push_str(&format!(
+                    "  (file-level only: {} — variability does not survive -fPIC)\n",
+                    app.program.files[*fid].name
+                ));
+            }
+        }
+    }
+    out.push_str(&format!("\nprogram executions: {}\n", res.executions));
+    if !res.violations.is_empty() {
+        out.push_str("WARNING: assumption violations (possible false negatives):\n");
+        for v in &res.violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_inject(app: &str, limit: Option<usize>) -> Result<String, ParseError> {
+    let app = get_app(app)?;
+    let sites = flit_inject::enumerate_sites(&app.program);
+    if sites.is_empty() {
+        return Err(ParseError(format!(
+            "{} has no injectable FP instruction sites (try `lulesh`)",
+            app.name
+        )));
+    }
+    // Respect the limit by truncating the program's site list via a
+    // filtered study: simplest is to run the full study when no limit.
+    let test = &app.tests[0];
+    let cfg = StudyConfig {
+        compilation: Compilation::perf_reference(),
+        driver: test.driver().clone(),
+        input: test.default_input(),
+        seed: 42,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+    let (records, summary) = run_study(&app.program, &cfg);
+    let mut out = format!(
+        "flit inject {}: {} sites, {} injections\n",
+        app.name,
+        sites.len(),
+        summary.total
+    );
+    if let Some(n) = limit {
+        out.push_str(&format!("first {n} records:\n"));
+        for r in records.iter().take(n * 4) {
+            out.push_str(&format!(
+                "  {}#{} {:?} eps={:.3} -> {:?} ({} runs)\n",
+                r.site.symbol, r.site.site, r.op, r.eps, r.classification, r.runs
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "exact {} | indirect {} | wrong {} | missed {} | not measurable {}\n",
+        summary.exact, summary.indirect, summary.wrong, summary.missed, summary.not_measurable
+    ));
+    out.push_str(&format!(
+        "precision {:.3}, recall {:.3}, avg runs {:.1}\n",
+        summary.precision(),
+        summary.recall(),
+        summary.avg_runs
+    ));
+    Ok(out)
+}
+
+fn cmd_workflow(app: &str, max_bisections: Option<usize>) -> Result<String, ParseError> {
+    use flit_core::workflow::{run_workflow, WorkflowConfig};
+    let app = get_app(app)?;
+    let comps = matrix_for(&app, None)?;
+    let cfg = WorkflowConfig {
+        max_bisections: max_bisections.unwrap_or(usize::MAX),
+        ..Default::default()
+    };
+    let report = run_workflow(&app.program, &app.tests, &comps, &cfg);
+
+    let mut out = format!("flit workflow {} (Figure 1)
+
+", app.name);
+    out.push_str(&format!(
+        "[1] determinism pre-check: {}
+",
+        if report.deterministic {
+            "passed (bitwise run-to-run)"
+        } else {
+            "FAILED — determinize first (e.g. record/replay, race fixing)"
+        }
+    ));
+    let variable = report.db.rows.iter().filter(|r| r.is_variable()).count();
+    out.push_str(&format!(
+        "[2] matrix sweep: {} runs, {} variable
+",
+        report.db.rows.len(),
+        variable
+    ));
+    let (wins, total) = report.reproducible_fastest;
+    out.push_str(&format!(
+        "[2] analysis: fastest compilation is bitwise-reproducible for {wins}/{total} tests
+"
+    ));
+    out.push_str(&format!(
+        "[3] bisect: {} searches run
+",
+        report.bisections.len()
+    ));
+    use std::collections::BTreeMap;
+    let mut blame: BTreeMap<String, usize> = BTreeMap::new();
+    let mut link_step = 0usize;
+    let mut crashed = 0usize;
+    for b in &report.bisections {
+        use flit_bisect::hierarchy::SearchOutcome as SO;
+        match &b.result.outcome {
+            SO::Crashed(_) => crashed += 1,
+            SO::LinkStepOnly => link_step += 1,
+            _ => {
+                for s in &b.result.symbols {
+                    *blame.entry(s.symbol.clone()).or_default() += 1;
+                }
+            }
+        }
+    }
+    out.push_str("    blamed functions (by number of compilations):
+");
+    let mut ranked: Vec<(String, usize)> = blame.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (symbol, n) in ranked {
+        out.push_str(&format!("      {symbol:<32} {n}
+"));
+    }
+    if link_step > 0 {
+        out.push_str(&format!(
+            "    link-step variability (no file blame): {link_step}
+"
+        ));
+    }
+    if crashed > 0 {
+        out.push_str(&format!("    crashed mixed executables: {crashed}
+"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_cli(args: &[&str]) -> Result<String, ParseError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        execute(&parse(&v).map_err(|e| e)?)
+    }
+
+    #[test]
+    fn apps_lists_everything() {
+        let out = run_cli(&["apps"]).unwrap();
+        for name in app_names() {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn run_laghos_gcc_only() {
+        let out = run_cli(&["run", "laghos", "--compiler", "gcc"]).unwrap();
+        assert!(out.contains("laghos"));
+        assert!(out.contains("68 compilations"));
+    }
+
+    #[test]
+    fn run_json_emits_database() {
+        let out = run_cli(&["run", "laghos", "--compiler", "xlc", "--json"]).unwrap();
+        let db = flit_core::db::ResultsDb::from_json(&out).expect("valid JSON db");
+        assert_eq!(db.app, "laghos");
+        assert_eq!(db.rows.len(), 24); // 6 combos x 4 levels x 1 test
+    }
+
+    #[test]
+    fn bisect_mfem_example13_blames_the_rank1_update() {
+        let out = run_cli(&[
+            "bisect",
+            "mfem",
+            "--test",
+            "ex13",
+            "--compilation",
+            "g++ -O3 -mavx2 -mfma",
+        ])
+        .unwrap();
+        assert!(out.contains("DenseMatrix_AddMultAAt"), "{out}");
+        assert!(out.contains("linalg/densemat.cpp"));
+    }
+
+    #[test]
+    fn bisect_biggest_limits_the_find() {
+        let out = run_cli(&[
+            "bisect",
+            "mfem",
+            "--test",
+            "ex08",
+            "--compilation",
+            "g++ -O3 -funsafe-math-optimizations",
+            "--biggest",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("symbols (1)"), "{out}");
+    }
+
+    #[test]
+    fn workflow_laghos_names_the_viscosity_gate() {
+        let out = run_cli(&["workflow", "laghos", "--max-bisections", "6"]).unwrap();
+        assert!(out.contains("determinism pre-check: passed"), "{out}");
+        assert!(out.contains("QUpdate_Viscosity"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(run_cli(&["run", "doom"]).unwrap_err().0.contains("unknown application"));
+        assert!(run_cli(&["bisect", "mfem", "--compilation", "tcc -O9"])
+            .unwrap_err()
+            .0
+            .contains("unknown compilation"));
+        assert!(run_cli(&["inject", "mfem"]).unwrap_err().0.contains("no injectable"));
+    }
+}

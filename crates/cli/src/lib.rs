@@ -1,0 +1,25 @@
+//! # flit-cli
+//!
+//! Library backing the `flit` command-line tool (argument parsing and
+//! command implementations live here so they can be unit-tested; the
+//! binary is a thin wrapper).
+//!
+//! The subcommand surface mirrors the real FLiT tool:
+//!
+//! ```text
+//! flit apps                      list the bundled applications
+//! flit run    <app> [opts]       sweep the compilation matrix
+//! flit analyze <app> [opts]      performance-vs-reproducibility report
+//! flit bisect <app> --test T --compilation "icpc -O2" [opts]
+//! flit inject <app> [--limit N]  run the perturbation-injection study
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod args;
+pub mod commands;
+
+pub use apps::{app_names, resolve_app, BundledApp};
+pub use args::{parse, Cli, Command};

@@ -1,0 +1,381 @@
+//! Performance-vs-reproducibility analysis: the computations behind
+//! Table 1 and Figures 4–6.
+
+use serde::{Deserialize, Serialize};
+
+use flit_toolchain::compilation::Compilation;
+use flit_toolchain::compiler::CompilerKind;
+
+use crate::db::{ResultsDb, RunRecord};
+
+/// A (compilation, speedup, variability) point on a Figure-4 curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    /// Compilation label.
+    pub label: String,
+    /// Speedup relative to the `g++ -O2` run of the same test.
+    pub speedup: f64,
+    /// Whether the result was bitwise equal to the baseline.
+    pub bitwise_equal: bool,
+    /// The comparison metric (0 when bitwise equal).
+    pub comparison: f64,
+}
+
+/// The per-test speedup series of Figure 4, sorted slowest → fastest.
+pub fn speedup_series(db: &ResultsDb, test: &str) -> Vec<SpeedupPoint> {
+    let rows = db.for_test(test);
+    let reference = Compilation::perf_reference().label();
+    let ref_seconds = rows
+        .iter()
+        .find(|r| r.label == reference)
+        .map(|r| r.seconds)
+        .unwrap_or(1.0);
+    let mut pts: Vec<SpeedupPoint> = rows
+        .iter()
+        .filter(|r| !r.crashed)
+        .map(|r| SpeedupPoint {
+            label: r.label.clone(),
+            speedup: ref_seconds / r.seconds,
+            bitwise_equal: r.bitwise_equal,
+            comparison: r.comparison,
+        })
+        .collect();
+    pts.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap());
+    pts
+}
+
+/// One test's Figure-5 bar group: the fastest bitwise-equal compilation
+/// per compiler, plus the fastest variable compilation overall.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CategoryBars {
+    /// The test name.
+    pub test: String,
+    /// Per compiler: the fastest *bitwise equal* point, if any (missing
+    /// for Intel on the link-step-variable examples).
+    pub fastest_equal: Vec<(CompilerKind, Option<SpeedupPoint>)>,
+    /// The fastest *variable* point across all compilers, if any
+    /// (missing for the fully-invariant examples 12 and 18).
+    pub fastest_variable: Option<SpeedupPoint>,
+}
+
+/// Compute the Figure-5 histogram for one test.
+pub fn category_bars(db: &ResultsDb, test: &str) -> CategoryBars {
+    let rows = db.for_test(test);
+    let reference = Compilation::perf_reference().label();
+    let ref_seconds = rows
+        .iter()
+        .find(|r| r.label == reference)
+        .map(|r| r.seconds)
+        .unwrap_or(1.0);
+    let point = |r: &RunRecord| SpeedupPoint {
+        label: r.label.clone(),
+        speedup: ref_seconds / r.seconds,
+        bitwise_equal: r.bitwise_equal,
+        comparison: r.comparison,
+    };
+    let fastest_equal = CompilerKind::MFEM_STUDY
+        .iter()
+        .map(|&c| {
+            let best = rows
+                .iter()
+                .filter(|r| !r.crashed && r.bitwise_equal && r.compilation.compiler == c)
+                .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+                .map(|r| point(r));
+            (c, best)
+        })
+        .collect();
+    let fastest_variable = rows
+        .iter()
+        .filter(|r| r.is_variable())
+        .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+        .map(|r| point(r));
+    CategoryBars {
+        test: test.to_string(),
+        fastest_equal,
+        fastest_variable,
+    }
+}
+
+/// Figure 6 data for one test: variable-compilation count and the
+/// min/median/max of the relative ℓ2 errors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariabilitySummary {
+    /// Test name.
+    pub test: String,
+    /// Number of variable compilations (out of the matrix).
+    pub variable_compilations: usize,
+    /// Total compilations tested.
+    pub total_compilations: usize,
+    /// Minimum relative error among variable runs.
+    pub min_rel_err: f64,
+    /// Median relative error.
+    pub median_rel_err: f64,
+    /// Maximum relative error.
+    pub max_rel_err: f64,
+}
+
+/// Compute the Figure-6 summary for one test.
+pub fn variability_summary(db: &ResultsDb, test: &str) -> VariabilitySummary {
+    let rows = db.for_test(test);
+    let mut errs: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.is_variable())
+        .map(|r| r.relative_error())
+        .filter(|e| e.is_finite())
+        .collect();
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (min, med, max) = if errs.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        (errs[0], errs[errs.len() / 2], errs[errs.len() - 1])
+    };
+    VariabilitySummary {
+        test: test.to_string(),
+        variable_compilations: rows.iter().filter(|r| r.is_variable()).count(),
+        total_compilations: rows.len(),
+        min_rel_err: min,
+        median_rel_err: med,
+        max_rel_err: max,
+    }
+}
+
+/// Table-1 row: a compiler's best-average flags and variability rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompilerSummary {
+    /// Which compiler.
+    pub compiler: CompilerKind,
+    /// Variable (test, compilation) runs.
+    pub variable_runs: usize,
+    /// Total runs for this compiler.
+    pub total_runs: usize,
+    /// The compilation with the best *average* speedup across all tests
+    /// ("since MFEM is a library, it is better to see which compilation
+    /// lead to the best average speedup across all examples").
+    pub best_flags: String,
+    /// That compilation's average speedup over `g++ -O2`.
+    pub best_avg_speedup: f64,
+}
+
+/// Compute Table 1 for one compiler.
+pub fn compiler_summary(db: &ResultsDb, compiler: CompilerKind) -> CompilerSummary {
+    let (variable_runs, total_runs) = db.variable_runs(compiler);
+    // Reference seconds per test.
+    let reference = Compilation::perf_reference().label();
+    let tests = db.tests();
+    let ref_secs: Vec<f64> = tests
+        .iter()
+        .map(|t| {
+            db.for_test(t)
+                .iter()
+                .find(|r| r.label == reference)
+                .map(|r| r.seconds)
+                .unwrap_or(1.0)
+        })
+        .collect();
+
+    let mut best: Option<(String, f64)> = None;
+    for comp in db.compilations() {
+        if comp.compiler != compiler {
+            continue;
+        }
+        let label = comp.label();
+        let rows = db.for_compilation(&label);
+        if rows.iter().any(|r| r.crashed) || rows.len() != tests.len() {
+            continue;
+        }
+        let avg: f64 = tests
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let r = rows.iter().find(|r| &r.test == t).unwrap();
+                ref_secs[i] / r.seconds
+            })
+            .sum::<f64>()
+            / tests.len() as f64;
+        if best.as_ref().map(|(_, b)| avg > *b).unwrap_or(true) {
+            best = Some((label, avg));
+        }
+    }
+    let (best_flags, best_avg_speedup) = best.unwrap_or(("<none>".into(), 0.0));
+    CompilerSummary {
+        compiler,
+        variable_runs,
+        total_runs,
+        best_flags,
+        best_avg_speedup,
+    }
+}
+
+/// Attribution of variability to individual switches: for each switch
+/// (and the bare optimization levels), how many variable runs involved
+/// it. The §3.3 "characterization of compilers" extended to flags —
+/// useful for deciding which flags a project can safely allow.
+pub fn switch_attribution(db: &ResultsDb) -> Vec<(String, usize, usize)> {
+    use std::collections::BTreeMap;
+    // label -> (variable, total)
+    let mut counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for r in &db.rows {
+        let keys: Vec<String> = if r.compilation.switches.is_empty() {
+            vec![format!("{} (no flags)", r.compilation.opt)]
+        } else {
+            r.compilation
+                .switches
+                .iter()
+                .map(|s| s.text().to_string())
+                .collect()
+        };
+        for k in keys {
+            let e = counts.entry(k).or_default();
+            e.1 += 1;
+            if r.is_variable() {
+                e.0 += 1;
+            }
+        }
+    }
+    let mut v: Vec<(String, usize, usize)> = counts
+        .into_iter()
+        .map(|(k, (var, total))| (k, var, total))
+        .collect();
+    v.sort_by(|a, b| {
+        let ra = a.1 as f64 / a.2 as f64;
+        let rb = b.1 as f64 / b.2 as f64;
+        rb.partial_cmp(&ra).unwrap().then(a.0.cmp(&b.0))
+    });
+    v
+}
+
+/// How many tests had their fastest compilation among the
+/// bitwise-equal ones (the paper's "14 of 19 examples exhibited the
+/// highest speedups with compilations that are bitwise reproducible").
+pub fn fastest_is_reproducible_count(db: &ResultsDb) -> (usize, usize) {
+    let tests = db.tests();
+    let mut wins = 0;
+    for t in &tests {
+        let bars = category_bars(db, t);
+        let best_equal = bars
+            .fastest_equal
+            .iter()
+            .filter_map(|(_, p)| p.as_ref().map(|p| p.speedup))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_var = bars
+            .fastest_variable
+            .as_ref()
+            .map(|p| p.speedup)
+            .unwrap_or(f64::NEG_INFINITY);
+        if best_equal >= best_var {
+            wins += 1;
+        }
+    }
+    (wins, tests.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit_toolchain::compiler::OptLevel;
+
+    fn record(test: &str, comp: Compilation, seconds: f64, cmp: f64) -> RunRecord {
+        RunRecord {
+            test: test.into(),
+            label: comp.label(),
+            compilation: comp,
+            seconds,
+            comparison: cmp,
+            bitwise_equal: cmp == 0.0,
+            baseline_norm: 10.0,
+            crashed: false,
+        }
+    }
+
+    fn sample_db() -> ResultsDb {
+        let mut db = ResultsDb::new("t");
+        let gcc = |o| Compilation::new(CompilerKind::Gcc, o, vec![]);
+        let icpc = |o| Compilation::new(CompilerKind::Icpc, o, vec![]);
+        db.rows.push(record("e1", gcc(OptLevel::O0), 10.0, 0.0));
+        db.rows.push(record("e1", gcc(OptLevel::O2), 4.0, 0.0));
+        db.rows.push(record("e1", gcc(OptLevel::O3), 3.5, 0.0));
+        db.rows.push(record("e1", icpc(OptLevel::O2), 3.8, 2e-8));
+        db.rows.push(record("e1", icpc(OptLevel::O3), 3.0, 4e-8));
+        db
+    }
+
+    #[test]
+    fn speedup_series_is_sorted_and_referenced() {
+        let db = sample_db();
+        let pts = speedup_series(&db, "e1");
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].speedup <= w[1].speedup);
+        }
+        // g++ -O2 is the unit.
+        let ref_pt = pts.iter().find(|p| p.label == "g++ -O2").unwrap();
+        assert!((ref_pt.speedup - 1.0).abs() < 1e-12);
+        // g++ -O3 shows 4.0/3.5.
+        let o3 = pts.iter().find(|p| p.label == "g++ -O3").unwrap();
+        assert!((o3.speedup - 4.0 / 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_bars_pick_fastest_per_category() {
+        let db = sample_db();
+        let bars = category_bars(&db, "e1");
+        let gcc_best = bars.fastest_equal[0].1.as_ref().unwrap();
+        assert_eq!(gcc_best.label, "g++ -O3");
+        // clang has no rows → missing bar.
+        assert!(bars.fastest_equal[1].1.is_none());
+        // icpc has no bitwise-equal rows → missing bar (the paper's
+        // examples 4, 5, 9, 10, 15 pattern).
+        assert!(bars.fastest_equal[2].1.is_none());
+        let var = bars.fastest_variable.unwrap();
+        assert_eq!(var.label, "icpc -O3");
+    }
+
+    #[test]
+    fn variability_summary_counts_and_medians() {
+        let db = sample_db();
+        let s = variability_summary(&db, "e1");
+        assert_eq!(s.variable_compilations, 2);
+        assert_eq!(s.total_compilations, 5);
+        assert!((s.min_rel_err - 2e-9).abs() < 1e-20);
+        assert!((s.max_rel_err - 4e-9).abs() < 1e-20);
+        assert!(s.median_rel_err >= s.min_rel_err && s.median_rel_err <= s.max_rel_err);
+    }
+
+    #[test]
+    fn compiler_summary_finds_best_average() {
+        let db = sample_db();
+        let gcc = compiler_summary(&db, CompilerKind::Gcc);
+        assert_eq!(gcc.variable_runs, 0);
+        assert_eq!(gcc.total_runs, 3);
+        assert_eq!(gcc.best_flags, "g++ -O3");
+        assert!((gcc.best_avg_speedup - 4.0 / 3.5).abs() < 1e-12);
+        let icpc = compiler_summary(&db, CompilerKind::Icpc);
+        assert_eq!(icpc.variable_runs, 2);
+        assert_eq!(icpc.best_flags, "icpc -O3");
+    }
+
+    #[test]
+    fn switch_attribution_ranks_flags() {
+        let mut db = sample_db();
+        // Add a flagged variable row.
+        let flagged = Compilation::new(
+            CompilerKind::Gcc,
+            OptLevel::O3,
+            vec![flit_toolchain::flags::Switch::Avx2Fma],
+        );
+        db.rows.push(record("e1", flagged, 3.4, 1e-9));
+        let attr = switch_attribution(&db);
+        // The fma flag row: 1 variable of 1 total → ranked first.
+        assert_eq!(attr[0].0, "-mavx2 -mfma");
+        assert_eq!((attr[0].1, attr[0].2), (1, 1));
+        // Bare levels are attributed too.
+        assert!(attr.iter().any(|(k, _, _)| k.contains("(no flags)")));
+    }
+
+    #[test]
+    fn fastest_reproducible_count() {
+        let db = sample_db();
+        // Fastest overall is icpc -O3 (variable), so e1 does NOT count.
+        assert_eq!(fastest_is_reproducible_count(&db), (0, 1));
+    }
+}

@@ -1,0 +1,28 @@
+//! # flit-core
+//!
+//! The FLiT testing framework itself (the paper's §2): user-defined
+//! tests with acceptance metrics, a runner that sweeps the full
+//! *(compiler, level, switches)* matrix, a results database, the
+//! performance-vs-reproducibility analysis behind Figures 4–6 and
+//! Table 1, and the multi-level workflow of Figure 1.
+//!
+//! The user API mirrors the C++ original: each test provides
+//! `getInputsPerRun` / `getDefaultInput` / `run_impl` / `compare`
+//! ([`test::FlitTest`]), with data-driven splitting of oversized default
+//! inputs and both scalar and string/vector result types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod db;
+pub mod determinize;
+pub mod metrics;
+pub mod runner;
+pub mod test;
+pub mod workflow;
+
+pub use db::{ResultsDb, RunRecord};
+pub use determinize::{RacyReduce, RrMode, ScheduleLog};
+pub use runner::{run_matrix, RunnerConfig};
+pub use test::{DriverTest, FlitTest, RunContext, TestResult};

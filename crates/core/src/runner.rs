@@ -1,0 +1,317 @@
+//! The matrix runner: every test under every compilation, compared to
+//! the trusted baseline.
+//!
+//! Compilations are independent, so the sweep fans out across threads
+//! (crossbeam scoped threads) with order-preserving collection — the
+//! database contents are bit-identical regardless of thread schedule.
+
+use crossbeam::thread;
+
+use flit_program::model::SimProgram;
+use flit_toolchain::compilation::Compilation;
+use flit_toolchain::perf::jitter;
+
+use crate::db::{ResultsDb, RunRecord};
+use crate::test::{split_input, FlitTest, RunContext, TestResult};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// The trusted baseline compilation (defaults to `g++ -O0`, the
+    /// MFEM study's baseline).
+    pub baseline: Compilation,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            baseline: Compilation::baseline(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Results of the baseline pass: per (test, chunk) reference results.
+struct BaselineRun {
+    /// Per test: per-chunk results.
+    results: Vec<Vec<TestResult>>,
+    norms: Vec<f64>,
+}
+
+fn run_one_compilation(
+    program: &SimProgram,
+    tests: &[&dyn FlitTest],
+    comp: &Compilation,
+    baseline: &BaselineRun,
+) -> Vec<RunRecord> {
+    let build = flit_program::build::Build::new(program, comp.clone());
+    let exe = match build.executable() {
+        Ok(e) => e,
+        Err(_) => {
+            // A compilation that fails to link yields crashed records.
+            return tests
+                .iter()
+                .map(|t| RunRecord {
+                    test: t.name().to_string(),
+                    compilation: comp.clone(),
+                    label: comp.label(),
+                    seconds: 0.0,
+                    comparison: f64::INFINITY,
+                    bitwise_equal: false,
+                    baseline_norm: 0.0,
+                    crashed: true,
+                })
+                .collect();
+        }
+    };
+    let ctx = RunContext { program, exe: &exe };
+    tests
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| {
+            let chunks = split_input(&t.default_input(), t.inputs_per_run());
+            let mut seconds = 0.0f64;
+            let mut comparison = 0.0f64;
+            let mut bitwise = true;
+            let mut crashed = false;
+            for (ci, chunk) in chunks.iter().enumerate() {
+                match t.run_impl(chunk, &ctx) {
+                    Ok((result, secs)) => {
+                        let base = &baseline.results[ti][ci];
+                        comparison += t.compare(base, &result);
+                        bitwise &= result.bitwise_eq(base);
+                        seconds += secs;
+                    }
+                    Err(_) => {
+                        crashed = true;
+                        bitwise = false;
+                        comparison = f64::INFINITY;
+                        break;
+                    }
+                }
+            }
+            seconds *= jitter(t.name(), comp);
+            RunRecord {
+                test: t.name().to_string(),
+                compilation: comp.clone(),
+                label: comp.label(),
+                seconds,
+                comparison,
+                bitwise_equal: bitwise && !crashed,
+                baseline_norm: baseline.norms[ti],
+                crashed,
+            }
+        })
+        .collect()
+}
+
+/// Run the full matrix: every test under every compilation.
+///
+/// The baseline compilation is always evaluated (even if absent from
+/// `compilations`) to establish the reference results.
+pub fn run_matrix(
+    program: &SimProgram,
+    tests: &[&dyn FlitTest],
+    compilations: &[Compilation],
+    cfg: &RunnerConfig,
+) -> ResultsDb {
+    // Baseline pass (sequential; it is one compilation).
+    let base_build = flit_program::build::Build::new(program, cfg.baseline.clone());
+    let base_exe = base_build
+        .executable()
+        .expect("the baseline compilation must link");
+    let base_ctx = RunContext {
+        program,
+        exe: &base_exe,
+    };
+    let mut baseline = BaselineRun {
+        results: Vec::with_capacity(tests.len()),
+        norms: Vec::with_capacity(tests.len()),
+    };
+    for t in tests {
+        let chunks = split_input(&t.default_input(), t.inputs_per_run());
+        let mut per_chunk = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            let (r, _secs) = t
+                .run_impl(chunk, &base_ctx)
+                .expect("the baseline run must not crash");
+            per_chunk.push(r);
+        }
+        baseline
+            .norms
+            .push(per_chunk.iter().map(|r| r.norm()).sum::<f64>());
+        baseline.results.push(per_chunk);
+    }
+
+    // Fan out over compilations, preserving order.
+    let nthreads = cfg.threads.max(1);
+    let mut db = ResultsDb::new(&program.name);
+    if nthreads == 1 || compilations.len() <= 1 {
+        for comp in compilations {
+            db.rows
+                .extend(run_one_compilation(program, tests, comp, &baseline));
+        }
+        return db;
+    }
+
+    let chunk_size = compilations.len().div_ceil(nthreads);
+    let chunks: Vec<&[Compilation]> = compilations.chunks(chunk_size).collect();
+    let results: Vec<Vec<RunRecord>> = thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let baseline = &baseline;
+                s.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .flat_map(|comp| run_one_compilation(program, tests, comp, &baseline))
+                        .collect::<Vec<RunRecord>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("runner threads must not panic");
+
+    for chunk in results {
+        db.rows.extend(chunk);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test::DriverTest;
+    use flit_program::kernel::Kernel;
+    use flit_program::model::{Driver, Function, SourceFile};
+    use flit_toolchain::compilation::compilation_matrix;
+    use flit_toolchain::compiler::{CompilerKind, OptLevel};
+    use flit_toolchain::flags::Switch;
+
+    fn program() -> SimProgram {
+        SimProgram::new(
+            "runner-test",
+            vec![
+                SourceFile::new(
+                    "a.cpp",
+                    vec![
+                        Function::exported("dot", Kernel::DotMix { stride: 3 }),
+                        Function::exported("copy", Kernel::Benign { flavor: 5 }),
+                    ],
+                ),
+                SourceFile::new(
+                    "b.cpp",
+                    vec![Function::exported("trans", Kernel::TranscMap { freq: 2.7 })],
+                ),
+            ],
+        )
+    }
+
+    fn tests_for(program_name: &str) -> Vec<DriverTest> {
+        let _ = program_name;
+        vec![
+            DriverTest::new(
+                Driver::new("ex1", vec!["dot".into(), "copy".into()], 2, 48),
+                2,
+                vec![0.3, 0.7],
+            ),
+            DriverTest::new(
+                Driver::new("ex2", vec!["trans".into()], 1, 32),
+                1,
+                vec![0.4, 0.9], // two chunks → data-driven, runs twice
+            ),
+        ]
+    }
+
+    fn as_dyn(tests: &[DriverTest]) -> Vec<&dyn FlitTest> {
+        tests.iter().map(|t| t as &dyn FlitTest).collect()
+    }
+
+    #[test]
+    fn sweep_identifies_variable_compilations() {
+        let p = program();
+        let tests = tests_for("x");
+        let comps = vec![
+            Compilation::baseline(),
+            Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![]),
+            Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]),
+            Compilation::new(CompilerKind::Icpc, OptLevel::O0, vec![]),
+        ];
+        let db = run_matrix(&p, &as_dyn(&tests), &comps, &RunnerConfig::default());
+        assert_eq!(db.rows.len(), 8);
+
+        let get = |test: &str, label: &str| {
+            db.rows
+                .iter()
+                .find(|r| r.test == test && r.label == label)
+                .unwrap()
+                .clone()
+        };
+        // Baseline row is trivially bitwise-equal to itself.
+        assert!(get("ex1", "g++ -O0").bitwise_equal);
+        // Plain -O3 is value-safe.
+        assert!(get("ex1", "g++ -O3").bitwise_equal);
+        assert!(get("ex2", "g++ -O3").bitwise_equal);
+        // Unsafe math varies the dot test but not the transcendental one
+        // (TranscMap is mathlib-only).
+        assert!(!get("ex1", "g++ -O3 -mavx2 -mfma -funsafe-math-optimizations").bitwise_equal);
+        assert!(get("ex2", "g++ -O3 -mavx2 -mfma -funsafe-math-optimizations").bitwise_equal);
+        // icpc at -O0: link-step vendor math varies the transcendental
+        // test only.
+        assert!(get("ex1", "icpc -O0").bitwise_equal);
+        assert!(!get("ex2", "icpc -O0").bitwise_equal);
+        // Performance: O3 beats O0 on the dot test.
+        assert!(get("ex1", "g++ -O3").seconds < get("ex1", "g++ -O0").seconds);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_bitwise() {
+        let p = program();
+        let tests = tests_for("x");
+        let comps = compilation_matrix(CompilerKind::Gcc);
+        let seq = run_matrix(
+            &p,
+            &as_dyn(&tests),
+            &comps,
+            &RunnerConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = run_matrix(
+            &p,
+            &as_dyn(&tests),
+            &comps,
+            &RunnerConfig {
+                threads: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq.rows.len(), par.rows.len());
+        for (a, b) in seq.rows.iter().zip(&par.rows) {
+            assert_eq!(a.test, b.test);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.comparison.to_bits(), b.comparison.to_bits());
+            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+            assert_eq!(a.bitwise_equal, b.bitwise_equal);
+        }
+    }
+
+    #[test]
+    fn data_driven_tests_run_per_chunk() {
+        // ex2 has 2 chunks of size 1; its comparison is the sum over
+        // chunks, and its baseline norm sums both runs.
+        let p = program();
+        let tests = tests_for("x");
+        let comps = vec![Compilation::baseline()];
+        let db = run_matrix(&p, &as_dyn(&tests), &comps, &RunnerConfig::default());
+        let ex2 = db.rows.iter().find(|r| r.test == "ex2").unwrap();
+        assert!(ex2.baseline_norm > 0.0);
+        assert!(ex2.bitwise_equal);
+    }
+}

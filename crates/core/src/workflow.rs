@@ -1,0 +1,244 @@
+//! The multi-level workflow of Figure 1.
+//!
+//! ```text
+//! User code → deterministic? → create FLiT tests → run FLiT tests
+//!   → reproducibility & performance analysis
+//!   → fastest reproducible sufficient? → done
+//!   → else FLiT Bisect → library/source/function blame → debug
+//! ```
+//!
+//! [`run_workflow`] drives all three levels for one application: the
+//! determinism pre-check, the matrix sweep with analysis, and the
+//! hierarchical bisection of every variability-inducing compilation.
+
+use flit_bisect::hierarchy::{bisect_hierarchical, HierarchicalConfig, HierarchicalResult};
+use flit_program::build::Build;
+use flit_program::model::{Driver, SimProgram};
+use flit_toolchain::compilation::Compilation;
+
+use crate::analysis::{category_bars, fastest_is_reproducible_count, CategoryBars};
+use crate::db::ResultsDb;
+use crate::metrics::l2_compare;
+use crate::runner::{run_matrix, RunnerConfig};
+use crate::test::{DriverTest, FlitTest};
+
+/// One bisected compilation in the workflow report.
+#[derive(Debug)]
+pub struct BisectedCompilation {
+    /// The test that showed variability.
+    pub test: String,
+    /// The variability-inducing compilation.
+    pub compilation: Compilation,
+    /// The hierarchical search result.
+    pub result: HierarchicalResult,
+}
+
+/// The complete workflow output.
+#[derive(Debug)]
+pub struct WorkflowReport {
+    /// Did the determinism pre-check pass for every test?
+    pub deterministic: bool,
+    /// The matrix sweep results.
+    pub db: ResultsDb,
+    /// Per-test Figure-5 bars.
+    pub bars: Vec<CategoryBars>,
+    /// `(tests whose fastest compilation is reproducible, total tests)`.
+    pub reproducible_fastest: (usize, usize),
+    /// Bisection results for the variable compilations (bounded by
+    /// `max_bisections`).
+    pub bisections: Vec<BisectedCompilation>,
+}
+
+/// Workflow options.
+#[derive(Debug, Clone)]
+pub struct WorkflowConfig {
+    /// Runner options.
+    pub runner: RunnerConfig,
+    /// Hierarchical-search options.
+    pub bisect: HierarchicalConfig,
+    /// Cap on how many (test, compilation) variabilities to bisect
+    /// (`usize::MAX` for all — the paper bisected all 1,086).
+    pub max_bisections: usize,
+}
+
+impl Default for WorkflowConfig {
+    fn default() -> Self {
+        WorkflowConfig {
+            runner: RunnerConfig::default(),
+            bisect: HierarchicalConfig::all(),
+            max_bisections: usize::MAX,
+        }
+    }
+}
+
+/// Determinism pre-check (Figure 1's first decision): run each test
+/// twice under the baseline and require bitwise-equal results. "FLiT
+/// requires deterministic executions … on a given platform and input,
+/// we must be able to rerun an application and obtain the same
+/// results."
+pub fn determinism_check(
+    program: &SimProgram,
+    tests: &[&DriverTest],
+    baseline: &Compilation,
+    repetitions: usize,
+) -> bool {
+    let build = Build::new(program, baseline.clone());
+    let exe = match build.executable() {
+        Ok(e) => e,
+        Err(_) => return false,
+    };
+    let ctx = crate::test::RunContext { program, exe: &exe };
+    for t in tests {
+        let input = t.default_input();
+        let chunks = crate::test::split_input(&input, t.inputs_per_run());
+        for chunk in &chunks {
+            let first = match t.run_impl(chunk, &ctx) {
+                Ok((r, _)) => r,
+                Err(_) => return false,
+            };
+            for _ in 1..repetitions.max(2) {
+                match t.run_impl(chunk, &ctx) {
+                    Ok((r, _)) if r.bitwise_eq(&first) => {}
+                    _ => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Run the full Figure-1 workflow.
+pub fn run_workflow(
+    program: &SimProgram,
+    tests: &[DriverTest],
+    compilations: &[Compilation],
+    cfg: &WorkflowConfig,
+) -> WorkflowReport {
+    let test_refs: Vec<&DriverTest> = tests.iter().collect();
+    let deterministic = determinism_check(program, &test_refs, &cfg.runner.baseline, 2);
+
+    let dyn_tests: Vec<&dyn FlitTest> = tests.iter().map(|t| t as &dyn FlitTest).collect();
+    let db = run_matrix(program, &dyn_tests, compilations, &cfg.runner);
+
+    let bars: Vec<CategoryBars> = db.tests().iter().map(|t| category_bars(&db, t)).collect();
+    let reproducible_fastest = fastest_is_reproducible_count(&db);
+
+    // Level 3: bisect every variable (test, compilation) pair.
+    let mut bisections = Vec::new();
+    for row in db.rows.iter().filter(|r| r.is_variable()) {
+        if bisections.len() >= cfg.max_bisections {
+            break;
+        }
+        let test = tests
+            .iter()
+            .find(|t| t.name() == row.test)
+            .expect("db rows correspond to suite tests");
+        let driver: &Driver = test.driver();
+        let baseline = Build::new(program, cfg.runner.baseline.clone());
+        let variable = Build::tagged(program, row.compilation.clone(), 1);
+        let input = test.default_input();
+        let result = bisect_hierarchical(
+            &baseline,
+            &variable,
+            driver,
+            &input[..test.inputs_per_run().min(input.len())],
+            &l2_compare,
+            &cfg.bisect,
+        );
+        bisections.push(BisectedCompilation {
+            test: row.test.clone(),
+            compilation: row.compilation.clone(),
+            result,
+        });
+    }
+
+    WorkflowReport {
+        deterministic,
+        db,
+        bars,
+        reproducible_fastest,
+        bisections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit_bisect::hierarchy::SearchOutcome;
+    use flit_program::kernel::Kernel;
+    use flit_program::model::{Function, SourceFile};
+    use flit_toolchain::compiler::{CompilerKind, OptLevel};
+    use flit_toolchain::flags::Switch;
+
+    fn program() -> SimProgram {
+        SimProgram::new(
+            "wf-test",
+            vec![
+                SourceFile::new(
+                    "kern.cpp",
+                    vec![
+                        Function::exported("kern_dot", Kernel::DotMix { stride: 2 }),
+                        Function::exported("kern_aux", Kernel::Benign { flavor: 1 }),
+                    ],
+                ),
+                SourceFile::new(
+                    "util.cpp",
+                    vec![Function::exported("util_copy", Kernel::Benign { flavor: 2 })],
+                ),
+            ],
+        )
+    }
+
+    fn suite() -> Vec<DriverTest> {
+        vec![DriverTest::new(
+            Driver::new(
+                "ex1",
+                vec!["kern_dot".into(), "kern_aux".into(), "util_copy".into()],
+                2,
+                48,
+            ),
+            1,
+            vec![0.5],
+        )]
+    }
+
+    #[test]
+    fn full_workflow_runs_and_bisects() {
+        let p = program();
+        let tests = suite();
+        let comps = vec![
+            Compilation::baseline(),
+            Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![]),
+            Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![Switch::Avx2Fma]),
+        ];
+        let report = run_workflow(&p, &tests, &comps, &WorkflowConfig::default());
+        assert!(report.deterministic);
+        assert_eq!(report.db.rows.len(), 3);
+        // Exactly one variable compilation → one bisection, which blames
+        // kern.cpp / kern_dot.
+        assert_eq!(report.bisections.len(), 1);
+        let b = &report.bisections[0];
+        assert_eq!(b.compilation.label(), "g++ -O2 -mavx2 -mfma");
+        assert_eq!(b.result.outcome, SearchOutcome::Completed);
+        assert_eq!(b.result.files.len(), 1);
+        assert_eq!(b.result.files[0].file_name, "kern.cpp");
+        assert_eq!(b.result.symbols.len(), 1);
+        assert_eq!(b.result.symbols[0].symbol, "kern_dot");
+        // Figure-5 style summary exists.
+        assert_eq!(report.bars.len(), 1);
+        assert_eq!(report.reproducible_fastest.1, 1);
+    }
+
+    #[test]
+    fn determinism_check_accepts_pure_programs() {
+        let p = program();
+        let tests = suite();
+        let refs: Vec<&DriverTest> = tests.iter().collect();
+        assert!(determinism_check(
+            &p,
+            &refs,
+            &Compilation::baseline(),
+            5
+        ));
+    }
+}

@@ -1,0 +1,266 @@
+//! Interval arithmetic and filtered (robust) predicates.
+//!
+//! The CGAL case in the paper's conclusion shows *discrete* results
+//! (mesh point counts) changing under optimization because geometric
+//! predicates branch on the sign of an inexact expression. The robust
+//! fix — which this module provides — is the classic **filtered
+//! predicate**: evaluate the expression in interval arithmetic first;
+//! if the interval excludes zero the sign is certain under *every*
+//! evaluation order, otherwise fall back to higher precision
+//! (double-double here, exact arithmetic in real CGAL).
+//!
+//! Without directed rounding (stable Rust), the intervals inflate every
+//! bound by one ulp step, which keeps them conservative.
+
+use crate::dd::Dd;
+
+/// A closed interval `[lo, hi]` with outward-rounded endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::from_bits(1);
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+fn next_down(x: f64) -> f64 {
+    -next_up(-x)
+}
+
+impl Interval {
+    /// The degenerate interval `[x, x]`.
+    pub fn point(x: f64) -> Interval {
+        Interval { lo: x, hi: x }
+    }
+
+    /// Construct, normalizing orientation.
+    pub fn new(a: f64, b: f64) -> Interval {
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Interval addition (outward rounded).
+    pub fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: next_down(self.lo + other.lo),
+            hi: next_up(self.hi + other.hi),
+        }
+    }
+
+    /// Interval subtraction (outward rounded).
+    pub fn sub(self, other: Interval) -> Interval {
+        Interval {
+            lo: next_down(self.lo - other.hi),
+            hi: next_up(self.hi - other.lo),
+        }
+    }
+
+    /// Interval multiplication (outward rounded).
+    pub fn mul(self, other: Interval) -> Interval {
+        let candidates = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        let lo = candidates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = candidates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Interval {
+            lo: next_down(lo),
+            hi: next_up(hi),
+        }
+    }
+
+    /// Does the interval contain zero (sign uncertain)?
+    pub fn contains_zero(&self) -> bool {
+        self.lo <= 0.0 && self.hi >= 0.0
+    }
+
+    /// The certain sign, if any: `Some(1)`, `Some(-1)`, or `None` when
+    /// zero is inside.
+    pub fn certain_sign(&self) -> Option<i32> {
+        if self.lo > 0.0 {
+            Some(1)
+        } else if self.hi < 0.0 {
+            Some(-1)
+        } else {
+            None
+        }
+    }
+
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Outcome statistics of a filtered-predicate evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterStats {
+    /// Decisions resolved by the interval filter.
+    pub fast_path: usize,
+    /// Decisions that needed the high-precision fallback.
+    pub fallback: usize,
+}
+
+/// A robust sign-of-dot-product predicate: interval filter with a
+/// double-double fallback. The returned sign is the sign of the
+/// *exactly computed* expression — identical under every compilation,
+/// unlike the naive `sign(dot(a, b))`.
+pub fn robust_dot_sign(a: &[f64], b: &[f64], stats: &mut FilterStats) -> i32 {
+    assert_eq!(a.len(), b.len(), "robust_dot_sign: length mismatch");
+    // Filter: interval accumulation.
+    let mut acc = Interval::point(0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        acc = acc.add(Interval::point(x).mul(Interval::point(y)));
+    }
+    if let Some(sign) = acc.certain_sign() {
+        stats.fast_path += 1;
+        return sign;
+    }
+    // Fallback: double-double (106-bit) evaluation; for dot products of
+    // doubles this is exact enough to fix the sign in all but
+    // astronomically degenerate cases, where we return 0.
+    stats.fallback += 1;
+    let mut acc = Dd::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = Dd::from_f64(x).mul_add(Dd::from_f64(y), acc);
+    }
+    let v = acc.to_f64();
+    if v > 0.0 {
+        1
+    } else if v < 0.0 {
+        -1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{FpEnv, SimdWidth};
+    use crate::reduce;
+
+    #[test]
+    fn interval_ops_are_conservative() {
+        let a = Interval::point(0.1);
+        let b = Interval::point(0.2);
+        let s = a.add(b);
+        assert!(s.lo <= 0.1 + 0.2 && 0.1 + 0.2 <= s.hi);
+        assert!(s.lo < s.hi, "outward rounding widens the interval");
+        let p = a.mul(b);
+        assert!(p.lo <= 0.1 * 0.2 && 0.1 * 0.2 <= p.hi);
+        let d = a.sub(b);
+        assert!(d.lo <= -0.1 && -0.1 <= d.hi);
+    }
+
+    #[test]
+    fn interval_mul_handles_signs() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(-1.0, 4.0);
+        let p = a.mul(b);
+        // Contains all products of corner pairs.
+        for x in [-2.0, 3.0] {
+            for y in [-1.0, 4.0] {
+                assert!(p.lo <= x * y && x * y <= p.hi);
+            }
+        }
+        assert!(p.contains_zero());
+        assert_eq!(p.certain_sign(), None);
+    }
+
+    #[test]
+    fn certain_signs() {
+        assert_eq!(Interval::new(1.0, 2.0).certain_sign(), Some(1));
+        assert_eq!(Interval::new(-2.0, -1.0).certain_sign(), Some(-1));
+        assert_eq!(Interval::new(-1.0, 1.0).certain_sign(), None);
+        assert_eq!(Interval::point(0.0).certain_sign(), None);
+    }
+
+    #[test]
+    fn next_up_down_bracket() {
+        assert!(next_up(1.0) > 1.0);
+        assert!(next_down(1.0) < 1.0);
+        assert!(next_up(0.0) > 0.0);
+        assert!(next_down(0.0) < 0.0);
+        assert!(next_up(-1.0) > -1.0);
+        assert_eq!(next_up(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn robust_sign_agrees_with_obvious_cases() {
+        let mut stats = FilterStats::default();
+        assert_eq!(robust_dot_sign(&[1.0, 2.0], &[3.0, 4.0], &mut stats), 1);
+        assert_eq!(robust_dot_sign(&[1.0, 2.0], &[-3.0, -4.0], &mut stats), -1);
+        assert_eq!(robust_dot_sign(&[0.0], &[0.0], &mut stats), 0);
+        assert!(stats.fast_path >= 2);
+    }
+
+    #[test]
+    fn robust_sign_is_env_invariant_where_naive_is_not() {
+        // A nearly-cancelling dot whose naive sign differs between
+        // evaluation orders — the CGAL failure. Pair structure
+        // (a₂ₖ·a₂ₖ₊₁ − a₂ₖ₊₁·a₂ₖ) makes the exact dot zero; a tiny
+        // tilt decides the true sign at a scale below the interval
+        // filter's certainty.
+        let n = 64;
+        let a: Vec<f64> = (0..n)
+            .map(|i| (1.0 + i as f64 * 0.0137) * 2f64.powi((i % 7) as i32 - 3))
+            .collect();
+        let mut b = vec![0.0; n];
+        for k in 0..n / 2 {
+            b[2 * k] = a[2 * k + 1];
+            b[2 * k + 1] = -a[2 * k];
+        }
+        b[0] += 1e-14;
+        // Naive signs under different envs may disagree (they at least
+        // may; robust must be identical regardless).
+        let strict_dot = reduce::dot(&FpEnv::strict(), &a, &b);
+        let w4_dot = reduce::dot(&FpEnv::strict().with_simd(SimdWidth::W4), &a, &b);
+        eprintln!("naive dots: {strict_dot:e} vs {w4_dot:e}");
+
+        let mut stats = FilterStats::default();
+        let s1 = robust_dot_sign(&a, &b, &mut stats);
+        let s2 = robust_dot_sign(&a, &b, &mut stats);
+        assert_eq!(s1, s2);
+        // The filter cannot certify a nearly-zero value: fallback used.
+        assert!(stats.fallback >= 1, "{stats:?}");
+        // The robust sign matches the double-double reference.
+        let mut acc = Dd::ZERO;
+        for (&x, &y) in a.iter().zip(&b) {
+            acc = Dd::from_f64(x).mul_add(Dd::from_f64(y), acc);
+        }
+        let expect = if acc.to_f64() > 0.0 { 1 } else { -1 };
+        assert_eq!(s1, expect);
+    }
+
+    #[test]
+    fn filter_takes_the_fast_path_for_clear_cases() {
+        let mut stats = FilterStats::default();
+        for k in 1..50 {
+            let a = vec![k as f64; 8];
+            let b = vec![1.0; 8];
+            assert_eq!(robust_dot_sign(&a, &b, &mut stats), 1);
+        }
+        assert_eq!(stats.fallback, 0);
+        assert_eq!(stats.fast_path, 49);
+    }
+}

@@ -1,0 +1,187 @@
+//! Sparse (CSR) linear algebra under an [`FpEnv`].
+//!
+//! Real finite-element assembly produces sparse operators; their SpMV
+//! row reductions are exactly the loops auto-vectorizers reassociate.
+
+use crate::env::FpEnv;
+use crate::reduce;
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from coordinate triplets (duplicates are summed exactly in
+    /// index order; construction is environment-independent, like a real
+    /// assembly run under the baseline).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> CsrMatrix {
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        for &(r, c, _) in &sorted {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+        }
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+        let mut entries: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match entries.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => entries.push((r, c, v)),
+            }
+        }
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &entries {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let col_idx = entries.iter().map(|&(_, c, _)| c).collect();
+        let values = entries.into_iter().map(|(_, _, v)| v).collect();
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// A 1-D Laplacian (tridiagonal [-1, 2, -1]) of order `n`, the
+    /// canonical FEM stiffness matrix.
+    pub fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut t = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    /// Matrix dimensions.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sparse matrix-vector product under `env`: each row reduction is
+    /// an environment-sensitive dot product.
+    pub fn spmv(&self, env: &FpEnv, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "spmv: dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let lo = self.row_ptr[r];
+                let hi = self.row_ptr[r + 1];
+                let vals = &self.values[lo..hi];
+                let gathered: Vec<f64> =
+                    self.col_idx[lo..hi].iter().map(|&c| x[c]).collect();
+                reduce::dot(env, vals, &gathered)
+            })
+            .collect()
+    }
+
+    /// Row sums (environment-sensitive) — a cheap smoke metric.
+    pub fn row_sums(&self, env: &FpEnv) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| reduce::sum(env, &self.values[self.row_ptr[r]..self.row_ptr[r + 1]]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::SimdWidth;
+
+    #[test]
+    fn triplets_build_a_correct_matrix() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (1, 1, 4.0)],
+        );
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.nnz(), 4);
+        let y = m.spmv(&FpEnv::strict(), &[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn duplicate_triplets_accumulate() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        let y = m.spmv(&FpEnv::strict(), &[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 1.0]);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 3, 2.0)]);
+        let y = m.spmv(&FpEnv::strict(), &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn laplacian_annihilates_constants_in_the_interior() {
+        let m = CsrMatrix::laplacian_1d(8);
+        let y = m.spmv(&FpEnv::strict(), &[1.0; 8]);
+        for &v in &y[1..7] {
+            assert_eq!(v, 0.0);
+        }
+        assert_eq!(y[0], 1.0);
+        assert_eq!(y[7], 1.0);
+    }
+
+    #[test]
+    fn spmv_varies_under_reassociation_on_dense_rows() {
+        // A row with many mixed-magnitude entries: its reduction
+        // reassociates under W4.
+        let n = 64;
+        let mut t = Vec::new();
+        for c in 0..n {
+            let v = (1.0 + c as f64 * 0.0137)
+                * 10f64.powi(((c * 7) % 9) as i32 - 4)
+                * if c % 2 == 0 { 1.0 } else { -1.0 };
+            t.push((0usize, c, v));
+        }
+        t.push((1, 1, 1.0));
+        let m = CsrMatrix::from_triplets(2, n, &t);
+        let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.5 * ((i as f64 * 0.71).sin() * 0.5 + 0.5)).collect();
+        let strict = m.spmv(&FpEnv::strict(), &x);
+        let vec4 = m.spmv(&FpEnv::strict().with_simd(SimdWidth::W4), &x);
+        assert_ne!(strict[0], vec4[0]);
+        assert_eq!(strict[1], vec4[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_are_checked() {
+        CsrMatrix::from_triplets(2, 2, &[(5, 0, 1.0)]);
+    }
+
+    #[test]
+    fn row_sums_match_manual() {
+        let m = CsrMatrix::laplacian_1d(5);
+        let s = m.row_sums(&FpEnv::strict());
+        assert_eq!(s, vec![1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the fpsim evaluation-semantics engine.
+//!
+//! These pin down the *invariants* the rest of the system relies on:
+//! determinism, exactness on exact inputs, accuracy ordering of extended
+//! precision, and the metric axioms of the comparison helpers.
+
+use flit_fpsim::env::{FpEnv, MathLib, SimdWidth};
+use flit_fpsim::{dd::Dd, linalg, ops, poly, reduce, ulp};
+use proptest::prelude::*;
+
+/// Strategy for a "reasonable" finite f64 (no NaN/inf, bounded exponent
+/// range so sums don't overflow).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1e12f64..1e12).prop_filter("nonzero-ish exponent range", |x| x.is_finite())
+}
+
+fn any_env() -> impl Strategy<Value = FpEnv> {
+    (
+        any::<bool>(),
+        0usize..4,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(fma, w, ext, recip, ftz, vendor)| FpEnv {
+            fma,
+            simd_width: [SimdWidth::W1, SimdWidth::W2, SimdWidth::W4, SimdWidth::W8][w],
+            extended_precision: ext,
+            reciprocal_math: recip,
+            flush_to_zero: ftz,
+            mathlib: if vendor { MathLib::Vendor } else { MathLib::Reference },
+            exploit_ub: false,
+        })
+}
+
+proptest! {
+    /// Every kernel is a pure function of (env, input): rerunning gives
+    /// bitwise-identical output. This is FLiT's determinism prerequisite.
+    #[test]
+    fn sum_is_deterministic(env in any_env(), xs in prop::collection::vec(finite_f64(), 0..200)) {
+        let a = reduce::sum(&env, &xs);
+        let b = reduce::sum(&env, &xs);
+        prop_assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    /// Summing small integers is exact regardless of evaluation order,
+    /// so *every* environment agrees. (This is why "benign" functions in
+    /// the bisection model truly are benign.)
+    #[test]
+    fn integer_sums_are_env_invariant(env in any_env(), xs in prop::collection::vec(-1000i32..1000, 0..300)) {
+        let fs: Vec<f64> = xs.iter().map(|&i| i as f64).collect();
+        let strict = reduce::sum(&FpEnv::strict(), &fs);
+        let other = reduce::sum(&env, &fs);
+        prop_assert_eq!(strict, other);
+    }
+
+    /// The reassociated / contracted / extended sum is always within a
+    /// tight relative bound of the strict sum on well-conditioned input.
+    #[test]
+    fn reassociated_sum_is_close(env in any_env(), xs in prop::collection::vec(0.001f64..1000.0, 1..200)) {
+        let strict = reduce::sum(&FpEnv::strict(), &xs);
+        let other = reduce::sum(&env, &xs);
+        let rel = ((strict - other) / strict).abs();
+        prop_assert!(rel < 1e-12, "rel = {rel:e}");
+    }
+
+    /// Extended-precision dot is never *less* accurate than strict f64,
+    /// measured against a double-double reference.
+    #[test]
+    fn extended_dot_is_at_least_as_accurate(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 0.731 + 0.17).collect();
+        let reference = {
+            let mut acc = Dd::ZERO;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc = Dd::from_f64(x).mul_add(Dd::from_f64(y), acc);
+            }
+            acc.to_f64()
+        };
+        let strict = reduce::dot(&FpEnv::strict(), &xs, &ys);
+        let ext = reduce::dot(&FpEnv::strict().with_extended(true), &xs, &ys);
+        prop_assert!((ext - reference).abs() <= (strict - reference).abs() + 1e-300);
+    }
+
+    /// ulp_diff is a symmetric premetric: zero iff bitwise equal
+    /// (modulo ±0), symmetric.
+    #[test]
+    fn ulp_diff_axioms(a in finite_f64(), b in finite_f64()) {
+        prop_assert_eq!(ulp::ulp_diff(a, b), ulp::ulp_diff(b, a));
+        prop_assert_eq!(ulp::ulp_diff(a, a), 0);
+        if ulp::ulp_diff(a, b) == 0 {
+            prop_assert!(a == b);
+        }
+    }
+
+    /// l2_diff is zero exactly on identical vectors and symmetric.
+    #[test]
+    fn l2_diff_axioms(xs in prop::collection::vec(finite_f64(), 0..50), ys in prop::collection::vec(finite_f64(), 0..50)) {
+        prop_assert_eq!(ulp::l2_diff(&xs, &xs), 0.0);
+        prop_assert_eq!(ulp::l2_diff(&xs, &ys), ulp::l2_diff(&ys, &xs));
+        if xs.len() == ys.len() && xs != ys {
+            prop_assert!(ulp::l2_diff(&xs, &ys) > 0.0);
+        }
+    }
+
+    /// Rounding to significant digits is idempotent and order-preserving
+    /// at equal digit counts.
+    #[test]
+    fn sig_digit_rounding_idempotent(x in finite_f64(), d in 1u32..15) {
+        let once = ulp::round_sig_digits(x, d);
+        let twice = ulp::round_sig_digits(once, d);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    /// Double-double addition round-trips the dominant component.
+    #[test]
+    fn dd_add_dominant(a in finite_f64(), b in -1e-20f64..1e-20) {
+        let s = Dd::from_f64(a) + Dd::from_f64(b);
+        prop_assert_eq!(s.to_f64(), a + b);
+    }
+
+    /// Horner under strict env equals the naive reference evaluation.
+    #[test]
+    fn horner_strict_matches_naive(coeffs in prop::collection::vec(-100.0f64..100.0, 0..12), x in -2.0f64..2.0) {
+        let env = FpEnv::strict();
+        let h = poly::horner(&env, &coeffs, x);
+        let mut naive = 0.0f64;
+        for &c in coeffs.iter().rev() {
+            naive = naive * x + c;
+        }
+        prop_assert_eq!(h.to_bits(), naive.to_bits());
+    }
+
+    /// gemv under any env stays within a small relative envelope of the
+    /// strict result on positive, well-conditioned input.
+    #[test]
+    fn gemv_envelope(env in any_env(), seed in 0u64..1000) {
+        let n = 12;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            0.5 + (state % 1000) as f64 / 1000.0
+        };
+        let a = linalg::DenseMatrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let strict = a.gemv(&FpEnv::strict(), &x);
+        let other = a.gemv(&env, &x);
+        for (s, o) in strict.iter().zip(&other) {
+            prop_assert!(((s - o) / s).abs() < 1e-13);
+        }
+    }
+
+    /// Env arithmetic never materializes NaN from finite inputs in the
+    /// basic ops (division by zero aside).
+    #[test]
+    fn ops_preserve_finiteness(env in any_env(), a in -1e100f64..1e100, b in 0.001f64..1e100) {
+        prop_assert!(ops::add(&env, a, b).is_finite());
+        prop_assert!(ops::sub(&env, a, b).is_finite());
+        prop_assert!(ops::div(&env, a, b).is_finite());
+        prop_assert!(ops::mul_add(&env, a, 0.5, b).is_finite());
+    }
+}

@@ -1,0 +1,29 @@
+//! # flit-inject
+//!
+//! The paper's §3.5 injection framework, rebuilt on the kernel IR's
+//! static floating-point sites instead of LLVM IR:
+//!
+//! > "Our variability injection framework … introduces an additional
+//! > floating-point operation in a given floating-point instruction …
+//! > The first pass identifies potential valid injection locations; an
+//! > injection location is defined by a file, function and
+//! > floating-point instruction tuple in the program. The second pass
+//! > injects in a user-specified location, using a specific ε and
+//! > operation OP'."
+//!
+//! [`enumerate_sites`] is the first pass; [`apply_injection`] is the
+//! second (it rewrites a *copy* of the program, before any compilation,
+//! matching "we perform the injections at an early stage during the
+//! LLVM optimization step"). [`study`] runs the full §3.5 protocol —
+//! 4 `OP'`s per site, Bisect on every measurable injection, and the
+//! exact / indirect / wrong / missed / not-measurable classification of
+//! Table 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sites;
+pub mod study;
+
+pub use sites::{apply_injection, enumerate_sites, SiteRef};
+pub use study::{run_study, Classification, InjectionRecord, StudyConfig, StudySummary};

@@ -1,0 +1,168 @@
+//! Pass 1 (site enumeration) and pass 2 (injection application).
+
+use flit_program::model::SimProgram;
+use flit_program::sites::Injection;
+
+/// A valid injection location: "a file, function and floating-point
+/// instruction tuple".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SiteRef {
+    /// Source file index.
+    pub file_id: usize,
+    /// Function symbol name.
+    pub symbol: String,
+    /// Static FP-instruction index within the function.
+    pub site: usize,
+}
+
+/// Enumerate every injectable floating-point instruction site in the
+/// program (functions whose kernels expose static sites).
+pub fn enumerate_sites(program: &SimProgram) -> Vec<SiteRef> {
+    let mut out = Vec::new();
+    for (file_id, file) in program.files.iter().enumerate() {
+        for func in &file.functions {
+            let n = func.kernel.fp_sites();
+            for site in 0..n {
+                out.push(SiteRef {
+                    file_id,
+                    symbol: func.name.clone(),
+                    site,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Apply one injection: returns a rewritten copy of the program in
+/// which the target function carries the perturbation. The original is
+/// untouched (the study compares clean vs injected *builds*).
+///
+/// # Panics
+/// If the symbol does not exist or the site index is out of range.
+pub fn apply_injection(program: &SimProgram, site: &SiteRef, inj: Injection) -> SimProgram {
+    let mut p = program.clone();
+    let func = p
+        .function_mut(&site.symbol)
+        .unwrap_or_else(|| panic!("unknown injection target `{}`", site.symbol));
+    assert!(
+        inj.site < func.kernel.fp_sites(),
+        "site {} out of range for `{}` ({} sites)",
+        inj.site,
+        site.symbol,
+        func.kernel.fp_sites()
+    );
+    func.injection = Some(inj);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit_fpsim::env::FpEnv;
+    use flit_program::kernel::{Kernel, KernelImpl};
+    use flit_program::model::{Function, SourceFile};
+    use flit_program::sites::{InjectOp, SiteCtx};
+    use flit_toolchain::perf::KernelClass;
+    use std::sync::Arc;
+
+    /// A minimal injectable kernel for tests: 3 static sites.
+    struct Tiny;
+    impl KernelImpl for Tiny {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+        fn eval(&self, state: &mut [f64], env: &FpEnv, inj: Option<Injection>) {
+            let mut ctx = SiteCtx::new(env, inj);
+            for i in 0..state.len() {
+                ctx.next_iteration();
+                let a = ctx.mul(state[i], 0.5);
+                let b = ctx.add(a, 0.125);
+                state[i] = ctx.div(b, 1.5);
+            }
+        }
+        fn fp_sites(&self) -> usize {
+            3
+        }
+        fn work(&self) -> f64 {
+            3.0
+        }
+        fn class(&self) -> KernelClass {
+            KernelClass::Stencil
+        }
+    }
+
+    fn program() -> SimProgram {
+        SimProgram::new(
+            "inj-test",
+            vec![SourceFile::new(
+                "a.cpp",
+                vec![
+                    Function::exported("hydro", Kernel::Custom(Arc::new(Tiny))),
+                    Function::exported("util", Kernel::Benign { flavor: 1 }),
+                ],
+            )],
+        )
+    }
+
+    #[test]
+    fn enumeration_lists_injectable_sites_only() {
+        let p = program();
+        let sites = enumerate_sites(&p);
+        assert_eq!(sites.len(), 3);
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.symbol, "hydro");
+            assert_eq!(s.site, i);
+            assert_eq!(s.file_id, 0);
+        }
+    }
+
+    #[test]
+    fn applied_injection_changes_results() {
+        let p = program();
+        let sites = enumerate_sites(&p);
+        let injected = apply_injection(
+            &p,
+            &sites[1],
+            Injection {
+                site: 1,
+                op: InjectOp::Add,
+                eps: 0.7,
+            },
+        );
+        // Original untouched.
+        assert!(p.function("hydro").unwrap().injection.is_none());
+        assert!(injected.function("hydro").unwrap().injection.is_some());
+        // Outputs differ.
+        let env = FpEnv::strict();
+        let mut clean = vec![0.3, 0.6];
+        let mut dirty = clean.clone();
+        p.function("hydro").unwrap().kernel.eval(&mut clean, &env, None);
+        injected
+            .function("hydro")
+            .unwrap()
+            .kernel
+            .eval(&mut dirty, &env, injected.function("hydro").unwrap().injection);
+        assert_ne!(clean, dirty);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_site_rejected() {
+        let p = program();
+        let bad = SiteRef {
+            file_id: 0,
+            symbol: "hydro".into(),
+            site: 99,
+        };
+        apply_injection(
+            &p,
+            &bad,
+            Injection {
+                site: 99,
+                op: InjectOp::Add,
+                eps: 0.5,
+            },
+        );
+    }
+}

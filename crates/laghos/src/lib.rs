@@ -1,0 +1,24 @@
+//! # flit-laghos
+//!
+//! A proxy for Laghos (LAGrangian High-Order Solver, an "open-source
+//! simulator of compressible gas dynamics"), the subject of §3.4 and
+//! the paper's motivating example:
+//!
+//! * the `#define xsw(a,b) a^=b^=a^=b` swap macro — undefined behaviour
+//!   that `xlc++ -O3` turned into NaN results, root-caused by Bisect to
+//!   "the two visible symbols closest to the issue" in 45 executions;
+//! * the "exact comparison to 0.0 in an if statement" in the
+//!   artificial-viscosity path — a tiny compiler-induced residual flips
+//!   the branch, producing the motivating 11.2 % energy difference and
+//!   negative densities under `xlc++ -O2 → -O3`;
+//! * the Table-4 experiment: BisectAll and BisectBiggest(k) under three
+//!   trusted baselines and digit-limited comparison functions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod program;
+
+pub use experiment::{motivation_numbers, table4_grid, MotivationNumbers, Table4Cell};
+pub use program::{laghos_driver, laghos_program, LaghosVariant};

@@ -1,0 +1,272 @@
+//! The Laghos proxy program: a 1-D Lagrangian hydro pipeline with the
+//! two planted defects, in three source variants.
+
+use flit_program::kernel::Kernel;
+use flit_program::model::{Driver, Function, SimProgram, SourceFile};
+
+/// Which state of the §3.4 debugging saga the source tree is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaghosVariant {
+    /// The public branch: contains the `xsw` UB swap macro *and* the
+    /// exact `== 0.0` viscosity comparison. Under UB-exploiting
+    /// optimization "all results were the special floating point value
+    /// NaN".
+    WithXswBug,
+    /// The developers' branch: `xsw` replaced by a temporary-variable
+    /// swap; the `== 0.0` comparison remains (the bug Bisect then
+    /// root-caused to one function).
+    XswFixed,
+    /// After the paper's final fix: "changing this to an epsilon based
+    /// comparison gave results close to the trusted results, even under
+    /// xlc++ -O3". The viscosity function keeps its (benign-scale)
+    /// floating-point work.
+    EpsilonCompare,
+}
+
+/// Build the Laghos proxy for a given source variant.
+///
+/// All three variants have identical structure (files and symbols), so
+/// builds of different variants can be bisected against each other —
+/// just like checking out a different branch of the same repository.
+pub fn laghos_program(variant: LaghosVariant) -> SimProgram {
+    let xsw_kernel = match variant {
+        LaghosVariant::WithXswBug => Kernel::UbSwap,
+        _ => Kernel::Benign { flavor: 5 }, // swap via a temporary: well-defined
+    };
+    let viscosity_kernel = match variant {
+        LaghosVariant::EpsilonCompare => Kernel::NormScale,
+        _ => Kernel::ZeroGate { boost: 1.06 },
+    };
+
+    let mut files = vec![
+            SourceFile::new(
+                "laghos.cpp",
+                vec![
+                    Function::exported(
+                        "LagrangianHydroOperator_Mult",
+                        Kernel::HeatSmooth { steps: 6, r: 0.241 },
+                    )
+                    .with_calls(vec![
+                        "Forces_Compute".into(),
+                        "Energy_Update".into(),
+                        "UpdateMesh".into(),
+                        // The viscosity update closes the step: its
+                        // branch decision lands directly in the energy
+                        // field the test reports.
+                        "QUpdate_Viscosity".into(),
+                    ])
+                    .with_sloc(142),
+                    Function::exported("UpdateMesh", Kernel::Benign { flavor: 3 }).with_sloc(48),
+                ],
+            ),
+            SourceFile::new(
+                "laghos_assembly.cpp",
+                vec![
+                    Function::exported("Forces_Compute", Kernel::DotMix { stride: 5 })
+                        .with_sloc(134),
+                    Function::exported("Forces_MassApply", Kernel::MatVecMix { n: 10 })
+                        .with_sloc(96),
+                ],
+            ),
+            SourceFile::new(
+                "laghos_qupdate.cpp",
+                vec![
+                    // The artificial-viscosity update with the exact
+                    // == 0.0 comparison (or its epsilon-based fix).
+                    Function::exported("QUpdate_Viscosity", viscosity_kernel).with_sloc(118),
+                    Function::exported("QUpdate_Gradients", Kernel::HeatSmooth {
+                        steps: 4,
+                        r: 0.22,
+                    })
+                    .with_sloc(77),
+                ],
+            ),
+            SourceFile::new(
+                "laghos_solver.cpp",
+                vec![
+                    Function::exported(
+                        "Energy_Update",
+                        Kernel::CgSolve {
+                            n: 20,
+                            tol: 1e-12,
+                            cond: 500.0,
+                        },
+                    )
+                    .with_calls(vec!["Energy_Norm".into()])
+                    .with_sloc(167),
+                    Function::exported("Energy_Norm", Kernel::NormScale).with_sloc(41),
+                ],
+            ),
+            SourceFile::new(
+                "laghos_eos.cpp",
+                vec![
+                    Function::exported("EOS_Pressure", Kernel::PolyHorner { degree: 7 })
+                        .with_sloc(63),
+                    Function::exported("EOS_SoundSpeed", Kernel::DivScan).with_sloc(39),
+                ],
+            ),
+            SourceFile::new(
+                "laghos_utils.cpp",
+                vec![
+                    // The xsw macro lives in a static helper; the *two
+                    // visible symbols closest to the issue* are its
+                    // intra-file callers — exactly what Bisect found.
+                    Function::local("xsw_swap_helper", xsw_kernel).with_sloc(9),
+                    Function::exported("Utils_SortDofPairs", Kernel::Benign { flavor: 2 })
+                        .with_calls(vec!["xsw_swap_helper".into()])
+                        .with_sloc(58),
+                    Function::exported("Utils_MinMaxReorder", Kernel::Benign { flavor: 4 })
+                        .with_calls(vec!["xsw_swap_helper".into()])
+                        .with_sloc(44),
+                ],
+            ),
+            SourceFile::new(
+                "laghos_timeinteg.cpp",
+                vec![
+                    Function::exported("RK2AvgSolver_Step", Kernel::Benign { flavor: 0 })
+                        .with_sloc(88),
+                    Function::exported("Timestep_Estimate", Kernel::Benign { flavor: 6 })
+                        .with_sloc(52),
+                ],
+            ),
+        ];
+    // A real Laghos iteration runs for tens of seconds; scale every
+    // function's modeled work so the simulated wall clock matches the
+    // motivating example's 51.5 s / 21.3 s magnitudes.
+    for file in &mut files {
+        for f in &mut file.functions {
+            f.work_scale = 2.6e6;
+        }
+    }
+    SimProgram::new("laghos", files)
+}
+
+/// The Laghos benchmark driver: the Sedov-like time loop. The hydro
+/// operator work is scaled so one simulated run takes tens of seconds
+/// under `xlc++ -O2`, matching the motivating example's 51.5 s.
+pub fn laghos_driver() -> Driver {
+    Driver::new(
+        "laghos",
+        vec![
+            "RK2AvgSolver_Step".into(),
+            "Utils_SortDofPairs".into(),
+            "Utils_MinMaxReorder".into(),
+            "Forces_MassApply".into(),
+            "EOS_Pressure".into(),
+            "EOS_SoundSpeed".into(),
+            "Timestep_Estimate".into(),
+            "LagrangianHydroOperator_Mult".into(),
+        ],
+        1,
+        64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit_fpsim::ulp::l2_diff;
+    use flit_program::build::Build;
+    use flit_program::engine::Engine;
+    use flit_toolchain::compilation::Compilation;
+    use flit_toolchain::compiler::{CompilerKind, OptLevel};
+
+    fn run(
+        variant: LaghosVariant,
+        compiler: CompilerKind,
+        opt: OptLevel,
+    ) -> Vec<f64> {
+        let p = laghos_program(variant);
+        let build = Build::new(&p, Compilation::new(compiler, opt, vec![]));
+        let exe = build.executable().unwrap();
+        Engine::new(&p, &exe)
+            .run(&laghos_driver(), &[0.42, 0.77])
+            .unwrap()
+            .output
+    }
+
+    #[test]
+    fn all_variants_share_structure() {
+        let a = laghos_program(LaghosVariant::WithXswBug);
+        let b = laghos_program(LaghosVariant::XswFixed);
+        let c = laghos_program(LaghosVariant::EpsilonCompare);
+        for (x, y) in [(&a, &b), (&b, &c)] {
+            assert_eq!(x.files.len(), y.files.len());
+            for (fx, fy) in x.files.iter().zip(&y.files) {
+                assert_eq!(fx.name, fy.name);
+                let nx: Vec<&String> = fx.functions.iter().map(|f| &f.name).collect();
+                let ny: Vec<&String> = fy.functions.iter().map(|f| &f.name).collect();
+                assert_eq!(nx, ny);
+            }
+        }
+    }
+
+    #[test]
+    fn xsw_bug_poisons_results_under_ub_exploiting_o3() {
+        // "In our runs, all results were the special floating point
+        // value NaN" — under xlc++ -O3 on the public branch.
+        let out = run(LaghosVariant::WithXswBug, CompilerKind::Xlc, OptLevel::O3);
+        assert!(out.iter().any(|x| x.is_nan()), "expected NaN poisoning");
+        // The developers' branch is clean under the same compilation.
+        let fixed = run(LaghosVariant::XswFixed, CompilerKind::Xlc, OptLevel::O3);
+        assert!(fixed.iter().all(|x| x.is_finite()));
+        // And the buggy branch is fine at -O2 (no UB exploitation).
+        let o2 = run(LaghosVariant::WithXswBug, CompilerKind::Xlc, OptLevel::O2);
+        assert!(o2.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn zero_gate_diverges_only_at_o3() {
+        // The xsw-fixed branch: trusted at g++ -O2 and xlc++ -O2,
+        // divergent (~11 %) at xlc++ -O3 through the == 0.0 branch.
+        let gpp = run(LaghosVariant::XswFixed, CompilerKind::Gcc, OptLevel::O2);
+        let xlc2 = run(LaghosVariant::XswFixed, CompilerKind::Xlc, OptLevel::O2);
+        let xlc3 = run(LaghosVariant::XswFixed, CompilerKind::Xlc, OptLevel::O3);
+        // The two trusted compilations agree closely (not bitwise — xlc
+        // contracts to multiply-add by default).
+        let trusted_diff = l2_diff(&gpp, &xlc2) / flit_fpsim::ulp::l2_norm(&gpp);
+        assert!(trusted_diff < 1e-9, "trusted diff {trusted_diff}");
+        // -O3 diverges by roughly the viscosity boost.
+        // The ℓ2 *difference* includes both the 11 % viscosity boost and
+        // the conservation-violating cell, so it is larger than the
+        // norm-to-norm difference the motivation experiment reports.
+        let o3_diff = l2_diff(&gpp, &xlc3) / flit_fpsim::ulp::l2_norm(&gpp);
+        assert!(
+            (0.02..0.8).contains(&o3_diff),
+            "xlc -O3 divergence {o3_diff}"
+        );
+    }
+
+    #[test]
+    fn epsilon_compare_fix_restores_agreement() {
+        let gpp = run(LaghosVariant::EpsilonCompare, CompilerKind::Gcc, OptLevel::O2);
+        let xlc3 = run(LaghosVariant::EpsilonCompare, CompilerKind::Xlc, OptLevel::O3);
+        let diff = l2_diff(&gpp, &xlc3) / flit_fpsim::ulp::l2_norm(&gpp);
+        assert!(
+            diff < 1e-9,
+            "after the epsilon fix the -O3 results should be close: {diff}"
+        );
+        assert!(diff > 0.0, "…but not bitwise identical");
+    }
+
+    #[test]
+    fn xlc_o3_is_much_faster() {
+        let p = laghos_program(LaghosVariant::XswFixed);
+        let d = laghos_driver();
+        let t2 = {
+            let b = Build::new(&p, Compilation::new(CompilerKind::Xlc, OptLevel::O2, vec![]));
+            let exe = b.executable().unwrap();
+            Engine::new(&p, &exe).run(&d, &[0.42, 0.77]).unwrap().seconds
+        };
+        let t3 = {
+            let b = Build::new(&p, Compilation::new(CompilerKind::Xlc, OptLevel::O3, vec![]));
+            let exe = b.executable().unwrap();
+            Engine::new(&p, &exe).run(&d, &[0.42, 0.77]).unwrap().seconds
+        };
+        let speedup = t2 / t3;
+        assert!(
+            (1.8..3.0).contains(&speedup),
+            "O2→O3 speedup {speedup} (paper: 2.42x)"
+        );
+    }
+}

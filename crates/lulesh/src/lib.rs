@@ -1,0 +1,24 @@
+//! # flit-lulesh
+//!
+//! A proxy for LULESH (Livermore Unstructured Lagrangian Explicit Shock
+//! Hydrodynamics), the target of the paper's §3.5 injection study:
+//! "This LULESH benchmark contains 5,459 source lines of code, in which
+//! there are 1,094 floating point operations."
+//!
+//! Every kernel is written against the static-site evaluation context
+//! ([`flit_program::sites::SiteCtx`]), so each lexical floating-point
+//! operation is an injectable instruction — the analog of an LLVM IR
+//! instruction for the injection pass. The program mirrors LULESH 2.0's
+//! structure: the hot hydro kernels in `lulesh.cc` (many of them
+//! `static inline`, which is what produces the paper's 984 *indirect*
+//! finds), utility/EOS code, and init/comm/viz files that the benchmark
+//! driver never exercises (the paper's 702 *not measurable*
+//! injections).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod program;
+
+pub use program::{lulesh_driver, lulesh_program, LULESH_FP_OPS, LULESH_SLOC};

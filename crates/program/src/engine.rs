@@ -1,0 +1,342 @@
+//! The execution engine: runs a driver against a linked executable,
+//! resolving every call the way the binary would.
+
+use flit_toolchain::linker::Executable;
+use flit_toolchain::perf::{fnv1a, simulated_seconds};
+
+use crate::model::{Driver, SimProgram, Visibility};
+
+/// A completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// Final program state (the "mesh" the tests compare).
+    pub output: Vec<f64>,
+    /// Simulated wall-clock seconds (deterministic performance model).
+    pub seconds: f64,
+    /// Number of function invocations executed.
+    pub calls: u64,
+}
+
+/// Run-time failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The executable segfaulted (mixed-ABI hazard, §3.3).
+    Crash(String),
+    /// An entry or callee symbol has no definition in the executable.
+    MissingSymbol(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Crash(what) => write!(f, "segmentation fault ({what})"),
+            RunError::MissingSymbol(s) => write!(f, "undefined symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The engine binds one or two programs to a linked executable.
+///
+/// When a bisection mixes objects from two *builds* (a baseline and a
+/// variable source tree — identical structure, possibly different
+/// bodies, as in the injection study), each object's `build_tag` selects
+/// which tree provides its function bodies.
+pub struct Engine<'a> {
+    programs: Vec<&'a SimProgram>,
+    exe: &'a Executable,
+}
+
+impl<'a> Engine<'a> {
+    /// Create an engine over a single program.
+    pub fn new(program: &'a SimProgram, exe: &'a Executable) -> Self {
+        Engine {
+            programs: vec![program],
+            exe,
+        }
+    }
+
+    /// Create an engine over baseline + variable source trees (indexed
+    /// by each object's `build_tag`). The trees must be structurally
+    /// identical (same files, same symbols).
+    pub fn with_variant(baseline: &'a SimProgram, variable: &'a SimProgram, exe: &'a Executable) -> Self {
+        Engine {
+            programs: vec![baseline, variable],
+            exe,
+        }
+    }
+
+    /// The source tree providing bodies for object `obj_idx`.
+    fn program_of(&self, obj_idx: usize) -> &'a SimProgram {
+        let tag = self.exe.objects[obj_idx].build_tag as usize;
+        self.programs[tag.min(self.programs.len() - 1)]
+    }
+
+    /// Run the driver on the given FLiT test input.
+    pub fn run(&self, driver: &Driver, input: &[f64]) -> Result<RunOutput, RunError> {
+        // The ABI-hazard crash decision is salted by the driver (test),
+        // modeling that different tests exercise different call paths.
+        let salt = fnv1a(driver.name.as_bytes());
+        if self.exe.crashes(salt) {
+            return Err(RunError::Crash(format!(
+                "mixed-ABI executable, test `{}`",
+                driver.name
+            )));
+        }
+        let mut state = driver.init_state(input);
+        let mut seconds = 0.0f64;
+        let mut calls = 0u64;
+        for _ in 0..driver.rounds {
+            for entry in &driver.entries {
+                self.exec(entry, None, &mut state, &mut seconds, &mut calls, 0)?;
+            }
+        }
+        Ok(RunOutput {
+            output: state,
+            seconds,
+            calls,
+        })
+    }
+
+    /// Execute one function: resolve its defining object, evaluate its
+    /// kernel under that object's environment, then its callees.
+    fn exec(
+        &self,
+        symbol: &str,
+        caller_obj: Option<usize>,
+        state: &mut Vec<f64>,
+        seconds: &mut f64,
+        calls: &mut u64,
+        depth: usize,
+    ) -> Result<(), RunError> {
+        assert!(depth < 64, "call depth overflow at `{symbol}`");
+        // Structure (files, visibility, call graph) is identical across
+        // trees; resolve it against the baseline tree.
+        let (file_id, func_idx) = self.programs[0]
+            .lookup(symbol)
+            .ok_or_else(|| RunError::MissingSymbol(symbol.to_string()))?;
+        let func = &self.programs[0].files[file_id].functions[func_idx];
+
+        let obj_idx = match func.visibility {
+            Visibility::Static => {
+                // A local symbol binds within its translation unit: the
+                // caller's object if the caller lives in the same file
+                // (the Symbol Bisect duplicate-object case), otherwise
+                // whichever object provides this file.
+                match caller_obj {
+                    Some(c) if self.exe.objects[c].file_id == file_id => c,
+                    _ => self
+                        .find_object_for_file(file_id)
+                        .ok_or_else(|| RunError::MissingSymbol(symbol.to_string()))?,
+                }
+            }
+            Visibility::Exported => {
+                // Intra-TU inlining: without -fPIC the compiler may
+                // inline a same-TU callee, so the call never reaches the
+                // interposed (linker-chosen) definition — the exact
+                // failure mode that forces Symbol Bisect to recompile
+                // with -fPIC (§2.3).
+                match caller_obj {
+                    Some(c)
+                        if self.exe.objects[c].file_id == file_id
+                            && func.inlinable
+                            && !self.exe.objects[c].pic =>
+                    {
+                        c
+                    }
+                    _ => self
+                        .exe
+                        .defining_object(symbol)
+                        .ok_or_else(|| RunError::MissingSymbol(symbol.to_string()))?,
+                }
+            }
+        };
+
+        let mut env = self.exe.env_of_object(obj_idx);
+        if self.exe.objects[obj_idx].pic {
+            // Position-independent code stores intermediates at ABI
+            // boundaries: extended-precision effects do not survive.
+            // This is what makes some variability "disappear under
+            // -fPIC", capping the search at file granularity.
+            env.extended_precision = false;
+        }
+
+        // The *body* comes from whichever source tree built the object.
+        let body = &self.program_of(obj_idx).files[file_id].functions[func_idx];
+        body.kernel.eval(state, &env, body.injection);
+        *seconds += simulated_seconds(
+            &self.exe.objects[obj_idx].compilation,
+            body.kernel.class(),
+            body.kernel.work(state.len()) * body.work_scale,
+        );
+        *calls += 1;
+
+        for callee in &func.calls {
+            self.exec(callee, Some(obj_idx), state, seconds, calls, depth + 1)?;
+        }
+        Ok(())
+    }
+
+    fn find_object_for_file(&self, file_id: usize) -> Option<usize> {
+        self.exe.objects.iter().position(|o| o.file_id == file_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Build;
+    use crate::kernel::Kernel;
+    use crate::model::{Function, SourceFile};
+    use flit_toolchain::compilation::Compilation;
+    use flit_toolchain::compiler::{CompilerKind, OptLevel};
+    use flit_toolchain::flags::Switch;
+
+    fn program() -> SimProgram {
+        SimProgram::new(
+            "engine-test",
+            vec![
+                SourceFile::new(
+                    "solver.cpp",
+                    vec![
+                        Function::exported("solve", Kernel::DotMix { stride: 5 })
+                            .with_calls(vec!["norm".into(), "smooth".into()]),
+                        Function::exported("norm", Kernel::NormScale).inlinable(),
+                        Function::local("tweak", Kernel::Benign { flavor: 3 }),
+                    ],
+                ),
+                SourceFile::new(
+                    "mesh.cpp",
+                    vec![Function::exported("smooth", Kernel::MatVecMix { n: 10 })
+                        .with_calls(vec!["post".into()])],
+                ),
+                SourceFile::new(
+                    "post.cpp",
+                    vec![Function::exported("post", Kernel::PolyHorner { degree: 7 })],
+                ),
+            ],
+        )
+    }
+
+    fn driver() -> Driver {
+        Driver::new("t0", vec!["solve".into()], 3, 48)
+    }
+
+    #[test]
+    fn uniform_build_runs_deterministically() {
+        let p = program();
+        let build = Build::new(&p, Compilation::perf_reference());
+        let exe = build.executable().unwrap();
+        let engine = Engine::new(&p, &exe);
+        let a = engine.run(&driver(), &[0.3, 0.6]).unwrap();
+        let b = engine.run(&driver(), &[0.3, 0.6]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.calls, 3 * 4); // 4 functions per round, 3 rounds
+        assert!(a.seconds > 0.0);
+        assert_eq!(a.output.len(), 48);
+    }
+
+    #[test]
+    fn different_compilations_give_different_results() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let fast = Build::new(
+            &p,
+            Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]),
+        );
+        let exe_b = base.executable().unwrap();
+        let exe_f = fast.executable().unwrap();
+        let out_b = Engine::new(&p, &exe_b).run(&driver(), &[0.5]).unwrap();
+        let out_f = Engine::new(&p, &exe_f).run(&driver(), &[0.5]).unwrap();
+        assert_ne!(out_b.output, out_f.output);
+        // And the optimized build is faster under the cost model.
+        assert!(out_f.seconds < out_b.seconds);
+    }
+
+    #[test]
+    fn plain_o3_gcc_matches_baseline_bitwise() {
+        // The headline of Figure 4a: value-safe optimization exists.
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let o3 = Build::new(&p, Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![]));
+        let out_b = Engine::new(&p, &base.executable().unwrap())
+            .run(&driver(), &[0.5])
+            .unwrap();
+        let out_o3 = Engine::new(&p, &o3.executable().unwrap())
+            .run(&driver(), &[0.5])
+            .unwrap();
+        assert_eq!(out_b.output, out_o3.output);
+        assert!(out_o3.seconds < out_b.seconds);
+    }
+
+    #[test]
+    fn missing_symbol_is_reported() {
+        let p = program();
+        let build = Build::new(&p, Compilation::baseline());
+        let exe = build.executable().unwrap();
+        let engine = Engine::new(&p, &exe);
+        let d = Driver::new("bad", vec!["nonexistent".into()], 1, 8);
+        assert_eq!(
+            engine.run(&d, &[]),
+            Err(RunError::MissingSymbol("nonexistent".into()))
+        );
+    }
+
+    #[test]
+    fn mixed_file_build_takes_env_per_file() {
+        // File bisect's Test function: mesh.cpp from the variable
+        // compilation, everything else baseline. Only `smooth` (in
+        // mesh.cpp) should feel the variable env.
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::new(
+            &p,
+            Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![Switch::Avx2Fma]),
+        );
+        let mixed = crate::build::file_mixed_executable(
+            &base,
+            &var,
+            &[1usize].into_iter().collect(),
+            CompilerKind::Gcc,
+        )
+        .unwrap();
+        let out_mixed = Engine::new(&p, &mixed).run(&driver(), &[0.5]).unwrap();
+        let out_base = Engine::new(&p, &base.executable().unwrap())
+            .run(&driver(), &[0.5])
+            .unwrap();
+        // MatVecMix is FMA-sensitive, so the mix differs from baseline.
+        assert_ne!(out_mixed.output, out_base.output);
+        // Mixing only post.cpp (PolyHorner is FMA-sensitive too) also
+        // differs, but differently (unique-error assumption).
+        let mixed2 = crate::build::file_mixed_executable(
+            &base,
+            &var,
+            &[2usize].into_iter().collect(),
+            CompilerKind::Gcc,
+        )
+        .unwrap();
+        let out_mixed2 = Engine::new(&p, &mixed2).run(&driver(), &[0.5]).unwrap();
+        assert_ne!(out_mixed2.output, out_base.output);
+        assert_ne!(out_mixed2.output, out_mixed.output);
+    }
+
+    #[test]
+    fn decomposition_changes_results_but_stays_deterministic() {
+        let p = program();
+        let build = Build::new(&p, Compilation::perf_reference());
+        let exe = build.executable().unwrap();
+        let engine = Engine::new(&p, &exe);
+        let d1 = driver();
+        let d24 = driver().with_decomposition(24);
+        let r1 = engine.run(&d1, &[0.5]).unwrap();
+        let r24a = engine.run(&d24, &[0.5]).unwrap();
+        let r24b = engine.run(&d24, &[0.5]).unwrap();
+        assert_eq!(r24a, r24b, "fixed decomposition is bitwise reproducible");
+        assert_ne!(
+            r1.output.len(),
+            r24a.output.len(),
+            "changing parallelism changes the grid"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Synthetic-codebase generation: deterministic filler files and
+//! functions that pad an application out to realistic statistics
+//! (Table 3: MFEM has 97 source files, ~31 functions per file, 2,998
+//! exported functions, 103,205 SLOC).
+//!
+//! Filler functions use [`Kernel::Benign`] flavors (exact arithmetic),
+//! so they enlarge the Bisect *search space* without perturbing results
+//! — exactly the role the thousands of uninvolved MFEM functions play
+//! in the paper's searches.
+
+use crate::kernel::Kernel;
+use crate::model::{Function, SourceFile, Visibility};
+
+/// Specification for filler generation.
+#[derive(Debug, Clone)]
+pub struct FillerSpec {
+    /// Number of filler files to generate.
+    pub files: usize,
+    /// Mean functions per file.
+    pub funcs_per_file: usize,
+    /// Fraction (per mille) of filler functions with internal linkage.
+    pub static_per_mille: u32,
+    /// Mean modeled SLOC per function.
+    pub sloc_per_func: u32,
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+    /// Name prefix for generated files/symbols.
+    pub prefix: String,
+}
+
+impl Default for FillerSpec {
+    fn default() -> Self {
+        FillerSpec {
+            files: 10,
+            funcs_per_file: 30,
+            static_per_mille: 150,
+            sloc_per_func: 30,
+            seed: 0x5EED,
+            prefix: "gen".into(),
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (splitmix64) — filler structure must be
+/// identical on every run and platform.
+#[derive(Debug, Clone)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Generate filler source files per the spec.
+pub fn filler_files(spec: &FillerSpec) -> Vec<SourceFile> {
+    let mut rng = SplitMix::new(spec.seed);
+    let mut files = Vec::with_capacity(spec.files);
+    for fi in 0..spec.files {
+        let jitter = rng.below(7) as i64 - 3;
+        let nfuncs = (spec.funcs_per_file as i64 + jitter).max(1) as usize;
+        let mut functions = Vec::with_capacity(nfuncs);
+        for gi in 0..nfuncs {
+            let name = format!("{}_{fi:03}_{gi:02}", spec.prefix);
+            let flavor = rng.below(7) as u8;
+            let is_static = rng.below(1000) < spec.static_per_mille as u64;
+            let sloc_jitter = rng.below(21) as i64 - 10;
+            let sloc = (spec.sloc_per_func as i64 + sloc_jitter).max(4) as u32;
+            let mut f = if is_static {
+                Function::local(&name, Kernel::Benign { flavor })
+            } else {
+                Function::exported(&name, Kernel::Benign { flavor })
+            };
+            // Short intra-file call chains for realistic call graphs:
+            // every third function calls its predecessor (statics may
+            // only be called within the file, which this satisfies).
+            if gi > 0 && gi % 3 == 0 {
+                let prev = format!("{}_{fi:03}_{:02}", spec.prefix, gi - 1);
+                f = f.with_calls(vec![prev]);
+            }
+            // Statics must be reachable from an exported function in the
+            // same file to matter; chains above handle that when they
+            // occur — otherwise they model dead code, which real
+            // codebases have too.
+            f = f.with_sloc(sloc);
+            if rng.below(5) == 0 {
+                f = f.inlinable();
+            }
+            functions.push(f);
+        }
+        files.push(SourceFile::new(
+            format!("{}/{}_{fi:03}.cpp", spec.prefix, spec.prefix),
+            functions,
+        ));
+    }
+    files
+}
+
+/// Count functions by visibility in a set of files.
+pub fn count_by_visibility(files: &[SourceFile]) -> (usize, usize) {
+    let mut exported = 0;
+    let mut statics = 0;
+    for file in files {
+        for f in &file.functions {
+            match f.visibility {
+                Visibility::Exported => exported += 1,
+                Visibility::Static => statics += 1,
+            }
+        }
+    }
+    (exported, statics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimProgram;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = FillerSpec::default();
+        let a = filler_files(&spec);
+        let b = filler_files(&spec);
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(fa.name, fb.name);
+            assert_eq!(fa.functions.len(), fb.functions.len());
+            for (ga, gb) in fa.functions.iter().zip(&fb.functions) {
+                assert_eq!(ga.name, gb.name);
+                assert_eq!(ga.sloc, gb.sloc);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_changes_structure() {
+        let a = filler_files(&FillerSpec::default());
+        let b = filler_files(&FillerSpec {
+            seed: 999,
+            ..FillerSpec::default()
+        });
+        let funcs_a: usize = a.iter().map(|f| f.functions.len()).sum();
+        let funcs_b: usize = b.iter().map(|f| f.functions.len()).sum();
+        // Same scale, different detail.
+        assert!(funcs_a.abs_diff(funcs_b) < 100);
+        let sloc_a: u32 = a.iter().map(|f| f.sloc()).sum();
+        let sloc_b: u32 = b.iter().map(|f| f.sloc()).sum();
+        assert_ne!(sloc_a, sloc_b);
+    }
+
+    #[test]
+    fn filler_forms_a_valid_program() {
+        let files = filler_files(&FillerSpec {
+            files: 20,
+            ..FillerSpec::default()
+        });
+        let p = SimProgram::new("filler", files);
+        assert!(p.total_functions() > 400);
+        let (exported, statics) = count_by_visibility(&p.files);
+        assert!(exported > statics, "most filler is exported");
+        assert!(statics > 0, "some filler is static");
+    }
+
+    #[test]
+    fn filler_scale_tracks_spec() {
+        let spec = FillerSpec {
+            files: 50,
+            funcs_per_file: 31,
+            ..FillerSpec::default()
+        };
+        let files = filler_files(&spec);
+        assert_eq!(files.len(), 50);
+        let total: usize = files.iter().map(|f| f.functions.len()).sum();
+        let mean = total as f64 / 50.0;
+        assert!((28.0..34.0).contains(&mean), "mean funcs/file = {mean}");
+    }
+
+    #[test]
+    fn splitmix_basics() {
+        let mut r = SplitMix::new(1);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b);
+        assert_eq!(SplitMix::new(1).next_u64(), a);
+        for _ in 0..100 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # flit-program
+//!
+//! The application model the FLiT reproduction tests and bisects.
+//!
+//! A [`SimProgram`] is a set of source files; each file holds functions;
+//! each function wraps a numerical [`Kernel`] evaluated under the
+//! [`flit_fpsim::FpEnv`] of whichever compilation produced its defining
+//! object, and may call other functions. The [`engine`] resolves every
+//! call the way a real linked binary would:
+//!
+//! * global symbols resolve through the executable's symbol table
+//!   (strong beats weak — what Symbol Bisect exploits);
+//! * `static` (local) functions and intra-TU calls to inlinable
+//!   functions bind to the *caller's* object file, which is exactly why
+//!   the paper's Symbol Bisect needs `-fPIC` and why injection into a
+//!   static function yields an "indirect find" at its closest visible
+//!   caller;
+//! * compiling with `-fPIC` forces intermediates to be stored at ABI
+//!   boundaries, which washes out extended-precision variability — the
+//!   paper's "if variability is removed by using -fPIC, then the search
+//!   cannot go deeper".
+//!
+//! Kernels expose **static floating-point instruction sites** so the
+//! injection framework (`flit-inject`) can plant `x OP' ε` perturbations
+//! exactly like the paper's LLVM pass ([`sites`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod engine;
+pub mod generate;
+pub mod kernel;
+pub mod model;
+pub mod sites;
+
+pub use build::Build;
+pub use engine::{Engine, RunError, RunOutput};
+pub use kernel::Kernel;
+pub use model::{Driver, Function, SimProgram, SourceFile, Visibility};
+pub use sites::{InjectOp, Injection, SiteCtx};

@@ -1,0 +1,78 @@
+//! Minimal CSV emission (RFC-4180-style quoting).
+
+/// A CSV document builder.
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    buf: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Start a CSV with a header row.
+    pub fn new(headers: &[&str]) -> Self {
+        let mut w = CsvWriter {
+            buf: String::new(),
+            columns: headers.len(),
+        };
+        w.push_row(headers.iter().map(|s| s.to_string()));
+        w
+    }
+
+    fn push_row(&mut self, cells: impl Iterator<Item = String>) {
+        let mut first = true;
+        let mut count = 0;
+        for cell in cells {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            count += 1;
+            self.buf.push_str(&quote(&cell));
+        }
+        assert_eq!(count, self.columns, "CSV row arity mismatch");
+        self.buf.push('\n');
+    }
+
+    /// Append a data row.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.push_row(cells.iter().cloned());
+        self
+    }
+
+    /// Finish, returning the document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+fn quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row(&["1".into(), "x,y".into()]);
+        w.row(&["2".into(), "say \"hi\"".into()]);
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row(&["only".into()]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # flit-report
+//!
+//! Rendering substrate used by the table/figure regeneration binaries:
+//! ASCII tables ([`table`]), text bar charts and sorted-series plots
+//! ([`plot`]), order statistics for boxplots ([`stats`]), and CSV
+//! emission ([`csv`]). Everything renders to `String` so outputs can be
+//! asserted in tests and diffed across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod plot;
+pub mod stats;
+pub mod table;
+
+pub use csv::CsvWriter;
+pub use plot::{bar_chart, series_plot, BarRow};
+pub use stats::Summary;
+pub use table::Table;

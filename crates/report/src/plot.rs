@@ -1,0 +1,124 @@
+//! Text plots: horizontal bar charts (Figure 5) and sorted-series
+//! scatter lines (Figure 4).
+
+/// A labeled bar.
+#[derive(Debug, Clone)]
+pub struct BarRow {
+    /// Row label.
+    pub label: String,
+    /// Bar value.
+    pub value: f64,
+    /// Marker character (e.g. `'='` for bitwise-equal, `'x'` for
+    /// variable).
+    pub marker: char,
+}
+
+/// Render a horizontal bar chart scaled to `width` characters.
+pub fn bar_chart(title: &str, rows: &[BarRow], width: usize) -> String {
+    let mut out = format!("{title}\n");
+    if rows.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let max = rows
+        .iter()
+        .map(|r| r.value)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = rows.iter().map(|r| r.label.chars().count()).max().unwrap();
+    for r in rows {
+        let n = ((r.value / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "  {:label_w$} | {} {:.3}\n",
+            r.label,
+            r.marker.to_string().repeat(n),
+            r.value,
+        ));
+    }
+    out
+}
+
+/// Render a sorted series (Figure 4 style): one character per point,
+/// `'.'` for bitwise-equal and `'x'` for variable, on a vertical scale
+/// of `height` rows.
+pub fn series_plot(
+    title: &str,
+    values: &[(f64, bool)], // (speedup, bitwise_equal)
+    height: usize,
+) -> String {
+    let mut out = format!("{title}\n");
+    if values.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let max = values.iter().map(|(v, _)| *v).fold(0.0f64, f64::max);
+    let min = values.iter().map(|(v, _)| *v).fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    let h = height.max(2);
+    let mut grid = vec![vec![' '; values.len()]; h];
+    for (col, (v, eq)) in values.iter().enumerate() {
+        let frac = (v - min) / span;
+        let row = ((1.0 - frac) * (h - 1) as f64).round() as usize;
+        grid[row][col] = if *eq { '.' } else { 'x' };
+    }
+    for (i, line) in grid.iter().enumerate() {
+        let yval = max - span * i as f64 / (h - 1) as f64;
+        out.push_str(&format!("  {yval:6.3} |"));
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "         +{}\n          ('.' bitwise-equal, 'x' variable; sorted by speedup)\n",
+        "-".repeat(values.len())
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let rows = vec![
+            BarRow {
+                label: "a".into(),
+                value: 1.0,
+                marker: '=',
+            },
+            BarRow {
+                label: "bb".into(),
+                value: 2.0,
+                marker: 'x',
+            },
+        ];
+        let s = bar_chart("T", &rows, 10);
+        assert!(s.contains("=====")); // half of width
+        assert!(s.contains("xxxxxxxxxx")); // full width
+        assert!(s.starts_with("T\n"));
+    }
+
+    #[test]
+    fn bar_chart_empty() {
+        assert!(bar_chart("T", &[], 10).contains("(no data)"));
+    }
+
+    #[test]
+    fn series_plot_places_markers() {
+        let vals = vec![(1.0, true), (1.5, false), (2.0, true)];
+        let s = series_plot("S", &vals, 5);
+        let dots = s.matches('.').count();
+        let xs = s.matches('x').count();
+        // Legend contains one '.' and one 'x'; grid adds 2 dots + 1 x.
+        assert!(dots >= 3 && xs >= 2, "{s}");
+        // Top row holds the max value.
+        assert!(s.lines().nth(1).unwrap().contains("2.000"));
+    }
+
+    #[test]
+    fn series_plot_constant_values() {
+        let vals = vec![(1.0, true); 4];
+        let s = series_plot("S", &vals, 3);
+        assert!(s.contains("...."));
+    }
+}

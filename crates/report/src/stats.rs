@@ -1,0 +1,121 @@
+//! Order statistics for boxplots (Figure 6).
+
+/// Five-number summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute the five-number summary; non-finite values are dropped.
+    /// Returns `None` on an empty (post-filter) sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+            }
+        };
+        Some(Summary {
+            n: v.len(),
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: v[v.len() - 1],
+        })
+    }
+
+    /// Render as a one-line boxplot on a log10 scale between
+    /// `lo_exp`/`hi_exp` decades, `width` characters wide.
+    pub fn render_log_box(&self, lo_exp: i32, hi_exp: i32, width: usize) -> String {
+        let pos = |x: f64| -> usize {
+            if x <= 0.0 {
+                return 0;
+            }
+            let l = x.log10().clamp(lo_exp as f64, hi_exp as f64);
+            (((l - lo_exp as f64) / (hi_exp - lo_exp) as f64) * (width - 1) as f64).round()
+                as usize
+        };
+        let mut line: Vec<char> = vec![' '; width];
+        let (pmin, pq1, pmed, pq3, pmax) = (
+            pos(self.min),
+            pos(self.q1),
+            pos(self.median),
+            pos(self.q3),
+            pos(self.max),
+        );
+        for c in line.iter_mut().take(pmax + 1).skip(pmin) {
+            *c = '-';
+        }
+        for c in line.iter_mut().take(pq3 + 1).skip(pq1) {
+            *c = '=';
+        }
+        line[pmin] = '|';
+        line[pmax] = '|';
+        line[pmed] = '#';
+        line.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_filters_nonfinite() {
+        let s = Summary::of(&[f64::NAN, 1.0, f64::INFINITY, 3.0]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(Summary::of(&[f64::NAN]).is_none());
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[2.5]).unwrap();
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn log_box_renders_markers() {
+        let s = Summary::of(&[1e-13, 1e-10, 1e-7]).unwrap();
+        let line = s.render_log_box(-16, 0, 40);
+        assert_eq!(line.chars().count(), 40);
+        assert!(line.contains('#'));
+        assert!(line.contains('|'));
+    }
+}

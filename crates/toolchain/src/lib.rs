@@ -1,0 +1,40 @@
+//! # flit-toolchain
+//!
+//! The simulated compilation toolchain underneath the FLiT reproduction.
+//!
+//! The FLiT paper defines a **compilation** as a triple *(Compiler,
+//! Optimization Level, Switches)* applied to a subset of the source
+//! files of an application. This crate models:
+//!
+//! * the compilers from the paper's studies (`g++ 8.2.0`,
+//!   `clang++ 6.0.1`, `icpc 18.0.3` for MFEM; `xl*` for Laghos) and
+//!   their optimization levels ([`compiler`]);
+//! * the switch catalog the studies sweep over ([`flags`]) — 68 gcc,
+//!   72 clang and 104 icpc compilations, 244 total, matching §3.1;
+//! * the mapping from a compilation to its floating-point **evaluation
+//!   semantics** (an [`flit_fpsim::FpEnv`]) and to a deterministic
+//!   **performance model** ([`compilation`], [`perf`]);
+//! * object files with strong/weak/local symbols, the `objcopy`
+//!   weakening trick, and the linker resolution rules FLiT's Symbol
+//!   Bisect exploits ([`object`], [`linker`]) — including the
+//!   ABI-compatibility hazards responsible for the paper's File Bisect
+//!   failures ("when icpc and g++ object files were linked together, the
+//!   resulting executable would sometimes fail with a segmentation
+//!   fault", §3.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compilation;
+pub mod compiler;
+pub mod flags;
+pub mod linker;
+pub mod object;
+pub mod perf;
+
+pub use compilation::Compilation;
+pub use compiler::{CompilerKind, OptLevel};
+pub use flags::Switch;
+pub use linker::{link, Executable, LinkError};
+pub use object::{Linkage, ObjectFile, SymbolEntry};
+pub use perf::KernelClass;

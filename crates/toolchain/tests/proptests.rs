@@ -1,0 +1,156 @@
+//! Property-based tests for the toolchain substrate: linker resolution
+//! invariants, objcopy complementarity, semantics determinism, and the
+//! performance model's sanity envelope.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use flit_toolchain::compilation::{mfem_matrix, Compilation};
+use flit_toolchain::compiler::{CompilerKind, OptLevel};
+use flit_toolchain::linker::{link, LinkError};
+use flit_toolchain::object::{Linkage, ObjectFile, SymbolEntry};
+use flit_toolchain::perf::{jitter, speed_factor, KernelClass};
+
+fn object(file_id: usize, compiler: CompilerKind, symbols: Vec<SymbolEntry>) -> ObjectFile {
+    ObjectFile {
+        file_id,
+        file_name: format!("f{file_id}.cpp"),
+        compilation: Compilation::new(compiler, OptLevel::O2, vec![]),
+        pic: false,
+        build_tag: 0,
+        symbols,
+    }
+}
+
+fn sym(name: String, linkage: Linkage) -> SymbolEntry {
+    SymbolEntry { name, linkage }
+}
+
+proptest! {
+    /// objcopy complementarity: weakening S in one copy and ¬S in the
+    /// other leaves every exported symbol strong in exactly one copy,
+    /// for every subset S.
+    #[test]
+    fn weaken_pair_partitions_symbols(
+        names in prop::collection::btree_set("[a-z]{1,8}", 1..10),
+        pick_bits in prop::collection::vec(any::<bool>(), 10),
+    ) {
+        let symbols: Vec<SymbolEntry> = names
+            .iter()
+            .map(|n| sym(n.clone(), Linkage::Strong))
+            .collect();
+        let obj = object(0, CompilerKind::Gcc, symbols);
+        let picked: BTreeSet<String> = names
+            .iter()
+            .zip(&pick_bits)
+            .filter(|(_, &b)| b)
+            .map(|(n, _)| n.clone())
+            .collect();
+        let a = obj.weaken(&picked);
+        let b = obj.weaken_except(&picked);
+        for n in &names {
+            let strong_a = a.linkage_of(n) == Some(Linkage::Strong);
+            let strong_b = b.linkage_of(n) == Some(Linkage::Strong);
+            prop_assert!(strong_a ^ strong_b, "{n}");
+        }
+        // And the pair always links (no duplicate strong symbols).
+        prop_assert!(link(vec![a, b], CompilerKind::Gcc).is_ok());
+    }
+
+    /// Linker resolution is order-independent when strong definitions
+    /// exist: the strong definition wins regardless of object order.
+    #[test]
+    fn strong_wins_any_order(strong_first in any::<bool>()) {
+        let weak = object(0, CompilerKind::Gcc, vec![sym("f".into(), Linkage::Weak)]);
+        let strong = object(1, CompilerKind::Gcc, vec![sym("f".into(), Linkage::Strong)]);
+        let objects = if strong_first {
+            vec![strong.clone(), weak.clone()]
+        } else {
+            vec![weak.clone(), strong.clone()]
+        };
+        let exe = link(objects, CompilerKind::Gcc).unwrap();
+        let def = exe.defining_object("f").unwrap();
+        prop_assert_eq!(exe.objects[def].file_id, 1);
+    }
+
+    /// Two strong definitions always fail, whatever else is present.
+    #[test]
+    fn duplicate_strong_always_errors(extra in 0usize..5) {
+        let mut objects = vec![
+            object(0, CompilerKind::Gcc, vec![sym("dup".into(), Linkage::Strong)]),
+            object(1, CompilerKind::Gcc, vec![sym("dup".into(), Linkage::Strong)]),
+        ];
+        for i in 0..extra {
+            objects.push(object(2 + i, CompilerKind::Gcc, vec![sym(format!("u{i}"), Linkage::Strong)]));
+        }
+        prop_assert!(matches!(
+            link(objects, CompilerKind::Gcc),
+            Err(LinkError::DuplicateSymbol(_))
+        ));
+    }
+
+    /// Compilation semantics are a pure function: fp_env is identical
+    /// across calls, and the baseline maps to strict semantics only for
+    /// the baseline itself.
+    #[test]
+    fn fp_env_is_pure(idx in 0usize..244) {
+        let comp = mfem_matrix()[idx].clone();
+        prop_assert_eq!(comp.fp_env(), comp.fp_env());
+        prop_assert_eq!(
+            comp.fp_env_linked(CompilerKind::Gcc),
+            comp.fp_env_linked(CompilerKind::Gcc)
+        );
+        // The Intel link always selects the vendor library; the GNU
+        // link never does.
+        prop_assert_eq!(
+            comp.fp_env_linked(CompilerKind::Icpc).mathlib,
+            flit_fpsim::env::MathLib::Vendor
+        );
+        prop_assert_eq!(
+            comp.fp_env_linked(CompilerKind::Gcc).mathlib,
+            flit_fpsim::env::MathLib::Reference
+        );
+    }
+
+    /// The performance model stays within a sane envelope for the whole
+    /// matrix, and jitter is small, deterministic, and workload-keyed.
+    #[test]
+    fn perf_model_envelope(idx in 0usize..244, class_idx in 0usize..6) {
+        let comp = mfem_matrix()[idx].clone();
+        let class = KernelClass::ALL[class_idx];
+        let f = speed_factor(&comp, class);
+        prop_assert!(f > 0.15 && f < 4.0, "{}: {f}", comp.label());
+        let j = jitter("some-test", &comp);
+        prop_assert!((0.975..=1.025).contains(&j));
+        prop_assert_eq!(j.to_bits(), jitter("some-test", &comp).to_bits());
+    }
+
+    /// ABI-hazard crashes only ever happen for Intel/GNU mixes, and the
+    /// verdict is deterministic in the salt.
+    #[test]
+    fn crash_verdicts_are_deterministic(salt in any::<u64>(), mixed in any::<bool>()) {
+        let a = object(0, CompilerKind::Gcc, vec![sym("f".into(), Linkage::Strong)]);
+        let b = object(
+            1,
+            if mixed { CompilerKind::Icpc } else { CompilerKind::Clang },
+            vec![sym("g".into(), Linkage::Strong)],
+        );
+        let exe = link(vec![a, b], CompilerKind::Gcc).unwrap();
+        prop_assert_eq!(exe.abi_hazard, mixed);
+        prop_assert_eq!(exe.crashes(salt), exe.crashes(salt));
+        if !mixed {
+            prop_assert!(!exe.crashes(salt));
+        }
+    }
+
+    /// Compilation labels are unique across the whole MFEM matrix
+    /// (the CLI's label → Compilation parser depends on this).
+    #[test]
+    fn labels_are_unique(i in 0usize..244, j in 0usize..244) {
+        let m = mfem_matrix();
+        if i != j {
+            prop_assert_ne!(m[i].label(), m[j].label());
+        }
+    }
+}

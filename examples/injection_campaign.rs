@@ -1,0 +1,60 @@
+//! A small fault-injection campaign on the LULESH proxy (the §3.5
+//! protocol on a sample of sites): perturb one floating-point
+//! instruction at a time and check that Bisect finds it.
+//!
+//! ```sh
+//! cargo run --release --example injection_campaign
+//! ```
+
+use flit::inject::study::{run_one, Classification, StudyConfig};
+use flit::inject::{enumerate_sites, SiteRef};
+use flit::lulesh::{lulesh_driver, lulesh_program};
+use flit::prelude::*;
+use flit::program::sites::InjectOp;
+
+fn main() {
+    let program = lulesh_program();
+    let sites = enumerate_sites(&program);
+    println!(
+        "LULESH proxy: {} injectable static FP instructions across {} files",
+        sites.len(),
+        program.files.len()
+    );
+
+    let cfg = StudyConfig {
+        compilation: Compilation::perf_reference(),
+        driver: lulesh_driver(),
+        input: vec![0.53, 0.31],
+        seed: 7,
+        threads: 1,
+    };
+
+    // Sample every 37th site so the demo finishes in seconds.
+    let sample: Vec<&SiteRef> = sites.iter().step_by(37).collect();
+    println!("injecting at {} sampled sites (OP' = Add, ε ~ U(0,1))\n", sample.len());
+
+    let mut counts = std::collections::HashMap::new();
+    for site in &sample {
+        let record = run_one(&program, &cfg, site, InjectOp::Add, 0.61);
+        *counts.entry(record.classification).or_insert(0usize) += 1;
+        let verdict = match record.classification {
+            Classification::Exact => format!("exact ({} runs)", record.runs),
+            Classification::Indirect => format!(
+                "indirect → {} ({} runs)",
+                record.reported.join(", "),
+                record.runs
+            ),
+            Classification::NotMeasurable => "benign (dead code or absorbed)".to_string(),
+            other => format!("{other:?} — should not happen"),
+        };
+        println!("  {}#{:<3} {verdict}", site.symbol, site.site);
+    }
+
+    println!("\nsummary:");
+    for (class, n) in &counts {
+        println!("  {class:?}: {n}");
+    }
+    assert_eq!(counts.get(&Classification::Wrong), None, "no false positives");
+    assert_eq!(counts.get(&Classification::Missed), None, "no false negatives");
+    println!("\nprecision and recall: 100% on this sample (run `cargo run --release -p flit-bench --bin table5` for all 4,376)");
+}

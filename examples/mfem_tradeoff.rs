@@ -1,0 +1,66 @@
+//! Navigate the performance-vs-reproducibility tradeoff for the MFEM
+//! mini-library (the paper's §3.1, Figures 4-5): for each example, find
+//! the fastest compilation that is still bitwise reproducible, and
+//! decide whether giving up reproducibility would buy anything.
+//!
+//! ```sh
+//! cargo run --release --example mfem_tradeoff
+//! ```
+
+use flit::core::analysis::{category_bars, fastest_is_reproducible_count};
+use flit::mfem::{mfem_examples, mfem_program};
+use flit::prelude::*;
+
+fn main() {
+    let program = mfem_program();
+    let tests = mfem_examples();
+    let dyn_tests: Vec<&dyn FlitTest> = tests.iter().map(|t| t as &dyn FlitTest).collect();
+
+    println!("sweeping 244 compilations x 19 examples…");
+    let db = run_matrix(&program, &dyn_tests, &mfem_matrix(), &RunnerConfig::default());
+
+    println!("\nper-example recommendation (speedups vs g++ -O2):");
+    for test in db.tests() {
+        let bars = category_bars(&db, &test);
+        let best_equal = bars
+            .fastest_equal
+            .iter()
+            .filter_map(|(c, p)| p.as_ref().map(|p| (c, p)))
+            .max_by(|a, b| a.1.speedup.partial_cmp(&b.1.speedup).unwrap());
+        let best_variable = bars.fastest_variable.as_ref();
+
+        match (best_equal, best_variable) {
+            (Some((_, eq)), Some(var)) if var.speedup > eq.speedup * 1.02 => {
+                println!(
+                    "  {test}: variable `{}` is {:.1}% faster than the best reproducible \
+                     `{}` — decide whether {:.1e} variability is acceptable",
+                    var.label,
+                    100.0 * (var.speedup / eq.speedup - 1.0),
+                    eq.label,
+                    var.comparison,
+                );
+            }
+            (Some((_, eq)), _) => {
+                println!(
+                    "  {test}: use `{}` ({:.3}x) — reproducibility costs nothing here",
+                    eq.label, eq.speedup
+                );
+            }
+            (None, Some(var)) => {
+                println!(
+                    "  {test}: NO bitwise-reproducible compilation beats the baseline; \
+                     fastest variable is `{}` ({:.3}x)",
+                    var.label, var.speedup
+                );
+            }
+            (None, None) => println!("  {test}: fully invariant"),
+        }
+    }
+
+    let (wins, total) = fastest_is_reproducible_count(&db);
+    println!(
+        "\n{wins} of {total} examples get their best speed from a bitwise-reproducible \
+         compilation (paper: 14 of 19) — \"reproducibility need not always be sacrificed \
+         for performance gains\""
+    );
+}

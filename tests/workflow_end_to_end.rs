@@ -1,0 +1,138 @@
+//! The Figure-1 multi-level workflow, end-to-end on a small
+//! application: determinism check → matrix sweep → reproducibility /
+//! performance analysis → Bisect on everything variable.
+
+use flit::core::workflow::{run_workflow, WorkflowConfig};
+use flit::prelude::*;
+
+fn app() -> SimProgram {
+    SimProgram::new(
+        "workflow-app",
+        vec![
+            SourceFile::new(
+                "kernels.cpp",
+                vec![
+                    Function::exported("reduce_field", Kernel::DotMix { stride: 3 }),
+                    Function::exported("smooth_field", Kernel::HeatSmooth { steps: 10, r: 0.24 }),
+                ],
+            ),
+            SourceFile::new(
+                "special.cpp",
+                vec![Function::exported("eval_source", Kernel::TranscMap { freq: 2.1 })],
+            ),
+            SourceFile::new(
+                "util.cpp",
+                vec![
+                    Function::exported("shuffle", Kernel::Benign { flavor: 2 }),
+                    Function::local("scratch", Kernel::Benign { flavor: 0 }),
+                ],
+            ),
+        ],
+    )
+}
+
+fn suite() -> Vec<DriverTest> {
+    vec![
+        DriverTest::new(
+            Driver::new(
+                "t-reduce",
+                vec!["reduce_field".into(), "shuffle".into()],
+                2,
+                48,
+            ),
+            1,
+            vec![0.3],
+        ),
+        DriverTest::new(
+            Driver::new(
+                "t-special",
+                vec!["smooth_field".into(), "eval_source".into()],
+                2,
+                48,
+            ),
+            1,
+            vec![0.6],
+        ),
+    ]
+}
+
+#[test]
+fn full_workflow_on_a_small_app() {
+    let program = app();
+    let tests = suite();
+    let comps = vec![
+        Compilation::baseline(),
+        Compilation::perf_reference(),
+        Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![]),
+        Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]),
+        Compilation::new(CompilerKind::Icpc, OptLevel::O2, vec![Switch::FpModelPrecise]),
+    ];
+    let report = run_workflow(&program, &tests, &comps, &WorkflowConfig::default());
+
+    // Level 0: the determinism prerequisite.
+    assert!(report.deterministic);
+
+    // Level 1: which compilations vary which tests.
+    assert_eq!(report.db.rows.len(), comps.len() * tests.len());
+    let variable: Vec<_> = report.db.rows.iter().filter(|r| r.is_variable()).collect();
+    // avx2fma+unsafe varies both tests (reduction + fma smoothing);
+    // icpc precise varies only the transcendental one (vendor libm).
+    assert!(variable.iter().any(|r| r.test == "t-reduce"
+        && r.label.contains("-funsafe-math-optimizations")));
+    assert!(variable
+        .iter()
+        .any(|r| r.test == "t-special" && r.label.starts_with("icpc")));
+    assert!(!variable
+        .iter()
+        .any(|r| r.test == "t-reduce" && r.label.starts_with("icpc")));
+
+    // Level 2: performance analysis exists for every test.
+    assert_eq!(report.bars.len(), 2);
+    assert_eq!(report.reproducible_fastest.1, 2);
+
+    // Level 3: every variable (test, compilation) pair was bisected.
+    assert_eq!(report.bisections.len(), variable.len());
+    for b in &report.bisections {
+        match (&b.test[..], b.compilation.compiler) {
+            ("t-reduce", CompilerKind::Gcc) => {
+                assert_eq!(b.result.outcome, SearchOutcome::Completed);
+                assert!(b
+                    .result
+                    .symbols
+                    .iter()
+                    .any(|s| s.symbol == "reduce_field"));
+            }
+            ("t-special", CompilerKind::Icpc) => {
+                // The vendor math library comes from the link step; the
+                // bisection link (gcc driver) cannot reproduce it.
+                assert_eq!(b.result.outcome, SearchOutcome::LinkStepOnly);
+            }
+            ("t-special", CompilerKind::Gcc) => {
+                // fma-driven smoothing variability.
+                assert_eq!(b.result.outcome, SearchOutcome::Completed);
+                assert!(b
+                    .result
+                    .symbols
+                    .iter()
+                    .all(|s| s.symbol == "smooth_field"));
+            }
+            other => panic!("unexpected bisection target {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn workflow_respects_the_bisection_cap() {
+    let program = app();
+    let tests = suite();
+    let comps = vec![
+        Compilation::baseline(),
+        Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]),
+    ];
+    let cfg = WorkflowConfig {
+        max_bisections: 1,
+        ..Default::default()
+    };
+    let report = run_workflow(&program, &tests, &comps, &cfg);
+    assert_eq!(report.bisections.len(), 1);
+}
