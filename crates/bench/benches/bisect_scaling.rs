@@ -17,9 +17,7 @@ fn weights(n: usize, k: usize) -> Vec<(u32, f64)> {
         .collect()
 }
 
-fn scripted(
-    weights: Vec<(u32, f64)>,
-) -> impl FnMut(&[u32]) -> Result<f64, TestError> {
+fn scripted(weights: Vec<(u32, f64)>) -> impl FnMut(&[u32]) -> Result<f64, TestError> {
     move |items: &[u32]| {
         Ok(items
             .iter()

@@ -12,7 +12,7 @@ use flit_toolchain::linker::link;
 
 fn bench_reductions(c: &mut Criterion) {
     let xs: Vec<f64> = (0..4096)
-        .map(|i| ((i as f64) * 0.7311).sin() * 10f64.powi((i % 9) as i32 - 4))
+        .map(|i| ((i as f64) * 0.7311).sin() * 10f64.powi((i % 9) - 4))
         .collect();
     let mut group = c.benchmark_group("fpsim_dot");
     for (name, env) in [
@@ -80,5 +80,11 @@ fn bench_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_reductions, bench_cg, bench_linker, bench_engine);
+criterion_group!(
+    benches,
+    bench_reductions,
+    bench_cg,
+    bench_linker,
+    bench_engine
+);
 criterion_main!(benches);

@@ -33,11 +33,8 @@ fn main() {
                 16,
             )
         );
-        let fastest_equal = series
-            .iter()
-            .filter(|p| p.bitwise_equal)
-            .last();
-        let fastest_variable = series.iter().filter(|p| !p.bitwise_equal).last();
+        let fastest_equal = series.iter().rfind(|p| p.bitwise_equal);
+        let fastest_variable = series.iter().rfind(|p| !p.bitwise_equal);
         if let Some(p) = fastest_equal {
             println!("  fastest bitwise-equal: {} @ {:.3}", p.label, p.speedup);
         }

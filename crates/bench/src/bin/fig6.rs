@@ -17,10 +17,7 @@ fn main() {
     for test in db.tests() {
         let s = variability_summary(&db, &test);
         let bar = "#".repeat(s.variable_compilations / 3);
-        println!(
-            "  {test}: {:>3} {bar}",
-            s.variable_compilations
-        );
+        println!("  {test}: {:>3} {bar}", s.variable_compilations);
     }
     println!();
     println!("Figure 6 (bottom): relative l2 error boxplots (log10 scale, 1e-18 .. 1e1)");
@@ -46,5 +43,7 @@ fn main() {
         }
     }
     println!();
-    println!("(paper: tests 12 and 18 omitted; example 8 reaches ~1e-6; example 13 reaches 183-197%)");
+    println!(
+        "(paper: tests 12 and 18 omitted; example 8 reaches ~1e-6; example 13 reaches 183-197%)"
+    );
 }

@@ -19,8 +19,14 @@ fn main() {
         "  negative density   : {:>12}          yes",
         if m.negative_density { "yes" } else { "no" }
     );
-    println!("  runtime at -O2     : {:>10.1} s       51.5 s", m.seconds_o2);
-    println!("  runtime at -O3     : {:>10.1} s       21.3 s", m.seconds_o3);
+    println!(
+        "  runtime at -O2     : {:>10.1} s       51.5 s",
+        m.seconds_o2
+    );
+    println!(
+        "  runtime at -O3     : {:>10.1} s       21.3 s",
+        m.seconds_o3
+    );
     println!(
         "  speedup            : {:>11.2}x        2.42x",
         m.seconds_o2 / m.seconds_o3

@@ -47,7 +47,14 @@ fn main() {
         if ok {
             deterministic += 1;
         }
-        println!("  ex{ex:02}: {}", if ok { "bitwise deterministic" } else { "NON-DETERMINISTIC" });
+        println!(
+            "  ex{ex:02}: {}",
+            if ok {
+                "bitwise deterministic"
+            } else {
+                "NON-DETERMINISTIC"
+            }
+        );
     }
     println!("  {deterministic}/17 verified (paper: all 17 converted tests passed)");
     println!();
@@ -83,11 +90,7 @@ fn main() {
 
     // Step 3: Bisect under MPI finds the same files/functions.
     println!("Step 3: Bisect agreement between sequential and {RANKS}-rank runs");
-    let variable = Compilation::new(
-        CompilerKind::Gcc,
-        OptLevel::O3,
-        vec![Switch::Avx2FmaUnsafe],
-    );
+    let variable = Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]);
     let mut agree = 0;
     let mut attempted = 0;
     for ex in [1usize, 4, 8, 9, 13, 14, 17, 19] {
@@ -125,7 +128,11 @@ fn main() {
         }
         println!(
             "  ex{ex:02}: files {sf:?}, symbols {ss:?} → {}",
-            if same { "identical under MPI" } else { "DIFFERENT under MPI" }
+            if same {
+                "identical under MPI"
+            } else {
+                "DIFFERENT under MPI"
+            }
         );
     }
     println!(

@@ -3,24 +3,32 @@
 //! successes. "A failure here means the resulting mixed executable
 //! crashed."
 
-use flit_bench::{bisect_all_variable, mfem_study::default_threads, mfem_sweep};
+use flit_bench::{bisect_all_variable_with, mfem_study::default_threads, mfem_sweep};
 use flit_mfem::mfem_program;
 use flit_report::table::{Align, Table};
+use flit_toolchain::cache::BuildCtx;
 
 fn main() {
     let program = mfem_program();
     let db = mfem_sweep(&program);
-    let character = bisect_all_variable(&program, &db, default_threads());
 
-    let mut table = Table::new(&[
-        "",
-        "g++",
-        "clang++",
-        "icpc",
-        "total",
-    ])
-    .with_title("Table 2: compiler characterization of Bisect with MFEM")
-    .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+    // A/B the build work on the hierarchical-bisect workload: the
+    // counting context does every compile fresh, the cached context
+    // shares objects and memoizes links across searches.
+    let counting = BuildCtx::counting();
+    let character = bisect_all_variable_with(&program, &db, default_threads(), &counting);
+    let cached = BuildCtx::cached();
+    let _ = bisect_all_variable_with(&program, &db, default_threads(), &cached);
+
+    let mut table = Table::new(&["", "g++", "clang++", "icpc", "total"])
+        .with_title("Table 2: compiler characterization of Bisect with MFEM")
+        .with_aligns(&[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
 
     let total_execs: usize = character.iter().map(|(_, c)| c.executions).sum();
     let total_searches: usize = character.iter().map(|(_, c)| c.searches).sum();
@@ -38,12 +46,18 @@ fn main() {
     ));
     file_row.push(format!(
         "{}/{}",
-        character.iter().map(|(_, c)| c.file_successes).sum::<usize>(),
+        character
+            .iter()
+            .map(|(_, c)| c.file_successes)
+            .sum::<usize>(),
         total_searches
     ));
     sym_row.push(format!(
         "{}/{}",
-        character.iter().map(|(_, c)| c.symbol_successes).sum::<usize>(),
+        character
+            .iter()
+            .map(|(_, c)| c.symbol_successes)
+            .sum::<usize>(),
         character.iter().map(|(_, c)| c.with_files).sum::<usize>()
     ));
     table.row(&avg_row);
@@ -59,4 +73,20 @@ fn main() {
             100.0 * c.crashes as f64 / c.searches.max(1) as f64
         );
     }
+
+    let off = counting.stats();
+    let on = cached.stats();
+    println!("\nbuild work (cache off vs on):");
+    println!(
+        "  objects compiled: {} -> {} ({} cache hits)",
+        off.objects_compiled, on.objects_compiled, on.object_cache_hits
+    );
+    println!(
+        "  links:            {} -> {} ({} memo hits)",
+        off.links, on.links, on.link_memo_hits
+    );
+    println!(
+        "  compile reduction: {:.1}x",
+        off.objects_compiled as f64 / on.objects_compiled.max(1) as f64
+    );
 }

@@ -22,14 +22,22 @@ fn main() {
     let mut table = Table::new(&["Category", "Count", "Paper"])
         .with_title("Table 5: LULESH compiler perturbation injection study")
         .with_aligns(&[Align::Left, Align::Right, Align::Right]);
-    table.row(&["exact finds".into(), summary.exact.to_string(), "2,690".into()]);
+    table.row(&[
+        "exact finds".into(),
+        summary.exact.to_string(),
+        "2,690".into(),
+    ]);
     table.row(&[
         "indirect finds".into(),
         summary.indirect.to_string(),
         "984".into(),
     ]);
     table.row(&["wrong finds".into(), summary.wrong.to_string(), "0".into()]);
-    table.row(&["missed finds".into(), summary.missed.to_string(), "0".into()]);
+    table.row(&[
+        "missed finds".into(),
+        summary.missed.to_string(),
+        "0".into(),
+    ]);
     table.row(&[
         "not measurable".into(),
         summary.not_measurable.to_string(),

@@ -13,14 +13,21 @@ use flit_mfem::examples::example_driver;
 use flit_mfem::mfem_examples;
 use flit_program::build::Build;
 use flit_program::model::SimProgram;
+use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compilation::{mfem_matrix, Compilation};
 use flit_toolchain::compiler::CompilerKind;
 
 /// Run the full 244-compilation × 19-example sweep.
 pub fn mfem_sweep(program: &SimProgram) -> ResultsDb {
+    mfem_sweep_with(program, &RunnerConfig::default())
+}
+
+/// [`mfem_sweep`] with explicit runner options (e.g. cache off for the
+/// A/B build-work comparison).
+pub fn mfem_sweep_with(program: &SimProgram, cfg: &RunnerConfig) -> ResultsDb {
     let tests = mfem_examples();
     let dyn_tests: Vec<&dyn FlitTest> = tests.iter().map(|t| t as &dyn FlitTest).collect();
-    run_matrix(program, &dyn_tests, &mfem_matrix(), &RunnerConfig::default())
+    run_matrix(program, &dyn_tests, &mfem_matrix(), cfg).expect("the MFEM sweep runs")
 }
 
 /// Outcome counters of one compiler's bisect characterization
@@ -61,6 +68,19 @@ pub fn bisect_all_variable(
     db: &ResultsDb,
     threads: usize,
 ) -> Vec<(CompilerKind, BisectCharacterization)> {
+    bisect_all_variable_with(program, db, threads, &BuildCtx::cached())
+}
+
+/// [`bisect_all_variable`] with an explicit build context. All searches
+/// share `ctx`, so repeated baselines and mixed links across jobs are
+/// built once; its counters afterwards describe the whole
+/// characterization.
+pub fn bisect_all_variable_with(
+    program: &SimProgram,
+    db: &ResultsDb,
+    threads: usize,
+    ctx: &BuildCtx,
+) -> Vec<(CompilerKind, BisectCharacterization)> {
     let jobs: Vec<(String, Compilation)> = db
         .rows
         .iter()
@@ -68,23 +88,30 @@ pub fn bisect_all_variable(
         .map(|r| (r.test.clone(), r.compilation.clone()))
         .collect();
 
-    let run_job = |test: &str, comp: &Compilation| -> (CompilerKind, SearchOutcome, bool, bool, usize) {
-        let ex: usize = test[2..].parse().expect("test names are exNN");
-        let driver = example_driver(ex, 1);
-        let base = Build::new(program, Compilation::baseline());
-        let var = Build::tagged(program, comp.clone(), 1);
-        let res = bisect_hierarchical(
-            &base,
-            &var,
-            &driver,
-            &[0.35, 0.62],
-            &l2_compare,
-            &HierarchicalConfig::all(),
-        );
-        let with_files = !res.files.is_empty();
-        let symbol_ok = with_files && res.file_level_only.is_empty() && !res.symbols.is_empty();
-        (comp.compiler, res.outcome, with_files, symbol_ok, res.executions)
-    };
+    let run_job =
+        |test: &str, comp: &Compilation| -> (CompilerKind, SearchOutcome, bool, bool, usize) {
+            let ex: usize = test[2..].parse().expect("test names are exNN");
+            let driver = example_driver(ex, 1);
+            let base = Build::new(program, Compilation::baseline());
+            let var = Build::tagged(program, comp.clone(), 1);
+            let res = bisect_hierarchical(
+                &base,
+                &var,
+                &driver,
+                &[0.35, 0.62],
+                &l2_compare,
+                &HierarchicalConfig::all().with_ctx(ctx.clone()),
+            );
+            let with_files = !res.files.is_empty();
+            let symbol_ok = with_files && res.file_level_only.is_empty() && !res.symbols.is_empty();
+            (
+                comp.compiler,
+                res.outcome,
+                with_files,
+                symbol_ok,
+                res.executions,
+            )
+        };
 
     let nthreads = threads.max(1);
     let results: Vec<(CompilerKind, SearchOutcome, bool, bool, usize)> = if nthreads == 1 {
@@ -95,11 +122,7 @@ pub fn bisect_all_variable(
             let handles: Vec<_> = jobs
                 .chunks(chunk)
                 .map(|part| {
-                    s.spawn(move |_| {
-                        part.iter()
-                            .map(|(t, c)| run_job(t, c))
-                            .collect::<Vec<_>>()
-                    })
+                    s.spawn(move |_| part.iter().map(|(t, c)| run_job(t, c)).collect::<Vec<_>>())
                 })
                 .collect();
             handles
@@ -167,7 +190,8 @@ mod tests {
             })
             .collect();
         assert_eq!(comps.len(), 4);
-        let db = run_matrix(&program, &dyn_tests, &comps, &RunnerConfig::default());
+        let db = run_matrix(&program, &dyn_tests, &comps, &RunnerConfig::default())
+            .expect("thinned sweep runs");
         assert_eq!(db.rows.len(), 4 * 19);
         let character = bisect_all_variable(&program, &db, 4);
         let total_searches: usize = character.iter().map(|(_, c)| c.searches).sum();
@@ -175,7 +199,11 @@ mod tests {
         assert_eq!(total_searches, variable);
         assert!(variable > 5, "expected some variable runs, got {variable}");
         // gcc searches never crash (no ABI hazard).
-        let gcc = &character.iter().find(|(c, _)| *c == CompilerKind::Gcc).unwrap().1;
+        let gcc = &character
+            .iter()
+            .find(|(c, _)| *c == CompilerKind::Gcc)
+            .unwrap()
+            .1;
         assert_eq!(gcc.crashes, 0);
         assert!(gcc.avg_executions() > 3.0);
     }

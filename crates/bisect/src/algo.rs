@@ -79,6 +79,11 @@ impl<I> BisectOutcome<I> {
     }
 }
 
+/// What one `BisectOne` round found: the prunable set `G`, plus the
+/// blamed element and its singleton Test value (`None` when the
+/// singleton assertion failed).
+pub type BisectOneFound<I> = (Vec<I>, Option<(I, f64)>);
+
 /// `BisectOne` (Algorithm 1): find one variability-inducing element
 /// inside `items` (which must test positive). Returns `(G, found,
 /// found_value)` where `G` is the prunable set *including* `found`.
@@ -88,7 +93,7 @@ pub fn bisect_one<I, F>(
     space: &[I],
     trace: &mut Vec<TraceRow<I>>,
     violations: &mut Vec<AssumptionViolation<I>>,
-) -> Result<(Vec<I>, Option<(I, f64)>), TestError>
+) -> Result<BisectOneFound<I>, TestError>
 where
     I: Clone + Ord + std::hash::Hash,
     F: TestFn<I>,
@@ -150,7 +155,7 @@ where
             space: t.clone(),
             value: v,
         });
-        if !(v > 0.0) {
+        if v.is_nan() || v <= 0.0 {
             break;
         }
         let (g, next) = bisect_one(&mut test, &t, &t, &mut trace, &mut violations)?;
@@ -174,9 +179,7 @@ where
     let items_value = test.test(items)?;
     let found_items: Vec<I> = found.iter().map(|(i, _)| i.clone()).collect();
     let found_value = test.test(&found_items)?;
-    if items_value != found_value
-        && !(items_value.is_nan() && found_value.is_nan())
-    {
+    if items_value != found_value && !(items_value.is_nan() && found_value.is_nan()) {
         violations.push(AssumptionViolation::UniqueError {
             items_value,
             found_value,
@@ -218,7 +221,7 @@ where
             space: t.clone(),
             value: v,
         });
-        if !(v > 0.0) {
+        if v.is_nan() || v <= 0.0 {
             break;
         }
         let (_g, next) = bisect_one(&mut test, &t, &t, &mut trace, &mut violations)?;
@@ -415,8 +418,11 @@ mod tests {
     #[test]
     fn trace_records_every_invocation() {
         let items: Vec<u32> = (1..=10).collect();
-        let out = bisect_all(magnitude_test(vec![(2, 0.25), (8, 1.5), (9, 0.125)]), &items)
-            .unwrap();
+        let out = bisect_all(
+            magnitude_test(vec![(2, 0.25), (8, 1.5), (9, 0.125)]),
+            &items,
+        )
+        .unwrap();
         assert!(!out.trace.is_empty());
         // The first row tests the full set.
         assert_eq!(out.trace[0].tested, items);

@@ -20,7 +20,7 @@ where
 {
     let mut test = MemoTest::new(test_fn);
     let target = test.test(items)?;
-    if !(target > 0.0) {
+    if target.is_nan() || target <= 0.0 {
         return Ok(BisectOutcome {
             found: vec![],
             executions: test.executions(),
@@ -168,8 +168,18 @@ mod tests {
         assert_eq!(norm(&d), vec![100, 900]);
         assert_eq!(norm(&l), vec![100, 900]);
         // …and the cost ordering matches the complexity analysis.
-        assert!(b.executions < d.executions, "{} vs {}", b.executions, d.executions);
-        assert!(d.executions < l.executions, "{} vs {}", d.executions, l.executions);
+        assert!(
+            b.executions < d.executions,
+            "{} vs {}",
+            b.executions,
+            d.executions
+        );
+        assert!(
+            d.executions < l.executions,
+            "{} vs {}",
+            d.executions,
+            l.executions
+        );
     }
 
     #[test]
@@ -182,6 +192,11 @@ mod tests {
         let l = linear_search(weighted(weights), &items).unwrap();
         assert_eq!(b.found.len(), 64);
         assert_eq!(l.found.len(), 64);
-        assert!(l.executions < b.executions, "{} vs {}", l.executions, b.executions);
+        assert!(
+            l.executions < b.executions,
+            "{} vs {}",
+            l.executions,
+            b.executions
+        );
     }
 }

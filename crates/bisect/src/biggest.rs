@@ -70,9 +70,7 @@ where
 
     while let Some(Node { value, items: cur }) = heap.pop() {
         // Early exit: nothing on the frontier can beat the k-th find.
-        if found.len() >= k
-            && value <= found.last().map(|(_, v)| *v).unwrap_or(f64::INFINITY)
-        {
+        if found.len() >= k && value <= found.last().map(|(_, v)| *v).unwrap_or(f64::INFINITY) {
             break;
         }
         if cur.len() == 1 {
@@ -126,12 +124,8 @@ mod tests {
     #[test]
     fn finds_the_single_biggest() {
         let items: Vec<u32> = (0..256).collect();
-        let out = bisect_biggest(
-            weighted(vec![(10, 0.5), (99, 4.0), (200, 1.5)]),
-            &items,
-            1,
-        )
-        .unwrap();
+        let out =
+            bisect_biggest(weighted(vec![(10, 0.5), (99, 4.0), (200, 1.5)]), &items, 1).unwrap();
         assert_eq!(out.found.len(), 1);
         assert_eq!(out.found[0], (99, 4.0));
     }

@@ -14,10 +14,11 @@
 use std::collections::BTreeSet;
 
 use flit_program::build::{
-    file_mixed_executable, pic_probe_executable, symbol_mixed_executable, Build,
+    file_mixed_executable_in, pic_probe_executable_in, symbol_mixed_executable_in, Build,
 };
 use flit_program::engine::{Engine, RunError};
 use flit_program::model::Driver;
+use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compiler::CompilerKind;
 
 use crate::algo::{bisect_all, AssumptionViolation};
@@ -33,6 +34,11 @@ pub struct HierarchicalConfig {
     /// `Some(k)` runs `BisectBiggest` at both levels; `None` runs the
     /// verifying `BisectAll`.
     pub k: Option<usize>,
+    /// Build context the search compiles and links through. The default
+    /// ([`BuildCtx::uncached`]) rebuilds everything; pass a
+    /// [`BuildCtx::cached`] handle to share objects and memoized links
+    /// within — and across — searches.
+    pub ctx: BuildCtx,
 }
 
 impl HierarchicalConfig {
@@ -41,15 +47,22 @@ impl HierarchicalConfig {
         HierarchicalConfig {
             link_driver: CompilerKind::Gcc,
             k: None,
+            ctx: BuildCtx::uncached(),
         }
     }
 
     /// BisectBiggest(k) through a GNU-driven link.
     pub fn biggest(k: usize) -> Self {
         HierarchicalConfig {
-            link_driver: CompilerKind::Gcc,
             k: Some(k),
+            ..HierarchicalConfig::all()
         }
+    }
+
+    /// Run this search through the given build context.
+    pub fn with_ctx(mut self, ctx: BuildCtx) -> Self {
+        self.ctx = ctx;
+        self
     }
 }
 
@@ -121,8 +134,7 @@ impl HierarchicalResult {
     /// Source, and Function Blame"): found files grouped by their
     /// top-level directory, each with the summed Test magnitude.
     pub fn library_blame(&self) -> Vec<(String, f64)> {
-        let mut groups: std::collections::BTreeMap<String, f64> =
-            std::collections::BTreeMap::new();
+        let mut groups: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
         for f in &self.files {
             let lib = f
                 .file_name
@@ -166,7 +178,7 @@ pub fn bisect_hierarchical(
     let mut violations: Vec<String> = Vec::new();
 
     // Reference run under the trusted baseline build.
-    let base_exe = match baseline.executable() {
+    let base_exe = match baseline.executable_in(&cfg.ctx) {
         Ok(e) => e,
         Err(e) => {
             return HierarchicalResult {
@@ -201,7 +213,7 @@ pub fn bisect_hierarchical(
     let mut file_execs = 0usize;
     let file_test = |items: &[usize]| -> Result<f64, TestError> {
         let set: BTreeSet<usize> = items.iter().copied().collect();
-        let exe = file_mixed_executable(baseline, variable, &set, cfg.link_driver)
+        let exe = file_mixed_executable_in(baseline, variable, &set, cfg.link_driver, &cfg.ctx)
             .map_err(|e| TestError::Link(e.to_string()))?;
         let out = Engine::with_variant(baseline.program, variable.program, &exe)
             .run(driver, input)
@@ -283,19 +295,20 @@ pub fn bisect_hierarchical(
     for finding in &files {
         let fid = finding.file_id;
         // -fPIC probe: does the variability survive the recompile?
-        let probe = match pic_probe_executable(baseline, variable, fid, cfg.link_driver) {
-            Ok(exe) => exe,
-            Err(e) => {
-                return HierarchicalResult {
-                    outcome: SearchOutcome::Crashed(format!("pic probe link: {e}")),
-                    files,
-                    symbols,
-                    file_level_only,
-                    executions,
-                    violations,
+        let probe =
+            match pic_probe_executable_in(baseline, variable, fid, cfg.link_driver, &cfg.ctx) {
+                Ok(exe) => exe,
+                Err(e) => {
+                    return HierarchicalResult {
+                        outcome: SearchOutcome::Crashed(format!("pic probe link: {e}")),
+                        files,
+                        symbols,
+                        file_level_only,
+                        executions,
+                        violations,
+                    }
                 }
-            }
-        };
+            };
         executions += 1;
         let probe_out = match Engine::with_variant(baseline.program, variable.program, &probe)
             .run(driver, input)
@@ -335,8 +348,15 @@ pub fn bisect_hierarchical(
         let mut sym_execs = 0usize;
         let sym_test = |items: &[String]| -> Result<f64, TestError> {
             let set: BTreeSet<String> = items.iter().cloned().collect();
-            let exe = symbol_mixed_executable(baseline, variable, fid, &set, cfg.link_driver)
-                .map_err(|e| TestError::Link(e.to_string()))?;
+            let exe = symbol_mixed_executable_in(
+                baseline,
+                variable,
+                fid,
+                &set,
+                cfg.link_driver,
+                &cfg.ctx,
+            )
+            .map_err(|e| TestError::Link(e.to_string()))?;
             let out = Engine::with_variant(baseline.program, variable.program, &exe)
                 .run(driver, input)
                 .map_err(run_to_test_error)?;
@@ -471,7 +491,10 @@ mod tests {
                 ),
                 SourceFile::new(
                     "mesh.cpp",
-                    vec![Function::exported("mesh_permute", Kernel::Benign { flavor: 3 })],
+                    vec![Function::exported(
+                        "mesh_permute",
+                        Kernel::Benign { flavor: 3 },
+                    )],
                 ),
                 SourceFile::new(
                     "solver.cpp",
@@ -526,7 +549,12 @@ mod tests {
             &l2_compare,
             &HierarchicalConfig::all(),
         );
-        assert_eq!(res.outcome, SearchOutcome::Completed, "{:?}", res.violations);
+        assert_eq!(
+            res.outcome,
+            SearchOutcome::Completed,
+            "{:?}",
+            res.violations
+        );
         let mut file_ids: Vec<usize> = res.files.iter().map(|f| f.file_id).collect();
         file_ids.sort();
         assert_eq!(file_ids, vec![1, 3], "blamed files");
@@ -623,6 +651,62 @@ mod tests {
             res.files.len(),
             "every found file should be file-level-only under x87 blame"
         );
+    }
+
+    #[test]
+    fn cached_search_matches_uncached_and_reuses_builds() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(
+            &p,
+            Compilation::new(
+                flit_toolchain::compiler::CompilerKind::Gcc,
+                OptLevel::O3,
+                vec![Switch::Avx2FmaUnsafe],
+            ),
+            1,
+        );
+        let plain = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+        );
+        let ctx = BuildCtx::cached();
+        let cached = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all().with_ctx(ctx.clone()),
+        );
+        assert_eq!(cached.outcome, plain.outcome);
+        assert_eq!(cached.files, plain.files);
+        assert_eq!(cached.symbols, plain.symbols);
+        assert_eq!(cached.executions, plain.executions);
+        let first = ctx.stats();
+        assert!(first.object_cache_hits > 0, "{first:?}");
+
+        // A repeated search through the same context is served almost
+        // entirely from the link memo.
+        let again = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all().with_ctx(ctx.clone()),
+        );
+        assert_eq!(again.files, plain.files);
+        let second = ctx.stats();
+        assert_eq!(
+            second.links, first.links,
+            "rerun must not perform any new link"
+        );
+        assert!(second.link_memo_hits > first.link_memo_hits);
     }
 
     #[test]

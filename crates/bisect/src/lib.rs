@@ -30,7 +30,9 @@ pub mod biggest;
 pub mod hierarchy;
 pub mod test_fn;
 
-pub use algo::{bisect_all, bisect_all_unpruned, bisect_one, AssumptionViolation, BisectOutcome, TraceRow};
+pub use algo::{
+    bisect_all, bisect_all_unpruned, bisect_one, AssumptionViolation, BisectOutcome, TraceRow,
+};
 pub use biggest::bisect_biggest;
 pub use hierarchy::{bisect_hierarchical, HierarchicalConfig, HierarchicalResult, SearchOutcome};
 pub use test_fn::{MemoTest, TestError, TestFn};

@@ -112,9 +112,8 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         },
         "analyze" => Command::Analyze { app: positional()? },
         "bisect" => {
-            let compilation = flag_value("--compilation").ok_or_else(|| {
-                ParseError(format!("`bisect` needs --compilation\n\n{USAGE}"))
-            })?;
+            let compilation = flag_value("--compilation")
+                .ok_or_else(|| ParseError(format!("`bisect` needs --compilation\n\n{USAGE}")))?;
             let biggest = match flag_value("--biggest") {
                 Some(v) => Some(
                     v.parse::<usize>()
@@ -261,7 +260,15 @@ mod tests {
         assert!(parse(&v(&["frobnicate"])).is_err());
         assert!(parse(&v(&["run"])).is_err());
         assert!(parse(&v(&["bisect", "mfem"])).is_err());
-        assert!(parse(&v(&["bisect", "mfem", "--compilation", "g++ -O2", "--biggest", "x"])).is_err());
+        assert!(parse(&v(&[
+            "bisect",
+            "mfem",
+            "--compilation",
+            "g++ -O2",
+            "--biggest",
+            "x"
+        ]))
+        .is_err());
         assert!(parse(&v(&["inject", "lulesh", "--limit", "NaN"])).is_err());
     }
 

@@ -6,11 +6,12 @@ use flit_core::analysis::{
     category_bars, compiler_summary, fastest_is_reproducible_count, variability_summary,
 };
 use flit_core::metrics::l2_compare;
-use flit_core::runner::{run_matrix, RunnerConfig};
+use flit_core::runner::{run_matrix, RunnerConfig, RunnerError};
 use flit_core::test::FlitTest;
 use flit_inject::study::{run_study, StudyConfig};
 use flit_program::build::Build;
 use flit_report::table::{fmt_f64, Align, Table};
+use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compilation::{compilation_matrix, Compilation};
 use flit_toolchain::compiler::CompilerKind;
 
@@ -42,6 +43,10 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
     }
 }
 
+fn runner_error(e: RunnerError) -> ParseError {
+    ParseError(format!("runner failed: {e}"))
+}
+
 fn get_app(name: &str) -> Result<BundledApp, ParseError> {
     resolve_app(name).ok_or_else(|| {
         ParseError(format!(
@@ -70,10 +75,7 @@ fn matrix_for(app: &BundledApp, compiler: Option<&str>) -> Result<Vec<Compilatio
             )))
         }
     };
-    Ok(compilers
-        .into_iter()
-        .flat_map(compilation_matrix)
-        .collect())
+    Ok(compilers.into_iter().flat_map(compilation_matrix).collect())
 }
 
 fn cmd_apps() -> String {
@@ -96,7 +98,8 @@ fn cmd_run(app: &str, compiler: Option<&str>, json: bool) -> Result<String, Pars
     let app = get_app(app)?;
     let comps = matrix_for(&app, compiler)?;
     let dyn_tests: Vec<&dyn FlitTest> = app.tests.iter().map(|t| t as &dyn FlitTest).collect();
-    let db = run_matrix(&app.program, &dyn_tests, &comps, &RunnerConfig::default());
+    let db = run_matrix(&app.program, &dyn_tests, &comps, &RunnerConfig::default())
+        .map_err(runner_error)?;
     if json {
         return Ok(db.to_json());
     }
@@ -129,7 +132,8 @@ fn cmd_analyze(app: &str) -> Result<String, ParseError> {
     let app = get_app(app)?;
     let comps = matrix_for(&app, None)?;
     let dyn_tests: Vec<&dyn FlitTest> = app.tests.iter().map(|t| t as &dyn FlitTest).collect();
-    let db = run_matrix(&app.program, &dyn_tests, &comps, &RunnerConfig::default());
+    let db = run_matrix(&app.program, &dyn_tests, &comps, &RunnerConfig::default())
+        .map_err(runner_error)?;
 
     let mut out = String::new();
     let mut table = Table::new(&["compiler", "variable runs", "best average flags", "speedup"])
@@ -164,12 +168,15 @@ fn cmd_analyze(app: &str) -> Result<String, ParseError> {
             .unwrap_or_else(|| "no variable compilations".into());
         out.push_str(&format!(
             "  {test}: {}/{} variable, rel err [{:.1e}, {:.1e}], {fastest}\n",
-            v.variable_compilations,
-            v.total_compilations,
-            v.min_rel_err,
-            v.max_rel_err
+            v.variable_compilations, v.total_compilations, v.min_rel_err, v.max_rel_err
         ));
     }
+
+    let b = &db.build_stats;
+    out.push_str(&format!(
+        "\nbuild cache: {} objects compiled ({} cache hits), {} links ({} memo hits)\n",
+        b.objects_compiled, b.object_cache_hits, b.links, b.link_memo_hits
+    ));
     Ok(out)
 }
 
@@ -194,6 +201,7 @@ fn cmd_bisect(
     let cfg = HierarchicalConfig {
         link_driver: CompilerKind::Gcc,
         k: biggest,
+        ctx: BuildCtx::cached(),
     };
     let input = test.default_input();
     let res = bisect_hierarchical(
@@ -214,12 +222,12 @@ fn cmd_bisect(
     );
     match res.outcome {
         SearchOutcome::Crashed(ref why) => {
-            out.push_str(&format!("search ABORTED: mixed executable crashed ({why})\n"));
+            out.push_str(&format!(
+                "search ABORTED: mixed executable crashed ({why})\n"
+            ));
         }
         SearchOutcome::LinkStepOnly => {
-            out.push_str(
-                "no file blame: the variability is introduced by the link step itself\n",
-            );
+            out.push_str("no file blame: the variability is introduced by the link step itself\n");
         }
         _ => {
             out.push_str(&format!("files  ({}):\n", res.files.len()));
@@ -306,11 +314,14 @@ fn cmd_workflow(app: &str, max_bisections: Option<usize>) -> Result<String, Pars
         max_bisections: max_bisections.unwrap_or(usize::MAX),
         ..Default::default()
     };
-    let report = run_workflow(&app.program, &app.tests, &comps, &cfg);
+    let report = run_workflow(&app.program, &app.tests, &comps, &cfg).map_err(runner_error)?;
 
-    let mut out = format!("flit workflow {} (Figure 1)
+    let mut out = format!(
+        "flit workflow {} (Figure 1)
 
-", app.name);
+",
+        app.name
+    );
     out.push_str(&format!(
         "[1] determinism pre-check: {}
 ",
@@ -353,13 +364,17 @@ fn cmd_workflow(app: &str, max_bisections: Option<usize>) -> Result<String, Pars
             }
         }
     }
-    out.push_str("    blamed functions (by number of compilations):
-");
+    out.push_str(
+        "    blamed functions (by number of compilations):
+",
+    );
     let mut ranked: Vec<(String, usize)> = blame.into_iter().collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     for (symbol, n) in ranked {
-        out.push_str(&format!("      {symbol:<32} {n}
-"));
+        out.push_str(&format!(
+            "      {symbol:<32} {n}
+"
+        ));
     }
     if link_step > 0 {
         out.push_str(&format!(
@@ -368,8 +383,10 @@ fn cmd_workflow(app: &str, max_bisections: Option<usize>) -> Result<String, Pars
         ));
     }
     if crashed > 0 {
-        out.push_str(&format!("    crashed mixed executables: {crashed}
-"));
+        out.push_str(&format!(
+            "    crashed mixed executables: {crashed}
+"
+        ));
     }
     Ok(out)
 }
@@ -381,7 +398,7 @@ mod tests {
 
     fn run_cli(args: &[&str]) -> Result<String, ParseError> {
         let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
-        execute(&parse(&v).map_err(|e| e)?)
+        execute(&parse(&v)?)
     }
 
     #[test]
@@ -447,11 +464,17 @@ mod tests {
 
     #[test]
     fn errors_are_helpful() {
-        assert!(run_cli(&["run", "doom"]).unwrap_err().0.contains("unknown application"));
+        assert!(run_cli(&["run", "doom"])
+            .unwrap_err()
+            .0
+            .contains("unknown application"));
         assert!(run_cli(&["bisect", "mfem", "--compilation", "tcc -O9"])
             .unwrap_err()
             .0
             .contains("unknown compilation"));
-        assert!(run_cli(&["inject", "mfem"]).unwrap_err().0.contains("no injectable"));
+        assert!(run_cli(&["inject", "mfem"])
+            .unwrap_err()
+            .0
+            .contains("no injectable"));
     }
 }

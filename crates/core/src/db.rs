@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use flit_toolchain::cache::BuildStats;
 use flit_toolchain::compilation::Compilation;
 use flit_toolchain::compiler::CompilerKind;
 
@@ -56,6 +57,10 @@ pub struct ResultsDb {
     pub app: String,
     /// All run records.
     pub rows: Vec<RunRecord>,
+    /// Build-work counters from the sweep that produced this database
+    /// (diagnostics; not part of the scientific results — `rows` are
+    /// bit-identical whether or not the build cache was enabled).
+    pub build_stats: BuildStats,
 }
 
 impl ResultsDb {
@@ -64,6 +69,7 @@ impl ResultsDb {
         ResultsDb {
             app: app.into(),
             rows: vec![],
+            build_stats: BuildStats::default(),
         }
     }
 
@@ -142,9 +148,12 @@ mod tests {
     #[test]
     fn queries_work() {
         let mut db = ResultsDb::new("demo");
-        db.rows.push(rec("t1", CompilerKind::Gcc, OptLevel::O0, 0.0));
-        db.rows.push(rec("t1", CompilerKind::Gcc, OptLevel::O2, 0.5));
-        db.rows.push(rec("t2", CompilerKind::Icpc, OptLevel::O2, 0.0));
+        db.rows
+            .push(rec("t1", CompilerKind::Gcc, OptLevel::O0, 0.0));
+        db.rows
+            .push(rec("t1", CompilerKind::Gcc, OptLevel::O2, 0.5));
+        db.rows
+            .push(rec("t2", CompilerKind::Icpc, OptLevel::O2, 0.0));
         assert_eq!(db.for_test("t1").len(), 2);
         assert_eq!(db.tests(), vec!["t1".to_string(), "t2".to_string()]);
         assert_eq!(db.compilations().len(), 3);
@@ -167,7 +176,8 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let mut db = ResultsDb::new("demo");
-        db.rows.push(rec("t1", CompilerKind::Clang, OptLevel::O3, 0.125));
+        db.rows
+            .push(rec("t1", CompilerKind::Clang, OptLevel::O3, 0.125));
         let json = db.to_json();
         let back = ResultsDb::from_json(&json).unwrap();
         assert_eq!(back.app, "demo");

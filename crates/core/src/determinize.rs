@@ -348,16 +348,17 @@ mod tests {
         for _ in 0..20 {
             let (r, _) = test.run_impl(&[0.41], &ctx).unwrap();
             if let crate::test::TestResult::Vector(v) = r {
-                distinct.insert(
-                    v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>(),
-                );
+                distinct.insert(v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>());
             }
         }
         // With 8 racing workers and 80 races, seeing a single schedule
         // for all 20 runs is conceivable only on a single-core machine;
         // either way the harness held up.
         assert!(!distinct.is_empty());
-        eprintln!("live mode produced {} distinct outputs in 20 runs", distinct.len());
+        eprintln!(
+            "live mode produced {} distinct outputs in 20 runs",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -369,9 +370,8 @@ mod tests {
         let exe = build.executable().unwrap();
         let engine = flit_program::engine::Engine::new(&program, &exe);
         let driver = Driver::new("r", vec!["parallel_sum".into()], 1, 16);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.run(&driver, &[0.5])
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&driver, &[0.5])));
         assert!(result.is_err(), "replaying an empty log must fail loudly");
     }
 

@@ -31,9 +31,7 @@ pub fn digit_limited_compare(digits: u32) -> impl Fn(&[f64], &[f64]) -> f64 {
 }
 
 /// Digit-limited comparison lifted to [`TestResult`]s.
-pub fn digit_limited_result_compare(
-    digits: u32,
-) -> impl Fn(&TestResult, &TestResult) -> f64 {
+pub fn digit_limited_result_compare(digits: u32) -> impl Fn(&TestResult, &TestResult) -> f64 {
     let inner = digit_limited_compare(digits);
     move |baseline: &TestResult, other: &TestResult| match (baseline, other) {
         (TestResult::Vector(a), TestResult::Vector(b)) => inner(a, b),
@@ -82,10 +80,7 @@ mod tests {
         // Rounded to 2 significant digits: 100 vs 110.
         assert!((d - 10.0).abs() < 1e-9, "d = {d}");
         assert_eq!(
-            c(
-                &TestResult::Str("a".into()),
-                &TestResult::Str("a".into())
-            ),
+            c(&TestResult::Str("a".into()), &TestResult::Str("a".into())),
             0.0
         );
     }

@@ -2,17 +2,59 @@
 //! the trusted baseline.
 //!
 //! Compilations are independent, so the sweep fans out across threads
-//! (crossbeam scoped threads) with order-preserving collection — the
-//! database contents are bit-identical regardless of thread schedule.
+//! (crossbeam scoped threads) pulling compilation indices from a shared
+//! atomic work queue. Each worker writes its records into that
+//! compilation's pre-allocated slot, so the database contents are
+//! bit-identical regardless of thread count or schedule — there is no
+//! static chunking, and a slow compilation never leaves a whole chunk's
+//! worth of work stranded on one thread.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::thread;
+use parking_lot::Mutex;
 
 use flit_program::model::SimProgram;
+use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compilation::Compilation;
+use flit_toolchain::linker::LinkError;
 use flit_toolchain::perf::jitter;
 
 use crate::db::{ResultsDb, RunRecord};
 use crate::test::{split_input, FlitTest, RunContext, TestResult};
+
+/// Why a matrix sweep could not produce a database: the trusted
+/// baseline itself failed. (Non-baseline compilations that fail to link
+/// or crash are *data* — they become crashed records — but without a
+/// baseline there is nothing to compare against.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerError {
+    /// The baseline compilation failed to link.
+    BaselineLink(LinkError),
+    /// The baseline run of a test crashed.
+    BaselineRun {
+        /// The test whose baseline run failed.
+        test: String,
+        /// The underlying error.
+        error: String,
+    },
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::BaselineLink(e) => {
+                write!(f, "the baseline compilation failed to link: {e}")
+            }
+            RunnerError::BaselineRun { test, error } => {
+                write!(f, "the baseline run of test `{test}` failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
 
 /// Runner configuration.
 #[derive(Debug, Clone)]
@@ -22,6 +64,11 @@ pub struct RunnerConfig {
     pub baseline: Compilation,
     /// Worker threads (1 = sequential).
     pub threads: usize,
+    /// Share compiled objects and memoized links across compilations
+    /// (default `true`). Row contents are bit-identical either way;
+    /// with the cache off the sweep still counts its build work so the
+    /// two arms can be compared.
+    pub cache: bool,
 }
 
 impl Default for RunnerConfig {
@@ -31,6 +78,7 @@ impl Default for RunnerConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            cache: true,
         }
     }
 }
@@ -47,9 +95,10 @@ fn run_one_compilation(
     tests: &[&dyn FlitTest],
     comp: &Compilation,
     baseline: &BaselineRun,
+    ctx: &BuildCtx,
 ) -> Vec<RunRecord> {
     let build = flit_program::build::Build::new(program, comp.clone());
-    let exe = match build.executable() {
+    let exe = match build.executable_in(ctx) {
         Ok(e) => e,
         Err(_) => {
             // A compilation that fails to link yields crashed records.
@@ -94,7 +143,14 @@ fn run_one_compilation(
                     }
                 }
             }
-            seconds *= jitter(t.name(), comp);
+            if crashed {
+                // Crashed rows report no runtime, consistent with the
+                // failed-link branch above: a partial `seconds` sum up
+                // to the crashing chunk is not a measurement.
+                seconds = 0.0;
+            } else {
+                seconds *= jitter(t.name(), comp);
+            }
             RunRecord {
                 test: t.name().to_string(),
                 compilation: comp.clone(),
@@ -112,18 +168,39 @@ fn run_one_compilation(
 /// Run the full matrix: every test under every compilation.
 ///
 /// The baseline compilation is always evaluated (even if absent from
-/// `compilations`) to establish the reference results.
+/// `compilations`) to establish the reference results. A failing
+/// baseline is a structured [`RunnerError`], not a panic — callers
+/// (e.g. the CLI) turn it into a clean nonzero exit.
 pub fn run_matrix(
     program: &SimProgram,
     tests: &[&dyn FlitTest],
     compilations: &[Compilation],
     cfg: &RunnerConfig,
-) -> ResultsDb {
+) -> Result<ResultsDb, RunnerError> {
+    let ctx = if cfg.cache {
+        BuildCtx::cached()
+    } else {
+        BuildCtx::counting()
+    };
+    run_matrix_in(program, tests, compilations, cfg, &ctx)
+}
+
+/// [`run_matrix`] through an explicit build context, so a caller (the
+/// workflow, the bench harness) can share one artifact cache across the
+/// sweep and the bisections that follow it. `cfg.cache` is ignored —
+/// the context decides.
+pub fn run_matrix_in(
+    program: &SimProgram,
+    tests: &[&dyn FlitTest],
+    compilations: &[Compilation],
+    cfg: &RunnerConfig,
+    ctx: &BuildCtx,
+) -> Result<ResultsDb, RunnerError> {
     // Baseline pass (sequential; it is one compilation).
     let base_build = flit_program::build::Build::new(program, cfg.baseline.clone());
     let base_exe = base_build
-        .executable()
-        .expect("the baseline compilation must link");
+        .executable_in(ctx)
+        .map_err(RunnerError::BaselineLink)?;
     let base_ctx = RunContext {
         program,
         exe: &base_exe,
@@ -136,9 +213,12 @@ pub fn run_matrix(
         let chunks = split_input(&t.default_input(), t.inputs_per_run());
         let mut per_chunk = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
-            let (r, _secs) = t
-                .run_impl(chunk, &base_ctx)
-                .expect("the baseline run must not crash");
+            let (r, _secs) =
+                t.run_impl(chunk, &base_ctx)
+                    .map_err(|e| RunnerError::BaselineRun {
+                        test: t.name().to_string(),
+                        error: e.to_string(),
+                    })?;
             per_chunk.push(r);
         }
         baseline
@@ -147,40 +227,49 @@ pub fn run_matrix(
         baseline.results.push(per_chunk);
     }
 
-    // Fan out over compilations, preserving order.
-    let nthreads = cfg.threads.max(1);
+    // Fan out over compilations through a work queue: workers pull the
+    // next unclaimed index and deposit records into that compilation's
+    // slot, so collection order (and therefore the database) is
+    // schedule-independent.
+    let nthreads = cfg.threads.max(1).min(compilations.len().max(1));
     let mut db = ResultsDb::new(&program.name);
-    if nthreads == 1 || compilations.len() <= 1 {
+    if nthreads <= 1 {
         for comp in compilations {
             db.rows
-                .extend(run_one_compilation(program, tests, comp, &baseline));
+                .extend(run_one_compilation(program, tests, comp, &baseline, ctx));
         }
-        return db;
+        db.build_stats = ctx.stats();
+        return Ok(db);
     }
 
-    let chunk_size = compilations.len().div_ceil(nthreads);
-    let chunks: Vec<&[Compilation]> = compilations.chunks(chunk_size).collect();
-    let results: Vec<Vec<RunRecord>> = thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                let baseline = &baseline;
-                s.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .flat_map(|comp| run_one_compilation(program, tests, comp, &baseline))
-                        .collect::<Vec<RunRecord>>()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    let slots: Vec<Mutex<Option<Vec<RunRecord>>>> =
+        compilations.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..nthreads {
+            let baseline = &baseline;
+            let slots = &slots;
+            let next = &next;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= compilations.len() {
+                    break;
+                }
+                let records = run_one_compilation(program, tests, &compilations[i], baseline, ctx);
+                *slots[i].lock() = Some(records);
+            });
+        }
     })
     .expect("runner threads must not panic");
 
-    for chunk in results {
-        db.rows.extend(chunk);
+    for slot in slots {
+        db.rows.extend(
+            slot.into_inner()
+                .expect("every queue index was claimed and completed"),
+        );
     }
-    db
+    db.build_stats = ctx.stats();
+    Ok(db)
 }
 
 #[cfg(test)]
@@ -242,7 +331,7 @@ mod tests {
             Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]),
             Compilation::new(CompilerKind::Icpc, OptLevel::O0, vec![]),
         ];
-        let db = run_matrix(&p, &as_dyn(&tests), &comps, &RunnerConfig::default());
+        let db = run_matrix(&p, &as_dyn(&tests), &comps, &RunnerConfig::default()).unwrap();
         assert_eq!(db.rows.len(), 8);
 
         let get = |test: &str, label: &str| {
@@ -282,7 +371,8 @@ mod tests {
                 threads: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let par = run_matrix(
             &p,
             &as_dyn(&tests),
@@ -291,7 +381,8 @@ mod tests {
                 threads: 8,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(seq.rows.len(), par.rows.len());
         for (a, b) in seq.rows.iter().zip(&par.rows) {
             assert_eq!(a.test, b.test);
@@ -303,13 +394,112 @@ mod tests {
     }
 
     #[test]
+    fn cache_on_and_off_agree_bitwise_and_both_count_work() {
+        let p = program();
+        let tests = tests_for("x");
+        let comps = compilation_matrix(CompilerKind::Gcc);
+        let on = run_matrix(
+            &p,
+            &as_dyn(&tests),
+            &comps,
+            &RunnerConfig {
+                cache: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let off = run_matrix(
+            &p,
+            &as_dyn(&tests),
+            &comps,
+            &RunnerConfig {
+                cache: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(on.rows.len(), off.rows.len());
+        for (a, b) in on.rows.iter().zip(&off.rows) {
+            assert_eq!(a.test, b.test);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.comparison.to_bits(), b.comparison.to_bits());
+            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+            assert_eq!(a.bitwise_equal, b.bitwise_equal);
+            assert_eq!(a.crashed, b.crashed);
+        }
+        // Every executable in the sweep is distinct, so compile counts
+        // match; the counting arm just never reuses between requests.
+        assert!(on.build_stats.objects_compiled > 0);
+        assert!(off.build_stats.objects_compiled >= on.build_stats.objects_compiled);
+        assert_eq!(off.build_stats.object_cache_hits, 0);
+        assert_eq!(off.build_stats.link_memo_hits, 0);
+    }
+
+    #[test]
+    fn more_threads_than_compilations_is_fine() {
+        let p = program();
+        let tests = tests_for("x");
+        let comps = vec![Compilation::baseline()];
+        let db = run_matrix(
+            &p,
+            &as_dyn(&tests),
+            &comps,
+            &RunnerConfig {
+                threads: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(db.rows.len(), 2);
+    }
+
+    #[test]
+    fn baseline_link_failure_is_a_structured_error() {
+        // An empty program cannot link (no objects).
+        let p = SimProgram::new("empty", vec![]);
+        let tests = tests_for("x");
+        let err = run_matrix(
+            &p,
+            &as_dyn(&tests)[..0],
+            &[Compilation::baseline()],
+            &RunnerConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunnerError::BaselineLink(_)), "{err}");
+        assert!(err.to_string().contains("baseline compilation"));
+    }
+
+    #[test]
+    fn baseline_run_failure_is_a_structured_error() {
+        // A driver entry that resolves to no symbol crashes the
+        // baseline run itself.
+        let p = program();
+        let tests = vec![DriverTest::new(
+            Driver::new("broken", vec!["missing_symbol".into()], 1, 16),
+            1,
+            vec![0.5],
+        )];
+        let err = run_matrix(
+            &p,
+            &as_dyn(&tests),
+            &[Compilation::baseline()],
+            &RunnerConfig::default(),
+        )
+        .unwrap_err();
+        match &err {
+            RunnerError::BaselineRun { test, .. } => assert_eq!(test, "broken"),
+            other => panic!("expected BaselineRun, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn data_driven_tests_run_per_chunk() {
         // ex2 has 2 chunks of size 1; its comparison is the sum over
         // chunks, and its baseline norm sums both runs.
         let p = program();
         let tests = tests_for("x");
         let comps = vec![Compilation::baseline()];
-        let db = run_matrix(&p, &as_dyn(&tests), &comps, &RunnerConfig::default());
+        let db = run_matrix(&p, &as_dyn(&tests), &comps, &RunnerConfig::default()).unwrap();
         let ex2 = db.rows.iter().find(|r| r.test == "ex2").unwrap();
         assert!(ex2.baseline_norm > 0.0);
         assert!(ex2.bitwise_equal);

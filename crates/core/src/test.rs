@@ -42,8 +42,7 @@ impl TestResult {
         match (self, other) {
             (TestResult::Scalar(a), TestResult::Scalar(b)) => a.to_bits() == b.to_bits(),
             (TestResult::Vector(a), TestResult::Vector(b)) => {
-                a.len() == b.len()
-                    && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
             }
             (TestResult::Str(a), TestResult::Str(b)) => a == b,
             _ => false,

@@ -14,12 +14,13 @@
 use flit_bisect::hierarchy::{bisect_hierarchical, HierarchicalConfig, HierarchicalResult};
 use flit_program::build::Build;
 use flit_program::model::{Driver, SimProgram};
+use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compilation::Compilation;
 
 use crate::analysis::{category_bars, fastest_is_reproducible_count, CategoryBars};
 use crate::db::ResultsDb;
 use crate::metrics::l2_compare;
-use crate::runner::{run_matrix, RunnerConfig};
+use crate::runner::{run_matrix_in, RunnerConfig, RunnerError};
 use crate::test::{DriverTest, FlitTest};
 
 /// One bisected compilation in the workflow report.
@@ -108,22 +109,33 @@ pub fn determinism_check(
 }
 
 /// Run the full Figure-1 workflow.
+///
+/// One build context is shared between the matrix sweep and every
+/// bisection, so the searches reuse the sweep's baseline objects and
+/// each other's mixed links. The report's `db.build_stats` covers the
+/// whole workflow.
 pub fn run_workflow(
     program: &SimProgram,
     tests: &[DriverTest],
     compilations: &[Compilation],
     cfg: &WorkflowConfig,
-) -> WorkflowReport {
+) -> Result<WorkflowReport, RunnerError> {
     let test_refs: Vec<&DriverTest> = tests.iter().collect();
     let deterministic = determinism_check(program, &test_refs, &cfg.runner.baseline, 2);
 
+    let ctx = if cfg.runner.cache {
+        BuildCtx::cached()
+    } else {
+        BuildCtx::counting()
+    };
     let dyn_tests: Vec<&dyn FlitTest> = tests.iter().map(|t| t as &dyn FlitTest).collect();
-    let db = run_matrix(program, &dyn_tests, compilations, &cfg.runner);
+    let mut db = run_matrix_in(program, &dyn_tests, compilations, &cfg.runner, &ctx)?;
 
     let bars: Vec<CategoryBars> = db.tests().iter().map(|t| category_bars(&db, t)).collect();
     let reproducible_fastest = fastest_is_reproducible_count(&db);
 
     // Level 3: bisect every variable (test, compilation) pair.
+    let bisect_cfg = cfg.bisect.clone().with_ctx(ctx.clone());
     let mut bisections = Vec::new();
     for row in db.rows.iter().filter(|r| r.is_variable()) {
         if bisections.len() >= cfg.max_bisections {
@@ -143,7 +155,7 @@ pub fn run_workflow(
             driver,
             &input[..test.inputs_per_run().min(input.len())],
             &l2_compare,
-            &cfg.bisect,
+            &bisect_cfg,
         );
         bisections.push(BisectedCompilation {
             test: row.test.clone(),
@@ -151,14 +163,15 @@ pub fn run_workflow(
             result,
         });
     }
+    db.build_stats = ctx.stats();
 
-    WorkflowReport {
+    Ok(WorkflowReport {
         deterministic,
         db,
         bars,
         reproducible_fastest,
         bisections,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -183,7 +196,10 @@ mod tests {
                 ),
                 SourceFile::new(
                     "util.cpp",
-                    vec![Function::exported("util_copy", Kernel::Benign { flavor: 2 })],
+                    vec![Function::exported(
+                        "util_copy",
+                        Kernel::Benign { flavor: 2 },
+                    )],
                 ),
             ],
         )
@@ -211,7 +227,8 @@ mod tests {
             Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![]),
             Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![Switch::Avx2Fma]),
         ];
-        let report = run_workflow(&p, &tests, &comps, &WorkflowConfig::default());
+        let report =
+            run_workflow(&p, &tests, &comps, &WorkflowConfig::default()).expect("workflow runs");
         assert!(report.deterministic);
         assert_eq!(report.db.rows.len(), 3);
         // Exactly one variable compilation → one bisection, which blames
@@ -234,11 +251,6 @@ mod tests {
         let p = program();
         let tests = suite();
         let refs: Vec<&DriverTest> = tests.iter().collect();
-        assert!(determinism_check(
-            &p,
-            &refs,
-            &Compilation::baseline(),
-            5
-        ));
+        assert!(determinism_check(&p, &refs, &Compilation::baseline(), 5));
     }
 }

@@ -118,7 +118,7 @@ impl ReproducibleSum {
         }
         debug_assert_eq!(rest, 0.0, "the final quantum is the ulp of the range");
         self.count += 1;
-        if self.count % RENORM_EVERY == 0 {
+        if self.count.is_multiple_of(RENORM_EVERY) {
             self.renormalize();
         }
     }

@@ -42,6 +42,10 @@ fn next_down(x: f64) -> f64 {
     -next_up(-x)
 }
 
+// `add`/`sub`/`mul` mirror the interval-arithmetic literature rather
+// than `std::ops` — outward rounding makes them non-algebraic, and an
+// operator spelling would suggest otherwise.
+#[allow(clippy::should_implement_trait)]
 impl Interval {
     /// The degenerate interval `[x, x]`.
     pub fn point(x: f64) -> Interval {

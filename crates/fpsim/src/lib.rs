@@ -55,7 +55,7 @@ pub mod ulp;
 
 pub use dd::Dd;
 pub use env::{FpEnv, MathLib, SimdWidth};
-pub use linalg::DenseMatrix;
 pub use interval::Interval;
+pub use linalg::DenseMatrix;
 pub use ops::Accum;
 pub use sparse::CsrMatrix;

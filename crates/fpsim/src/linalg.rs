@@ -175,7 +175,10 @@ pub fn scal(env: &FpEnv, a: f64, x: &mut [f64]) {
 /// Elementwise product accumulated into an output vector using a single
 /// extended-capable accumulator per element (models a fused loop body).
 pub fn hadamard_acc(env: &FpEnv, x: &[f64], y: &[f64], out: &mut [f64]) {
-    assert!(x.len() == y.len() && y.len() == out.len(), "hadamard_acc: length mismatch");
+    assert!(
+        x.len() == y.len() && y.len() == out.len(),
+        "hadamard_acc: length mismatch"
+    );
     for i in 0..x.len() {
         let acc = Accum::new(env, out[i]).mul_acc(env, x[i], y[i]);
         out[i] = acc.store(env);

@@ -14,7 +14,7 @@
 
 use crate::env::{FpEnv, MathLib};
 
-const LN2_HI: f64 = 6.931_471_803_691_238_16e-1;
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
 const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
 const LOG2_E: f64 = std::f64::consts::LOG2_E;
 
@@ -172,8 +172,8 @@ fn vendor_cos(x: f64) -> f64 {
 
 // fdlibm-style Cody–Waite split of pi/2: PI_2_HI carries only the top 33
 // mantissa bits, so k*PI_2_HI is exact for the k range we reduce over.
-const PI_2_HI: f64 = 1.570_796_326_734_125_614_17;
-const PI_2_LO: f64 = 6.077_100_506_506_192_249_32e-11;
+const PI_2_HI: f64 = 1.570_796_326_734_125_6;
+const PI_2_LO: f64 = 6.077_100_506_506_192e-11;
 
 /// Reduce `x` to `r ∈ [-π/4, π/4]` and the quadrant count. Two-part
 /// Cody–Waite reduction — adequate for the moderate arguments our
@@ -209,10 +209,10 @@ fn cos_kernel(r: f64) -> f64 {
     // Degree-12 fast path.
     let mut p = -1.0 / 479_001_600.0; // -1/12!
     for c in [
-        1.0 / 3_628_800.0,  // +1/10!
-        -1.0 / 40_320.0,    // -1/8!
-        1.0 / 720.0,        // +1/6!
-        -1.0 / 24.0,        // -1/4!
+        1.0 / 3_628_800.0, // +1/10!
+        -1.0 / 40_320.0,   // -1/8!
+        1.0 / 720.0,       // +1/6!
+        -1.0 / 24.0,       // -1/4!
         0.5,
     ] {
         p = p * r2 + c;
@@ -238,7 +238,7 @@ fn frexp(x: f64) -> (f64, i32) {
 
 /// Multiply by 2^k exactly (with graceful under/overflow).
 fn scale_by_pow2(x: f64, k: i32) -> f64 {
-    if k >= -1022 && k <= 1023 {
+    if (-1022..=1023).contains(&k) {
         x * f64::from_bits(((k + 1023) as u64) << 52)
     } else if k > 1023 {
         x * f64::from_bits((2046u64) << 52) * scale_by_pow2(1.0, k - 1023)
@@ -278,7 +278,10 @@ mod tests {
             }
             x += 0.137;
         }
-        assert!(any_diff, "vendor exp must differ somewhere (that is the point)");
+        assert!(
+            any_diff,
+            "vendor exp must differ somewhere (that is the point)"
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ mod tests {
             }
             assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
         }
-        assert!(any_diff, "FMA contraction should change bits at some sample");
+        assert!(
+            any_diff,
+            "FMA contraction should change bits at some sample"
+        );
     }
 
     #[test]
@@ -108,7 +111,7 @@ mod tests {
         let strict = FpEnv::strict();
         let vec4 = FpEnv::strict().with_simd(SimdWidth::W4);
         let coeffs: Vec<f64> = (0..40)
-            .map(|i| ((i as f64) * 0.713).sin() * 10f64.powi((i % 9) as i32 - 4))
+            .map(|i| ((i as f64) * 0.713).sin() * 10f64.powi((i % 9) - 4))
             .collect();
         let a = power_basis(&strict, &coeffs, 0.99);
         let b = power_basis(&vec4, &coeffs, 0.99);

@@ -47,9 +47,9 @@ pub fn dot(env: &FpEnv, xs: &[f64], ys: &[f64]) -> f64 {
     let mut lanes: Vec<Accum> = (0..w).map(|_| Accum::new(env, 0.0)).collect();
     let chunks = xs.len() / w;
     for c in 0..chunks {
-        for j in 0..w {
+        for (j, lane) in lanes.iter_mut().enumerate() {
             let i = c * w + j;
-            lanes[j] = lanes[j].mul_acc(env, xs[i], ys[i]);
+            *lane = lane.mul_acc(env, xs[i], ys[i]);
         }
     }
     let mut acc = lanes[0];
@@ -79,11 +79,7 @@ pub fn sum_sq_diff(env: &FpEnv, xs: &[f64], ys: &[f64]) -> f64 {
 }
 
 /// Generic lane-split reduction used by [`sum`].
-fn lane_reduce(
-    env: &FpEnv,
-    xs: &[f64],
-    step: impl Fn(Accum, &FpEnv, f64) -> Accum,
-) -> f64 {
+fn lane_reduce(env: &FpEnv, xs: &[f64], step: impl Fn(Accum, &FpEnv, f64) -> Accum) -> f64 {
     let w = env.simd_width.lanes();
     let mut lanes: Vec<Accum> = (0..w).map(|_| Accum::new(env, 0.0)).collect();
     let chunks = xs.len() / w;

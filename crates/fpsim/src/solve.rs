@@ -72,13 +72,7 @@ pub fn conjugate_gradient(
 
 /// Jacobi iteration for diagonally dominant `A x = b`, stopping when the
 /// update norm drops below `tol`.
-pub fn jacobi(
-    env: &FpEnv,
-    a: &DenseMatrix,
-    b: &[f64],
-    tol: f64,
-    max_iter: usize,
-) -> SolveResult {
+pub fn jacobi(env: &FpEnv, a: &DenseMatrix, b: &[f64], tol: f64, max_iter: usize) -> SolveResult {
     let n = b.len();
     assert_eq!(a.rows(), n, "jacobi: dimension mismatch");
     let mut x = vec![0.0; n];
@@ -195,7 +189,9 @@ mod tests {
     }
 
     fn rhs(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 13 % 17) as f64) * 0.25 - 1.0).collect()
+        (0..n)
+            .map(|i| ((i * 13 % 17) as f64) * 0.25 - 1.0)
+            .collect()
     }
 
     #[test]
@@ -204,7 +200,11 @@ mod tests {
         let a = spd(40);
         let b = rhs(40);
         let res = conjugate_gradient(&env, &a, &b, 1e-12, 1000);
-        assert!(res.converged, "CG should converge: residual {}", res.residual);
+        assert!(
+            res.converged,
+            "CG should converge: residual {}",
+            res.residual
+        );
         // Verify Ax ≈ b.
         let ax = a.gemv(&env, &res.x);
         for (axi, bi) in ax.iter().zip(&b) {
@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn cg_zero_rhs_converges_immediately() {
         let a = spd(10);
-        let res = conjugate_gradient(&FpEnv::strict(), &a, &vec![0.0; 10], 1e-12, 100);
+        let res = conjugate_gradient(&FpEnv::strict(), &a, &[0.0; 10], 1e-12, 100);
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
         assert_eq!(res.x, vec![0.0; 10]);

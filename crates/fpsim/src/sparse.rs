@@ -20,11 +20,7 @@ impl CsrMatrix {
     /// Build from coordinate triplets (duplicates are summed exactly in
     /// index order; construction is environment-independent, like a real
     /// assembly run under the baseline).
-    pub fn from_triplets(
-        rows: usize,
-        cols: usize,
-        triplets: &[(usize, usize, f64)],
-    ) -> CsrMatrix {
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> CsrMatrix {
         let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
         for &(r, c, _) in &sorted {
             assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
@@ -92,8 +88,7 @@ impl CsrMatrix {
                 let lo = self.row_ptr[r];
                 let hi = self.row_ptr[r + 1];
                 let vals = &self.values[lo..hi];
-                let gathered: Vec<f64> =
-                    self.col_idx[lo..hi].iter().map(|&c| x[c]).collect();
+                let gathered: Vec<f64> = self.col_idx[lo..hi].iter().map(|&c| x[c]).collect();
                 reduce::dot(env, vals, &gathered)
             })
             .collect()
@@ -114,11 +109,8 @@ mod tests {
 
     #[test]
     fn triplets_build_a_correct_matrix() {
-        let m = CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (1, 1, 4.0)],
-        );
+        let m =
+            CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (1, 1, 4.0)]);
         assert_eq!(m.shape(), (3, 3));
         assert_eq!(m.nnz(), 4);
         let y = m.spmv(&FpEnv::strict(), &[1.0, 1.0, 1.0]);
@@ -165,7 +157,9 @@ mod tests {
         }
         t.push((1, 1, 1.0));
         let m = CsrMatrix::from_triplets(2, n, &t);
-        let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.5 * ((i as f64 * 0.71).sin() * 0.5 + 0.5)).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| 0.3 + 0.5 * ((i as f64 * 0.71).sin() * 0.5 + 0.5))
+            .collect();
         let strict = m.spmv(&FpEnv::strict(), &x);
         let vec4 = m.spmv(&FpEnv::strict().with_simd(SimdWidth::W4), &x);
         assert_ne!(strict[0], vec4[0]);

@@ -142,7 +142,9 @@ mod tests {
     fn env_changes_stencil_results_after_many_steps() {
         let strict = FpEnv::strict();
         let fast = FpEnv::strict().with_fma(true).with_simd(SimdWidth::W4);
-        let mut u1: Vec<f64> = (0..64).map(|i| (i as f64 * 0.371).sin() * 0.3 + 0.4).collect();
+        let mut u1: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.371).sin() * 0.3 + 0.4)
+            .collect();
         let mut u2 = u1.clone();
         // Alternate diffusion and mild nonlinearity so contraction
         // differences survive and accumulate.

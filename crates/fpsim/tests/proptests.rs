@@ -29,7 +29,11 @@ fn any_env() -> impl Strategy<Value = FpEnv> {
             extended_precision: ext,
             reciprocal_math: recip,
             flush_to_zero: ftz,
-            mathlib: if vendor { MathLib::Vendor } else { MathLib::Reference },
+            mathlib: if vendor {
+                MathLib::Vendor
+            } else {
+                MathLib::Reference
+            },
             exploit_ub: false,
         })
 }

@@ -74,11 +74,11 @@ mod tests {
         }
         fn eval(&self, state: &mut [f64], env: &FpEnv, inj: Option<Injection>) {
             let mut ctx = SiteCtx::new(env, inj);
-            for i in 0..state.len() {
+            for x in state.iter_mut() {
                 ctx.next_iteration();
-                let a = ctx.mul(state[i], 0.5);
+                let a = ctx.mul(*x, 0.5);
                 let b = ctx.add(a, 0.125);
-                state[i] = ctx.div(b, 1.5);
+                *x = ctx.div(b, 1.5);
             }
         }
         fn fp_sites(&self) -> usize {
@@ -137,12 +137,15 @@ mod tests {
         let env = FpEnv::strict();
         let mut clean = vec![0.3, 0.6];
         let mut dirty = clean.clone();
-        p.function("hydro").unwrap().kernel.eval(&mut clean, &env, None);
-        injected
-            .function("hydro")
+        p.function("hydro")
             .unwrap()
             .kernel
-            .eval(&mut dirty, &env, injected.function("hydro").unwrap().injection);
+            .eval(&mut clean, &env, None);
+        injected.function("hydro").unwrap().kernel.eval(
+            &mut dirty,
+            &env,
+            injected.function("hydro").unwrap().injection,
+        );
         assert_ne!(clean, dirty);
     }
 

@@ -195,7 +195,8 @@ pub fn run_study(program: &SimProgram, cfg: &StudyConfig) -> (Vec<InjectionRecor
     for site in &sites {
         for op in InjectOp::ALL {
             // ε ~ U(0,1), deterministic per (seed, site, op).
-            let h = fnv1a(format!("{}|{}|{:?}|{}", site.symbol, site.site, op, cfg.seed).as_bytes());
+            let h =
+                fnv1a(format!("{}|{}|{:?}|{}", site.symbol, site.site, op, cfg.seed).as_bytes());
             let eps = SplitMix::new(h).unit().max(1e-3);
             jobs.push((site.clone(), op, eps));
         }
@@ -272,12 +273,12 @@ mod tests {
         fn eval(&self, state: &mut [f64], env: &FpEnv, inj: Option<Injection>) {
             let mut ctx = SiteCtx::new(env, inj);
             ctx.begin_body(4);
-            for i in 0..state.len() {
+            for x in state.iter_mut() {
                 ctx.next_iteration();
-                let a = ctx.mul(state[i], 0.733);
+                let a = ctx.mul(*x, 0.733);
                 let b = ctx.add(a, 0.117);
                 let c = ctx.mul_add(b, 0.91, 0.03);
-                state[i] = ctx.div(c, 1.87);
+                *x = ctx.div(c, 1.87);
             }
             ctx.end_body();
         }
@@ -310,7 +311,10 @@ mod tests {
                 SourceFile::new(
                     "dead.cpp",
                     // Never called by the driver → not measurable.
-                    vec![Function::exported("dead_code", Kernel::Custom(Arc::new(Wave)))],
+                    vec![Function::exported(
+                        "dead_code",
+                        Kernel::Custom(Arc::new(Wave)),
+                    )],
                 ),
             ],
         )

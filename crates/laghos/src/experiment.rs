@@ -66,6 +66,9 @@ pub struct Table4Cell {
     pub top_is_viscosity: bool,
 }
 
+/// A boxed user-compare metric (§2.3's `compare`).
+type CompareFn = Box<dyn Fn(&[f64], &[f64]) -> f64>;
+
 /// Run one Table-4 configuration on the xsw-fixed branch.
 pub fn table4_cell(
     baseline_label: &str,
@@ -76,13 +79,13 @@ pub fn table4_cell(
     let program = laghos_program(LaghosVariant::XswFixed);
     let base = Build::new(&program, baseline.clone());
     let var = Build::tagged(&program, compilation_under_test(), 1);
-    let compare: Box<dyn Fn(&[f64], &[f64]) -> f64> = match digits {
+    let compare: CompareFn = match digits {
         Some(d) => Box::new(digit_limited_compare(d)),
         None => Box::new(l2_compare),
     };
     let cfg = HierarchicalConfig {
-        link_driver: CompilerKind::Gcc,
         k,
+        ..HierarchicalConfig::all()
     };
     let res = bisect_hierarchical(
         &base,
@@ -202,7 +205,12 @@ mod tests {
     #[test]
     fn xsw_hunt_finds_the_two_visible_callers() {
         let res = hunt_xsw_bug();
-        assert_eq!(res.outcome, SearchOutcome::Completed, "{:?}", res.violations);
+        assert_eq!(
+            res.outcome,
+            SearchOutcome::Completed,
+            "{:?}",
+            res.violations
+        );
         // "Bisect identified these two functions": the NaN-poisoned
         // (infinite-metric) findings are exactly the two exported
         // callers of the static xsw helper.
@@ -235,11 +243,7 @@ mod tests {
         assert_eq!(cell.funcs, 1);
         assert!(cell.top_is_viscosity);
         // Paper: 18 runs for k=1 at 2 digits.
-        assert!(
-            cell.runs >= 8 && cell.runs <= 35,
-            "runs = {}",
-            cell.runs
-        );
+        assert!(cell.runs >= 8 && cell.runs <= 35, "runs = {}", cell.runs);
     }
 
     #[test]
@@ -247,7 +251,12 @@ mod tests {
         let (label, baseline) = &table4_baselines()[0];
         let limited = table4_cell(label, baseline, Some(3), None);
         let full = table4_cell(label, baseline, None, None);
-        assert!(full.funcs > limited.funcs, "{} vs {}", full.funcs, limited.funcs);
+        assert!(
+            full.funcs > limited.funcs,
+            "{} vs {}",
+            full.funcs,
+            limited.funcs
+        );
         assert!(full.funcs >= 4, "full-precision funcs = {}", full.funcs);
         assert!(full.runs > limited.runs);
         assert!(full.top_is_viscosity);

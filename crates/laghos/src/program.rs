@@ -39,97 +39,92 @@ pub fn laghos_program(variant: LaghosVariant) -> SimProgram {
     };
 
     let mut files = vec![
-            SourceFile::new(
-                "laghos.cpp",
-                vec![
-                    Function::exported(
-                        "LagrangianHydroOperator_Mult",
-                        Kernel::HeatSmooth { steps: 6, r: 0.241 },
-                    )
-                    .with_calls(vec![
-                        "Forces_Compute".into(),
-                        "Energy_Update".into(),
-                        "UpdateMesh".into(),
-                        // The viscosity update closes the step: its
-                        // branch decision lands directly in the energy
-                        // field the test reports.
-                        "QUpdate_Viscosity".into(),
-                    ])
-                    .with_sloc(142),
-                    Function::exported("UpdateMesh", Kernel::Benign { flavor: 3 }).with_sloc(48),
-                ],
-            ),
-            SourceFile::new(
-                "laghos_assembly.cpp",
-                vec![
-                    Function::exported("Forces_Compute", Kernel::DotMix { stride: 5 })
-                        .with_sloc(134),
-                    Function::exported("Forces_MassApply", Kernel::MatVecMix { n: 10 })
-                        .with_sloc(96),
-                ],
-            ),
-            SourceFile::new(
-                "laghos_qupdate.cpp",
-                vec![
-                    // The artificial-viscosity update with the exact
-                    // == 0.0 comparison (or its epsilon-based fix).
-                    Function::exported("QUpdate_Viscosity", viscosity_kernel).with_sloc(118),
-                    Function::exported("QUpdate_Gradients", Kernel::HeatSmooth {
-                        steps: 4,
-                        r: 0.22,
-                    })
-                    .with_sloc(77),
-                ],
-            ),
-            SourceFile::new(
-                "laghos_solver.cpp",
-                vec![
-                    Function::exported(
-                        "Energy_Update",
-                        Kernel::CgSolve {
-                            n: 20,
-                            tol: 1e-12,
-                            cond: 500.0,
-                        },
-                    )
-                    .with_calls(vec!["Energy_Norm".into()])
-                    .with_sloc(167),
-                    Function::exported("Energy_Norm", Kernel::NormScale).with_sloc(41),
-                ],
-            ),
-            SourceFile::new(
-                "laghos_eos.cpp",
-                vec![
-                    Function::exported("EOS_Pressure", Kernel::PolyHorner { degree: 7 })
-                        .with_sloc(63),
-                    Function::exported("EOS_SoundSpeed", Kernel::DivScan).with_sloc(39),
-                ],
-            ),
-            SourceFile::new(
-                "laghos_utils.cpp",
-                vec![
-                    // The xsw macro lives in a static helper; the *two
-                    // visible symbols closest to the issue* are its
-                    // intra-file callers — exactly what Bisect found.
-                    Function::local("xsw_swap_helper", xsw_kernel).with_sloc(9),
-                    Function::exported("Utils_SortDofPairs", Kernel::Benign { flavor: 2 })
-                        .with_calls(vec!["xsw_swap_helper".into()])
-                        .with_sloc(58),
-                    Function::exported("Utils_MinMaxReorder", Kernel::Benign { flavor: 4 })
-                        .with_calls(vec!["xsw_swap_helper".into()])
-                        .with_sloc(44),
-                ],
-            ),
-            SourceFile::new(
-                "laghos_timeinteg.cpp",
-                vec![
-                    Function::exported("RK2AvgSolver_Step", Kernel::Benign { flavor: 0 })
-                        .with_sloc(88),
-                    Function::exported("Timestep_Estimate", Kernel::Benign { flavor: 6 })
-                        .with_sloc(52),
-                ],
-            ),
-        ];
+        SourceFile::new(
+            "laghos.cpp",
+            vec![
+                Function::exported(
+                    "LagrangianHydroOperator_Mult",
+                    Kernel::HeatSmooth { steps: 6, r: 0.241 },
+                )
+                .with_calls(vec![
+                    "Forces_Compute".into(),
+                    "Energy_Update".into(),
+                    "UpdateMesh".into(),
+                    // The viscosity update closes the step: its
+                    // branch decision lands directly in the energy
+                    // field the test reports.
+                    "QUpdate_Viscosity".into(),
+                ])
+                .with_sloc(142),
+                Function::exported("UpdateMesh", Kernel::Benign { flavor: 3 }).with_sloc(48),
+            ],
+        ),
+        SourceFile::new(
+            "laghos_assembly.cpp",
+            vec![
+                Function::exported("Forces_Compute", Kernel::DotMix { stride: 5 }).with_sloc(134),
+                Function::exported("Forces_MassApply", Kernel::MatVecMix { n: 10 }).with_sloc(96),
+            ],
+        ),
+        SourceFile::new(
+            "laghos_qupdate.cpp",
+            vec![
+                // The artificial-viscosity update with the exact
+                // == 0.0 comparison (or its epsilon-based fix).
+                Function::exported("QUpdate_Viscosity", viscosity_kernel).with_sloc(118),
+                Function::exported(
+                    "QUpdate_Gradients",
+                    Kernel::HeatSmooth { steps: 4, r: 0.22 },
+                )
+                .with_sloc(77),
+            ],
+        ),
+        SourceFile::new(
+            "laghos_solver.cpp",
+            vec![
+                Function::exported(
+                    "Energy_Update",
+                    Kernel::CgSolve {
+                        n: 20,
+                        tol: 1e-12,
+                        cond: 500.0,
+                    },
+                )
+                .with_calls(vec!["Energy_Norm".into()])
+                .with_sloc(167),
+                Function::exported("Energy_Norm", Kernel::NormScale).with_sloc(41),
+            ],
+        ),
+        SourceFile::new(
+            "laghos_eos.cpp",
+            vec![
+                Function::exported("EOS_Pressure", Kernel::PolyHorner { degree: 7 }).with_sloc(63),
+                Function::exported("EOS_SoundSpeed", Kernel::DivScan).with_sloc(39),
+            ],
+        ),
+        SourceFile::new(
+            "laghos_utils.cpp",
+            vec![
+                // The xsw macro lives in a static helper; the *two
+                // visible symbols closest to the issue* are its
+                // intra-file callers — exactly what Bisect found.
+                Function::local("xsw_swap_helper", xsw_kernel).with_sloc(9),
+                Function::exported("Utils_SortDofPairs", Kernel::Benign { flavor: 2 })
+                    .with_calls(vec!["xsw_swap_helper".into()])
+                    .with_sloc(58),
+                Function::exported("Utils_MinMaxReorder", Kernel::Benign { flavor: 4 })
+                    .with_calls(vec!["xsw_swap_helper".into()])
+                    .with_sloc(44),
+            ],
+        ),
+        SourceFile::new(
+            "laghos_timeinteg.cpp",
+            vec![
+                Function::exported("RK2AvgSolver_Step", Kernel::Benign { flavor: 0 }).with_sloc(88),
+                Function::exported("Timestep_Estimate", Kernel::Benign { flavor: 6 }).with_sloc(52),
+            ],
+        ),
+    ];
     // A real Laghos iteration runs for tens of seconds; scale every
     // function's modeled work so the simulated wall clock matches the
     // motivating example's 51.5 s / 21.3 s magnitudes.
@@ -171,11 +166,7 @@ mod tests {
     use flit_toolchain::compilation::Compilation;
     use flit_toolchain::compiler::{CompilerKind, OptLevel};
 
-    fn run(
-        variant: LaghosVariant,
-        compiler: CompilerKind,
-        opt: OptLevel,
-    ) -> Vec<f64> {
+    fn run(variant: LaghosVariant, compiler: CompilerKind, opt: OptLevel) -> Vec<f64> {
         let p = laghos_program(variant);
         let build = Build::new(&p, Compilation::new(compiler, opt, vec![]));
         let exe = build.executable().unwrap();
@@ -239,8 +230,16 @@ mod tests {
 
     #[test]
     fn epsilon_compare_fix_restores_agreement() {
-        let gpp = run(LaghosVariant::EpsilonCompare, CompilerKind::Gcc, OptLevel::O2);
-        let xlc3 = run(LaghosVariant::EpsilonCompare, CompilerKind::Xlc, OptLevel::O3);
+        let gpp = run(
+            LaghosVariant::EpsilonCompare,
+            CompilerKind::Gcc,
+            OptLevel::O2,
+        );
+        let xlc3 = run(
+            LaghosVariant::EpsilonCompare,
+            CompilerKind::Xlc,
+            OptLevel::O3,
+        );
         let diff = l2_diff(&gpp, &xlc3) / flit_fpsim::ulp::l2_norm(&gpp);
         assert!(
             diff < 1e-9,
@@ -254,14 +253,26 @@ mod tests {
         let p = laghos_program(LaghosVariant::XswFixed);
         let d = laghos_driver();
         let t2 = {
-            let b = Build::new(&p, Compilation::new(CompilerKind::Xlc, OptLevel::O2, vec![]));
+            let b = Build::new(
+                &p,
+                Compilation::new(CompilerKind::Xlc, OptLevel::O2, vec![]),
+            );
             let exe = b.executable().unwrap();
-            Engine::new(&p, &exe).run(&d, &[0.42, 0.77]).unwrap().seconds
+            Engine::new(&p, &exe)
+                .run(&d, &[0.42, 0.77])
+                .unwrap()
+                .seconds
         };
         let t3 = {
-            let b = Build::new(&p, Compilation::new(CompilerKind::Xlc, OptLevel::O3, vec![]));
+            let b = Build::new(
+                &p,
+                Compilation::new(CompilerKind::Xlc, OptLevel::O3, vec![]),
+            );
             let exe = b.executable().unwrap();
-            Engine::new(&p, &exe).run(&d, &[0.42, 0.77]).unwrap().seconds
+            Engine::new(&p, &exe)
+                .run(&d, &[0.42, 0.77])
+                .unwrap()
+                .seconds
         };
         let speedup = t2 / t3;
         assert!(

@@ -538,18 +538,42 @@ mod tests {
         vec![
             k!("LagrangeNodal", lagrange_nodal, Stencil),
             k!("CalcForceForNodes", calc_force_for_nodes, Stencil),
-            k!("CalcVolumeForceForElems", calc_volume_force_for_elems, Stencil),
-            k!("CalcAccelerationForNodes", calc_acceleration_for_nodes, Stencil),
+            k!(
+                "CalcVolumeForceForElems",
+                calc_volume_force_for_elems,
+                Stencil
+            ),
+            k!(
+                "CalcAccelerationForNodes",
+                calc_acceleration_for_nodes,
+                Stencil
+            ),
             k!("CalcVelocityForNodes", calc_velocity_for_nodes, Stencil),
             k!("CalcPositionForNodes", calc_position_for_nodes, Stencil),
             k!("LagrangeElements", lagrange_elements, Stencil),
-            k!("CalcKinematicsForElems", calc_kinematics_for_elems, DotHeavy),
-            k!("CalcMonotonicQGradients", calc_monotonic_q_gradients, Stencil),
+            k!(
+                "CalcKinematicsForElems",
+                calc_kinematics_for_elems,
+                DotHeavy
+            ),
+            k!(
+                "CalcMonotonicQGradients",
+                calc_monotonic_q_gradients,
+                Stencil
+            ),
             k!("CalcMonotonicQRegion", calc_monotonic_q_region, Branchy),
             k!("CalcPressureForElems", calc_pressure_for_elems, DotHeavy),
             k!("CalcEnergyForElems", calc_energy_for_elems, DotHeavy),
-            k!("CalcSoundSpeedForElems", calc_sound_speed_for_elems, DivHeavy),
-            k!("ApplyMaterialProperties", apply_material_properties, Branchy),
+            k!(
+                "CalcSoundSpeedForElems",
+                calc_sound_speed_for_elems,
+                DivHeavy
+            ),
+            k!(
+                "ApplyMaterialProperties",
+                apply_material_properties,
+                Branchy
+            ),
             k!("EvalEOSForElems", eval_eos_for_elems, DotHeavy),
             k!("UpdateVolumesForElems", update_volumes_for_elems, Memory),
             k!("CalcCourantConstraint", calc_courant_constraint, DivHeavy),

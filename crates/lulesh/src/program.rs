@@ -46,14 +46,17 @@ pub fn lulesh_program() -> SimProgram {
         "lulesh.cc",
         vec![
             // --- Nodal phase ---
-            Function::exported("LagrangeNodal", elem("LagrangeNodal", lagrange_nodal, 3, Stencil))
-                .with_calls(vec![
-                    "CalcForceForNodes".into(),
-                    "CalcAccelerationForNodes".into(),
-                    "CalcVelocityForNodes".into(),
-                    "CalcPositionForNodes".into(),
-                ])
-                .with_sloc(64),
+            Function::exported(
+                "LagrangeNodal",
+                elem("LagrangeNodal", lagrange_nodal, 3, Stencil),
+            )
+            .with_calls(vec![
+                "CalcForceForNodes".into(),
+                "CalcAccelerationForNodes".into(),
+                "CalcVelocityForNodes".into(),
+                "CalcPositionForNodes".into(),
+            ])
+            .with_sloc(64),
             Function::exported(
                 "CalcForceForNodes",
                 elem("CalcForceForNodes", calc_force_for_nodes, 4, Stencil),
@@ -62,13 +65,26 @@ pub fn lulesh_program() -> SimProgram {
             .with_sloc(48),
             Function::exported(
                 "CalcVolumeForceForElems",
-                elem("CalcVolumeForceForElems", calc_volume_force_for_elems, 7, Stencil),
+                elem(
+                    "CalcVolumeForceForElems",
+                    calc_volume_force_for_elems,
+                    7,
+                    Stencil,
+                ),
             )
-            .with_calls(vec!["SumElemFaceNormal".into(), "CalcElemNodalForce".into()])
+            .with_calls(vec![
+                "SumElemFaceNormal".into(),
+                "CalcElemNodalForce".into(),
+            ])
             .with_sloc(92),
             Function::exported(
                 "CalcAccelerationForNodes",
-                elem("CalcAccelerationForNodes", calc_acceleration_for_nodes, 3, Stencil),
+                elem(
+                    "CalcAccelerationForNodes",
+                    calc_acceleration_for_nodes,
+                    3,
+                    Stencil,
+                ),
             )
             .with_sloc(37),
             Function::exported(
@@ -95,7 +111,12 @@ pub fn lulesh_program() -> SimProgram {
             .with_sloc(71),
             Function::exported(
                 "CalcKinematicsForElems",
-                elem("CalcKinematicsForElems", calc_kinematics_for_elems, 6, DotHeavy),
+                elem(
+                    "CalcKinematicsForElems",
+                    calc_kinematics_for_elems,
+                    6,
+                    DotHeavy,
+                ),
             )
             .with_calls(vec![
                 "CalcElemShapeFunctionDerivatives".into(),
@@ -112,12 +133,22 @@ pub fn lulesh_program() -> SimProgram {
             .with_sloc(58),
             Function::exported(
                 "CalcMonotonicQRegionForElems",
-                elem("CalcMonotonicQRegionForElems", calc_monotonic_q_region, 4, Branchy),
+                elem(
+                    "CalcMonotonicQRegionForElems",
+                    calc_monotonic_q_region,
+                    4,
+                    Branchy,
+                ),
             )
             .with_sloc(118),
             Function::exported(
                 "ApplyMaterialPropertiesForElems",
-                elem("ApplyMaterialPropertiesForElems", apply_material_properties, 3, Branchy),
+                elem(
+                    "ApplyMaterialPropertiesForElems",
+                    apply_material_properties,
+                    3,
+                    Branchy,
+                ),
             )
             .with_calls(vec!["EvalEOSForElems".into()])
             .with_sloc(66),
@@ -143,7 +174,12 @@ pub fn lulesh_program() -> SimProgram {
             .with_sloc(186),
             Function::exported(
                 "CalcSoundSpeedForElems",
-                elem("CalcSoundSpeedForElems", calc_sound_speed_for_elems, 3, DivHeavy),
+                elem(
+                    "CalcSoundSpeedForElems",
+                    calc_sound_speed_for_elems,
+                    3,
+                    DivHeavy,
+                ),
             )
             .with_sloc(39),
             Function::exported(
@@ -154,7 +190,12 @@ pub fn lulesh_program() -> SimProgram {
             // --- Time constraints ---
             Function::exported(
                 "CalcTimeConstraintsForElems",
-                elem("CalcTimeConstraintsForElems", calc_time_constraints, 3, Branchy),
+                elem(
+                    "CalcTimeConstraintsForElems",
+                    calc_time_constraints,
+                    3,
+                    Branchy,
+                ),
             )
             .with_calls(vec![
                 "CalcCourantConstraintForElems".into(),
@@ -163,23 +204,43 @@ pub fn lulesh_program() -> SimProgram {
             .with_sloc(42),
             Function::exported(
                 "CalcCourantConstraintForElems",
-                elem("CalcCourantConstraintForElems", calc_courant_constraint, 6, DivHeavy),
+                elem(
+                    "CalcCourantConstraintForElems",
+                    calc_courant_constraint,
+                    6,
+                    DivHeavy,
+                ),
             )
             .with_sloc(61),
             Function::exported(
                 "CalcHydroConstraintForElems",
-                elem("CalcHydroConstraintForElems", calc_hydro_constraint, 6, DivHeavy),
+                elem(
+                    "CalcHydroConstraintForElems",
+                    calc_hydro_constraint,
+                    6,
+                    DivHeavy,
+                ),
             )
             .with_sloc(57),
             // --- static inline helpers (indirect-find territory) ---
             Function::local(
                 "CalcElemShapeFunctionDerivatives",
-                elem("CalcElemShapeFunctionDerivatives", calc_elem_shape_function_derivatives, 4, DotHeavy),
+                elem(
+                    "CalcElemShapeFunctionDerivatives",
+                    calc_elem_shape_function_derivatives,
+                    4,
+                    DotHeavy,
+                ),
             )
             .with_sloc(118),
             Function::local(
                 "CalcElemVelocityGradient",
-                elem("CalcElemVelocityGradient", calc_elem_velocity_gradient, 4, DotHeavy),
+                elem(
+                    "CalcElemVelocityGradient",
+                    calc_elem_velocity_gradient,
+                    4,
+                    DotHeavy,
+                ),
             )
             .with_sloc(74),
             Function::local(
@@ -190,7 +251,12 @@ pub fn lulesh_program() -> SimProgram {
             .with_sloc(139),
             Function::local(
                 "CalcElemCharacteristicLength",
-                elem("CalcElemCharacteristicLength", calc_elem_characteristic_length, 3, DivHeavy),
+                elem(
+                    "CalcElemCharacteristicLength",
+                    calc_elem_characteristic_length,
+                    3,
+                    DivHeavy,
+                ),
             )
             .with_calls(vec!["AreaFace".into()])
             .with_sloc(67),
@@ -209,13 +275,23 @@ pub fn lulesh_program() -> SimProgram {
             // --- dead: hourglass control (regular proxy mesh) ---
             Function::exported(
                 "CalcFBHourglassForceForElems",
-                elem("CalcFBHourglassForceForElems", calc_fb_hourglass_force, 2, Stencil),
+                elem(
+                    "CalcFBHourglassForceForElems",
+                    calc_fb_hourglass_force,
+                    2,
+                    Stencil,
+                ),
             )
             .with_calls(vec!["CalcElemFBHourglassForce".into()])
             .with_sloc(161),
             Function::local(
                 "CalcElemFBHourglassForce",
-                elem("CalcElemFBHourglassForce", calc_elem_fb_hourglass_force, 2, Stencil),
+                elem(
+                    "CalcElemFBHourglassForce",
+                    calc_elem_fb_hourglass_force,
+                    2,
+                    Stencil,
+                ),
             )
             .with_sloc(95),
         ],
@@ -309,13 +385,7 @@ pub fn lulesh_program() -> SimProgram {
     let sloc: u32 = files.iter().map(|f| f.sloc()).sum();
     assert!(sloc <= LULESH_SLOC, "SLOC overshot: {sloc}");
     let deficit = LULESH_SLOC - sloc;
-    files
-        .last_mut()
-        .unwrap()
-        .functions
-        .last_mut()
-        .unwrap()
-        .sloc += deficit;
+    files.last_mut().unwrap().functions.last_mut().unwrap().sloc += deficit;
 
     SimProgram::new("lulesh", files)
 }

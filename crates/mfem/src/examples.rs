@@ -141,13 +141,7 @@ pub fn example_driver(example: usize, decomposition: usize) -> Driver {
 /// All 19 examples as FLiT tests (sequential decomposition).
 pub fn mfem_examples() -> Vec<DriverTest> {
     (1..=19)
-        .map(|i| {
-            DriverTest::new(
-                example_driver(i, 1),
-                2,
-                vec![0.35, 0.62],
-            )
-        })
+        .map(|i| DriverTest::new(example_driver(i, 1), 2, vec![0.35, 0.62]))
         .collect()
 }
 
@@ -161,8 +155,7 @@ mod tests {
     fn nineteen_examples_with_unique_names() {
         let tests = mfem_examples();
         assert_eq!(tests.len(), 19);
-        let names: std::collections::HashSet<&str> =
-            tests.iter().map(|t| t.name()).collect();
+        let names: std::collections::HashSet<&str> = tests.iter().map(|t| t.name()).collect();
         assert_eq!(names.len(), 19);
         assert_eq!(example_names()[0], "ex01");
         assert_eq!(example_names()[18], "ex19");

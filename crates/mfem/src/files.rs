@@ -28,8 +28,11 @@ pub fn interesting_files() -> Vec<SourceFile> {
             "linalg/densemat.cpp",
             vec![
                 Function::exported("DenseMatrix_Mult", Kernel::MatVecMix { n: 12 }).with_sloc(66),
-                Function::exported("DenseMatrix_AddMultAAt", Kernel::Rank1Mix { n: 8, alpha: 0.73 })
-                    .with_sloc(58),
+                Function::exported(
+                    "DenseMatrix_AddMultAAt",
+                    Kernel::Rank1Mix { n: 8, alpha: 0.73 },
+                )
+                .with_sloc(58),
                 Function::exported("DenseMatrix_Transpose", Kernel::Benign { flavor: 2 })
                     .with_sloc(28),
                 Function::exported("DenseMatrix_Trace", Kernel::Benign { flavor: 4 })
@@ -108,10 +111,10 @@ pub fn interesting_files() -> Vec<SourceFile> {
         SourceFile::new(
             "fem/gridfunc.cpp",
             vec![
-                Function::exported("GridFunction_ProjectCoefficient", Kernel::HeatSmooth {
-                    steps: 9,
-                    r: 0.24,
-                })
+                Function::exported(
+                    "GridFunction_ProjectCoefficient",
+                    Kernel::HeatSmooth { steps: 9, r: 0.24 },
+                )
                 .with_sloc(54),
                 Function::exported("GridFunction_Save", Kernel::Benign { flavor: 6 }).with_sloc(30),
                 Function::exported("GridFunction_Update", Kernel::Benign { flavor: 0 })
@@ -216,9 +219,6 @@ mod tests {
     fn finding2_kernel_is_the_rank1_update() {
         let p = SimProgram::new("mfem-core", interesting_files());
         let f = p.function("DenseMatrix_AddMultAAt").unwrap();
-        assert!(matches!(
-            f.kernel,
-            Kernel::Rank1Mix { .. }
-        ));
+        assert!(matches!(f.kernel, Kernel::Rank1Mix { .. }));
     }
 }

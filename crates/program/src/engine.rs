@@ -60,7 +60,11 @@ impl<'a> Engine<'a> {
     /// Create an engine over baseline + variable source trees (indexed
     /// by each object's `build_tag`). The trees must be structurally
     /// identical (same files, same symbols).
-    pub fn with_variant(baseline: &'a SimProgram, variable: &'a SimProgram, exe: &'a Executable) -> Self {
+    pub fn with_variant(
+        baseline: &'a SimProgram,
+        variable: &'a SimProgram,
+        exe: &'a Executable,
+    ) -> Self {
         Engine {
             programs: vec![baseline, variable],
             exe,
@@ -259,7 +263,10 @@ mod tests {
         // The headline of Figure 4a: value-safe optimization exists.
         let p = program();
         let base = Build::new(&p, Compilation::baseline());
-        let o3 = Build::new(&p, Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![]));
+        let o3 = Build::new(
+            &p,
+            Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![]),
+        );
         let out_b = Engine::new(&p, &base.executable().unwrap())
             .run(&driver(), &[0.5])
             .unwrap();

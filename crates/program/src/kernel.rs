@@ -176,7 +176,7 @@ const SCALES: [f64; 13] = [
 /// Alternating signs for cancellation (exact).
 #[inline]
 fn alt_sign(i: usize) -> f64 {
-    if i % 2 == 0 {
+    if i.is_multiple_of(2) {
         1.0
     } else {
         -1.0
@@ -194,9 +194,7 @@ fn ill_dot(env: &FpEnv, state: &[f64], stride: usize, salt: usize) -> f64 {
         .map(|i| state[(i + salt) % n] * SCALES[(i + salt * 3) % 13])
         .collect();
     let b: Vec<f64> = (0..n)
-        .map(|i| {
-            alt_sign(i) * state[(i + stride) % n] * SCALES[(i * 5 + 2 + salt * 7) % 13]
-        })
+        .map(|i| alt_sign(i) * state[(i + stride) % n] * SCALES[(i * 5 + 2 + salt * 7) % 13])
         .collect();
     frac_residual(reduce::dot(env, &a, &b))
 }
@@ -273,12 +271,14 @@ impl Kernel {
                 let mut a = DenseMatrix::zeros(n, n);
                 for i in 0..n {
                     for j in 0..n {
-                        a[(i, j)] =
-                            alt_sign(i + j) * (state[(i * 13 + j * 7) % len] - 0.5) * SCALES[(i + 2 * j) % 13];
+                        a[(i, j)] = alt_sign(i + j)
+                            * (state[(i * 13 + j * 7) % len] - 0.5)
+                            * SCALES[(i + 2 * j) % 13];
                     }
                 }
-                let x: Vec<f64> =
-                    (0..n).map(|j| state[len - 1 - (j % len)] * SCALES[(j * 3 + 1) % 13]).collect();
+                let x: Vec<f64> = (0..n)
+                    .map(|j| state[len - 1 - (j % len)] * SCALES[(j * 3 + 1) % 13])
+                    .collect();
                 let y = a.gemv(env, &x);
                 for (i, yi) in y.iter().enumerate() {
                     let t = frac_residual(*yi) + 0.5;
@@ -626,7 +626,9 @@ mod tests {
     use flit_fpsim::ulp::l2_diff;
 
     fn state0(n: usize) -> Vec<f64> {
-        (0..n).map(|i| 0.3 + 0.4 * ((i as f64 * 0.7311).sin() * 0.5 + 0.5)).collect()
+        (0..n)
+            .map(|i| 0.3 + 0.4 * ((i as f64 * 0.7311).sin() * 0.5 + 0.5))
+            .collect()
     }
 
     fn run(k: &Kernel, env: &FpEnv, rounds: usize) -> Vec<f64> {
@@ -678,7 +680,14 @@ mod tests {
     #[test]
     fn reproducible_dot_mix_is_invariant_under_everything() {
         let k = Kernel::DotMixReproducible { stride: 7 };
-        for env in [reassoc(), fma(), extended(), recip(), vendor(), FpEnv::fast()] {
+        for env in [
+            reassoc(),
+            fma(),
+            extended(),
+            recip(),
+            vendor(),
+            FpEnv::fast(),
+        ] {
             assert_insensitive(&k, &env, 3);
         }
         // …while still doing real work (the state changes).
@@ -753,7 +762,14 @@ mod tests {
     fn benign_flavors_are_env_invariant_and_value_preserving() {
         for flavor in 0..7 {
             let k = Kernel::Benign { flavor };
-            for env in [reassoc(), fma(), extended(), recip(), vendor(), FpEnv::fast()] {
+            for env in [
+                reassoc(),
+                fma(),
+                extended(),
+                recip(),
+                vendor(),
+                FpEnv::fast(),
+            ] {
                 assert_insensitive(&k, &env, 4);
             }
             // Benign kernels also preserve the multiset of magnitudes
@@ -792,7 +808,11 @@ mod tests {
         }
         assert_sensitive(&k, &extended(), 1);
         // FMA combined with W2 (the xlc++ -O3 environment) too.
-        assert_sensitive(&k, &FpEnv::strict().with_simd(SimdWidth::W2).with_fma(true), 1);
+        assert_sensitive(
+            &k,
+            &FpEnv::strict().with_simd(SimdWidth::W2).with_fma(true),
+            1,
+        );
     }
 
     #[test]
@@ -818,7 +838,14 @@ mod tests {
             lambda: 2.9,
             steps: 40,
         };
-        for env in [reassoc(), fma(), extended(), recip(), vendor(), FpEnv::fast()] {
+        for env in [
+            reassoc(),
+            fma(),
+            extended(),
+            recip(),
+            vendor(),
+            FpEnv::fast(),
+        ] {
             assert_insensitive(&k, &env, 2);
         }
         let mut a = state0(32);
@@ -866,7 +893,11 @@ mod tests {
     #[test]
     fn empty_state_is_a_no_op() {
         let mut s: Vec<f64> = vec![];
-        for k in [Kernel::DotMix { stride: 1 }, Kernel::UbSwap, Kernel::DivScan] {
+        for k in [
+            Kernel::DotMix { stride: 1 },
+            Kernel::UbSwap,
+            Kernel::DivScan,
+        ] {
             k.eval(&mut s, &strict(), None);
             assert!(s.is_empty());
         }
@@ -874,9 +905,20 @@ mod tests {
 
     #[test]
     fn work_and_class_are_populated() {
-        assert!(Kernel::CgSolve { n: 32, tol: 1e-12, cond: 1e6 }.work(64) > 1000.0);
+        assert!(
+            Kernel::CgSolve {
+                n: 32,
+                tol: 1e-12,
+                cond: 1e6
+            }
+            .work(64)
+                > 1000.0
+        );
         assert_eq!(Kernel::DivScan.class(), KernelClass::DivHeavy);
-        assert_eq!(Kernel::TranscMap { freq: 1.0 }.class(), KernelClass::Transcendental);
+        assert_eq!(
+            Kernel::TranscMap { freq: 1.0 }.class(),
+            KernelClass::Transcendental
+        );
         assert_eq!(Kernel::Benign { flavor: 0 }.class(), KernelClass::Memory);
         assert_eq!(Kernel::DotMix { stride: 1 }.fp_sites(), 0);
     }

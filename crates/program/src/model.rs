@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use flit_toolchain::cache::RecipeHasher;
 use flit_toolchain::compilation::Compilation;
 use flit_toolchain::object::{Linkage, ObjectFile, SymbolEntry};
 use flit_toolchain::perf::KernelClass;
@@ -128,6 +129,12 @@ pub struct SimProgram {
     /// The source files.
     pub files: Vec<SourceFile>,
     index: HashMap<String, (usize, usize)>,
+    /// Structural fingerprint: everything object files can depend on
+    /// (file names, symbol names, visibility). Function *bodies* are
+    /// excluded on purpose — the simulated compiler never encodes them
+    /// into objects, so structurally identical programs (e.g. a clean
+    /// and an injected copy) may share cached build artifacts.
+    fingerprint: u64,
 }
 
 impl SimProgram {
@@ -144,10 +151,22 @@ impl SimProgram {
                 assert!(prev.is_none(), "duplicate symbol `{}`", f.name);
             }
         }
+        let mut h = RecipeHasher::new();
+        for file in &files {
+            h.write_str(&file.name);
+            for f in &file.functions {
+                h.write_str(&f.name);
+                h.write_u64(match f.visibility {
+                    Visibility::Exported => 0,
+                    Visibility::Static => 1,
+                });
+            }
+        }
         let prog = SimProgram {
             name: name.into(),
             files,
             index,
+            fingerprint: h.finish(),
         };
         // Validate the call graph.
         for (fi, file) in prog.files.iter().enumerate() {
@@ -167,6 +186,12 @@ impl SimProgram {
             }
         }
         prog
+    }
+
+    /// The structural fingerprint used as the build-cache key component
+    /// for this program (see the field docs for what it covers).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Look up a symbol: `(file index, function index)`.
@@ -302,7 +327,12 @@ pub struct Driver {
 
 impl Driver {
     /// A sequential driver.
-    pub fn new(name: impl Into<String>, entries: Vec<String>, rounds: usize, state_size: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        entries: Vec<String>,
+        rounds: usize,
+        state_size: usize,
+    ) -> Self {
         Driver {
             name: name.into(),
             entries,
@@ -387,10 +417,7 @@ mod tests {
     fn visible_callers_resolves_transitively() {
         let p = tiny_program();
         assert_eq!(p.visible_callers("helper"), vec!["alpha".to_string()]);
-        assert_eq!(
-            p.visible_callers("beta"),
-            vec!["alpha".to_string()]
-        );
+        assert_eq!(p.visible_callers("beta"), vec!["alpha".to_string()]);
     }
 
     #[test]

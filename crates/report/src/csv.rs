@@ -63,10 +63,7 @@ mod tests {
         w.row(&["1".into(), "x,y".into()]);
         w.row(&["2".into(), "say \"hi\"".into()]);
         let s = w.finish();
-        assert_eq!(
-            s,
-            "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n"
-        );
+        assert_eq!(s, "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n");
     }
 
     #[test]

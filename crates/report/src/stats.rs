@@ -54,8 +54,7 @@ impl Summary {
                 return 0;
             }
             let l = x.log10().clamp(lo_exp as f64, hi_exp as f64);
-            (((l - lo_exp as f64) / (hi_exp - lo_exp) as f64) * (width - 1) as f64).round()
-                as usize
+            (((l - lo_exp as f64) / (hi_exp - lo_exp) as f64) * (width - 1) as f64).round() as usize
         };
         let mut line: Vec<char> = vec![' '; width];
         let (pmin, pq1, pmed, pq3, pmax) = (

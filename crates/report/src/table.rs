@@ -163,7 +163,7 @@ pub fn fmt_f64(x: f64, prec: usize) -> String {
         return format!("{x}");
     }
     let a = x.abs();
-    if a >= 0.01 && a < 1e7 {
+    if (0.01..1e7).contains(&a) {
         format!("{x:.prec$}")
     } else {
         format!("{x:.prec$e}")

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod compilation;
 pub mod compiler;
 pub mod flags;
@@ -32,6 +33,7 @@ pub mod linker;
 pub mod object;
 pub mod perf;
 
+pub use cache::{BuildCtx, BuildStats};
 pub use compilation::Compilation;
 pub use compiler::{CompilerKind, OptLevel};
 pub use flags::Switch;

@@ -78,7 +78,10 @@ impl ObjectFile {
 
     /// Linkage of `name` in this object, if defined.
     pub fn linkage_of(&self, name: &str) -> Option<Linkage> {
-        self.symbols.iter().find(|s| s.name == name).map(|s| s.linkage)
+        self.symbols
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.linkage)
     }
 
     /// `objcopy --weaken-symbol` for each name in `names`: returns a

@@ -211,11 +211,7 @@ mod tests {
 
     #[test]
     fn avx2fma_speeds_up_dot_loops() {
-        let c = Compilation::new(
-            CompilerKind::Gcc,
-            OptLevel::O2,
-            vec![Switch::Avx2Fma],
-        );
+        let c = Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![Switch::Avx2Fma]);
         assert!(speed_factor(&c, KernelClass::DotHeavy) > 1.15);
         // …but does nothing for branchy code.
         assert_eq!(speed_factor(&c, KernelClass::Branchy), 1.0);
@@ -225,7 +221,8 @@ mod tests {
     fn xlc_o3_is_over_twice_xlc_o2() {
         let o2 = Compilation::new(CompilerKind::Xlc, OptLevel::O2, vec![]);
         let o3 = Compilation::new(CompilerKind::Xlc, OptLevel::O3, vec![]);
-        let ratio = speed_factor(&o3, KernelClass::Stencil) / speed_factor(&o2, KernelClass::Stencil);
+        let ratio =
+            speed_factor(&o3, KernelClass::Stencil) / speed_factor(&o2, KernelClass::Stencil);
         assert!(
             (2.0..3.0).contains(&ratio),
             "xlc O3/O2 ratio {ratio} should bracket the paper's 2.42x"

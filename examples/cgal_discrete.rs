@@ -158,7 +158,8 @@ fn main() {
         &tests,
         &compilation_matrix(CompilerKind::Gcc),
         &RunnerConfig::default(),
-    );
+    )
+    .expect("sweep runs");
     println!("gcc matrix: {} compilations", db.rows.len());
     let mut changed = Vec::new();
     for r in &db.rows {
@@ -225,7 +226,10 @@ fn main() {
     );
     println!(
         "\nBisect blames: {:?} in {} executions",
-        res.symbols.iter().map(|s| s.symbol.as_str()).collect::<Vec<_>>(),
+        res.symbols
+            .iter()
+            .map(|s| s.symbol.as_str())
+            .collect::<Vec<_>>(),
         res.executions
     );
     assert_eq!(res.symbols.len(), 1);

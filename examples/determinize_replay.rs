@@ -26,7 +26,10 @@ fn program(log: Arc<ScheduleLog>) -> SimProgram {
             ),
             SourceFile::new(
                 "post.cpp",
-                vec![Function::exported("postprocess", Kernel::DotMix { stride: 3 })],
+                vec![Function::exported(
+                    "postprocess",
+                    Kernel::DotMix { stride: 3 },
+                )],
             ),
         ],
     )
@@ -128,13 +131,16 @@ fn main() {
     // Step 4: …and the ordinary FLiT flow works on the replayed app.
     let tests: Vec<&dyn FlitTest> = vec![&replay_test];
     let comps = compilation_matrix(CompilerKind::Gcc);
-    let db = run_matrix(&program, &tests, &comps, &RunnerConfig::default());
+    let db = run_matrix(&program, &tests, &comps, &RunnerConfig::default()).unwrap();
     let variable = db.rows.iter().filter(|r| r.is_variable()).count();
     println!(
         "[4] swept {} gcc compilations under replay: {} variable",
         db.rows.len(),
         variable
     );
-    assert!(variable > 0, "the racy reduce + dot mix respond to unsafe math");
+    assert!(
+        variable > 0,
+        "the racy reduce + dot mix respond to unsafe math"
+    );
     println!("    → the Figure-1 loop closes: determinize, then test and bisect as usual");
 }

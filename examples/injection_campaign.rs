@@ -31,7 +31,10 @@ fn main() {
 
     // Sample every 37th site so the demo finishes in seconds.
     let sample: Vec<&SiteRef> = sites.iter().step_by(37).collect();
-    println!("injecting at {} sampled sites (OP' = Add, ε ~ U(0,1))\n", sample.len());
+    println!(
+        "injecting at {} sampled sites (OP' = Add, ε ~ U(0,1))\n",
+        sample.len()
+    );
 
     let mut counts = std::collections::HashMap::new();
     for site in &sample {
@@ -54,7 +57,15 @@ fn main() {
     for (class, n) in &counts {
         println!("  {class:?}: {n}");
     }
-    assert_eq!(counts.get(&Classification::Wrong), None, "no false positives");
-    assert_eq!(counts.get(&Classification::Missed), None, "no false negatives");
+    assert_eq!(
+        counts.get(&Classification::Wrong),
+        None,
+        "no false positives"
+    );
+    assert_eq!(
+        counts.get(&Classification::Missed),
+        None,
+        "no false negatives"
+    );
     println!("\nprecision and recall: 100% on this sample (run `cargo run --release -p flit-bench --bin table5` for all 4,376)");
 }

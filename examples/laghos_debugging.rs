@@ -54,7 +54,11 @@ fn main() {
     );
     println!(
         "  Bisect blames {:?} in {} executions",
-        result.symbols.iter().map(|s| s.symbol.as_str()).collect::<Vec<_>>(),
+        result
+            .symbols
+            .iter()
+            .map(|s| s.symbol.as_str())
+            .collect::<Vec<_>>(),
         result.executions
     );
     println!("  → both call the static helper containing `#define xsw(a,b) a^=b^=a^=b`");
@@ -81,13 +85,17 @@ fn main() {
         &LAGHOS_INPUT,
         &digit_limited_compare(2),
         &HierarchicalConfig {
-            link_driver: CompilerKind::Gcc,
             k: Some(1),
+            ..HierarchicalConfig::all()
         },
     );
     println!(
         "  Bisect (2 digits, k=1) blames {:?} in {} executions",
-        result.symbols.iter().map(|s| s.symbol.as_str()).collect::<Vec<_>>(),
+        result
+            .symbols
+            .iter()
+            .map(|s| s.symbol.as_str())
+            .collect::<Vec<_>>(),
         result.executions
     );
     println!("  → an exact `if (q == 0.0)` on a value with tiny compiler-induced variability\n");

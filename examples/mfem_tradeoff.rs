@@ -17,7 +17,13 @@ fn main() {
     let dyn_tests: Vec<&dyn FlitTest> = tests.iter().map(|t| t as &dyn FlitTest).collect();
 
     println!("sweeping 244 compilations x 19 examples…");
-    let db = run_matrix(&program, &dyn_tests, &mfem_matrix(), &RunnerConfig::default());
+    let db = run_matrix(
+        &program,
+        &dyn_tests,
+        &mfem_matrix(),
+        &RunnerConfig::default(),
+    )
+    .unwrap();
 
     println!("\nper-example recommendation (speedups vs g++ -O2):");
     for test in db.tests() {

@@ -23,7 +23,10 @@ fn main() {
             ),
             SourceFile::new(
                 "io.cpp",
-                vec![Function::exported("write_checkpoint", Kernel::Benign { flavor: 6 })],
+                vec![Function::exported(
+                    "write_checkpoint",
+                    Kernel::Benign { flavor: 6 },
+                )],
             ),
         ],
     );
@@ -47,7 +50,7 @@ fn main() {
 
     // 3. Sweep the full 244-compilation study matrix.
     let tests: Vec<&dyn FlitTest> = vec![&test];
-    let db = run_matrix(&program, &tests, &mfem_matrix(), &RunnerConfig::default());
+    let db = run_matrix(&program, &tests, &mfem_matrix(), &RunnerConfig::default()).unwrap();
     let variable: Vec<&RunRecord> = db.rows.iter().filter(|r| r.is_variable()).collect();
     println!(
         "swept {} compilations: {} produced variable results",

@@ -28,7 +28,10 @@ fn app(fixed: bool) -> SimProgram {
             ),
             SourceFile::new(
                 "io.cpp",
-                vec![Function::exported("History_Write", Kernel::Benign { flavor: 6 })],
+                vec![Function::exported(
+                    "History_Write",
+                    Kernel::Benign { flavor: 6 },
+                )],
             ),
         ],
     )
@@ -50,7 +53,7 @@ fn sweep(program: &SimProgram) -> (usize, usize) {
         vec![0.44],
     );
     let tests: Vec<&dyn FlitTest> = vec![&test];
-    let db = run_matrix(program, &tests, &mfem_matrix(), &RunnerConfig::default());
+    let db = run_matrix(program, &tests, &mfem_matrix(), &RunnerConfig::default()).unwrap();
     let variable = db.rows.iter().filter(|r| r.is_variable()).count();
     (variable, db.rows.len())
 }
@@ -63,11 +66,8 @@ fn main() {
     assert!(var_before > 0);
 
     // Bisect tells us which function to fix.
-    let culprit_comp = Compilation::new(
-        CompilerKind::Gcc,
-        OptLevel::O3,
-        vec![Switch::Avx2FmaUnsafe],
-    );
+    let culprit_comp =
+        Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]);
     let res = bisect_hierarchical(
         &Build::new(&broken, Compilation::baseline()),
         &Build::tagged(&broken, culprit_comp, 1),
@@ -87,7 +87,10 @@ fn main() {
     );
     println!(
         "Bisect blames: {:?}",
-        res.symbols.iter().map(|s| s.symbol.as_str()).collect::<Vec<_>>()
+        res.symbols
+            .iter()
+            .map(|s| s.symbol.as_str())
+            .collect::<Vec<_>>()
     );
     assert_eq!(res.symbols.len(), 1);
     assert_eq!(res.symbols[0].symbol, "GlobalEnergyIntegral");
@@ -98,9 +101,7 @@ fn main() {
     println!("after the fix:  {var_after}/{total} compilations differ");
     assert_eq!(var_after, 0, "the reproducible reduction must be invariant");
 
-    println!(
-        "\n→ reproducibility restored across all {total} runs without banning optimizations"
-    );
+    println!("\n→ reproducibility restored across all {total} runs without banning optimizations");
     println!("  (the reproducible operator costs ~2x in the reduction itself — the price");
     println!("   the bit-reproducibility literature reports for binned accumulation)");
 }

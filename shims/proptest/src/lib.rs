@@ -1,0 +1,294 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Generate-only property testing: each `proptest!` test derives a
+//! deterministic RNG from its own name and runs `cases` generated
+//! inputs through the body. There is no shrinking — a failing case
+//! panics with the normal `assert!` message, and determinism makes the
+//! failure reproducible by rerunning the same test.
+//!
+//! Strategy surface implemented (what this workspace uses): numeric
+//! ranges, `any::<bool|integer>()`, tuples, `prop_map` / `prop_filter`,
+//! `prop::collection::{vec, btree_set}`, `Just`, and string regexes of
+//! the form `"[a-z]{m,n}"`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::…` paths (`prop::collection::vec`, …), as re-exported by the
+/// real crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Number of elements a collection strategy may produce.
+    ///
+    /// Built from a fixed `usize` (exactly that many) or a `Range`
+    /// (half-open, as in real proptest).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.max <= self.min + 1 {
+                self.min
+            } else {
+                self.min + (rng.next_u64() as usize) % (self.max - self.min)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` of roughly `size` elements drawn from `elem`
+    /// (duplicates are retried a bounded number of times, so a small
+    /// element domain may yield fewer elements than requested).
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 50 + 100 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Everything a `proptest!`-based test file needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+// ---- macros ----
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand one test at a time against a shared config.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut executed: u32 = 0;
+            let mut attempts: u32 = 0;
+            while executed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(20).max(1_000),
+                    "proptest shim: too many cases rejected by prop_assume! in {}",
+                    stringify!($name),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                #[allow(clippy::redundant_closure_call)]
+                let outcome = (move || -> ::std::ops::ControlFlow<()> {
+                    $body
+                    ::std::ops::ControlFlow::Continue(())
+                })();
+                if let ::std::ops::ControlFlow::Continue(()) = outcome {
+                    executed += 1;
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current generated case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        let mut c = crate::test_runner::TestRng::from_name("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let x = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&y));
+            let z = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn string_regex_generates_in_spec() {
+        let mut rng = crate::test_runner::TestRng::from_name("re");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = crate::test_runner::TestRng::from_name("coll");
+        for _ in 0..100 {
+            let v = prop::collection::vec(any::<bool>(), 5).generate(&mut rng);
+            assert_eq!(v.len(), 5);
+            let s: BTreeSet<u32> = prop::collection::btree_set(0u32..1000, 3..6).generate(&mut rng);
+            assert!((3..6).contains(&s.len()), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u32..10, flip in any::<bool>()) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(flip, flip);
+            prop_assert_ne!(x + 1, x);
+        }
+
+        #[test]
+        fn assume_skips_cases(pair in (0u32..4, 0u32..4)) {
+            prop_assume!(pair.0 != pair.1);
+            prop_assert_ne!(pair.0, pair.1);
+        }
+
+        #[test]
+        fn maps_and_filters_compose(
+            n in (1usize..50).prop_map(|n| n * 2),
+            m in (0i32..100).prop_filter("even", |m| m % 2 == 0),
+        ) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_eq!(m % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The `Strategy` trait and the generator implementations this
+//! workspace's property tests draw from.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; rejected draws are retried a
+    /// bounded number of times.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "proptest shim: prop_filter({:?}) rejected 1000 consecutive draws",
+            self.whence
+        );
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- numeric ranges ----
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy");
+                // Spans here are far below 2^64, so the modulo bias is
+                // negligible for test generation purposes.
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.end > self.start, "empty range strategy");
+        let x = self.start + rng.next_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let wide = (f64::from(self.start)..f64::from(self.end)).generate(rng);
+        wide as f32
+    }
+}
+
+// ---- any::<T>() ----
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy form of [`Arbitrary`]; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---- tuples ----
+
+macro_rules! impl_tuple {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple!(A.0);
+impl_tuple!(A.0, B.1);
+impl_tuple!(A.0, B.1, C.2);
+impl_tuple!(A.0, B.1, C.2, D.3);
+impl_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+// ---- string regexes ----
+
+/// `&str` patterns act as regex strategies. Only the `[c1-c2]{m,n}`
+/// shape (a single character class with a bounded repeat) is
+/// implemented — the one form this workspace uses.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi, min, max) = parse_class_repeat(self).unwrap_or_else(|| {
+            panic!("proptest shim: unsupported string regex {self:?} (expected \"[a-z]{{m,n}}\")")
+        });
+        let len = min + (rng.next_u64() as usize) % (max - min + 1);
+        (0..len)
+            .map(|_| {
+                let span = (hi as u32 - lo as u32 + 1) as u64;
+                char::from_u32(lo as u32 + (rng.next_u64() % span) as u32).unwrap()
+            })
+            .collect()
+    }
+}
+
+/// Parse `[c1-c2]{m,n}` into `(c1, c2, m, n)`.
+fn parse_class_repeat(pat: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let lo = chars.next()?;
+    if chars.next()? != '-' {
+        return None;
+    }
+    let hi = chars.next()?;
+    if chars.next().is_some() || hi < lo {
+        return None;
+    }
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (m, n) = body.split_once(',')?;
+    let min: usize = m.trim().parse().ok()?;
+    let max: usize = n.trim().parse().ok()?;
+    if max < min {
+        return None;
+    }
+    Some((lo, hi, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_parser_handles_the_supported_shape() {
+        assert_eq!(parse_class_repeat("[a-z]{1,8}"), Some(('a', 'z', 1, 8)));
+        assert_eq!(parse_class_repeat("[0-9]{3,3}"), Some(('0', '9', 3, 3)));
+        assert_eq!(parse_class_repeat("plain"), None);
+        assert_eq!(parse_class_repeat("[abc]{1,2}"), None);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::from_name("tup");
+        let (a, b, c) = (0u32..10, any::<bool>(), Just(7i64)).generate(&mut rng);
+        assert!(a < 10);
+        let _ = b;
+        assert_eq!(c, 7);
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_cache-4ff36b179b919dfa.d: crates/bench/benches/bench_cache.rs
+
+/root/repo/target/debug/deps/bench_cache-4ff36b179b919dfa: crates/bench/benches/bench_cache.rs
+
+crates/bench/benches/bench_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_cache-db84425bd1559008.d: crates/bench/benches/bench_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_cache-db84425bd1559008.rmeta: crates/bench/benches/bench_cache.rs Cargo.toml
+
+crates/bench/benches/bench_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

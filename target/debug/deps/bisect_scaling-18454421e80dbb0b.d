@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bisect_scaling-18454421e80dbb0b.d: crates/bench/benches/bisect_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbisect_scaling-18454421e80dbb0b.rmeta: crates/bench/benches/bisect_scaling.rs Cargo.toml
+
+crates/bench/benches/bisect_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

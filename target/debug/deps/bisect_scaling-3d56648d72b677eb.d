@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bisect_scaling-3d56648d72b677eb.d: crates/bench/benches/bisect_scaling.rs
+
+/root/repo/target/debug/deps/bisect_scaling-3d56648d72b677eb: crates/bench/benches/bisect_scaling.rs
+
+crates/bench/benches/bisect_scaling.rs:

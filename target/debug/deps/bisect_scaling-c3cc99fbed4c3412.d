@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bisect_scaling-c3cc99fbed4c3412.d: crates/bench/benches/bisect_scaling.rs
+
+/root/repo/target/debug/deps/libbisect_scaling-c3cc99fbed4c3412.rmeta: crates/bench/benches/bisect_scaling.rs
+
+crates/bench/benches/bisect_scaling.rs:

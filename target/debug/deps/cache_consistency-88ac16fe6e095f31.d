@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_consistency-88ac16fe6e095f31.d: tests/cache_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_consistency-88ac16fe6e095f31.rmeta: tests/cache_consistency.rs Cargo.toml
+
+tests/cache_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_consistency-dfbd553d57c01541.d: tests/cache_consistency.rs
+
+/root/repo/target/debug/deps/cache_consistency-dfbd553d57c01541: tests/cache_consistency.rs
+
+tests/cache_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-0c1ba3f5504983d7.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-0c1ba3f5504983d7.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

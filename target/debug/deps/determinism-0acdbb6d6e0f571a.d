@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0acdbb6d6e0f571a.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0acdbb6d6e0f571a: tests/determinism.rs
+
+tests/determinism.rs:

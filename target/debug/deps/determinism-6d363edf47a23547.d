@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6d363edf47a23547.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6d363edf47a23547: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-dd75e0b1ccc1ca8b.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-dd75e0b1ccc1ca8b: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-27241de32eb8eece.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-27241de32eb8eece: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-834a2501f45fdf57.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-834a2501f45fdf57: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-ef104ecbe2018274.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-ef104ecbe2018274: tests/failure_injection.rs
+
+tests/failure_injection.rs:

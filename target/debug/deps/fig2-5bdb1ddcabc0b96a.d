@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-5bdb1ddcabc0b96a.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-5bdb1ddcabc0b96a: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-9b4d52148393e546.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-9b4d52148393e546.rmeta: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-d32b86e146edf280.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-d32b86e146edf280: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-f940de24136c05cf.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-f940de24136c05cf: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-f985504e20c8d6c6.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-f985504e20c8d6c6: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

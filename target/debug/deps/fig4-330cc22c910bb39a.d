@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-330cc22c910bb39a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-330cc22c910bb39a.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

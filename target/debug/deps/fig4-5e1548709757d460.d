@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-5e1548709757d460.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-5e1548709757d460: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

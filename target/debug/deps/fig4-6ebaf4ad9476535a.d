@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-6ebaf4ad9476535a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-6ebaf4ad9476535a: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

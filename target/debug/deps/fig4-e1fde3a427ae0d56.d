@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-e1fde3a427ae0d56.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-e1fde3a427ae0d56: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-ff2e1087b2f36110.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-ff2e1087b2f36110: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-785bd11dac35cefe.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-785bd11dac35cefe: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

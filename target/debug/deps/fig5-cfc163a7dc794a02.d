@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-cfc163a7dc794a02.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-cfc163a7dc794a02: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

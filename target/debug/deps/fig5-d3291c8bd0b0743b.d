@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-d3291c8bd0b0743b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-d3291c8bd0b0743b.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-f3a6dd3d6189701e.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-f3a6dd3d6189701e: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

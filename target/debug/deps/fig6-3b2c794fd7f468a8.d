@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-3b2c794fd7f468a8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-3b2c794fd7f468a8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

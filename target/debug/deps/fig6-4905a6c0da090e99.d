@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-4905a6c0da090e99.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-4905a6c0da090e99: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-90c7c15ced273696.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-90c7c15ced273696.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit-1043410a614c080a.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit-1043410a614c080a.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-1cd23a5d8ba3df61.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/flit-1cd23a5d8ba3df61: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

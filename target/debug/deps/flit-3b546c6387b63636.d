@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-3b546c6387b63636.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/flit-3b546c6387b63636: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

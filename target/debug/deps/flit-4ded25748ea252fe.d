@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit-4ded25748ea252fe.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-4ded25748ea252fe.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-4ded25748ea252fe.rmeta: src/lib.rs
+
+src/lib.rs:

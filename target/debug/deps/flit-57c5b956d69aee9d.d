@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-57c5b956d69aee9d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libflit-57c5b956d69aee9d.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

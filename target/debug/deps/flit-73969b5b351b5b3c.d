@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-73969b5b351b5b3c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-73969b5b351b5b3c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit-8f2f8425227696ad.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit-8f2f8425227696ad.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit-8f6549a6c98a6fb8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-8f6549a6c98a6fb8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-8f6549a6c98a6fb8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-9d348f1197196674.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/flit-9d348f1197196674: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

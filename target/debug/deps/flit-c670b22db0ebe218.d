@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-c670b22db0ebe218.d: src/lib.rs
+
+/root/repo/target/debug/deps/flit-c670b22db0ebe218: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-df73117974871255.d: src/lib.rs
+
+/root/repo/target/debug/deps/flit-df73117974871255: src/lib.rs
+
+src/lib.rs:

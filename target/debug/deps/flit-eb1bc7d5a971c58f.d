@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit-eb1bc7d5a971c58f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit-eb1bc7d5a971c58f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

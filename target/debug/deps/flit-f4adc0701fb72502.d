@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-f4adc0701fb72502.d: src/lib.rs
+
+/root/repo/target/debug/deps/flit-f4adc0701fb72502: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit-f7c001a62a694ff6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-f7c001a62a694ff6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-f7c001a62a694ff6.rmeta: src/lib.rs
+
+src/lib.rs:

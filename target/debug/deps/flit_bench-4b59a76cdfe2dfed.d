@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flit_bench-4b59a76cdfe2dfed.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/flit_bench-4b59a76cdfe2dfed: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:

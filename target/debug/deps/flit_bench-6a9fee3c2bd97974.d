@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flit_bench-6a9fee3c2bd97974.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_bench-6a9fee3c2bd97974.rmeta: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flit_bench-7661b0acd8b975b6.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/libflit_bench-7661b0acd8b975b6.rlib: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/libflit_bench-7661b0acd8b975b6.rmeta: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:

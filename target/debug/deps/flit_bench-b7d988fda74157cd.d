@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flit_bench-b7d988fda74157cd.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/libflit_bench-b7d988fda74157cd.rlib: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/libflit_bench-b7d988fda74157cd.rmeta: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:

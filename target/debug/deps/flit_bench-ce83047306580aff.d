@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flit_bench-ce83047306580aff.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/flit_bench-ce83047306580aff: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flit_bench-d374c2cff2a5a917.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/libflit_bench-d374c2cff2a5a917.rmeta: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flit_bench-e91d3c8ba9188c85.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/libflit_bench-e91d3c8ba9188c85.rmeta: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:

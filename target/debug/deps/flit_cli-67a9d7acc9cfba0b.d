@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flit_cli-67a9d7acc9cfba0b.d: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libflit_cli-67a9d7acc9cfba0b.rmeta: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/apps.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

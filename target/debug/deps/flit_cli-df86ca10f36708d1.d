@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flit_cli-df86ca10f36708d1.d: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libflit_cli-df86ca10f36708d1.rlib: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libflit_cli-df86ca10f36708d1.rmeta: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/apps.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

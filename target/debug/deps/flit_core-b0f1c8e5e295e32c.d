@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flit_core-b0f1c8e5e295e32c.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+/root/repo/target/debug/deps/flit_core-b0f1c8e5e295e32c: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/db.rs:
+crates/core/src/determinize.rs:
+crates/core/src/metrics.rs:
+crates/core/src/runner.rs:
+crates/core/src/test.rs:
+crates/core/src/workflow.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/flit_fpsim-1a91774984201989.d: crates/fpsim/src/lib.rs crates/fpsim/src/compensated.rs crates/fpsim/src/dd.rs crates/fpsim/src/env.rs crates/fpsim/src/interval.rs crates/fpsim/src/linalg.rs crates/fpsim/src/mathlib.rs crates/fpsim/src/ops.rs crates/fpsim/src/poly.rs crates/fpsim/src/reduce.rs crates/fpsim/src/solve.rs crates/fpsim/src/sparse.rs crates/fpsim/src/stencil.rs crates/fpsim/src/ulp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_fpsim-1a91774984201989.rmeta: crates/fpsim/src/lib.rs crates/fpsim/src/compensated.rs crates/fpsim/src/dd.rs crates/fpsim/src/env.rs crates/fpsim/src/interval.rs crates/fpsim/src/linalg.rs crates/fpsim/src/mathlib.rs crates/fpsim/src/ops.rs crates/fpsim/src/poly.rs crates/fpsim/src/reduce.rs crates/fpsim/src/solve.rs crates/fpsim/src/sparse.rs crates/fpsim/src/stencil.rs crates/fpsim/src/ulp.rs Cargo.toml
+
+crates/fpsim/src/lib.rs:
+crates/fpsim/src/compensated.rs:
+crates/fpsim/src/dd.rs:
+crates/fpsim/src/env.rs:
+crates/fpsim/src/interval.rs:
+crates/fpsim/src/linalg.rs:
+crates/fpsim/src/mathlib.rs:
+crates/fpsim/src/ops.rs:
+crates/fpsim/src/poly.rs:
+crates/fpsim/src/reduce.rs:
+crates/fpsim/src/solve.rs:
+crates/fpsim/src/sparse.rs:
+crates/fpsim/src/stencil.rs:
+crates/fpsim/src/ulp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

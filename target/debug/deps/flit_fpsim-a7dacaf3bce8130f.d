@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/flit_fpsim-a7dacaf3bce8130f.d: crates/fpsim/src/lib.rs crates/fpsim/src/compensated.rs crates/fpsim/src/dd.rs crates/fpsim/src/env.rs crates/fpsim/src/interval.rs crates/fpsim/src/linalg.rs crates/fpsim/src/mathlib.rs crates/fpsim/src/ops.rs crates/fpsim/src/poly.rs crates/fpsim/src/reduce.rs crates/fpsim/src/solve.rs crates/fpsim/src/sparse.rs crates/fpsim/src/stencil.rs crates/fpsim/src/ulp.rs
+
+/root/repo/target/debug/deps/flit_fpsim-a7dacaf3bce8130f: crates/fpsim/src/lib.rs crates/fpsim/src/compensated.rs crates/fpsim/src/dd.rs crates/fpsim/src/env.rs crates/fpsim/src/interval.rs crates/fpsim/src/linalg.rs crates/fpsim/src/mathlib.rs crates/fpsim/src/ops.rs crates/fpsim/src/poly.rs crates/fpsim/src/reduce.rs crates/fpsim/src/solve.rs crates/fpsim/src/sparse.rs crates/fpsim/src/stencil.rs crates/fpsim/src/ulp.rs
+
+crates/fpsim/src/lib.rs:
+crates/fpsim/src/compensated.rs:
+crates/fpsim/src/dd.rs:
+crates/fpsim/src/env.rs:
+crates/fpsim/src/interval.rs:
+crates/fpsim/src/linalg.rs:
+crates/fpsim/src/mathlib.rs:
+crates/fpsim/src/ops.rs:
+crates/fpsim/src/poly.rs:
+crates/fpsim/src/reduce.rs:
+crates/fpsim/src/solve.rs:
+crates/fpsim/src/sparse.rs:
+crates/fpsim/src/stencil.rs:
+crates/fpsim/src/ulp.rs:

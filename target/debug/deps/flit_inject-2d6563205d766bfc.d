@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_inject-2d6563205d766bfc.d: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/debug/deps/flit_inject-2d6563205d766bfc: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/sites.rs:
+crates/inject/src/study.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_inject-85fc7e4c21dfa399.d: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/debug/deps/libflit_inject-85fc7e4c21dfa399.rmeta: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/sites.rs:
+crates/inject/src/study.rs:

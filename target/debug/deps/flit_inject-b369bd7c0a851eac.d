@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_inject-b369bd7c0a851eac.d: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/debug/deps/flit_inject-b369bd7c0a851eac: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/sites.rs:
+crates/inject/src/study.rs:

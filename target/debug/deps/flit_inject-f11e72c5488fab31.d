@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit_inject-f11e72c5488fab31.d: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/debug/deps/libflit_inject-f11e72c5488fab31.rlib: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/debug/deps/libflit_inject-f11e72c5488fab31.rmeta: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/sites.rs:
+crates/inject/src/study.rs:

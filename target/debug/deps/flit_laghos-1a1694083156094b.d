@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit_laghos-1a1694083156094b.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/debug/deps/libflit_laghos-1a1694083156094b.rlib: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/debug/deps/libflit_laghos-1a1694083156094b.rmeta: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:

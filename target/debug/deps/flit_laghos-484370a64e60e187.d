@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_laghos-484370a64e60e187.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/debug/deps/libflit_laghos-484370a64e60e187.rmeta: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_laghos-5affa5f90618fcee.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/debug/deps/flit_laghos-5affa5f90618fcee: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_laghos-e2797ff0cbff9c35.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/debug/deps/libflit_laghos-e2797ff0cbff9c35.rmeta: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit_lulesh-1054927bb495b3f4.d: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/debug/deps/libflit_lulesh-1054927bb495b3f4.rlib: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/debug/deps/libflit_lulesh-1054927bb495b3f4.rmeta: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+crates/lulesh/src/lib.rs:
+crates/lulesh/src/kernels.rs:
+crates/lulesh/src/program.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_lulesh-3decb397e46c2ec2.d: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/debug/deps/flit_lulesh-3decb397e46c2ec2: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+crates/lulesh/src/lib.rs:
+crates/lulesh/src/kernels.rs:
+crates/lulesh/src/program.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_lulesh-872ca887b7408b7f.d: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/debug/deps/libflit_lulesh-872ca887b7408b7f.rmeta: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+crates/lulesh/src/lib.rs:
+crates/lulesh/src/kernels.rs:
+crates/lulesh/src/program.rs:

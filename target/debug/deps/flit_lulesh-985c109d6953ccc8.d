@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_lulesh-985c109d6953ccc8.d: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/debug/deps/flit_lulesh-985c109d6953ccc8: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+crates/lulesh/src/lib.rs:
+crates/lulesh/src/kernels.rs:
+crates/lulesh/src/program.rs:

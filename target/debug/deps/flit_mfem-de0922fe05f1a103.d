@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flit_mfem-de0922fe05f1a103.d: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+/root/repo/target/debug/deps/libflit_mfem-de0922fe05f1a103.rlib: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+/root/repo/target/debug/deps/libflit_mfem-de0922fe05f1a103.rmeta: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+crates/mfem/src/lib.rs:
+crates/mfem/src/codebase.rs:
+crates/mfem/src/examples.rs:
+crates/mfem/src/files.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flit_mfem-ea60bf077401d45e.d: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+/root/repo/target/debug/deps/libflit_mfem-ea60bf077401d45e.rlib: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+/root/repo/target/debug/deps/libflit_mfem-ea60bf077401d45e.rmeta: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+crates/mfem/src/lib.rs:
+crates/mfem/src/codebase.rs:
+crates/mfem/src/examples.rs:
+crates/mfem/src/files.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flit_program-922ef88a2c419490.d: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+/root/repo/target/debug/deps/libflit_program-922ef88a2c419490.rlib: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+/root/repo/target/debug/deps/libflit_program-922ef88a2c419490.rmeta: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+crates/program/src/lib.rs:
+crates/program/src/build.rs:
+crates/program/src/engine.rs:
+crates/program/src/generate.rs:
+crates/program/src/kernel.rs:
+crates/program/src/model.rs:
+crates/program/src/sites.rs:

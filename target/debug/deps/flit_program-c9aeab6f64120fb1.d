@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flit_program-c9aeab6f64120fb1.d: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+/root/repo/target/debug/deps/libflit_program-c9aeab6f64120fb1.rmeta: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+crates/program/src/lib.rs:
+crates/program/src/build.rs:
+crates/program/src/engine.rs:
+crates/program/src/generate.rs:
+crates/program/src/kernel.rs:
+crates/program/src/model.rs:
+crates/program/src/sites.rs:

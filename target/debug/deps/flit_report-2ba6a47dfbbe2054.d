@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flit_report-2ba6a47dfbbe2054.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/libflit_report-2ba6a47dfbbe2054.rlib: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/libflit_report-2ba6a47dfbbe2054.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/plot.rs:
+crates/report/src/stats.rs:
+crates/report/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flit_report-5208d64da1efc9f0.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_report-5208d64da1efc9f0.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs Cargo.toml
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/plot.rs:
+crates/report/src/stats.rs:
+crates/report/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

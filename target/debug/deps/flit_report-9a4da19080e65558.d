@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit_report-9a4da19080e65558.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/libflit_report-9a4da19080e65558.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/plot.rs:
+crates/report/src/stats.rs:
+crates/report/src/table.rs:

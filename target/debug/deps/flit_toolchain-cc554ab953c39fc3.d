@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flit_toolchain-cc554ab953c39fc3.d: crates/toolchain/src/lib.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+/root/repo/target/debug/deps/flit_toolchain-cc554ab953c39fc3: crates/toolchain/src/lib.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+crates/toolchain/src/lib.rs:
+crates/toolchain/src/compilation.rs:
+crates/toolchain/src/compiler.rs:
+crates/toolchain/src/flags.rs:
+crates/toolchain/src/linker.rs:
+crates/toolchain/src/object.rs:
+crates/toolchain/src/perf.rs:

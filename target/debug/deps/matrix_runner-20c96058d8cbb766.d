@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matrix_runner-20c96058d8cbb766.d: crates/bench/benches/matrix_runner.rs
+
+/root/repo/target/debug/deps/matrix_runner-20c96058d8cbb766: crates/bench/benches/matrix_runner.rs
+
+crates/bench/benches/matrix_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matrix_runner-e65be8cb41a62e35.d: crates/bench/benches/matrix_runner.rs
+
+/root/repo/target/debug/deps/libmatrix_runner-e65be8cb41a62e35.rmeta: crates/bench/benches/matrix_runner.rs
+
+crates/bench/benches/matrix_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivation-0049f134249b8dae.d: crates/bench/src/bin/motivation.rs
+
+/root/repo/target/debug/deps/motivation-0049f134249b8dae: crates/bench/src/bin/motivation.rs
+
+crates/bench/src/bin/motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivation-9d41adef66addf80.d: crates/bench/src/bin/motivation.rs
+
+/root/repo/target/debug/deps/motivation-9d41adef66addf80: crates/bench/src/bin/motivation.rs
+
+crates/bench/src/bin/motivation.rs:

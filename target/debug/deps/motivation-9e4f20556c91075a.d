@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivation-9e4f20556c91075a.d: crates/bench/src/bin/motivation.rs
+
+/root/repo/target/debug/deps/motivation-9e4f20556c91075a: crates/bench/src/bin/motivation.rs
+
+crates/bench/src/bin/motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivation-b9a0d0cd85c697ba.d: crates/bench/src/bin/motivation.rs
+
+/root/repo/target/debug/deps/libmotivation-b9a0d0cd85c697ba.rmeta: crates/bench/src/bin/motivation.rs
+
+crates/bench/src/bin/motivation.rs:

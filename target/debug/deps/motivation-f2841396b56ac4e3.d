@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivation-f2841396b56ac4e3.d: crates/bench/src/bin/motivation.rs
+
+/root/repo/target/debug/deps/motivation-f2841396b56ac4e3: crates/bench/src/bin/motivation.rs
+
+crates/bench/src/bin/motivation.rs:

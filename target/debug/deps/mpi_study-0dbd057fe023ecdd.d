@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_study-0dbd057fe023ecdd.d: crates/bench/src/bin/mpi_study.rs
+
+/root/repo/target/debug/deps/libmpi_study-0dbd057fe023ecdd.rmeta: crates/bench/src/bin/mpi_study.rs
+
+crates/bench/src/bin/mpi_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_study-43c2f38d6ec36dcc.d: crates/bench/src/bin/mpi_study.rs
+
+/root/repo/target/debug/deps/mpi_study-43c2f38d6ec36dcc: crates/bench/src/bin/mpi_study.rs
+
+crates/bench/src/bin/mpi_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_study-9415257f20204f76.d: crates/bench/src/bin/mpi_study.rs
+
+/root/repo/target/debug/deps/mpi_study-9415257f20204f76: crates/bench/src/bin/mpi_study.rs
+
+crates/bench/src/bin/mpi_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_study-aa232eace0b5302c.d: crates/bench/src/bin/mpi_study.rs
+
+/root/repo/target/debug/deps/mpi_study-aa232eace0b5302c: crates/bench/src/bin/mpi_study.rs
+
+crates/bench/src/bin/mpi_study.rs:

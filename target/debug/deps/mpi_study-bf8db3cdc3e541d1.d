@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_study-bf8db3cdc3e541d1.d: crates/bench/src/bin/mpi_study.rs
+
+/root/repo/target/debug/deps/mpi_study-bf8db3cdc3e541d1: crates/bench/src/bin/mpi_study.rs
+
+crates/bench/src/bin/mpi_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-2bf567c731bb2ecd.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-2bf567c731bb2ecd: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-41d99a636c13d916.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-41d99a636c13d916: tests/paper_claims.rs
+
+tests/paper_claims.rs:

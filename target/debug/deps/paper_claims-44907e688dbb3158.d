@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-44907e688dbb3158.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-44907e688dbb3158: tests/paper_claims.rs
+
+tests/paper_claims.rs:

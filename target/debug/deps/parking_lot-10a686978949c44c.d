@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-10a686978949c44c.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-10a686978949c44c.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-185e48d4e9a1dd0e.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-185e48d4e9a1dd0e: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3394076f6e1c9204.d: crates/toolchain/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3394076f6e1c9204: crates/toolchain/tests/proptests.rs
+
+crates/toolchain/tests/proptests.rs:

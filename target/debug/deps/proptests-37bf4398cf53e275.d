@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-37bf4398cf53e275.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-37bf4398cf53e275: tests/proptests.rs
+
+tests/proptests.rs:

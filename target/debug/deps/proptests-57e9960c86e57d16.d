@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-57e9960c86e57d16.d: crates/toolchain/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-57e9960c86e57d16: crates/toolchain/tests/proptests.rs
+
+crates/toolchain/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-80aba0c802f73f40.d: crates/bisect/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-80aba0c802f73f40.rmeta: crates/bisect/tests/proptests.rs Cargo.toml
+
+crates/bisect/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

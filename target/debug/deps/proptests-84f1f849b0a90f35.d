@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-84f1f849b0a90f35.d: crates/toolchain/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-84f1f849b0a90f35.rmeta: crates/toolchain/tests/proptests.rs Cargo.toml
+
+crates/toolchain/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-882dfd762b0dbd93.d: crates/fpsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-882dfd762b0dbd93: crates/fpsim/tests/proptests.rs
+
+crates/fpsim/tests/proptests.rs:

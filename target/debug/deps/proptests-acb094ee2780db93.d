@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-acb094ee2780db93.d: crates/fpsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-acb094ee2780db93.rmeta: crates/fpsim/tests/proptests.rs Cargo.toml
+
+crates/fpsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ae33b7a8957ba256.d: crates/bisect/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ae33b7a8957ba256: crates/bisect/tests/proptests.rs
+
+crates/bisect/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c3bc38fce874c030.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c3bc38fce874c030: tests/proptests.rs
+
+tests/proptests.rs:

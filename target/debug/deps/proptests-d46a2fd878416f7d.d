@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d46a2fd878416f7d.d: crates/bisect/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d46a2fd878416f7d: crates/bisect/tests/proptests.rs
+
+crates/bisect/tests/proptests.rs:

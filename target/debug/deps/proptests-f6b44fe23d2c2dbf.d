@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f6b44fe23d2c2dbf.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f6b44fe23d2c2dbf.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

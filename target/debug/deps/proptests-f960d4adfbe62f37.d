@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f960d4adfbe62f37.d: crates/program/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f960d4adfbe62f37: crates/program/tests/proptests.rs
+
+crates/program/tests/proptests.rs:

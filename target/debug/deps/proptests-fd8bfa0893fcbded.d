@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fd8bfa0893fcbded.d: crates/program/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fd8bfa0893fcbded: crates/program/tests/proptests.rs
+
+crates/program/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-22e49195226b248e.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-22e49195226b248e.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-8831e9bf189ada6d.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-8831e9bf189ada6d.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

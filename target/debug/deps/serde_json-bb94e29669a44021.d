@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-bb94e29669a44021.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-bb94e29669a44021: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

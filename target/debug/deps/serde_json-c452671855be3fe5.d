@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-c452671855be3fe5.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c452671855be3fe5.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c452671855be3fe5.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

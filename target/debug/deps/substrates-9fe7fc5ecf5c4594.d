@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-9fe7fc5ecf5c4594.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/libsubstrates-9fe7fc5ecf5c4594.rmeta: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-d2d00045efe7e8c1.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/substrates-d2d00045efe7e8c1: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/switch_report-03ab3f8674ed0ebd.d: crates/bench/src/bin/switch_report.rs
+
+/root/repo/target/debug/deps/switch_report-03ab3f8674ed0ebd: crates/bench/src/bin/switch_report.rs
+
+crates/bench/src/bin/switch_report.rs:

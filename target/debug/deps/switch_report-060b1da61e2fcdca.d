@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/switch_report-060b1da61e2fcdca.d: crates/bench/src/bin/switch_report.rs
+
+/root/repo/target/debug/deps/libswitch_report-060b1da61e2fcdca.rmeta: crates/bench/src/bin/switch_report.rs
+
+crates/bench/src/bin/switch_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/switch_report-4d641ac211582465.d: crates/bench/src/bin/switch_report.rs
+
+/root/repo/target/debug/deps/switch_report-4d641ac211582465: crates/bench/src/bin/switch_report.rs
+
+crates/bench/src/bin/switch_report.rs:

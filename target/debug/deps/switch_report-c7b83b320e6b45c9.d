@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/switch_report-c7b83b320e6b45c9.d: crates/bench/src/bin/switch_report.rs
+
+/root/repo/target/debug/deps/switch_report-c7b83b320e6b45c9: crates/bench/src/bin/switch_report.rs
+
+crates/bench/src/bin/switch_report.rs:

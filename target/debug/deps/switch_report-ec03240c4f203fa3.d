@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/switch_report-ec03240c4f203fa3.d: crates/bench/src/bin/switch_report.rs
+
+/root/repo/target/debug/deps/switch_report-ec03240c4f203fa3: crates/bench/src/bin/switch_report.rs
+
+crates/bench/src/bin/switch_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-320ccaf16951900a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-320ccaf16951900a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4b0354c99d5317fa.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4b0354c99d5317fa: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

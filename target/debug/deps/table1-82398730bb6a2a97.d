@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-82398730bb6a2a97.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-82398730bb6a2a97.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a15c9917d85e119b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a15c9917d85e119b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

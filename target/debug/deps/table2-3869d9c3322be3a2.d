@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3869d9c3322be3a2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3869d9c3322be3a2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3ecd048deed6af2d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3ecd048deed6af2d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-5f478ed03a8aff2d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-5f478ed03a8aff2d.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

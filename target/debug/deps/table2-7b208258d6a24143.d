@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-7b208258d6a24143.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-7b208258d6a24143: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

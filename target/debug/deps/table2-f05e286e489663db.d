@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f05e286e489663db.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-f05e286e489663db: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-2d415efcc1232f4d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-2d415efcc1232f4d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-58dd48cb370c5b94.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-58dd48cb370c5b94: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

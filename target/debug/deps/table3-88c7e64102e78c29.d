@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-88c7e64102e78c29.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-88c7e64102e78c29: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-bba4bb88ebd0315e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-bba4bb88ebd0315e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

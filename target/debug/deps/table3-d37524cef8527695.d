@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-d37524cef8527695.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-d37524cef8527695.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-0d5af0f4e3bcdb90.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-0d5af0f4e3bcdb90: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-2cf333997a20a7aa.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-2cf333997a20a7aa: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

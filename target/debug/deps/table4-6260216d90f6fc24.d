@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-6260216d90f6fc24.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-6260216d90f6fc24.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

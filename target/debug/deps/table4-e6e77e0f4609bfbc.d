@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-e6e77e0f4609bfbc.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-e6e77e0f4609bfbc: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-f73456f562149eaf.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-f73456f562149eaf: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

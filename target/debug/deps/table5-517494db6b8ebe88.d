@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-517494db6b8ebe88.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-517494db6b8ebe88: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

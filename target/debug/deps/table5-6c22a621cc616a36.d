@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-6c22a621cc616a36.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-6c22a621cc616a36.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

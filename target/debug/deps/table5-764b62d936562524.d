@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-764b62d936562524.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-764b62d936562524: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

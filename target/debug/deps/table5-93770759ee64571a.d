@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-93770759ee64571a.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-93770759ee64571a: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

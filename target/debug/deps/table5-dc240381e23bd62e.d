@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-dc240381e23bd62e.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-dc240381e23bd62e: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workflow_end_to_end-7644b2550985e47b.d: tests/workflow_end_to_end.rs
+
+/root/repo/target/debug/deps/workflow_end_to_end-7644b2550985e47b: tests/workflow_end_to_end.rs
+
+tests/workflow_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workflow_end_to_end-a0cdff23fafa006c.d: tests/workflow_end_to_end.rs
+
+/root/repo/target/debug/deps/workflow_end_to_end-a0cdff23fafa006c: tests/workflow_end_to_end.rs
+
+tests/workflow_end_to_end.rs:

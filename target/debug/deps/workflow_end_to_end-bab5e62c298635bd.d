@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workflow_end_to_end-bab5e62c298635bd.d: tests/workflow_end_to_end.rs
+
+/root/repo/target/debug/deps/workflow_end_to_end-bab5e62c298635bd: tests/workflow_end_to_end.rs
+
+tests/workflow_end_to_end.rs:

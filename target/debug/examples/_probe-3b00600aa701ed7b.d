@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_probe-3b00600aa701ed7b.d: examples/_probe.rs
+
+/root/repo/target/debug/examples/_probe-3b00600aa701ed7b: examples/_probe.rs
+
+examples/_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cgal_discrete-149458e4a9a9fded.d: examples/cgal_discrete.rs
+
+/root/repo/target/debug/examples/cgal_discrete-149458e4a9a9fded: examples/cgal_discrete.rs
+
+examples/cgal_discrete.rs:

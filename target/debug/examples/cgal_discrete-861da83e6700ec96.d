@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cgal_discrete-861da83e6700ec96.d: examples/cgal_discrete.rs
+
+/root/repo/target/debug/examples/cgal_discrete-861da83e6700ec96: examples/cgal_discrete.rs
+
+examples/cgal_discrete.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cgal_discrete-ee2c7a681bcad4c2.d: examples/cgal_discrete.rs
+
+/root/repo/target/debug/examples/cgal_discrete-ee2c7a681bcad4c2: examples/cgal_discrete.rs
+
+examples/cgal_discrete.rs:

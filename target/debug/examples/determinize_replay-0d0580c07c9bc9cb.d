@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/determinize_replay-0d0580c07c9bc9cb.d: examples/determinize_replay.rs
+
+/root/repo/target/debug/examples/determinize_replay-0d0580c07c9bc9cb: examples/determinize_replay.rs
+
+examples/determinize_replay.rs:

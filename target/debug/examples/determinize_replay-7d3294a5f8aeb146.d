@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/determinize_replay-7d3294a5f8aeb146.d: examples/determinize_replay.rs
+
+/root/repo/target/debug/examples/determinize_replay-7d3294a5f8aeb146: examples/determinize_replay.rs
+
+examples/determinize_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/determinize_replay-9ec457cae8139f5b.d: examples/determinize_replay.rs
+
+/root/repo/target/debug/examples/determinize_replay-9ec457cae8139f5b: examples/determinize_replay.rs
+
+examples/determinize_replay.rs:

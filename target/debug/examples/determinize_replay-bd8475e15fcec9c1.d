@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/determinize_replay-bd8475e15fcec9c1.d: examples/determinize_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeterminize_replay-bd8475e15fcec9c1.rmeta: examples/determinize_replay.rs Cargo.toml
+
+examples/determinize_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

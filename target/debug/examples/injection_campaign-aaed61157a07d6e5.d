@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/injection_campaign-aaed61157a07d6e5.d: examples/injection_campaign.rs
+
+/root/repo/target/debug/examples/injection_campaign-aaed61157a07d6e5: examples/injection_campaign.rs
+
+examples/injection_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/injection_campaign-e3cf93a6a4051faa.d: examples/injection_campaign.rs
+
+/root/repo/target/debug/examples/injection_campaign-e3cf93a6a4051faa: examples/injection_campaign.rs
+
+examples/injection_campaign.rs:

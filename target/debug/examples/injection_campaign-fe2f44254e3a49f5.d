@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/injection_campaign-fe2f44254e3a49f5.d: examples/injection_campaign.rs
+
+/root/repo/target/debug/examples/injection_campaign-fe2f44254e3a49f5: examples/injection_campaign.rs
+
+examples/injection_campaign.rs:

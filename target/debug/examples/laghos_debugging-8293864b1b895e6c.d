@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/laghos_debugging-8293864b1b895e6c.d: examples/laghos_debugging.rs
+
+/root/repo/target/debug/examples/laghos_debugging-8293864b1b895e6c: examples/laghos_debugging.rs
+
+examples/laghos_debugging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/laghos_debugging-e6c804bcba4eefbd.d: examples/laghos_debugging.rs
+
+/root/repo/target/debug/examples/laghos_debugging-e6c804bcba4eefbd: examples/laghos_debugging.rs
+
+examples/laghos_debugging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/laghos_debugging-f56d0e08775f710f.d: examples/laghos_debugging.rs
+
+/root/repo/target/debug/examples/laghos_debugging-f56d0e08775f710f: examples/laghos_debugging.rs
+
+examples/laghos_debugging.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mfem_tradeoff-07d59e5fefe9cad5.d: examples/mfem_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmfem_tradeoff-07d59e5fefe9cad5.rmeta: examples/mfem_tradeoff.rs Cargo.toml
+
+examples/mfem_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mfem_tradeoff-4d6ea733f7044a6e.d: examples/mfem_tradeoff.rs
+
+/root/repo/target/debug/examples/mfem_tradeoff-4d6ea733f7044a6e: examples/mfem_tradeoff.rs
+
+examples/mfem_tradeoff.rs:

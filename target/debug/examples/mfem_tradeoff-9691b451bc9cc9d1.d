@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mfem_tradeoff-9691b451bc9cc9d1.d: examples/mfem_tradeoff.rs
+
+/root/repo/target/debug/examples/mfem_tradeoff-9691b451bc9cc9d1: examples/mfem_tradeoff.rs
+
+examples/mfem_tradeoff.rs:

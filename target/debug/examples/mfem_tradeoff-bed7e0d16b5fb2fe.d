@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mfem_tradeoff-bed7e0d16b5fb2fe.d: examples/mfem_tradeoff.rs
+
+/root/repo/target/debug/examples/mfem_tradeoff-bed7e0d16b5fb2fe: examples/mfem_tradeoff.rs
+
+examples/mfem_tradeoff.rs:

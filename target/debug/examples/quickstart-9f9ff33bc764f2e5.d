@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9f9ff33bc764f2e5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9f9ff33bc764f2e5: examples/quickstart.rs
+
+examples/quickstart.rs:

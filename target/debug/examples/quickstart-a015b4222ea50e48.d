@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a015b4222ea50e48.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a015b4222ea50e48: examples/quickstart.rs
+
+examples/quickstart.rs:

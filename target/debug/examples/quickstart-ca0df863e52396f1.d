@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ca0df863e52396f1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ca0df863e52396f1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproducible_fix-354ecfda470de687.d: examples/reproducible_fix.rs
+
+/root/repo/target/debug/examples/reproducible_fix-354ecfda470de687: examples/reproducible_fix.rs
+
+examples/reproducible_fix.rs:

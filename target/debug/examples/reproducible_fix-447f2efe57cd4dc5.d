@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproducible_fix-447f2efe57cd4dc5.d: examples/reproducible_fix.rs
+
+/root/repo/target/debug/examples/reproducible_fix-447f2efe57cd4dc5: examples/reproducible_fix.rs
+
+examples/reproducible_fix.rs:

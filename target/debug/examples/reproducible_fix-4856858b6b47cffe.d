@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reproducible_fix-4856858b6b47cffe.d: examples/reproducible_fix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreproducible_fix-4856858b6b47cffe.rmeta: examples/reproducible_fix.rs Cargo.toml
+
+examples/reproducible_fix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

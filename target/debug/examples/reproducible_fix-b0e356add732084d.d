@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproducible_fix-b0e356add732084d.d: examples/reproducible_fix.rs
+
+/root/repo/target/debug/examples/reproducible_fix-b0e356add732084d: examples/reproducible_fix.rs
+
+examples/reproducible_fix.rs:

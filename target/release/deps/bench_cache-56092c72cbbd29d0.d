@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_cache-56092c72cbbd29d0.d: crates/bench/benches/bench_cache.rs
+
+/root/repo/target/release/deps/bench_cache-56092c72cbbd29d0: crates/bench/benches/bench_cache.rs
+
+crates/bench/benches/bench_cache.rs:

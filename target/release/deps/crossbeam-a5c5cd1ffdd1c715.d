@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-a5c5cd1ffdd1c715.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-a5c5cd1ffdd1c715.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-a5c5cd1ffdd1c715.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-f4eaf5671e30565f.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-f4eaf5671e30565f: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-61c7a90a96231731.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-61c7a90a96231731: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-ebc257fce6218353.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-ebc257fce6218353: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

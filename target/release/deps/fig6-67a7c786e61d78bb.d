@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-67a7c786e61d78bb.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-67a7c786e61d78bb: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flit-0d206aa7c2277165.d: src/lib.rs
+
+/root/repo/target/release/deps/libflit-0d206aa7c2277165.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflit-0d206aa7c2277165.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flit-3c50f0b8a1b590fc.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/flit-3c50f0b8a1b590fc: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flit-e9c91d483ac906d4.d: src/lib.rs
+
+/root/repo/target/release/deps/libflit-e9c91d483ac906d4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflit-e9c91d483ac906d4.rmeta: src/lib.rs
+
+src/lib.rs:

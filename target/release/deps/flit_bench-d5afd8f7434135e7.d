@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flit_bench-d5afd8f7434135e7.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/release/deps/libflit_bench-d5afd8f7434135e7.rlib: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/release/deps/libflit_bench-d5afd8f7434135e7.rmeta: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:

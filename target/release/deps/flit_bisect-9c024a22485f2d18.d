@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flit_bisect-9c024a22485f2d18.d: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+/root/repo/target/release/deps/libflit_bisect-9c024a22485f2d18.rlib: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+/root/repo/target/release/deps/libflit_bisect-9c024a22485f2d18.rmeta: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+crates/bisect/src/lib.rs:
+crates/bisect/src/algo.rs:
+crates/bisect/src/baselines.rs:
+crates/bisect/src/biggest.rs:
+crates/bisect/src/hierarchy.rs:
+crates/bisect/src/test_fn.rs:

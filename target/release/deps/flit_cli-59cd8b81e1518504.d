@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flit_cli-59cd8b81e1518504.d: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libflit_cli-59cd8b81e1518504.rlib: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libflit_cli-59cd8b81e1518504.rmeta: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/apps.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

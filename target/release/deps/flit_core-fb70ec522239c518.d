@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/flit_core-fb70ec522239c518.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+/root/repo/target/release/deps/libflit_core-fb70ec522239c518.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+/root/repo/target/release/deps/libflit_core-fb70ec522239c518.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/db.rs:
+crates/core/src/determinize.rs:
+crates/core/src/metrics.rs:
+crates/core/src/runner.rs:
+crates/core/src/test.rs:
+crates/core/src/workflow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flit_inject-53ba12c58d9e507b.d: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/release/deps/libflit_inject-53ba12c58d9e507b.rlib: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/release/deps/libflit_inject-53ba12c58d9e507b.rmeta: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/sites.rs:
+crates/inject/src/study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flit_inject-d8db4bc68dd85569.d: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/release/deps/libflit_inject-d8db4bc68dd85569.rlib: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/release/deps/libflit_inject-d8db4bc68dd85569.rmeta: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/sites.rs:
+crates/inject/src/study.rs:

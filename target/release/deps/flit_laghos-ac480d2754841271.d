@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flit_laghos-ac480d2754841271.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/release/deps/libflit_laghos-ac480d2754841271.rlib: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/release/deps/libflit_laghos-ac480d2754841271.rmeta: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:

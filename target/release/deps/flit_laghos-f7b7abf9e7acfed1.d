@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flit_laghos-f7b7abf9e7acfed1.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/release/deps/libflit_laghos-f7b7abf9e7acfed1.rlib: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/release/deps/libflit_laghos-f7b7abf9e7acfed1.rmeta: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flit_lulesh-9b6a5bf4c99e1668.d: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/release/deps/libflit_lulesh-9b6a5bf4c99e1668.rlib: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/release/deps/libflit_lulesh-9b6a5bf4c99e1668.rmeta: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+crates/lulesh/src/lib.rs:
+crates/lulesh/src/kernels.rs:
+crates/lulesh/src/program.rs:

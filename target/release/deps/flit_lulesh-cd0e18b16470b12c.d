@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flit_lulesh-cd0e18b16470b12c.d: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/release/deps/libflit_lulesh-cd0e18b16470b12c.rlib: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/release/deps/libflit_lulesh-cd0e18b16470b12c.rmeta: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+crates/lulesh/src/lib.rs:
+crates/lulesh/src/kernels.rs:
+crates/lulesh/src/program.rs:

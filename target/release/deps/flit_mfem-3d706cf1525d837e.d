@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flit_mfem-3d706cf1525d837e.d: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+/root/repo/target/release/deps/libflit_mfem-3d706cf1525d837e.rlib: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+/root/repo/target/release/deps/libflit_mfem-3d706cf1525d837e.rmeta: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+crates/mfem/src/lib.rs:
+crates/mfem/src/codebase.rs:
+crates/mfem/src/examples.rs:
+crates/mfem/src/files.rs:

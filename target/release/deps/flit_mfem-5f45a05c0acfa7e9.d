@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flit_mfem-5f45a05c0acfa7e9.d: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+/root/repo/target/release/deps/libflit_mfem-5f45a05c0acfa7e9.rlib: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+/root/repo/target/release/deps/libflit_mfem-5f45a05c0acfa7e9.rmeta: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+crates/mfem/src/lib.rs:
+crates/mfem/src/codebase.rs:
+crates/mfem/src/examples.rs:
+crates/mfem/src/files.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flit_report-46752eea8dbdb6f4.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs
+
+/root/repo/target/release/deps/libflit_report-46752eea8dbdb6f4.rlib: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs
+
+/root/repo/target/release/deps/libflit_report-46752eea8dbdb6f4.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/plot.rs:
+crates/report/src/stats.rs:
+crates/report/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flit_toolchain-2167dd3a03f1571a.d: crates/toolchain/src/lib.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+/root/repo/target/release/deps/libflit_toolchain-2167dd3a03f1571a.rlib: crates/toolchain/src/lib.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+/root/repo/target/release/deps/libflit_toolchain-2167dd3a03f1571a.rmeta: crates/toolchain/src/lib.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+crates/toolchain/src/lib.rs:
+crates/toolchain/src/compilation.rs:
+crates/toolchain/src/compiler.rs:
+crates/toolchain/src/flags.rs:
+crates/toolchain/src/linker.rs:
+crates/toolchain/src/object.rs:
+crates/toolchain/src/perf.rs:

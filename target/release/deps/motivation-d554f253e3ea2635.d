@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/motivation-d554f253e3ea2635.d: crates/bench/src/bin/motivation.rs
+
+/root/repo/target/release/deps/motivation-d554f253e3ea2635: crates/bench/src/bin/motivation.rs
+
+crates/bench/src/bin/motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpi_study-76999261e189186e.d: crates/bench/src/bin/mpi_study.rs
+
+/root/repo/target/release/deps/mpi_study-76999261e189186e: crates/bench/src/bin/mpi_study.rs
+
+crates/bench/src/bin/mpi_study.rs:

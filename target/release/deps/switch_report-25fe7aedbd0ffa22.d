@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/switch_report-25fe7aedbd0ffa22.d: crates/bench/src/bin/switch_report.rs
+
+/root/repo/target/release/deps/switch_report-25fe7aedbd0ffa22: crates/bench/src/bin/switch_report.rs
+
+crates/bench/src/bin/switch_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ac3232514ff00946.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-ac3232514ff00946: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

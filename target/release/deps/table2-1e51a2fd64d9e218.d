@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-1e51a2fd64d9e218.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-1e51a2fd64d9e218: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-80280e5d25b568a3.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-80280e5d25b568a3: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-090551d4ef31ca19.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-090551d4ef31ca19: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-301e63fe3aa98804.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-301e63fe3aa98804: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -19,7 +19,8 @@ fn matrix_sweep_is_bitwise_reproducible() {
             threads: 1,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let b = run_matrix(
         &program,
         &dyn_tests,
@@ -28,7 +29,8 @@ fn matrix_sweep_is_bitwise_reproducible() {
             threads: 7,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(a.rows.len(), b.rows.len());
     for (x, y) in a.rows.iter().zip(&b.rows) {
         assert_eq!(x.test, y.test);
@@ -45,7 +47,7 @@ fn results_db_survives_json_round_trip_bitwise() {
     let test = DriverTest::new(flit::laghos::laghos_driver(), 2, vec![0.42, 0.77]);
     let tests: Vec<&dyn FlitTest> = vec![&test];
     let comps = compilation_matrix(CompilerKind::Xlc);
-    let db = run_matrix(&program, &tests, &comps, &RunnerConfig::default());
+    let db = run_matrix(&program, &tests, &comps, &RunnerConfig::default()).unwrap();
     let back = ResultsDb::from_json(&db.to_json()).unwrap();
     assert_eq!(db.rows.len(), back.rows.len());
     for (x, y) in db.rows.iter().zip(&back.rows) {

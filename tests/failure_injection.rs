@@ -19,10 +19,7 @@ fn icpc_hazard_program() -> SimProgram {
                 "a.cpp",
                 vec![Function::exported("fa", Kernel::DotMix { stride: 3 })],
             ),
-            SourceFile::new(
-                "b.cpp",
-                vec![Function::exported("fb", Kernel::NormScale)],
-            ),
+            SourceFile::new("b.cpp", vec![Function::exported("fb", Kernel::NormScale)]),
         ],
     )
 }
@@ -43,11 +40,10 @@ fn crashing_mixed_executables_abort_the_search_honestly() {
         let name = format!("hazard-{i}");
         let driver = Driver::new(&name, vec!["fa".into(), "fb".into()], 1, 32);
         let set: BTreeSet<usize> = [0usize].into_iter().collect();
-        let exe =
-            flit::program::build::file_mixed_executable(&base, &var, &set, CompilerKind::Gcc)
-                .unwrap();
-        if let Err(RunError::Crash(_)) = Engine::with_variant(&program, &program, &exe)
-            .run(&driver, &[0.5])
+        let exe = flit::program::build::file_mixed_executable(&base, &var, &set, CompilerKind::Gcc)
+            .unwrap();
+        if let Err(RunError::Crash(_)) =
+            Engine::with_variant(&program, &program, &exe).run(&driver, &[0.5])
         {
             crashed_for = Some(name);
             break;
@@ -137,9 +133,13 @@ fn workflow_survives_a_link_step_only_app() {
         Compilation::baseline(),
         Compilation::new(CompilerKind::Icpc, OptLevel::O0, vec![]),
     ];
-    let report = run_workflow(&program, &tests, &comps, &WorkflowConfig::default());
+    let report =
+        run_workflow(&program, &tests, &comps, &WorkflowConfig::default()).expect("workflow runs");
     assert_eq!(report.bisections.len(), 1);
-    assert_eq!(report.bisections[0].result.outcome, SearchOutcome::LinkStepOnly);
+    assert_eq!(
+        report.bisections[0].result.outcome,
+        SearchOutcome::LinkStepOnly
+    );
 }
 
 #[test]

@@ -2,18 +2,14 @@
 //! across all crates. Each test names the section of the paper it
 //! checks.
 
-use flit::laghos::experiment::{hunt_xsw_bug, motivation_numbers, table4_cell, table4_baselines};
+use flit::laghos::experiment::{hunt_xsw_bug, motivation_numbers, table4_baselines, table4_cell};
 use flit::mfem::codebase::{mfem_program, stats_of, TABLE3};
 use flit::mfem::examples::example_driver;
 use flit::prelude::*;
 
 const MFEM_INPUT: [f64; 2] = [0.35, 0.62];
 
-fn bisect_example(
-    program: &SimProgram,
-    ex: usize,
-    comp: Compilation,
-) -> HierarchicalResult {
+fn bisect_example(program: &SimProgram, ex: usize, comp: Compilation) -> HierarchicalResult {
     let base = Build::new(program, Compilation::baseline());
     let var = Build::tagged(program, comp, 1);
     bisect_hierarchical(
@@ -44,7 +40,12 @@ fn finding1_example8_blames_nine_functions() {
         vec![Switch::UnsafeMathOptimizations],
     );
     let res = bisect_example(&program, 8, comp);
-    assert_eq!(res.outcome, SearchOutcome::Completed, "{:?}", res.violations);
+    assert_eq!(
+        res.outcome,
+        SearchOutcome::Completed,
+        "{:?}",
+        res.violations
+    );
     assert_eq!(res.symbols.len(), 9, "found {:?}", res.symbols);
     // All of them are matrix/vector operations from the linalg/fem core.
     for s in &res.symbols {
@@ -97,7 +98,7 @@ fn example13_error_is_catastrophic() {
         Compilation::baseline(),
         Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2Fma]),
     ];
-    let db = run_matrix(&program, &dyn_tests, &comps, &RunnerConfig::default());
+    let db = run_matrix(&program, &dyn_tests, &comps, &RunnerConfig::default()).unwrap();
     let ex13 = db
         .rows
         .iter()
@@ -119,7 +120,13 @@ fn figure5_missing_bars() {
     let program = mfem_program();
     let tests = flit::mfem::mfem_examples();
     let dyn_tests: Vec<&dyn FlitTest> = tests.iter().map(|t| t as &dyn FlitTest).collect();
-    let db = run_matrix(&program, &dyn_tests, &mfem_matrix(), &RunnerConfig::default());
+    let db = run_matrix(
+        &program,
+        &dyn_tests,
+        &mfem_matrix(),
+        &RunnerConfig::default(),
+    )
+    .unwrap();
 
     for invariant in ["ex12", "ex18"] {
         assert_eq!(
@@ -179,7 +186,11 @@ fn table4_digit_limited_shape() {
         assert_eq!((cell.files, cell.funcs), (1, 1), "{label}");
         assert!(cell.top_is_viscosity, "{label}");
         let full = table4_cell(&label, &baseline, None, None);
-        assert!(full.funcs >= 4, "{label}: full-precision funcs {}", full.funcs);
+        assert!(
+            full.funcs >= 4,
+            "{label}: full-precision funcs {}",
+            full.funcs
+        );
         assert!(full.top_is_viscosity, "{label}");
     }
 }
@@ -188,8 +199,8 @@ fn table4_digit_limited_shape() {
 /// recall, and static-function injections surface as indirect finds.
 #[test]
 fn injection_sample_precision_recall() {
-    use flit::inject::study::{run_one, Classification, StudyConfig};
     use flit::inject::enumerate_sites;
+    use flit::inject::study::{run_one, Classification, StudyConfig};
     use flit::program::sites::InjectOp;
 
     let program = flit::lulesh::lulesh_program();

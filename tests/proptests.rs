@@ -33,9 +33,7 @@ fn ground_truth() -> impl Strategy<Value = GroundTruth> {
     })
 }
 
-fn scripted(
-    gt: GroundTruth,
-) -> impl FnMut(&[u32]) -> Result<f64, TestError> {
+fn scripted(gt: GroundTruth) -> impl FnMut(&[u32]) -> Result<f64, TestError> {
     move |items: &[u32]| {
         Ok(items
             .iter()

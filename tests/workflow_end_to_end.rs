@@ -18,7 +18,10 @@ fn app() -> SimProgram {
             ),
             SourceFile::new(
                 "special.cpp",
-                vec![Function::exported("eval_source", Kernel::TranscMap { freq: 2.1 })],
+                vec![Function::exported(
+                    "eval_source",
+                    Kernel::TranscMap { freq: 2.1 },
+                )],
             ),
             SourceFile::new(
                 "util.cpp",
@@ -65,9 +68,14 @@ fn full_workflow_on_a_small_app() {
         Compilation::perf_reference(),
         Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![]),
         Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]),
-        Compilation::new(CompilerKind::Icpc, OptLevel::O2, vec![Switch::FpModelPrecise]),
+        Compilation::new(
+            CompilerKind::Icpc,
+            OptLevel::O2,
+            vec![Switch::FpModelPrecise],
+        ),
     ];
-    let report = run_workflow(&program, &tests, &comps, &WorkflowConfig::default());
+    let report =
+        run_workflow(&program, &tests, &comps, &WorkflowConfig::default()).expect("workflow runs");
 
     // Level 0: the determinism prerequisite.
     assert!(report.deterministic);
@@ -77,8 +85,9 @@ fn full_workflow_on_a_small_app() {
     let variable: Vec<_> = report.db.rows.iter().filter(|r| r.is_variable()).collect();
     // avx2fma+unsafe varies both tests (reduction + fma smoothing);
     // icpc precise varies only the transcendental one (vendor libm).
-    assert!(variable.iter().any(|r| r.test == "t-reduce"
-        && r.label.contains("-funsafe-math-optimizations")));
+    assert!(variable
+        .iter()
+        .any(|r| r.test == "t-reduce" && r.label.contains("-funsafe-math-optimizations")));
     assert!(variable
         .iter()
         .any(|r| r.test == "t-special" && r.label.starts_with("icpc")));
@@ -96,11 +105,7 @@ fn full_workflow_on_a_small_app() {
         match (&b.test[..], b.compilation.compiler) {
             ("t-reduce", CompilerKind::Gcc) => {
                 assert_eq!(b.result.outcome, SearchOutcome::Completed);
-                assert!(b
-                    .result
-                    .symbols
-                    .iter()
-                    .any(|s| s.symbol == "reduce_field"));
+                assert!(b.result.symbols.iter().any(|s| s.symbol == "reduce_field"));
             }
             ("t-special", CompilerKind::Icpc) => {
                 // The vendor math library comes from the link step; the
@@ -110,11 +115,7 @@ fn full_workflow_on_a_small_app() {
             ("t-special", CompilerKind::Gcc) => {
                 // fma-driven smoothing variability.
                 assert_eq!(b.result.outcome, SearchOutcome::Completed);
-                assert!(b
-                    .result
-                    .symbols
-                    .iter()
-                    .all(|s| s.symbol == "smooth_field"));
+                assert!(b.result.symbols.iter().all(|s| s.symbol == "smooth_field"));
             }
             other => panic!("unexpected bisection target {other:?}"),
         }
@@ -133,6 +134,6 @@ fn workflow_respects_the_bisection_cap() {
         max_bisections: 1,
         ..Default::default()
     };
-    let report = run_workflow(&program, &tests, &comps, &cfg);
+    let report = run_workflow(&program, &tests, &comps, &cfg).expect("workflow runs");
     assert_eq!(report.bisections.len(), 1);
 }
