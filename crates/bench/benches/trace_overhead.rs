@@ -1,0 +1,70 @@
+//! Criterion benchmark of the tracing layer's overhead: the gcc matrix
+//! sweep with tracing disabled (the default no-op sink), with a live
+//! sink, and the raw recording primitives (span push, counter
+//! increment, snapshot serialization) in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flit_core::runner::{run_matrix, RunnerConfig};
+use flit_core::test::FlitTest;
+use flit_mfem::{mfem_examples, mfem_program};
+use flit_toolchain::compilation::compilation_matrix;
+use flit_toolchain::compiler::CompilerKind;
+use flit_trace::names::{counter, phase};
+use flit_trace::sink::TraceSink;
+
+fn bench_traced_sweep(c: &mut Criterion) {
+    let program = mfem_program();
+    let tests = mfem_examples();
+    let dyn_tests: Vec<&dyn FlitTest> = tests.iter().map(|t| t as &dyn FlitTest).collect();
+    let gcc_only = compilation_matrix(CompilerKind::Gcc);
+
+    let mut group = c.benchmark_group("trace_sweep");
+    group.sample_size(10);
+    group.bench_function("gcc_68_untraced", |b| {
+        b.iter(|| run_matrix(&program, &dyn_tests, &gcc_only, &RunnerConfig::default()))
+    });
+    group.bench_function("gcc_68_traced", |b| {
+        b.iter(|| {
+            run_matrix(
+                &program,
+                &dyn_tests,
+                &gcc_only,
+                &RunnerConfig {
+                    trace: TraceSink::enabled(),
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_primitives");
+
+    let disabled = TraceSink::disabled();
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| disabled.span(phase::SWEEP, "g++ -O2", 19, 1.25))
+    });
+    let enabled = TraceSink::enabled();
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| enabled.span(phase::SWEEP, "g++ -O2", 19, 1.25))
+    });
+
+    let hot = enabled.counter(counter::RUNNER_QUEUE_CLAIMED);
+    group.bench_function("counter_incr", |b| b.iter(|| hot.incr(1)));
+
+    let snap = TraceSink::enabled();
+    for i in 0..500 {
+        snap.span(phase::SWEEP, format!("comp-{i}"), i, i as f64 * 0.25);
+    }
+    snap.counter(counter::BUILD_LINKS).incr(42);
+    group.bench_function("snapshot_500_spans_jsonl", |b| {
+        b.iter(|| snap.snapshot().to_jsonl())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traced_sweep, bench_primitives);
+criterion_main!(benches);

@@ -11,6 +11,7 @@
 //! removes the variability, "the search cannot go deeper; we must be
 //! content with reporting the file containing the variability."
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 
 use flit_program::build::{
@@ -20,6 +21,8 @@ use flit_program::engine::{Engine, RunError};
 use flit_program::model::Driver;
 use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compiler::CompilerKind;
+use flit_trace::names::{counter as counter_names, phase};
+use flit_trace::sink::TraceSink;
 
 use crate::algo::{bisect_all, AssumptionViolation};
 use crate::biggest::bisect_biggest;
@@ -39,6 +42,9 @@ pub struct HierarchicalConfig {
     /// [`BuildCtx::cached`] handle to share objects and memoized links
     /// within — and across — searches.
     pub ctx: BuildCtx,
+    /// Trace sink for per-level spans and execution counters (the
+    /// paper's Tables 2/4 "number of runs"). Disabled by default.
+    pub trace: TraceSink,
 }
 
 impl HierarchicalConfig {
@@ -48,6 +54,7 @@ impl HierarchicalConfig {
             link_driver: CompilerKind::Gcc,
             k: None,
             ctx: BuildCtx::uncached(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -62,6 +69,12 @@ impl HierarchicalConfig {
     /// Run this search through the given build context.
     pub fn with_ctx(mut self, ctx: BuildCtx) -> Self {
         self.ctx = ctx;
+        self
+    }
+
+    /// Record this search's spans and execution counters into `trace`.
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -177,6 +190,13 @@ pub fn bisect_hierarchical(
     let mut executions = 0usize;
     let mut violations: Vec<String> = Vec::new();
 
+    // One search = one file-level span plus one symbol-level span per
+    // searched file, labelled by the (driver, variable compilation)
+    // pair that identifies the search.
+    let search = format!("{}/{}", driver.name, variable.compilation.label());
+    let reference_runs = cfg.trace.counter(counter_names::BISECT_REFERENCE_RUNS);
+    let probe_runs = cfg.trace.counter(counter_names::BISECT_PROBE_RUNS);
+
     // Reference run under the trusted baseline build.
     let base_exe = match baseline.executable_in(&cfg.ctx) {
         Ok(e) => e,
@@ -192,6 +212,7 @@ pub fn bisect_hierarchical(
         }
     };
     executions += 1;
+    reference_runs.incr(1);
     let base_out = match Engine::with_variant(baseline.program, variable.program, &base_exe)
         .run(driver, input)
     {
@@ -211,6 +232,7 @@ pub fn bisect_hierarchical(
     // ---- File Bisect ----
     let file_ids: Vec<usize> = (0..baseline.program.files.len()).collect();
     let mut file_execs = 0usize;
+    let file_secs = Cell::new(0.0f64);
     let file_test = |items: &[usize]| -> Result<f64, TestError> {
         let set: BTreeSet<usize> = items.iter().copied().collect();
         let exe = file_mixed_executable_in(baseline, variable, &set, cfg.link_driver, &cfg.ctx)
@@ -218,6 +240,7 @@ pub fn bisect_hierarchical(
         let out = Engine::with_variant(baseline.program, variable.program, &exe)
             .run(driver, input)
             .map_err(run_to_test_error)?;
+        file_secs.set(file_secs.get() + out.seconds);
         Ok(compare(&base_out, &out.output))
     };
     let counted_file_test = CountingTest {
@@ -230,6 +253,15 @@ pub fn bisect_hierarchical(
         Some(k) => bisect_biggest(counted_file_test, &file_ids, k),
     };
     executions += file_execs;
+    cfg.trace
+        .counter(counter_names::BISECT_FILE_RUNS)
+        .incr(file_execs as u64);
+    cfg.trace.span(
+        phase::BISECT_FILE,
+        search.clone(),
+        file_execs as u64,
+        file_secs.get(),
+    );
 
     let file_result = match file_outcome {
         Ok(r) => r,
@@ -310,6 +342,7 @@ pub fn bisect_hierarchical(
                 }
             };
         executions += 1;
+        probe_runs.incr(1);
         let probe_out = match Engine::with_variant(baseline.program, variable.program, &probe)
             .run(driver, input)
         {
@@ -346,6 +379,7 @@ pub fn bisect_hierarchical(
             continue;
         }
         let mut sym_execs = 0usize;
+        let sym_secs = Cell::new(0.0f64);
         let sym_test = |items: &[String]| -> Result<f64, TestError> {
             let set: BTreeSet<String> = items.iter().cloned().collect();
             let exe = symbol_mixed_executable_in(
@@ -360,6 +394,7 @@ pub fn bisect_hierarchical(
             let out = Engine::with_variant(baseline.program, variable.program, &exe)
                 .run(driver, input)
                 .map_err(run_to_test_error)?;
+            sym_secs.set(sym_secs.get() + out.seconds);
             Ok(compare(&base_out, &out.output))
         };
         let counted_sym_test = CountingTest {
@@ -371,6 +406,15 @@ pub fn bisect_hierarchical(
             Some(k) => bisect_biggest(counted_sym_test, &syms, k),
         };
         executions += sym_execs;
+        cfg.trace
+            .counter(counter_names::BISECT_SYMBOL_RUNS)
+            .incr(sym_execs as u64);
+        cfg.trace.span(
+            phase::BISECT_SYMBOL,
+            format!("{search}/{}", baseline.program.files[fid].name),
+            sym_execs as u64,
+            sym_secs.get(),
+        );
         match sym_outcome {
             Ok(r) => {
                 for v in &r.violations {

@@ -55,6 +55,15 @@ pub enum Command {
         app: String,
         /// Cap on bisections (default: all).
         max_bisections: Option<usize>,
+        /// Write a JSONL trace of the whole workflow here.
+        trace: Option<String>,
+    },
+    /// Summarize a JSONL trace produced by `flit workflow --trace`.
+    Trace {
+        /// Path to the JSONL trace file.
+        file: String,
+        /// How many slowest compilations to show (default 10).
+        top: Option<usize>,
     },
     /// Print usage.
     Help,
@@ -80,7 +89,8 @@ USAGE:
   flit analyze <app>
   flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>]
   flit inject <app> [--limit <n-sites>]
-  flit workflow <app> [--max-bisections <n>]
+  flit workflow <app> [--max-bisections <n>] [--trace <file.jsonl>]
+  flit trace <file.jsonl> [--top <n>]
   flit help
 ";
 
@@ -151,7 +161,23 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
             Command::Workflow {
                 app: positional()?,
                 max_bisections,
+                trace: flag_value("--trace"),
             }
+        }
+        "trace" => {
+            let file = rest
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .map(|s| s.to_string())
+                .ok_or_else(|| ParseError(format!("`trace` needs a trace file\n\n{USAGE}")))?;
+            let top = match flag_value("--top") {
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| ParseError(format!("--top takes a number, got `{v}`")))?,
+                ),
+                None => None,
+            };
+            Command::Trace { file, top }
         }
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ParseError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -243,12 +269,29 @@ mod tests {
             }
         );
         assert_eq!(
-            parse(&v(&["workflow", "laghos", "--max-bisections", "3"]))
-                .unwrap()
-                .command,
+            parse(&v(&[
+                "workflow",
+                "laghos",
+                "--max-bisections",
+                "3",
+                "--trace",
+                "wf.jsonl"
+            ]))
+            .unwrap()
+            .command,
             Command::Workflow {
                 app: "laghos".into(),
-                max_bisections: Some(3)
+                max_bisections: Some(3),
+                trace: Some("wf.jsonl".into())
+            }
+        );
+        assert_eq!(
+            parse(&v(&["trace", "wf.jsonl", "--top", "5"]))
+                .unwrap()
+                .command,
+            Command::Trace {
+                file: "wf.jsonl".into(),
+                top: Some(5)
             }
         );
         assert_eq!(parse(&v(&[])).unwrap().command, Command::Help);
@@ -270,6 +313,8 @@ mod tests {
         ]))
         .is_err());
         assert!(parse(&v(&["inject", "lulesh", "--limit", "NaN"])).is_err());
+        assert!(parse(&v(&["trace"])).is_err());
+        assert!(parse(&v(&["trace", "wf.jsonl", "--top", "many"])).is_err());
     }
 
     #[test]

@@ -11,9 +11,12 @@ use flit_core::test::FlitTest;
 use flit_inject::study::{run_study, StudyConfig};
 use flit_program::build::Build;
 use flit_report::table::{fmt_f64, Align, Table};
+use flit_report::trace_view::render_trace;
 use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compilation::{compilation_matrix, Compilation};
 use flit_toolchain::compiler::CompilerKind;
+use flit_trace::event::Trace;
+use flit_trace::sink::TraceSink;
 
 use crate::apps::{app_names, resolve_app, BundledApp};
 use crate::args::{parse_compilation, Cli, Command, ParseError, USAGE};
@@ -39,7 +42,9 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
         Command::Workflow {
             app,
             max_bisections,
-        } => cmd_workflow(app, *max_bisections),
+            trace,
+        } => cmd_workflow(app, *max_bisections, trace.as_deref()),
+        Command::Trace { file, top } => cmd_trace(file, top.unwrap_or(10)),
     }
 }
 
@@ -202,6 +207,7 @@ fn cmd_bisect(
         link_driver: CompilerKind::Gcc,
         k: biggest,
         ctx: BuildCtx::cached(),
+        trace: TraceSink::disabled(),
     };
     let input = test.default_input();
     let res = bisect_hierarchical(
@@ -306,12 +312,21 @@ fn cmd_inject(app: &str, limit: Option<usize>) -> Result<String, ParseError> {
     Ok(out)
 }
 
-fn cmd_workflow(app: &str, max_bisections: Option<usize>) -> Result<String, ParseError> {
+fn cmd_workflow(
+    app: &str,
+    max_bisections: Option<usize>,
+    trace_path: Option<&str>,
+) -> Result<String, ParseError> {
     use flit_core::workflow::{run_workflow, WorkflowConfig};
     let app = get_app(app)?;
     let comps = matrix_for(&app, None)?;
     let cfg = WorkflowConfig {
         max_bisections: max_bisections.unwrap_or(usize::MAX),
+        trace: if trace_path.is_some() {
+            TraceSink::enabled()
+        } else {
+            TraceSink::disabled()
+        },
         ..Default::default()
     };
     let report = run_workflow(&app.program, &app.tests, &comps, &cfg).map_err(runner_error)?;
@@ -388,7 +403,27 @@ fn cmd_workflow(app: &str, max_bisections: Option<usize>) -> Result<String, Pars
 "
         ));
     }
+    if let Some(path) = trace_path {
+        let jsonl = cfg.trace.snapshot().to_jsonl();
+        std::fs::write(path, &jsonl)
+            .map_err(|e| ParseError(format!("cannot write trace `{path}`: {e}")))?;
+        out.push_str(&format!(
+            "trace: {} events written to {path} (render with `flit trace {path}`)\n",
+            jsonl.lines().count()
+        ));
+    }
     Ok(out)
+}
+
+fn cmd_trace(file: &str, top: usize) -> Result<String, ParseError> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| ParseError(format!("cannot read trace `{file}`: {e}")))?;
+    let trace =
+        Trace::from_jsonl(&text).map_err(|e| ParseError(format!("bad trace `{file}`: {e}")))?;
+    Ok(format!(
+        "flit trace {file}\n\n{}",
+        render_trace(&trace, top)
+    ))
 }
 
 #[cfg(test)]
@@ -460,6 +495,44 @@ mod tests {
         let out = run_cli(&["workflow", "laghos", "--max-bisections", "6"]).unwrap();
         assert!(out.contains("determinism pre-check: passed"), "{out}");
         assert!(out.contains("QUpdate_Viscosity"), "{out}");
+    }
+
+    #[test]
+    fn workflow_trace_round_trips_through_flit_trace() {
+        let path = std::env::temp_dir().join("flit-cli-trace-test.jsonl");
+        let path_s = path.to_string_lossy().to_string();
+        let out = run_cli(&[
+            "workflow",
+            "laghos",
+            "--max-bisections",
+            "2",
+            "--trace",
+            &path_s,
+        ])
+        .unwrap();
+        assert!(out.contains("events written"), "{out}");
+        let rendered = run_cli(&["trace", &path_s, "--top", "3"]).unwrap();
+        assert!(rendered.contains("Trace summary by phase"), "{rendered}");
+        assert!(rendered.contains("sweep"), "{rendered}");
+        assert!(
+            rendered.contains("Bisect executions by level"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("Build-cache hit rates"), "{rendered}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_command_reports_missing_and_bad_files() {
+        assert!(run_cli(&["trace", "/nonexistent/x.jsonl"])
+            .unwrap_err()
+            .0
+            .contains("cannot read trace"));
+        let path = std::env::temp_dir().join("flit-cli-bad-trace.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        let err = run_cli(&["trace", &path.to_string_lossy()]).unwrap_err();
+        assert!(err.0.contains("bad trace"), "{}", err.0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

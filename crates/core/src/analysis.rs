@@ -40,7 +40,9 @@ pub fn speedup_series(db: &ResultsDb, test: &str) -> Vec<SpeedupPoint> {
             comparison: r.comparison,
         })
         .collect();
-    pts.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap());
+    // total_cmp: NaN speedups (0/0 from a zero-second reference row)
+    // sort last instead of panicking.
+    pts.sort_by(|a, b| a.speedup.total_cmp(&b.speedup));
     pts
 }
 
@@ -79,7 +81,7 @@ pub fn category_bars(db: &ResultsDb, test: &str) -> CategoryBars {
             let best = rows
                 .iter()
                 .filter(|r| !r.crashed && r.bitwise_equal && r.compilation.compiler == c)
-                .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+                .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
                 .map(|r| point(r));
             (c, best)
         })
@@ -87,7 +89,7 @@ pub fn category_bars(db: &ResultsDb, test: &str) -> CategoryBars {
     let fastest_variable = rows
         .iter()
         .filter(|r| r.is_variable())
-        .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+        .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
         .map(|r| point(r));
     CategoryBars {
         test: test.to_string(),
@@ -123,11 +125,19 @@ pub fn variability_summary(db: &ResultsDb, test: &str) -> VariabilitySummary {
         .map(|r| r.relative_error())
         .filter(|e| e.is_finite())
         .collect();
-    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    errs.sort_by(|a, b| a.total_cmp(b));
     let (min, med, max) = if errs.is_empty() {
         (0.0, 0.0, 0.0)
     } else {
-        (errs[0], errs[errs.len() / 2], errs[errs.len() - 1])
+        let n = errs.len();
+        // True median: even-length sets average the two middle
+        // elements instead of taking the upper one.
+        let med = if n.is_multiple_of(2) {
+            (errs[n / 2 - 1] + errs[n / 2]) / 2.0
+        } else {
+            errs[n / 2]
+        };
+        (errs[0], med, errs[n - 1])
     };
     VariabilitySummary {
         test: test.to_string(),
@@ -183,15 +193,23 @@ pub fn compiler_summary(db: &ResultsDb, compiler: CompilerKind) -> CompilerSumma
         if rows.iter().any(|r| r.crashed) || rows.len() != tests.len() {
             continue;
         }
-        let avg: f64 = tests
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let r = rows.iter().find(|r| &r.test == t).unwrap();
-                ref_secs[i] / r.seconds
-            })
-            .sum::<f64>()
-            / tests.len() as f64;
+        // A compilation can have the right row *count* yet still miss a
+        // test (e.g. a duplicated row); skip it rather than panic.
+        let mut sum = 0.0;
+        let mut complete = true;
+        for (i, t) in tests.iter().enumerate() {
+            match rows.iter().find(|r| &r.test == t) {
+                Some(r) => sum += ref_secs[i] / r.seconds,
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if !complete {
+            continue;
+        }
+        let avg = sum / tests.len() as f64;
         if best.as_ref().map(|(_, b)| avg > *b).unwrap_or(true) {
             best = Some((label, avg));
         }
@@ -239,7 +257,7 @@ pub fn switch_attribution(db: &ResultsDb) -> Vec<(String, usize, usize)> {
     v.sort_by(|a, b| {
         let ra = a.1 as f64 / a.2 as f64;
         let rb = b.1 as f64 / b.2 as f64;
-        rb.partial_cmp(&ra).unwrap().then(a.0.cmp(&b.0))
+        rb.total_cmp(&ra).then(a.0.cmp(&b.0))
     });
     v
 }
@@ -377,5 +395,68 @@ mod tests {
         let db = sample_db();
         // Fastest overall is icpc -O3 (variable), so e1 does NOT count.
         assert_eq!(fastest_is_reproducible_count(&db), (0, 1));
+    }
+
+    #[test]
+    fn nan_and_zero_seconds_do_not_panic() {
+        let mut db = sample_db();
+        let clang = Compilation::new(CompilerKind::Clang, OptLevel::O2, vec![]);
+        db.rows.push(record("e1", clang, f64::NAN, 0.0));
+        let zero = Compilation::new(CompilerKind::Clang, OptLevel::O3, vec![]);
+        db.rows.push(record("e1", zero, 0.0, 3e-8));
+
+        let pts = speedup_series(&db, "e1");
+        assert_eq!(pts.len(), 7);
+        // total_cmp sorts the NaN speedup last instead of panicking.
+        assert!(pts.last().unwrap().speedup.is_nan());
+
+        let bars = category_bars(&db, "e1");
+        // The finite gcc winner is unaffected by the NaN row.
+        assert_eq!(bars.fastest_equal[0].1.as_ref().unwrap().label, "g++ -O3");
+        // The zero-second variable row wins the variable bar (finite
+        // seconds sort before NaN under total_cmp).
+        assert_eq!(bars.fastest_variable.unwrap().label, "clang++ -O3");
+    }
+
+    #[test]
+    fn even_length_median_averages_the_middle_pair() {
+        // sample_db has two variable rows with relative errors 2e-9 and
+        // 4e-9: the median must be their mean, not the upper element.
+        let db = sample_db();
+        let s = variability_summary(&db, "e1");
+        assert!(
+            (s.median_rel_err - 3e-9).abs() < 1e-20,
+            "{}",
+            s.median_rel_err
+        );
+
+        // Odd-length sets still take the middle element.
+        let mut db = sample_db();
+        let extra = Compilation::new(CompilerKind::Icpc, OptLevel::O1, vec![]);
+        db.rows.push(record("e1", extra, 3.9, 6e-8));
+        let s = variability_summary(&db, "e1");
+        assert!(
+            (s.median_rel_err - 4e-9).abs() < 1e-20,
+            "{}",
+            s.median_rel_err
+        );
+    }
+
+    #[test]
+    fn compiler_summary_tolerates_missing_test_rows() {
+        let mut db = sample_db();
+        let gcc = |o| Compilation::new(CompilerKind::Gcc, o, vec![]);
+        db.rows.push(record("e2", gcc(OptLevel::O0), 9.0, 0.0));
+        db.rows.push(record("e2", gcc(OptLevel::O2), 5.0, 0.0));
+        db.rows.push(record("e2", gcc(OptLevel::O3), 4.0, 0.0));
+        // icpc -O2 gets a *duplicate* e1 row: the row count matches the
+        // test count but e2 has no row — must be skipped, not panic.
+        let icpc_o2 = Compilation::new(CompilerKind::Icpc, OptLevel::O2, vec![]);
+        db.rows.push(record("e1", icpc_o2, 3.8, 2e-8));
+        let icpc = compiler_summary(&db, CompilerKind::Icpc);
+        assert_eq!(icpc.best_flags, "<none>");
+        // Complete compilations still summarize normally.
+        let gcc = compiler_summary(&db, CompilerKind::Gcc);
+        assert_eq!(gcc.best_flags, "g++ -O3");
     }
 }

@@ -20,6 +20,8 @@ use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compilation::Compilation;
 use flit_toolchain::linker::LinkError;
 use flit_toolchain::perf::jitter;
+use flit_trace::names::{counter as counter_names, phase};
+use flit_trace::sink::TraceSink;
 
 use crate::db::{ResultsDb, RunRecord};
 use crate::test::{split_input, FlitTest, RunContext, TestResult};
@@ -69,6 +71,9 @@ pub struct RunnerConfig {
     /// with the cache off the sweep still counts its build work so the
     /// two arms can be compared.
     pub cache: bool,
+    /// Trace sink for per-compilation spans and queue counters
+    /// (disabled by default — the sweep records nothing).
+    pub trace: TraceSink,
 }
 
 impl Default for RunnerConfig {
@@ -79,6 +84,7 @@ impl Default for RunnerConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             cache: true,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -91,6 +97,26 @@ struct BaselineRun {
 }
 
 fn run_one_compilation(
+    program: &SimProgram,
+    tests: &[&dyn FlitTest],
+    comp: &Compilation,
+    baseline: &BaselineRun,
+    ctx: &BuildCtx,
+    sink: &TraceSink,
+) -> Vec<RunRecord> {
+    let records = compile_and_run(program, tests, comp, baseline, ctx);
+    // One span per compilation: logical cost is the records produced,
+    // duration the compilation's total simulated runtime.
+    sink.span(
+        phase::SWEEP,
+        comp.label(),
+        records.len() as u64,
+        records.iter().map(|r| r.seconds).sum(),
+    );
+    records
+}
+
+fn compile_and_run(
     program: &SimProgram,
     tests: &[&dyn FlitTest],
     comp: &Compilation,
@@ -177,10 +203,13 @@ pub fn run_matrix(
     compilations: &[Compilation],
     cfg: &RunnerConfig,
 ) -> Result<ResultsDb, RunnerError> {
-    let ctx = if cfg.cache {
-        BuildCtx::cached()
-    } else {
-        BuildCtx::counting()
+    // When a trace sink is attached, the cache's work counters live in
+    // the sink's registry so one snapshot covers both.
+    let ctx = match cfg.trace.registry() {
+        Some(reg) if cfg.cache => BuildCtx::cached_in(&reg),
+        Some(reg) => BuildCtx::counting_in(&reg),
+        None if cfg.cache => BuildCtx::cached(),
+        None => BuildCtx::counting(),
     };
     run_matrix_in(program, tests, compilations, cfg, &ctx)
 }
@@ -209,16 +238,18 @@ pub fn run_matrix_in(
         results: Vec::with_capacity(tests.len()),
         norms: Vec::with_capacity(tests.len()),
     };
+    let mut base_seconds = 0.0f64;
     for t in tests {
         let chunks = split_input(&t.default_input(), t.inputs_per_run());
         let mut per_chunk = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
-            let (r, _secs) =
-                t.run_impl(chunk, &base_ctx)
-                    .map_err(|e| RunnerError::BaselineRun {
-                        test: t.name().to_string(),
-                        error: e.to_string(),
-                    })?;
+            let (r, secs) = t
+                .run_impl(chunk, &base_ctx)
+                .map_err(|e| RunnerError::BaselineRun {
+                    test: t.name().to_string(),
+                    error: e.to_string(),
+                })?;
+            base_seconds += secs;
             per_chunk.push(r);
         }
         baseline
@@ -226,18 +257,29 @@ pub fn run_matrix_in(
             .push(per_chunk.iter().map(|r| r.norm()).sum::<f64>());
         baseline.results.push(per_chunk);
     }
+    cfg.trace.span(
+        phase::SWEEP,
+        format!("baseline {}", cfg.baseline.label()),
+        tests.len() as u64,
+        base_seconds,
+    );
 
     // Fan out over compilations through a work queue: workers pull the
     // next unclaimed index and deposit records into that compilation's
     // slot, so collection order (and therefore the database) is
     // schedule-independent.
     let nthreads = cfg.threads.max(1).min(compilations.len().max(1));
+    let claimed = cfg.trace.counter(counter_names::RUNNER_QUEUE_CLAIMED);
+    let drained = cfg.trace.counter(counter_names::RUNNER_QUEUE_DRAINED);
     let mut db = ResultsDb::new(&program.name);
     if nthreads <= 1 {
         for comp in compilations {
-            db.rows
-                .extend(run_one_compilation(program, tests, comp, &baseline, ctx));
+            claimed.incr(1);
+            db.rows.extend(run_one_compilation(
+                program, tests, comp, &baseline, ctx, &cfg.trace,
+            ));
         }
+        drained.incr(1);
         db.build_stats = ctx.stats();
         return Ok(db);
     }
@@ -250,12 +292,24 @@ pub fn run_matrix_in(
             let baseline = &baseline;
             let slots = &slots;
             let next = &next;
+            let claimed = &claimed;
+            let drained = &drained;
             s.spawn(move |_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= compilations.len() {
+                    // One terminal empty pull per worker.
+                    drained.incr(1);
                     break;
                 }
-                let records = run_one_compilation(program, tests, &compilations[i], baseline, ctx);
+                claimed.incr(1);
+                let records = run_one_compilation(
+                    program,
+                    tests,
+                    &compilations[i],
+                    baseline,
+                    ctx,
+                    &cfg.trace,
+                );
                 *slots[i].lock() = Some(records);
             });
         }

@@ -16,6 +16,8 @@ use flit_program::build::Build;
 use flit_program::model::{Driver, SimProgram};
 use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compilation::Compilation;
+use flit_trace::names::{counter as counter_names, phase};
+use flit_trace::sink::TraceSink;
 
 use crate::analysis::{category_bars, fastest_is_reproducible_count, CategoryBars};
 use crate::db::ResultsDb;
@@ -60,6 +62,11 @@ pub struct WorkflowConfig {
     /// Cap on how many (test, compilation) variabilities to bisect
     /// (`usize::MAX` for all — the paper bisected all 1,086).
     pub max_bisections: usize,
+    /// Trace sink covering the whole workflow. When enabled it is
+    /// propagated to the runner and bisect configs (unless those carry
+    /// their own enabled sink), and the shared build context's counters
+    /// land in its registry.
+    pub trace: TraceSink,
 }
 
 impl Default for WorkflowConfig {
@@ -68,6 +75,7 @@ impl Default for WorkflowConfig {
             runner: RunnerConfig::default(),
             bisect: HierarchicalConfig::all(),
             max_bisections: usize::MAX,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -120,27 +128,61 @@ pub fn run_workflow(
     compilations: &[Compilation],
     cfg: &WorkflowConfig,
 ) -> Result<WorkflowReport, RunnerError> {
-    let test_refs: Vec<&DriverTest> = tests.iter().collect();
-    let deterministic = determinism_check(program, &test_refs, &cfg.runner.baseline, 2);
+    // Propagate the workflow sink downward unless a sub-config already
+    // carries its own enabled sink.
+    let mut runner_cfg = cfg.runner.clone();
+    if cfg.trace.is_enabled() && !runner_cfg.trace.is_enabled() {
+        runner_cfg.trace = cfg.trace.clone();
+    }
+    let trace = &cfg.trace;
 
-    let ctx = if cfg.runner.cache {
-        BuildCtx::cached()
-    } else {
-        BuildCtx::counting()
+    let test_refs: Vec<&DriverTest> = tests.iter().collect();
+    let deterministic = determinism_check(program, &test_refs, &runner_cfg.baseline, 2);
+    trace.span(
+        phase::WORKFLOW,
+        "determinism_check",
+        tests.len() as u64,
+        0.0,
+    );
+
+    // The shared build context's counters live in the trace registry
+    // when tracing, so `db.build_stats` and the trace snapshot report
+    // the same numbers.
+    let ctx = match runner_cfg.trace.registry() {
+        Some(reg) if runner_cfg.cache => BuildCtx::cached_in(&reg),
+        Some(reg) => BuildCtx::counting_in(&reg),
+        None if runner_cfg.cache => BuildCtx::cached(),
+        None => BuildCtx::counting(),
     };
     let dyn_tests: Vec<&dyn FlitTest> = tests.iter().map(|t| t as &dyn FlitTest).collect();
-    let mut db = run_matrix_in(program, &dyn_tests, compilations, &cfg.runner, &ctx)?;
+    let mut db = run_matrix_in(program, &dyn_tests, compilations, &runner_cfg, &ctx)?;
+    trace.span(
+        phase::WORKFLOW,
+        "sweep",
+        db.rows.len() as u64,
+        db.rows.iter().map(|r| r.seconds).sum(),
+    );
 
     let bars: Vec<CategoryBars> = db.tests().iter().map(|t| category_bars(&db, t)).collect();
     let reproducible_fastest = fastest_is_reproducible_count(&db);
+    trace.span(phase::WORKFLOW, "analysis", bars.len() as u64, 0.0);
 
     // Level 3: bisect every variable (test, compilation) pair.
-    let bisect_cfg = cfg.bisect.clone().with_ctx(ctx.clone());
+    let variable_rows = db.rows.iter().filter(|r| r.is_variable()).count();
+    trace
+        .counter(counter_names::WORKFLOW_VARIABLE_ROWS)
+        .incr(variable_rows as u64);
+    let launched = trace.counter(counter_names::WORKFLOW_BISECTIONS);
+    let mut bisect_cfg = cfg.bisect.clone().with_ctx(ctx.clone());
+    if cfg.trace.is_enabled() && !bisect_cfg.trace.is_enabled() {
+        bisect_cfg = bisect_cfg.with_trace(cfg.trace.clone());
+    }
     let mut bisections = Vec::new();
     for row in db.rows.iter().filter(|r| r.is_variable()) {
         if bisections.len() >= cfg.max_bisections {
             break;
         }
+        launched.incr(1);
         let test = tests
             .iter()
             .find(|t| t.name() == row.test)
@@ -163,6 +205,12 @@ pub fn run_workflow(
             result,
         });
     }
+    trace.span(
+        phase::WORKFLOW,
+        "bisect",
+        bisections.iter().map(|b| b.result.executions as u64).sum(),
+        0.0,
+    );
     db.build_stats = ctx.stats();
 
     Ok(WorkflowReport {

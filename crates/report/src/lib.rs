@@ -13,8 +13,10 @@ pub mod csv;
 pub mod plot;
 pub mod stats;
 pub mod table;
+pub mod trace_view;
 
 pub use csv::CsvWriter;
 pub use plot::{bar_chart, series_plot, BarRow};
 pub use stats::Summary;
 pub use table::Table;
+pub use trace_view::render_trace;

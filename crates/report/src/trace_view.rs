@@ -1,0 +1,195 @@
+//! Rendering for `flit-trace` traces: the `flit trace <file>` view.
+//!
+//! Four exhibits, all derived from a canonically-ordered
+//! [`Trace`]: a per-phase span summary, the top-N slowest sweep
+//! compilations, the bisect execution counts per level (the paper's
+//! Tables 2/4 "number of runs"), and the build-cache hit rates.
+
+use flit_trace::event::Trace;
+use flit_trace::names::{counter, phase};
+
+use crate::table::{fmt_f64, Align, Table};
+
+/// Per-phase span rollup: count, total logical cost, total wall-unit
+/// duration.
+pub fn phase_summary(trace: &Trace) -> Table {
+    let mut t = Table::new(&["phase", "spans", "cost", "wall units"])
+        .with_title("Trace summary by phase")
+        .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+    for p in trace.phases() {
+        let spans = trace.spans_in(&p);
+        let cost: u64 = spans.iter().map(|s| s.cost).sum();
+        let duration: f64 = spans.iter().map(|s| s.duration).sum();
+        t.row(&[
+            p,
+            spans.len().to_string(),
+            cost.to_string(),
+            fmt_f64(duration, 4),
+        ]);
+    }
+    t
+}
+
+/// The `top` slowest sweep compilations by wall-unit duration.
+pub fn slowest_compilations(trace: &Trace, top: usize) -> Table {
+    let mut t = Table::new(&["compilation", "records", "wall units"])
+        .with_title(format!("Slowest sweep compilations (top {top})"))
+        .with_aligns(&[Align::Left, Align::Right, Align::Right]);
+    for s in trace.slowest(phase::SWEEP, top) {
+        t.row(&[s.label.clone(), s.cost.to_string(), fmt_f64(s.duration, 4)]);
+    }
+    t
+}
+
+/// Bisect executions per level: reference runs, file-level Test runs,
+/// `-fPIC` probes, symbol-level Test runs, and the total.
+pub fn bisect_executions(trace: &Trace) -> Table {
+    let mut t = Table::new(&["level", "executions"])
+        .with_title("Bisect executions by level")
+        .with_aligns(&[Align::Left, Align::Right]);
+    let levels = [
+        ("reference", counter::BISECT_REFERENCE_RUNS),
+        ("file bisect", counter::BISECT_FILE_RUNS),
+        ("fPIC probe", counter::BISECT_PROBE_RUNS),
+        ("symbol bisect", counter::BISECT_SYMBOL_RUNS),
+    ];
+    let mut total = 0u64;
+    for (name, key) in levels {
+        let v = trace.counter(key);
+        total += v;
+        t.row(&[name.to_string(), v.to_string()]);
+    }
+    t.row(&["total".to_string(), total.to_string()]);
+    t
+}
+
+/// Build-cache effectiveness: requests, hits and hit rate for the
+/// object cache and the link memo.
+pub fn cache_hit_rates(trace: &Trace) -> Table {
+    let mut t = Table::new(&["layer", "requests", "hits", "hit rate"])
+        .with_title("Build-cache hit rates")
+        .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+    let compiled = trace.counter(counter::BUILD_OBJECTS_COMPILED);
+    let obj_hits = trace.counter(counter::BUILD_OBJECT_CACHE_HITS);
+    let links = trace.counter(counter::BUILD_LINKS);
+    let memo_hits = trace.counter(counter::BUILD_LINK_MEMO_HITS);
+    let rate = |hits: u64, total: u64| -> String {
+        if total == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * hits as f64 / total as f64)
+        }
+    };
+    t.row(&[
+        "objects".to_string(),
+        (compiled + obj_hits).to_string(),
+        obj_hits.to_string(),
+        rate(obj_hits, compiled + obj_hits),
+    ]);
+    t.row(&[
+        "links".to_string(),
+        (links + memo_hits).to_string(),
+        memo_hits.to_string(),
+        rate(memo_hits, links + memo_hits),
+    ]);
+    t
+}
+
+/// The full `flit trace` report: all four exhibits, separated by blank
+/// lines. Sections with no data render with their headers so the
+/// output shape is stable.
+pub fn render_trace(trace: &Trace, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&phase_summary(trace).render());
+    out.push('\n');
+    out.push_str(&slowest_compilations(trace, top).render());
+    out.push('\n');
+    out.push_str(&bisect_executions(trace).render());
+    out.push('\n');
+    out.push_str(&cache_hit_rates(trace).render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit_trace::event::Span;
+    use std::collections::BTreeMap;
+
+    fn sample_trace() -> Trace {
+        let spans = vec![
+            Span {
+                phase: phase::SWEEP.into(),
+                label: "g++ -O2".into(),
+                cost: 2,
+                duration: 1.5,
+            },
+            Span {
+                phase: phase::SWEEP.into(),
+                label: "g++ -O3".into(),
+                cost: 2,
+                duration: 0.5,
+            },
+            Span {
+                phase: phase::BISECT_FILE.into(),
+                label: "ex1/g++ -O3 -funsafe-math-optimizations".into(),
+                cost: 9,
+                duration: 4.0,
+            },
+        ];
+        let counters: BTreeMap<String, u64> = [
+            (counter::BISECT_REFERENCE_RUNS.to_string(), 1),
+            (counter::BISECT_FILE_RUNS.to_string(), 9),
+            (counter::BISECT_PROBE_RUNS.to_string(), 1),
+            (counter::BISECT_SYMBOL_RUNS.to_string(), 6),
+            (counter::BUILD_OBJECTS_COMPILED.to_string(), 10),
+            (counter::BUILD_OBJECT_CACHE_HITS.to_string(), 30),
+            (counter::BUILD_LINKS.to_string(), 8),
+            (counter::BUILD_LINK_MEMO_HITS.to_string(), 2),
+        ]
+        .into_iter()
+        .collect();
+        Trace::from_parts(spans, counters)
+    }
+
+    #[test]
+    fn phase_summary_rolls_up_per_phase() {
+        let t = phase_summary(&sample_trace()).render();
+        assert!(t.contains("sweep"), "{t}");
+        assert!(t.contains("bisect.file"), "{t}");
+        // Sweep totals: 2 spans, cost 4, 2.0 wall units.
+        let sweep_line = t.lines().find(|l| l.contains("sweep")).unwrap();
+        assert!(sweep_line.contains('4'), "{sweep_line}");
+    }
+
+    #[test]
+    fn slowest_ranks_and_truncates() {
+        let t = slowest_compilations(&sample_trace(), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("g++ -O2"));
+    }
+
+    #[test]
+    fn bisect_executions_totals_match() {
+        let t = bisect_executions(&sample_trace()).render();
+        let total_line = t.lines().find(|l| l.contains("total")).unwrap();
+        assert!(total_line.contains("17"), "{total_line}");
+    }
+
+    #[test]
+    fn hit_rates_divide_hits_by_requests() {
+        let t = cache_hit_rates(&sample_trace()).render();
+        assert!(t.contains("75.0%"), "{t}"); // 30 of 40 object requests
+        assert!(t.contains("20.0%"), "{t}"); // 2 of 10 link requests
+    }
+
+    #[test]
+    fn empty_trace_renders_all_sections() {
+        let out = render_trace(&Trace::default(), 5);
+        assert!(out.contains("Trace summary by phase"));
+        assert!(out.contains("Bisect executions by level"));
+        assert!(out.contains("Build-cache hit rates"));
+        // Zero-request layers report "-", not a division by zero.
+        assert!(out.contains('-'));
+    }
+}

@@ -32,9 +32,10 @@
 //! any thread schedule (first requester compiles, later ones hit).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use flit_trace::names::counter as counter_names;
+use flit_trace::registry::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -107,16 +108,35 @@ fn link_shard(digest: u64) -> usize {
 type LinkResult = Result<Arc<Executable>, LinkError>;
 
 /// The shared cache state behind a counting or caching [`BuildCtx`].
-#[derive(Debug, Default)]
+///
+/// Work counters are [`flit_trace::registry::Counter`] handles resolved
+/// from a [`MetricsRegistry`] — by default a private one, or a caller's
+/// shared registry (see [`BuildCtx::cached_in`]) so the same totals
+/// appear in a workflow trace and in [`BuildCtx::stats`].
+#[derive(Debug)]
 struct CacheInner {
     /// `false` = counting mode: tally work, never reuse.
     reuse: bool,
     objects: [Mutex<HashMap<ObjectKey, ObjectFile>>; SHARDS],
     links: [Mutex<HashMap<u64, LinkResult>>; SHARDS],
-    objects_compiled: AtomicU64,
-    object_cache_hits: AtomicU64,
-    links_done: AtomicU64,
-    link_memo_hits: AtomicU64,
+    objects_compiled: Counter,
+    object_cache_hits: Counter,
+    links_done: Counter,
+    link_memo_hits: Counter,
+}
+
+impl CacheInner {
+    fn new(reuse: bool, registry: &MetricsRegistry) -> Self {
+        CacheInner {
+            reuse,
+            objects: Default::default(),
+            links: Default::default(),
+            objects_compiled: registry.counter(counter_names::BUILD_OBJECTS_COMPILED),
+            object_cache_hits: registry.counter(counter_names::BUILD_OBJECT_CACHE_HITS),
+            links_done: registry.counter(counter_names::BUILD_LINKS),
+            link_memo_hits: registry.counter(counter_names::BUILD_LINK_MEMO_HITS),
+        }
+    }
 }
 
 /// Handle to a (possibly absent) build-artifact cache. Clones share the
@@ -126,18 +146,29 @@ struct CacheInner {
 pub struct BuildCtx(Option<Arc<CacheInner>>);
 
 impl BuildCtx {
-    /// A caching context: reuse artifacts and count work.
+    /// A caching context: reuse artifacts and count work (into a
+    /// private registry).
     pub fn cached() -> Self {
-        BuildCtx(Some(Arc::new(CacheInner {
-            reuse: true,
-            ..CacheInner::default()
-        })))
+        BuildCtx::cached_in(&MetricsRegistry::new())
+    }
+
+    /// A caching context whose work counters live in `registry` — the
+    /// single source of truth shared with a
+    /// [`flit_trace::sink::TraceSink`], so a workflow trace and
+    /// [`BuildCtx::stats`] report the same numbers.
+    pub fn cached_in(registry: &MetricsRegistry) -> Self {
+        BuildCtx(Some(Arc::new(CacheInner::new(true, registry))))
     }
 
     /// A counting context: tally compiles and links without reusing
     /// anything — the "cache off" arm of an A/B comparison.
     pub fn counting() -> Self {
-        BuildCtx(Some(Arc::new(CacheInner::default())))
+        BuildCtx::counting_in(&MetricsRegistry::new())
+    }
+
+    /// [`BuildCtx::counting`] with counters in a shared `registry`.
+    pub fn counting_in(registry: &MetricsRegistry) -> Self {
+        BuildCtx(Some(Arc::new(CacheInner::new(false, registry))))
     }
 
     /// No cache, no counters (the default).
@@ -150,15 +181,22 @@ impl BuildCtx {
         self.0.as_ref().is_some_and(|c| c.reuse)
     }
 
-    /// Snapshot of the work counters (all zero for an uncached context).
+    /// Snapshot of the work counters (all zero for an uncached
+    /// context). Values are read from the registry-backed counters, so
+    /// a context built with [`BuildCtx::cached_in`] reports exactly
+    /// what the shared registry's trace snapshot reports.
+    ///
+    /// Note: with a *shared* registry, other contexts registered in the
+    /// same registry contribute to the same counters — that is the
+    /// point (one source of truth per workflow).
     pub fn stats(&self) -> BuildStats {
         match &self.0 {
             None => BuildStats::default(),
             Some(c) => BuildStats {
-                objects_compiled: c.objects_compiled.load(Ordering::Relaxed),
-                object_cache_hits: c.object_cache_hits.load(Ordering::Relaxed),
-                links: c.links_done.load(Ordering::Relaxed),
-                link_memo_hits: c.link_memo_hits.load(Ordering::Relaxed),
+                objects_compiled: c.objects_compiled.get(),
+                object_cache_hits: c.object_cache_hits.get(),
+                links: c.links_done.get(),
+                link_memo_hits: c.link_memo_hits.get(),
             },
         }
     }
@@ -173,15 +211,15 @@ impl BuildCtx {
             return compile();
         };
         if !inner.reuse {
-            inner.objects_compiled.fetch_add(1, Ordering::Relaxed);
+            inner.objects_compiled.incr(1);
             return compile();
         }
         let mut objects = inner.objects[object_shard(&key)].lock();
         if let Some(hit) = objects.get(&key) {
-            inner.object_cache_hits.fetch_add(1, Ordering::Relaxed);
+            inner.object_cache_hits.incr(1);
             return hit.clone();
         }
-        inner.objects_compiled.fetch_add(1, Ordering::Relaxed);
+        inner.objects_compiled.incr(1);
         let obj = compile();
         objects.insert(key, obj.clone());
         obj
@@ -205,15 +243,15 @@ impl BuildCtx {
             return build().map(Arc::new);
         };
         if !inner.reuse {
-            inner.links_done.fetch_add(1, Ordering::Relaxed);
+            inner.links_done.incr(1);
             return build().map(Arc::new);
         }
         let mut links = inner.links[link_shard(digest)].lock();
         if let Some(hit) = links.get(&digest) {
-            inner.link_memo_hits.fetch_add(1, Ordering::Relaxed);
+            inner.link_memo_hits.incr(1);
             return hit.clone();
         }
-        inner.links_done.fetch_add(1, Ordering::Relaxed);
+        inner.links_done.incr(1);
         let result = build().map(Arc::new);
         links.insert(digest, result.clone());
         result

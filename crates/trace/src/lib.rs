@@ -1,0 +1,49 @@
+//! # flit-trace
+//!
+//! Structured tracing and metrics for the FLiT pipeline.
+//!
+//! The paper's contribution is *diagnosis*: FLiT reports which
+//! compilation, file, and function caused variability and how many
+//! executions the search cost (§2.3, Tables 2/4/5). This crate gives
+//! the pipeline the same discipline about its *own* execution: a
+//! lock-cheap, deterministic event layer that the matrix runner, the
+//! bisect hierarchy, the build-artifact cache, and the Figure-1
+//! workflow all record into.
+//!
+//! Three pieces:
+//!
+//! * [`registry::Counter`] / [`registry::MetricsRegistry`] — named
+//!   monotonic counters behind a sharded registry. Increments are a
+//!   single relaxed atomic add; registration is a short sharded lock.
+//!   The build cache's `BuildStats` counters live here, so compile,
+//!   link, and hit counts have one source of truth.
+//! * [`event::Span`] — a completed unit of work: *(phase, label,
+//!   logical cost, wall-unit duration)*. Durations are **simulated**
+//!   seconds (the toolchain's deterministic performance model), never
+//!   host wall-clock, so traces are bit-identical across runs and
+//!   machines.
+//! * [`sink::TraceSink`] — a cheap cloneable handle (the [`event`] and
+//!   counter recording side), defaulting to disabled so every existing
+//!   call site works unchanged. [`sink::TraceSink::snapshot`] produces
+//!   a canonically-ordered [`event::Trace`] that serializes to JSONL
+//!   via the serde shims and renders through `flit-report`.
+//!
+//! Determinism contract: for a fixed workload and configuration, the
+//! JSONL bytes of two snapshots are identical regardless of thread
+//! schedule. Spans may be *recorded* in any order (workers race on the
+//! shards), but the snapshot sorts them by `(phase, label, cost,
+//! duration bits)` and the counter set by name, so the serialized trace
+//! depends only on the multiset of events — which the work-queue runner
+//! and the bisect hierarchy keep schedule-independent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod names;
+pub mod registry;
+pub mod sink;
+
+pub use event::{Span, Trace, TraceEvent};
+pub use registry::{Counter, MetricsRegistry};
+pub use sink::TraceSink;

@@ -1,0 +1,48 @@
+//! Canonical phase and counter names.
+//!
+//! Every subsystem records under a fixed name so that traces from
+//! different runs (and the `flit trace` renderer) agree on vocabulary.
+
+/// Span phases.
+pub mod phase {
+    /// Matrix-sweep spans: one per compilation, plus the baseline pass.
+    pub const SWEEP: &str = "sweep";
+    /// File-level bisection spans (one per hierarchical search).
+    pub const BISECT_FILE: &str = "bisect.file";
+    /// Symbol-level bisection spans (one per searched file).
+    pub const BISECT_SYMBOL: &str = "bisect.symbol";
+    /// Workflow-driver spans (Figure 1's numbered stages).
+    pub const WORKFLOW: &str = "workflow";
+}
+
+/// Counter names.
+pub mod counter {
+    /// Object files actually produced by the simulated compiler.
+    pub const BUILD_OBJECTS_COMPILED: &str = "build.objects_compiled";
+    /// Object requests served from the cache.
+    pub const BUILD_OBJECT_CACHE_HITS: &str = "build.object_cache_hits";
+    /// Link steps actually performed.
+    pub const BUILD_LINKS: &str = "build.links";
+    /// Executable requests served from the link memo.
+    pub const BUILD_LINK_MEMO_HITS: &str = "build.link_memo_hits";
+
+    /// Compilations claimed from the runner's work queue.
+    pub const RUNNER_QUEUE_CLAIMED: &str = "runner.queue.claimed";
+    /// Terminal queue pulls that found the queue empty (one per worker).
+    pub const RUNNER_QUEUE_DRAINED: &str = "runner.queue.drained";
+
+    /// Reference (trusted-baseline) executions of hierarchical searches.
+    pub const BISECT_REFERENCE_RUNS: &str = "bisect.executions.reference";
+    /// File-level Test-function executions (Table 2's File Bisect runs).
+    pub const BISECT_FILE_RUNS: &str = "bisect.executions.file";
+    /// `-fPIC` probe executions.
+    pub const BISECT_PROBE_RUNS: &str = "bisect.executions.probe";
+    /// Symbol-level Test-function executions (Table 2's Symbol Bisect
+    /// runs).
+    pub const BISECT_SYMBOL_RUNS: &str = "bisect.executions.symbol";
+
+    /// Hierarchical searches launched by the workflow driver.
+    pub const WORKFLOW_BISECTIONS: &str = "workflow.bisections";
+    /// Variable (test, compilation) rows found by the workflow sweep.
+    pub const WORKFLOW_VARIABLE_ROWS: &str = "workflow.variable_rows";
+}

@@ -39,6 +39,7 @@ pub use flit_mfem as mfem;
 pub use flit_program as program;
 pub use flit_report as report;
 pub use flit_toolchain as toolchain;
+pub use flit_trace as trace;
 
 /// The most commonly used items, in one import.
 pub mod prelude {
@@ -64,4 +65,7 @@ pub mod prelude {
     pub use flit_toolchain::compilation::{compilation_matrix, mfem_matrix, Compilation};
     pub use flit_toolchain::compiler::{CompilerKind, OptLevel};
     pub use flit_toolchain::flags::Switch;
+    pub use flit_trace::event::{Span, Trace, TraceEvent};
+    pub use flit_trace::registry::{Counter, MetricsRegistry};
+    pub use flit_trace::sink::TraceSink;
 }

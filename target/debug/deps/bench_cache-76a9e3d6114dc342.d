@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_cache-76a9e3d6114dc342.d: crates/bench/benches/bench_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_cache-76a9e3d6114dc342.rmeta: crates/bench/benches/bench_cache.rs Cargo.toml
+
+crates/bench/benches/bench_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

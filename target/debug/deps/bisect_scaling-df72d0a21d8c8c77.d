@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bisect_scaling-df72d0a21d8c8c77.d: crates/bench/benches/bisect_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbisect_scaling-df72d0a21d8c8c77.rmeta: crates/bench/benches/bisect_scaling.rs Cargo.toml
+
+crates/bench/benches/bisect_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

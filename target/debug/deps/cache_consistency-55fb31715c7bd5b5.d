@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_consistency-55fb31715c7bd5b5.d: tests/cache_consistency.rs
+
+/root/repo/target/debug/deps/cache_consistency-55fb31715c7bd5b5: tests/cache_consistency.rs
+
+tests/cache_consistency.rs:

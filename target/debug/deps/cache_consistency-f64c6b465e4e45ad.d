@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_consistency-f64c6b465e4e45ad.d: tests/cache_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_consistency-f64c6b465e4e45ad.rmeta: tests/cache_consistency.rs Cargo.toml
+
+tests/cache_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b21f76db80708adb.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b21f76db80708adb: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-1b545b01db5bcfdc.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-1b545b01db5bcfdc: tests/failure_injection.rs
+
+tests/failure_injection.rs:

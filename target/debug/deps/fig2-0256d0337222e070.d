@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-0256d0337222e070.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-0256d0337222e070: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

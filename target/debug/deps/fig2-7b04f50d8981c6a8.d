@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-7b04f50d8981c6a8.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-7b04f50d8981c6a8: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-1ec82e5e147e832c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-1ec82e5e147e832c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

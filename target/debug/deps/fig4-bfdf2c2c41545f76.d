@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-bfdf2c2c41545f76.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-bfdf2c2c41545f76: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-8f70e1c19d80c488.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-8f70e1c19d80c488: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

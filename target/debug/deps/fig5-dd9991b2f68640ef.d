@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-dd9991b2f68640ef.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-dd9991b2f68640ef: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-208898265113bc3f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-208898265113bc3f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-bd9c64808c3f5a6e.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-bd9c64808c3f5a6e: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-529253af37ad253c.d: src/lib.rs
+
+/root/repo/target/debug/deps/flit-529253af37ad253c: src/lib.rs
+
+src/lib.rs:

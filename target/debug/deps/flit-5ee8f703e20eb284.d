@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit-5ee8f703e20eb284.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-5ee8f703e20eb284.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-5ee8f703e20eb284.rmeta: src/lib.rs
+
+src/lib.rs:

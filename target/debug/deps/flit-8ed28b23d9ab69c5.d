@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit-8ed28b23d9ab69c5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-8ed28b23d9ab69c5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-8ed28b23d9ab69c5.rmeta: src/lib.rs
+
+src/lib.rs:

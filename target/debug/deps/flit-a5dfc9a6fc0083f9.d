@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-a5dfc9a6fc0083f9.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/flit-a5dfc9a6fc0083f9: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

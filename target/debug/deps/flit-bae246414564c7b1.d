@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit-bae246414564c7b1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit-bae246414564c7b1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

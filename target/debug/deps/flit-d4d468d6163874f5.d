@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit-d4d468d6163874f5.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit-d4d468d6163874f5.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

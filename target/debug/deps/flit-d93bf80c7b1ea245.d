@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit-d93bf80c7b1ea245.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit-d93bf80c7b1ea245.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit-e5c0c75485d9e9ab.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit-e5c0c75485d9e9ab.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit-eaa3152de9c5c5e7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-eaa3152de9c5c5e7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflit-eaa3152de9c5c5e7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flit-edd31ed023d397ef.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/flit-edd31ed023d397ef: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flit_bench-475cc548a6620841.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/libflit_bench-475cc548a6620841.rlib: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/libflit_bench-475cc548a6620841.rmeta: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:

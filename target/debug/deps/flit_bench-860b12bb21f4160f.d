@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flit_bench-860b12bb21f4160f.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/debug/deps/flit_bench-860b12bb21f4160f: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:

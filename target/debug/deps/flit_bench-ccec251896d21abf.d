@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flit_bench-ccec251896d21abf.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_bench-ccec251896d21abf.rmeta: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

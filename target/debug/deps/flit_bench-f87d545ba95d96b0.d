@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flit_bench-f87d545ba95d96b0.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_bench-f87d545ba95d96b0.rmeta: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

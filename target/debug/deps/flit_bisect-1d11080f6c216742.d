@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flit_bisect-1d11080f6c216742.d: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+/root/repo/target/debug/deps/flit_bisect-1d11080f6c216742: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+crates/bisect/src/lib.rs:
+crates/bisect/src/algo.rs:
+crates/bisect/src/baselines.rs:
+crates/bisect/src/biggest.rs:
+crates/bisect/src/hierarchy.rs:
+crates/bisect/src/test_fn.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flit_bisect-9f99b6ab8be0bba1.d: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+/root/repo/target/debug/deps/libflit_bisect-9f99b6ab8be0bba1.rlib: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+/root/repo/target/debug/deps/libflit_bisect-9f99b6ab8be0bba1.rmeta: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+crates/bisect/src/lib.rs:
+crates/bisect/src/algo.rs:
+crates/bisect/src/baselines.rs:
+crates/bisect/src/biggest.rs:
+crates/bisect/src/hierarchy.rs:
+crates/bisect/src/test_fn.rs:

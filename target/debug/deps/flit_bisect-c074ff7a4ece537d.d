@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flit_bisect-c074ff7a4ece537d.d: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_bisect-c074ff7a4ece537d.rmeta: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs Cargo.toml
+
+crates/bisect/src/lib.rs:
+crates/bisect/src/algo.rs:
+crates/bisect/src/baselines.rs:
+crates/bisect/src/biggest.rs:
+crates/bisect/src/hierarchy.rs:
+crates/bisect/src/test_fn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

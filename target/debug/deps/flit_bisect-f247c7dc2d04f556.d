@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flit_bisect-f247c7dc2d04f556.d: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+/root/repo/target/debug/deps/libflit_bisect-f247c7dc2d04f556.rlib: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+/root/repo/target/debug/deps/libflit_bisect-f247c7dc2d04f556.rmeta: crates/bisect/src/lib.rs crates/bisect/src/algo.rs crates/bisect/src/baselines.rs crates/bisect/src/biggest.rs crates/bisect/src/hierarchy.rs crates/bisect/src/test_fn.rs
+
+crates/bisect/src/lib.rs:
+crates/bisect/src/algo.rs:
+crates/bisect/src/baselines.rs:
+crates/bisect/src/biggest.rs:
+crates/bisect/src/hierarchy.rs:
+crates/bisect/src/test_fn.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flit_cli-5258d0e4549cc239.d: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libflit_cli-5258d0e4549cc239.rlib: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libflit_cli-5258d0e4549cc239.rmeta: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/apps.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

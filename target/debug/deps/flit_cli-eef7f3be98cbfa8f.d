@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flit_cli-eef7f3be98cbfa8f.d: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/flit_cli-eef7f3be98cbfa8f: crates/cli/src/lib.rs crates/cli/src/apps.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/apps.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flit_core-3c5d56456b98f8bd.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+/root/repo/target/debug/deps/flit_core-3c5d56456b98f8bd: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/db.rs:
+crates/core/src/determinize.rs:
+crates/core/src/metrics.rs:
+crates/core/src/runner.rs:
+crates/core/src/test.rs:
+crates/core/src/workflow.rs:

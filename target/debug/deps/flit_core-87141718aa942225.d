@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flit_core-87141718aa942225.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+/root/repo/target/debug/deps/libflit_core-87141718aa942225.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+/root/repo/target/debug/deps/libflit_core-87141718aa942225.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/db.rs:
+crates/core/src/determinize.rs:
+crates/core/src/metrics.rs:
+crates/core/src/runner.rs:
+crates/core/src/test.rs:
+crates/core/src/workflow.rs:

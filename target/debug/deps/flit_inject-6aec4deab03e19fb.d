@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flit_inject-6aec4deab03e19fb.d: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_inject-6aec4deab03e19fb.rmeta: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs Cargo.toml
+
+crates/inject/src/lib.rs:
+crates/inject/src/sites.rs:
+crates/inject/src/study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_inject-a1e0f7e9fd5f4516.d: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/debug/deps/flit_inject-a1e0f7e9fd5f4516: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/sites.rs:
+crates/inject/src/study.rs:

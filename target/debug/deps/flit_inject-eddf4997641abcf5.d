@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit_inject-eddf4997641abcf5.d: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/debug/deps/libflit_inject-eddf4997641abcf5.rlib: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/debug/deps/libflit_inject-eddf4997641abcf5.rmeta: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/sites.rs:
+crates/inject/src/study.rs:

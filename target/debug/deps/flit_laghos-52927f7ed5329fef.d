@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flit_laghos-52927f7ed5329fef.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_laghos-52927f7ed5329fef.rmeta: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs Cargo.toml
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

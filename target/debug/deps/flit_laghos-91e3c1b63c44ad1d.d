@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit_laghos-91e3c1b63c44ad1d.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/debug/deps/libflit_laghos-91e3c1b63c44ad1d.rlib: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/debug/deps/libflit_laghos-91e3c1b63c44ad1d.rmeta: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flit_laghos-a7ee66cac8511c77.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_laghos-a7ee66cac8511c77.rmeta: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs Cargo.toml
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flit_laghos-fd53d210af6919eb.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/debug/deps/flit_laghos-fd53d210af6919eb: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:

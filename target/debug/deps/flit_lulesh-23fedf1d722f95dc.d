@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit_lulesh-23fedf1d722f95dc.d: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/debug/deps/libflit_lulesh-23fedf1d722f95dc.rlib: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+/root/repo/target/debug/deps/libflit_lulesh-23fedf1d722f95dc.rmeta: crates/lulesh/src/lib.rs crates/lulesh/src/kernels.rs crates/lulesh/src/program.rs
+
+crates/lulesh/src/lib.rs:
+crates/lulesh/src/kernels.rs:
+crates/lulesh/src/program.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flit_program-cdf2eabdc198d3ec.d: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+/root/repo/target/debug/deps/flit_program-cdf2eabdc198d3ec: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+crates/program/src/lib.rs:
+crates/program/src/build.rs:
+crates/program/src/engine.rs:
+crates/program/src/generate.rs:
+crates/program/src/kernel.rs:
+crates/program/src/model.rs:
+crates/program/src/sites.rs:

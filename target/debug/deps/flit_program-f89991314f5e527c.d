@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flit_program-f89991314f5e527c.d: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+/root/repo/target/debug/deps/libflit_program-f89991314f5e527c.rlib: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+/root/repo/target/debug/deps/libflit_program-f89991314f5e527c.rmeta: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+crates/program/src/lib.rs:
+crates/program/src/build.rs:
+crates/program/src/engine.rs:
+crates/program/src/generate.rs:
+crates/program/src/kernel.rs:
+crates/program/src/model.rs:
+crates/program/src/sites.rs:

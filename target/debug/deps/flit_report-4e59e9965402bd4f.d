@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flit_report-4e59e9965402bd4f.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_report-4e59e9965402bd4f.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs Cargo.toml
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/plot.rs:
+crates/report/src/stats.rs:
+crates/report/src/table.rs:
+crates/report/src/trace_view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

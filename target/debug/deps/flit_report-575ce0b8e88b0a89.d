@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flit_report-575ce0b8e88b0a89.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs
+
+/root/repo/target/debug/deps/libflit_report-575ce0b8e88b0a89.rlib: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs
+
+/root/repo/target/debug/deps/libflit_report-575ce0b8e88b0a89.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/plot.rs:
+crates/report/src/stats.rs:
+crates/report/src/table.rs:
+crates/report/src/trace_view.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flit_report-be226fb0744614cb.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs
+
+/root/repo/target/debug/deps/flit_report-be226fb0744614cb: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/plot.rs:
+crates/report/src/stats.rs:
+crates/report/src/table.rs:
+crates/report/src/trace_view.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flit_report-fc26fe3257ae62fe.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_report-fc26fe3257ae62fe.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs Cargo.toml
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/plot.rs:
+crates/report/src/stats.rs:
+crates/report/src/table.rs:
+crates/report/src/trace_view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/flit_toolchain-167f03c4cfd10a52.d: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_toolchain-167f03c4cfd10a52.rmeta: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs Cargo.toml
+
+crates/toolchain/src/lib.rs:
+crates/toolchain/src/cache.rs:
+crates/toolchain/src/compilation.rs:
+crates/toolchain/src/compiler.rs:
+crates/toolchain/src/flags.rs:
+crates/toolchain/src/linker.rs:
+crates/toolchain/src/object.rs:
+crates/toolchain/src/perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flit_toolchain-752cb0d1b34496cb.d: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+/root/repo/target/debug/deps/libflit_toolchain-752cb0d1b34496cb.rlib: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+/root/repo/target/debug/deps/libflit_toolchain-752cb0d1b34496cb.rmeta: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+crates/toolchain/src/lib.rs:
+crates/toolchain/src/cache.rs:
+crates/toolchain/src/compilation.rs:
+crates/toolchain/src/compiler.rs:
+crates/toolchain/src/flags.rs:
+crates/toolchain/src/linker.rs:
+crates/toolchain/src/object.rs:
+crates/toolchain/src/perf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flit_toolchain-b72d0be0d7c90e3c.d: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+/root/repo/target/debug/deps/libflit_toolchain-b72d0be0d7c90e3c.rlib: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+/root/repo/target/debug/deps/libflit_toolchain-b72d0be0d7c90e3c.rmeta: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+crates/toolchain/src/lib.rs:
+crates/toolchain/src/cache.rs:
+crates/toolchain/src/compilation.rs:
+crates/toolchain/src/compiler.rs:
+crates/toolchain/src/flags.rs:
+crates/toolchain/src/linker.rs:
+crates/toolchain/src/object.rs:
+crates/toolchain/src/perf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flit_trace-0989f8d1f8210e10.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_trace-0989f8d1f8210e10.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/names.rs:
+crates/trace/src/registry.rs:
+crates/trace/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

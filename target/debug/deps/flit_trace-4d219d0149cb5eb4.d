@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flit_trace-4d219d0149cb5eb4.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libflit_trace-4d219d0149cb5eb4.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libflit_trace-4d219d0149cb5eb4.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/names.rs:
+crates/trace/src/registry.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flit_trace-e698188ddc47df53.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/flit_trace-e698188ddc47df53: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/names.rs:
+crates/trace/src/registry.rs:
+crates/trace/src/sink.rs:

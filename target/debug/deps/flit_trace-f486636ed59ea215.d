@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flit_trace-f486636ed59ea215.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libflit_trace-f486636ed59ea215.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libflit_trace-f486636ed59ea215.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/names.rs:
+crates/trace/src/registry.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matrix_runner-2fe29b7248406465.d: crates/bench/benches/matrix_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatrix_runner-2fe29b7248406465.rmeta: crates/bench/benches/matrix_runner.rs Cargo.toml
+
+crates/bench/benches/matrix_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

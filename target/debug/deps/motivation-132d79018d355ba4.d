@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/motivation-132d79018d355ba4.d: crates/bench/src/bin/motivation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmotivation-132d79018d355ba4.rmeta: crates/bench/src/bin/motivation.rs Cargo.toml
+
+crates/bench/src/bin/motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivation-14ae2bde009e81f1.d: crates/bench/src/bin/motivation.rs
+
+/root/repo/target/debug/deps/motivation-14ae2bde009e81f1: crates/bench/src/bin/motivation.rs
+
+crates/bench/src/bin/motivation.rs:

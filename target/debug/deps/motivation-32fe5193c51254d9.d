@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivation-32fe5193c51254d9.d: crates/bench/src/bin/motivation.rs
+
+/root/repo/target/debug/deps/motivation-32fe5193c51254d9: crates/bench/src/bin/motivation.rs
+
+crates/bench/src/bin/motivation.rs:

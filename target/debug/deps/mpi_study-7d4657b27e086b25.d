@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_study-7d4657b27e086b25.d: crates/bench/src/bin/mpi_study.rs
+
+/root/repo/target/debug/deps/mpi_study-7d4657b27e086b25: crates/bench/src/bin/mpi_study.rs
+
+crates/bench/src/bin/mpi_study.rs:

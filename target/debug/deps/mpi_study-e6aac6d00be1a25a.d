@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_study-e6aac6d00be1a25a.d: crates/bench/src/bin/mpi_study.rs
+
+/root/repo/target/debug/deps/mpi_study-e6aac6d00be1a25a: crates/bench/src/bin/mpi_study.rs
+
+crates/bench/src/bin/mpi_study.rs:

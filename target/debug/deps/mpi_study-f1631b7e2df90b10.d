@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpi_study-f1631b7e2df90b10.d: crates/bench/src/bin/mpi_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpi_study-f1631b7e2df90b10.rmeta: crates/bench/src/bin/mpi_study.rs Cargo.toml
+
+crates/bench/src/bin/mpi_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-950c1021feea1be2.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-950c1021feea1be2: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0bbad76798e2c080.d: crates/toolchain/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0bbad76798e2c080.rmeta: crates/toolchain/tests/proptests.rs Cargo.toml
+
+crates/toolchain/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-12d5dde9ca8cd312.d: crates/bisect/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-12d5dde9ca8cd312: crates/bisect/tests/proptests.rs
+
+crates/bisect/tests/proptests.rs:

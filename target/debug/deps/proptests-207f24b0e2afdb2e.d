@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-207f24b0e2afdb2e.d: crates/toolchain/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-207f24b0e2afdb2e: crates/toolchain/tests/proptests.rs
+
+crates/toolchain/tests/proptests.rs:

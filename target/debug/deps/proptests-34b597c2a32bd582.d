@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-34b597c2a32bd582.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-34b597c2a32bd582: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9617c2016b34b9c7.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9617c2016b34b9c7: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-aac2bccb6c1d83ea.d: crates/program/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-aac2bccb6c1d83ea: crates/program/tests/proptests.rs
+
+crates/program/tests/proptests.rs:

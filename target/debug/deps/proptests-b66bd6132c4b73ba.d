@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-b66bd6132c4b73ba.d: crates/bisect/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-b66bd6132c4b73ba.rmeta: crates/bisect/tests/proptests.rs Cargo.toml
+
+crates/bisect/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

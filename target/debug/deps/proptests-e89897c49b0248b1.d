@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e89897c49b0248b1.d: crates/program/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e89897c49b0248b1.rmeta: crates/program/tests/proptests.rs Cargo.toml
+
+crates/program/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/switch_report-17d5a8d5fb9020e0.d: crates/bench/src/bin/switch_report.rs
+
+/root/repo/target/debug/deps/switch_report-17d5a8d5fb9020e0: crates/bench/src/bin/switch_report.rs
+
+crates/bench/src/bin/switch_report.rs:

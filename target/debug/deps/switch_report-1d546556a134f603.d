@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/switch_report-1d546556a134f603.d: crates/bench/src/bin/switch_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswitch_report-1d546556a134f603.rmeta: crates/bench/src/bin/switch_report.rs Cargo.toml
+
+crates/bench/src/bin/switch_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

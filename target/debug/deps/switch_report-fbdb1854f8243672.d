@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/switch_report-fbdb1854f8243672.d: crates/bench/src/bin/switch_report.rs
+
+/root/repo/target/debug/deps/switch_report-fbdb1854f8243672: crates/bench/src/bin/switch_report.rs
+
+crates/bench/src/bin/switch_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-cdd94199b3763ea0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-cdd94199b3763ea0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ec4d3f5a267f8e24.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ec4d3f5a267f8e24: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0fec09175b4cd1a9.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-0fec09175b4cd1a9: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b9cf3989ae795910.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-b9cf3989ae795910: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-88cadc39af3b9a5e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-88cadc39af3b9a5e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-a495cd3d56507790.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-a495cd3d56507790: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

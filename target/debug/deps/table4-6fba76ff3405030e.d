@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-6fba76ff3405030e.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-6fba76ff3405030e: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

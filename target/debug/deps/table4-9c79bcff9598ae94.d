@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-9c79bcff9598ae94.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-9c79bcff9598ae94: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-1044c469c2efec62.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-1044c469c2efec62: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

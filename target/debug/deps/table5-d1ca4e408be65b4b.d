@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-d1ca4e408be65b4b.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-d1ca4e408be65b4b: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

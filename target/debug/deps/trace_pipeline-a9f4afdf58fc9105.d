@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_pipeline-a9f4afdf58fc9105.d: tests/trace_pipeline.rs
+
+/root/repo/target/debug/deps/trace_pipeline-a9f4afdf58fc9105: tests/trace_pipeline.rs
+
+tests/trace_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workflow_end_to_end-4854832a51e4a8c2.d: tests/workflow_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkflow_end_to_end-4854832a51e4a8c2.rmeta: tests/workflow_end_to_end.rs Cargo.toml
+
+tests/workflow_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workflow_end_to_end-f4d451e55adfcc65.d: tests/workflow_end_to_end.rs
+
+/root/repo/target/debug/deps/workflow_end_to_end-f4d451e55adfcc65: tests/workflow_end_to_end.rs
+
+tests/workflow_end_to_end.rs:

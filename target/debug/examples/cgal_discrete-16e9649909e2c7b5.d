@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cgal_discrete-16e9649909e2c7b5.d: examples/cgal_discrete.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcgal_discrete-16e9649909e2c7b5.rmeta: examples/cgal_discrete.rs Cargo.toml
+
+examples/cgal_discrete.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cgal_discrete-df724a049b4c29c5.d: examples/cgal_discrete.rs
+
+/root/repo/target/debug/examples/cgal_discrete-df724a049b4c29c5: examples/cgal_discrete.rs
+
+examples/cgal_discrete.rs:

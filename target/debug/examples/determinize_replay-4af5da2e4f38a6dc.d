@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/determinize_replay-4af5da2e4f38a6dc.d: examples/determinize_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeterminize_replay-4af5da2e4f38a6dc.rmeta: examples/determinize_replay.rs Cargo.toml
+
+examples/determinize_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

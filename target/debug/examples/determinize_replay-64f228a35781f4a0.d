@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/determinize_replay-64f228a35781f4a0.d: examples/determinize_replay.rs
+
+/root/repo/target/debug/examples/determinize_replay-64f228a35781f4a0: examples/determinize_replay.rs
+
+examples/determinize_replay.rs:

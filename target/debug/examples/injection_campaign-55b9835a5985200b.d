@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/injection_campaign-55b9835a5985200b.d: examples/injection_campaign.rs
+
+/root/repo/target/debug/examples/injection_campaign-55b9835a5985200b: examples/injection_campaign.rs
+
+examples/injection_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/injection_campaign-c392ac2bdaaeabc4.d: examples/injection_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinjection_campaign-c392ac2bdaaeabc4.rmeta: examples/injection_campaign.rs Cargo.toml
+
+examples/injection_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/laghos_debugging-7413aa012da7313f.d: examples/laghos_debugging.rs
+
+/root/repo/target/debug/examples/laghos_debugging-7413aa012da7313f: examples/laghos_debugging.rs
+
+examples/laghos_debugging.rs:

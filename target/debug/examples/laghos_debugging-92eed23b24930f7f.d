@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/laghos_debugging-92eed23b24930f7f.d: examples/laghos_debugging.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblaghos_debugging-92eed23b24930f7f.rmeta: examples/laghos_debugging.rs Cargo.toml
+
+examples/laghos_debugging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

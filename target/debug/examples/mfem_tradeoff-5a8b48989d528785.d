@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mfem_tradeoff-5a8b48989d528785.d: examples/mfem_tradeoff.rs
+
+/root/repo/target/debug/examples/mfem_tradeoff-5a8b48989d528785: examples/mfem_tradeoff.rs
+
+examples/mfem_tradeoff.rs:

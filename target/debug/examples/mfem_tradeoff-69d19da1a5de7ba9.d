@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mfem_tradeoff-69d19da1a5de7ba9.d: examples/mfem_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmfem_tradeoff-69d19da1a5de7ba9.rmeta: examples/mfem_tradeoff.rs Cargo.toml
+
+examples/mfem_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9808de9b54dff099.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9808de9b54dff099: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproducible_fix-ef5b155e61c3f76a.d: examples/reproducible_fix.rs
+
+/root/repo/target/debug/examples/reproducible_fix-ef5b155e61c3f76a: examples/reproducible_fix.rs
+
+examples/reproducible_fix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reproducible_fix-f4de96fb577c68b7.d: examples/reproducible_fix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreproducible_fix-f4de96fb577c68b7.rmeta: examples/reproducible_fix.rs Cargo.toml
+
+examples/reproducible_fix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

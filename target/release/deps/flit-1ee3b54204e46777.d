@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flit-1ee3b54204e46777.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/flit-1ee3b54204e46777: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flit-d1256a09161e8f69.d: src/lib.rs
+
+/root/repo/target/release/deps/libflit-d1256a09161e8f69.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflit-d1256a09161e8f69.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flit_bench-3848b229e6c888ac.d: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/release/deps/libflit_bench-3848b229e6c888ac.rlib: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+/root/repo/target/release/deps/libflit_bench-3848b229e6c888ac.rmeta: crates/bench/src/lib.rs crates/bench/src/mfem_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/mfem_study.rs:

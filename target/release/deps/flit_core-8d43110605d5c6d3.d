@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/flit_core-8d43110605d5c6d3.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+/root/repo/target/release/deps/libflit_core-8d43110605d5c6d3.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+/root/repo/target/release/deps/libflit_core-8d43110605d5c6d3.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/db.rs crates/core/src/determinize.rs crates/core/src/metrics.rs crates/core/src/runner.rs crates/core/src/test.rs crates/core/src/workflow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/db.rs:
+crates/core/src/determinize.rs:
+crates/core/src/metrics.rs:
+crates/core/src/runner.rs:
+crates/core/src/test.rs:
+crates/core/src/workflow.rs:

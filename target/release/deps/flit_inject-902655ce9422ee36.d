@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flit_inject-902655ce9422ee36.d: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/release/deps/libflit_inject-902655ce9422ee36.rlib: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+/root/repo/target/release/deps/libflit_inject-902655ce9422ee36.rmeta: crates/inject/src/lib.rs crates/inject/src/sites.rs crates/inject/src/study.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/sites.rs:
+crates/inject/src/study.rs:

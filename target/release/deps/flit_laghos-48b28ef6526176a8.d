@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flit_laghos-48b28ef6526176a8.d: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/release/deps/libflit_laghos-48b28ef6526176a8.rlib: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+/root/repo/target/release/deps/libflit_laghos-48b28ef6526176a8.rmeta: crates/laghos/src/lib.rs crates/laghos/src/experiment.rs crates/laghos/src/program.rs
+
+crates/laghos/src/lib.rs:
+crates/laghos/src/experiment.rs:
+crates/laghos/src/program.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flit_mfem-fc530889f58b9f67.d: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+/root/repo/target/release/deps/libflit_mfem-fc530889f58b9f67.rlib: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+/root/repo/target/release/deps/libflit_mfem-fc530889f58b9f67.rmeta: crates/mfem/src/lib.rs crates/mfem/src/codebase.rs crates/mfem/src/examples.rs crates/mfem/src/files.rs
+
+crates/mfem/src/lib.rs:
+crates/mfem/src/codebase.rs:
+crates/mfem/src/examples.rs:
+crates/mfem/src/files.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flit_program-dc5f4ff2fc83a372.d: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+/root/repo/target/release/deps/libflit_program-dc5f4ff2fc83a372.rlib: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+/root/repo/target/release/deps/libflit_program-dc5f4ff2fc83a372.rmeta: crates/program/src/lib.rs crates/program/src/build.rs crates/program/src/engine.rs crates/program/src/generate.rs crates/program/src/kernel.rs crates/program/src/model.rs crates/program/src/sites.rs
+
+crates/program/src/lib.rs:
+crates/program/src/build.rs:
+crates/program/src/engine.rs:
+crates/program/src/generate.rs:
+crates/program/src/kernel.rs:
+crates/program/src/model.rs:
+crates/program/src/sites.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flit_report-c71aa8ad8db36e26.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs
+
+/root/repo/target/release/deps/libflit_report-c71aa8ad8db36e26.rlib: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs
+
+/root/repo/target/release/deps/libflit_report-c71aa8ad8db36e26.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/plot.rs crates/report/src/stats.rs crates/report/src/table.rs crates/report/src/trace_view.rs
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/plot.rs:
+crates/report/src/stats.rs:
+crates/report/src/table.rs:
+crates/report/src/trace_view.rs:

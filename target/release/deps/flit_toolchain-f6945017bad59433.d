@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/flit_toolchain-f6945017bad59433.d: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+/root/repo/target/release/deps/libflit_toolchain-f6945017bad59433.rlib: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+/root/repo/target/release/deps/libflit_toolchain-f6945017bad59433.rmeta: crates/toolchain/src/lib.rs crates/toolchain/src/cache.rs crates/toolchain/src/compilation.rs crates/toolchain/src/compiler.rs crates/toolchain/src/flags.rs crates/toolchain/src/linker.rs crates/toolchain/src/object.rs crates/toolchain/src/perf.rs
+
+crates/toolchain/src/lib.rs:
+crates/toolchain/src/cache.rs:
+crates/toolchain/src/compilation.rs:
+crates/toolchain/src/compiler.rs:
+crates/toolchain/src/flags.rs:
+crates/toolchain/src/linker.rs:
+crates/toolchain/src/object.rs:
+crates/toolchain/src/perf.rs:

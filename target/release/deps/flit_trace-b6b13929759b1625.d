@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flit_trace-b6b13929759b1625.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/libflit_trace-b6b13929759b1625.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/libflit_trace-b6b13929759b1625.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/names.rs crates/trace/src/registry.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/names.rs:
+crates/trace/src/registry.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/determinize_replay-8b347579c91cbc78.d: examples/determinize_replay.rs
+
+/root/repo/target/release/examples/determinize_replay-8b347579c91cbc78: examples/determinize_replay.rs
+
+examples/determinize_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0c1e0153dd1a63bc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0c1e0153dd1a63bc: examples/quickstart.rs
+
+examples/quickstart.rs:

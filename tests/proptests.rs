@@ -10,6 +10,7 @@ use flit::bisect::algo::bisect_all;
 use flit::bisect::baselines::{ddmin, linear_search};
 use flit::bisect::biggest::bisect_biggest;
 use flit::bisect::test_fn::TestError;
+use flit::core::analysis::{fastest_is_reproducible_count, speedup_series};
 use flit::prelude::*;
 
 /// Ground truth: `n` items, a set of variable items with distinct
@@ -190,4 +191,62 @@ proptest! {
 
 fn gt_log2(n: usize) -> usize {
     (usize::BITS - n.max(1).leading_zeros()) as usize
+}
+
+/// Arbitrary results databases, including the degenerate rows a real
+/// sweep can produce: crashed rows (comparison = ∞), zero/NaN/infinite
+/// seconds, zero baseline norms, and duplicated (test, compilation)
+/// pairs.
+fn arbitrary_db() -> impl Strategy<Value = ResultsDb> {
+    prop::collection::vec((0usize..4, 0usize..244, 0u8..5, 0u8..4, 0u8..3), 0..25).prop_map(|raw| {
+        let mut db = ResultsDb::new("prop-analysis");
+        for (test_i, comp_i, sec_kind, cmp_kind, flavor) in raw {
+            let compilation = mfem_matrix()[comp_i].clone();
+            let seconds = match sec_kind {
+                0 => 0.0,
+                1 => f64::NAN,
+                2 => f64::INFINITY,
+                3 => -1.0,
+                _ => 0.5 + test_i as f64,
+            };
+            let comparison = match cmp_kind {
+                0 => 0.0,
+                1 => f64::INFINITY,
+                2 => f64::NAN,
+                _ => 1e-9,
+            };
+            db.rows.push(RunRecord {
+                test: format!("t{test_i}"),
+                label: compilation.label(),
+                compilation,
+                seconds,
+                comparison,
+                bitwise_equal: cmp_kind == 0 && flavor != 0,
+                baseline_norm: if flavor == 1 { 0.0 } else { 10.0 },
+                crashed: flavor == 0,
+            });
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full analysis layer tolerates arbitrary databases — crashed
+    /// rows, INFINITY comparisons, NaN/zero seconds, duplicated and
+    /// missing (test, compilation) pairs — without panicking.
+    #[test]
+    fn analysis_never_panics_on_arbitrary_rows(db in arbitrary_db()) {
+        for t in db.tests() {
+            let _ = speedup_series(&db, &t);
+            let _ = category_bars(&db, &t);
+            let _ = variability_summary(&db, &t);
+        }
+        for c in [CompilerKind::Gcc, CompilerKind::Clang, CompilerKind::Icpc] {
+            let _ = compiler_summary(&db, c);
+        }
+        let _ = switch_attribution(&db);
+        let _ = fastest_is_reproducible_count(&db);
+    }
 }

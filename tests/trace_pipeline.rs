@@ -1,0 +1,129 @@
+//! End-to-end trace pipeline: a traced Figure-1 workflow produces a
+//! deterministic JSONL trace whose counters agree with the results
+//! database's `BuildStats` — one source of truth for build work.
+
+use std::collections::BTreeMap;
+
+use flit::prelude::*;
+use flit::toolchain::cache::BuildStats;
+use flit::trace::names::{counter, phase};
+
+fn program() -> SimProgram {
+    SimProgram::new(
+        "trace-e2e",
+        vec![
+            SourceFile::new(
+                "kern.cpp",
+                vec![
+                    Function::exported("kern_dot", Kernel::DotMix { stride: 2 }),
+                    Function::exported("kern_aux", Kernel::Benign { flavor: 1 }),
+                ],
+            ),
+            SourceFile::new(
+                "util.cpp",
+                vec![Function::exported(
+                    "util_copy",
+                    Kernel::Benign { flavor: 2 },
+                )],
+            ),
+        ],
+    )
+}
+
+fn suite() -> Vec<DriverTest> {
+    vec![DriverTest::new(
+        Driver::new(
+            "ex1",
+            vec!["kern_dot".into(), "kern_aux".into(), "util_copy".into()],
+            2,
+            48,
+        ),
+        1,
+        vec![0.5],
+    )]
+}
+
+fn compilations() -> Vec<Compilation> {
+    vec![
+        Compilation::baseline(),
+        Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![]),
+        Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![Switch::Avx2Fma]),
+    ]
+}
+
+fn run_traced() -> (String, BuildStats, BTreeMap<String, u64>) {
+    let sink = TraceSink::enabled();
+    let cfg = WorkflowConfig {
+        trace: sink.clone(),
+        ..Default::default()
+    };
+    let report = run_workflow(&program(), &suite(), &compilations(), &cfg).expect("workflow runs");
+    let trace = sink.snapshot();
+    (trace.to_jsonl(), report.db.build_stats, trace.counters())
+}
+
+#[test]
+fn traced_workflow_is_byte_deterministic() {
+    let (a, _, _) = run_traced();
+    let (b, _, _) = run_traced();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "two identical runs must serialize identically");
+}
+
+#[test]
+fn build_stats_and_trace_counters_are_one_source_of_truth() {
+    let (jsonl, stats, counters) = run_traced();
+    assert_eq!(
+        stats.objects_compiled,
+        counters[counter::BUILD_OBJECTS_COMPILED]
+    );
+    assert_eq!(
+        stats.object_cache_hits,
+        counters[counter::BUILD_OBJECT_CACHE_HITS]
+    );
+    assert_eq!(stats.links, counters[counter::BUILD_LINKS]);
+    assert_eq!(
+        stats.link_memo_hits,
+        counters[counter::BUILD_LINK_MEMO_HITS]
+    );
+
+    // And the JSONL round-trips losslessly.
+    let back = Trace::from_jsonl(&jsonl).expect("trace parses");
+    assert_eq!(back.to_jsonl(), jsonl);
+}
+
+#[test]
+fn tracing_does_not_change_the_results_or_the_stats() {
+    let untraced = run_workflow(
+        &program(),
+        &suite(),
+        &compilations(),
+        &WorkflowConfig::default(),
+    )
+    .expect("workflow runs");
+    let (_, traced_stats, _) = run_traced();
+    assert_eq!(untraced.db.build_stats, traced_stats);
+}
+
+#[test]
+fn trace_covers_every_pipeline_phase() {
+    let (jsonl, _, counters) = run_traced();
+    let trace = Trace::from_jsonl(&jsonl).unwrap();
+    let phases = trace.phases();
+    for p in [phase::SWEEP, phase::BISECT_FILE, phase::WORKFLOW] {
+        assert!(
+            phases.iter().any(|x| x == p),
+            "missing phase {p}: {phases:?}"
+        );
+    }
+    // One compilation sweep span per compilation plus the baseline pass.
+    assert_eq!(trace.spans_in(phase::SWEEP).len(), compilations().len() + 1);
+    // Exactly one variable row → one bisection launched.
+    assert_eq!(counters[counter::WORKFLOW_VARIABLE_ROWS], 1);
+    assert_eq!(counters[counter::WORKFLOW_BISECTIONS], 1);
+    assert!(counters[counter::BISECT_FILE_RUNS] > 0);
+    assert_eq!(
+        counters[counter::RUNNER_QUEUE_CLAIMED],
+        compilations().len() as u64
+    );
+}

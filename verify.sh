@@ -15,4 +15,10 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== cargo run --example quickstart =="
+cargo run --release --example quickstart
+
+echo "== cargo run --example determinize_replay =="
+cargo run --release --example determinize_replay
+
 echo "verify: OK"
