@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_pipeline-034e42baef904967.d: tests/trace_pipeline.rs
+
+/root/repo/target/release/deps/trace_pipeline-034e42baef904967: tests/trace_pipeline.rs
+
+tests/trace_pipeline.rs:
