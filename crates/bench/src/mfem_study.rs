@@ -2,13 +2,12 @@
 //! bisect-every-variable-compilation characterization (Tables 1–2,
 //! Figures 4–6).
 
-use crossbeam::thread;
-
 use flit_bisect::hierarchy::{bisect_hierarchical, HierarchicalConfig, SearchOutcome};
 use flit_core::db::ResultsDb;
 use flit_core::metrics::l2_compare;
 use flit_core::runner::{run_matrix, RunnerConfig};
 use flit_core::test::FlitTest;
+use flit_exec::Executor;
 use flit_mfem::examples::example_driver;
 use flit_mfem::mfem_examples;
 use flit_program::build::Build;
@@ -113,25 +112,15 @@ pub fn bisect_all_variable_with(
             )
         };
 
-    let nthreads = threads.max(1);
-    let results: Vec<(CompilerKind, SearchOutcome, bool, bool, usize)> = if nthreads == 1 {
-        jobs.iter().map(|(t, c)| run_job(t, c)).collect()
-    } else {
-        let chunk = jobs.len().div_ceil(nthreads).max(1);
-        thread::scope(|s| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk)
-                .map(|part| {
-                    s.spawn(move |_| part.iter().map(|(t, c)| run_job(t, c)).collect::<Vec<_>>())
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().unwrap())
-                .collect()
+    // A work queue (not static chunking): searches vary wildly in cost,
+    // and the queue keeps every worker busy until the jobs run out.
+    // Results land in job order, so aggregation is schedule-independent.
+    let results: Vec<(CompilerKind, SearchOutcome, bool, bool, usize)> = Executor::new(threads)
+        .run(jobs.len(), |i| {
+            let (t, c) = &jobs[i];
+            run_job(t, c)
         })
-        .expect("bisect workers must not panic")
-    };
+        .unwrap_or_else(|e| panic!("bisect workers must not panic: {e}"));
 
     let mut per: Vec<(CompilerKind, BisectCharacterization)> = CompilerKind::MFEM_STUDY
         .iter()

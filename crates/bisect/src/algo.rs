@@ -23,6 +23,7 @@
 //! is notified that there may be false negative results"), never as
 //! panics.
 
+use crate::planner::{drive_serial, BisectPlan, SearchMode};
 use crate::test_fn::{MemoTest, TestError, TestFn};
 
 /// A recorded Test invocation, for traces like the paper's Figure 2.
@@ -57,7 +58,7 @@ pub enum AssumptionViolation<I> {
 }
 
 /// Outcome of a `BisectAll` search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BisectOutcome<I> {
     /// The variability-inducing elements, in discovery order, each with
     /// its singleton Test value (used by `BisectBiggest`-style ranking
@@ -137,61 +138,19 @@ where
 }
 
 /// `BisectAll` (Algorithm 1): find *all* variability-inducing elements.
+///
+/// Since the planner refactor this is a thin driver over
+/// [`BisectPlan`]: the plan replays the loop above one frontier query
+/// at a time, and `test_fn` answers each query in the serial call
+/// order. The observable behavior — call sequence, memoization, found
+/// set, trace, execution count, violations — is unchanged (see
+/// `planner::tests::replay_matches_reference_recursion_exactly`).
 pub fn bisect_all<I, F>(test_fn: F, items: &[I]) -> Result<BisectOutcome<I>, TestError>
 where
     I: Clone + Ord + std::hash::Hash,
     F: TestFn<I>,
 {
-    let mut test = MemoTest::new(test_fn);
-    let mut trace = Vec::new();
-    let mut violations = Vec::new();
-    let mut found: Vec<(I, f64)> = Vec::new();
-    let mut t: Vec<I> = items.to_vec();
-
-    loop {
-        let v = test.test(&t)?;
-        trace.push(TraceRow {
-            tested: t.clone(),
-            space: t.clone(),
-            value: v,
-        });
-        if v.is_nan() || v <= 0.0 {
-            break;
-        }
-        let (g, next) = bisect_one(&mut test, &t, &t, &mut trace, &mut violations)?;
-        if let Some(pair) = next {
-            found.push(pair);
-        } else {
-            // Singleton-blame violation: the search cannot make progress
-            // on this round; prune what we learned and stop to avoid an
-            // infinite loop (the user is notified via `violations`).
-            t.retain(|x| !g.contains(x));
-            break;
-        }
-        t.retain(|x| !g.contains(x));
-        if t.is_empty() {
-            break;
-        }
-    }
-
-    // Line 8: assert Test(items) = Test(found) — dynamic verification of
-    // Assumption 1. Memoization makes the items re-test free.
-    let items_value = test.test(items)?;
-    let found_items: Vec<I> = found.iter().map(|(i, _)| i.clone()).collect();
-    let found_value = test.test(&found_items)?;
-    if items_value != found_value && !(items_value.is_nan() && found_value.is_nan()) {
-        violations.push(AssumptionViolation::UniqueError {
-            items_value,
-            found_value,
-        });
-    }
-
-    Ok(BisectOutcome {
-        found,
-        executions: test.executions(),
-        violations,
-        trace,
-    })
+    drive_serial(BisectPlan::new(items, SearchMode::All), test_fn)
 }
 
 /// `BisectAll` **without** the found-set pruning (ablation).
@@ -208,51 +167,7 @@ where
     I: Clone + Ord + std::hash::Hash,
     F: TestFn<I>,
 {
-    let mut test = MemoTest::new(test_fn);
-    let mut trace = Vec::new();
-    let mut violations = Vec::new();
-    let mut found: Vec<(I, f64)> = Vec::new();
-    let mut t: Vec<I> = items.to_vec();
-
-    loop {
-        let v = test.test(&t)?;
-        trace.push(TraceRow {
-            tested: t.clone(),
-            space: t.clone(),
-            value: v,
-        });
-        if v.is_nan() || v <= 0.0 {
-            break;
-        }
-        let (_g, next) = bisect_one(&mut test, &t, &t, &mut trace, &mut violations)?;
-        match next {
-            Some((elem, value)) => {
-                t.retain(|x| *x != elem);
-                found.push((elem, value));
-            }
-            None => break,
-        }
-        if t.is_empty() {
-            break;
-        }
-    }
-
-    let items_value = test.test(items)?;
-    let found_items: Vec<I> = found.iter().map(|(i, _)| i.clone()).collect();
-    let found_value = test.test(&found_items)?;
-    if items_value != found_value && !(items_value.is_nan() && found_value.is_nan()) {
-        violations.push(AssumptionViolation::UniqueError {
-            items_value,
-            found_value,
-        });
-    }
-
-    Ok(BisectOutcome {
-        found,
-        executions: test.executions(),
-        violations,
-        trace,
-    })
+    drive_serial(BisectPlan::new(items, SearchMode::AllUnpruned), test_fn)
 }
 
 #[cfg(test)]

@@ -9,15 +9,17 @@
 //! desired."
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use crate::algo::BisectOutcome;
-use crate::test_fn::{MemoTest, TestError, TestFn};
+use crate::planner::{drive_serial, BisectPlan, SearchMode};
+use crate::test_fn::{TestError, TestFn};
 
 /// A frontier node: a subset with its Test value, ordered by value.
-struct Node<I> {
-    value: f64,
-    items: Vec<I>,
+/// Shared with the planner's replay engine so the parallel search pops
+/// nodes in exactly this order.
+pub(crate) struct Node<I> {
+    pub(crate) value: f64,
+    pub(crate) items: Vec<I>,
 }
 
 impl<I> PartialEq for Node<I> {
@@ -47,6 +49,12 @@ impl<I> Ord for Node<I> {
 /// Uniform-cost search: repeatedly expand the frontier subset with the
 /// largest metric; a singleton popped from the frontier is a find. Exits
 /// early once the best frontier value no longer beats the k-th find.
+///
+/// Since the planner refactor this is a thin driver over
+/// [`BisectPlan`]: the UCS loop above lives in the planner's replay
+/// engine (sharing this module's [`Node`] ordering), and `test_fn`
+/// answers one frontier query at a time in the serial call order (see
+/// `planner::tests::biggest_replay_matches_reference_ucs`).
 pub fn bisect_biggest<I, F>(
     test_fn: F,
     items: &[I],
@@ -56,50 +64,7 @@ where
     I: Clone + Ord + std::hash::Hash,
     F: TestFn<I>,
 {
-    let mut test = MemoTest::new(test_fn);
-    let mut found: Vec<(I, f64)> = Vec::new();
-    let mut heap: BinaryHeap<Node<I>> = BinaryHeap::new();
-
-    let v0 = test.test(items)?;
-    if v0 > 0.0 && k > 0 {
-        heap.push(Node {
-            value: v0,
-            items: items.to_vec(),
-        });
-    }
-
-    while let Some(Node { value, items: cur }) = heap.pop() {
-        // Early exit: nothing on the frontier can beat the k-th find.
-        if found.len() >= k && value <= found.last().map(|(_, v)| *v).unwrap_or(f64::INFINITY) {
-            break;
-        }
-        if cur.len() == 1 {
-            found.push((cur[0].clone(), value));
-            found.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
-            found.truncate(k);
-            continue;
-        }
-        let mid = cur.len() / 2;
-        for half in [&cur[..mid], &cur[mid..]] {
-            if half.is_empty() {
-                continue;
-            }
-            let v = test.test(half)?;
-            if v > 0.0 {
-                heap.push(Node {
-                    value: v,
-                    items: half.to_vec(),
-                });
-            }
-        }
-    }
-
-    Ok(BisectOutcome {
-        found,
-        executions: test.executions(),
-        violations: vec![], // BisectBiggest cannot verify assumptions
-        trace: vec![],
-    })
+    drive_serial(BisectPlan::new(items, SearchMode::Biggest(k)), test_fn)
 }
 
 #[cfg(test)]

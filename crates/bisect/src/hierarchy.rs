@@ -24,8 +24,12 @@ use flit_toolchain::compiler::CompilerKind;
 use flit_trace::names::{counter as counter_names, phase};
 use flit_trace::sink::TraceSink;
 
+use flit_exec::{ExecError, Executor};
+
 use crate::algo::{bisect_all, AssumptionViolation};
 use crate::biggest::bisect_biggest;
+use crate::parallel::{drive_plans, emit_query_spans, SharedOracle};
+use crate::planner::{BisectPlan, PlanFailure, PlanOutcome, SearchMode};
 use crate::test_fn::{TestError, TestFn};
 
 /// Configuration for a hierarchical search.
@@ -119,7 +123,7 @@ pub enum SearchOutcome {
 }
 
 /// Result of [`bisect_hierarchical`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HierarchicalResult {
     /// How the search ended.
     pub outcome: SearchOutcome,
@@ -178,13 +182,14 @@ fn run_to_test_error(e: RunError) -> TestError {
 /// * `driver` — the test driver (entry points and input scheme).
 /// * `input` — the FLiT test input vector.
 /// * `compare` — the user's comparison metric
-///   (`||baseline − actual||₂` in the MFEM study).
+///   (`||baseline − actual||₂` in the MFEM study). `Sync` so the same
+///   metric can drive [`bisect_hierarchical_parallel`].
 pub fn bisect_hierarchical(
     baseline: &Build,
     variable: &Build,
     driver: &Driver,
     input: &[f64],
-    compare: &dyn Fn(&[f64], &[f64]) -> f64,
+    compare: &(dyn Fn(&[f64], &[f64]) -> f64 + Sync),
     cfg: &HierarchicalConfig,
 ) -> HierarchicalResult {
     let mut executions = 0usize;
@@ -452,6 +457,434 @@ pub fn bisect_hierarchical(
                     executions,
                     violations,
                 }
+            }
+        }
+    }
+
+    let outcome = if violations.is_empty() {
+        SearchOutcome::Completed
+    } else {
+        SearchOutcome::AssumptionViolated
+    };
+    HierarchicalResult {
+        outcome,
+        files,
+        symbols,
+        file_level_only,
+        executions,
+        violations,
+    }
+}
+
+/// What one `-fPIC` probe produced, evaluated off-thread and folded in
+/// file order so the serial path's early-return and counting semantics
+/// are reproduced exactly.
+enum ProbeOutcome {
+    /// The probe link failed (serial: not counted as an execution).
+    LinkFail(String),
+    /// The probe run failed (serial: counted, then the search crashes).
+    RunFail(String),
+    /// The probe's comparison value.
+    Value(f64),
+}
+
+/// [`bisect_hierarchical`] with every independent Test query fanned out
+/// on a shared executor.
+///
+/// Three parallel stages, each *decided* by the planner and *folded* in
+/// the serial order: the file-level search runs as a frontier-driven
+/// plan (both halves of every split, plus speculation, evaluated
+/// concurrently through a single-flight [`SharedOracle`]); the `-fPIC`
+/// probes of all found files run as one wave; the per-file symbol
+/// searches run as *joint* plans sharing the executor. The result —
+/// outcome, findings, execution counts, violations, and the `bisect.*`
+/// spans/counters — is byte-identical to [`bisect_hierarchical`] at any
+/// worker count; only the additional `exec.wave` scheduling spans
+/// depend on the executor width.
+///
+/// A panicking Test (which would abort the serial process) surfaces as
+/// [`SearchOutcome::Crashed`].
+pub fn bisect_hierarchical_parallel(
+    baseline: &Build,
+    variable: &Build,
+    driver: &Driver,
+    input: &[f64],
+    compare: &(dyn Fn(&[f64], &[f64]) -> f64 + Sync),
+    cfg: &HierarchicalConfig,
+    exec: &Executor,
+) -> HierarchicalResult {
+    let mut executions = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+
+    let search = format!("{}/{}", driver.name, variable.compilation.label());
+    let reference_runs = cfg.trace.counter(counter_names::BISECT_REFERENCE_RUNS);
+    let probe_runs = cfg.trace.counter(counter_names::BISECT_PROBE_RUNS);
+
+    let crashed = |message: String,
+                   files: Vec<FileFinding>,
+                   symbols: Vec<SymbolFinding>,
+                   file_level_only: Vec<usize>,
+                   executions: usize,
+                   violations: Vec<String>| HierarchicalResult {
+        outcome: SearchOutcome::Crashed(message),
+        files,
+        symbols,
+        file_level_only,
+        executions,
+        violations,
+    };
+
+    // Reference run under the trusted baseline build (serial: it is one
+    // run and everything downstream compares against it).
+    let base_exe = match baseline.executable_in(&cfg.ctx) {
+        Ok(e) => e,
+        Err(e) => {
+            return crashed(
+                format!("baseline link failed: {e}"),
+                vec![],
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+    };
+    executions += 1;
+    reference_runs.incr(1);
+    let base_out = match Engine::with_variant(baseline.program, variable.program, &base_exe)
+        .run(driver, input)
+    {
+        Ok(o) => o.output,
+        Err(e) => {
+            return crashed(
+                format!("baseline run failed: {e}"),
+                vec![],
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+    };
+
+    let mode = match cfg.k {
+        None => SearchMode::All,
+        Some(k) => SearchMode::Biggest(k),
+    };
+
+    // ---- File Bisect (planner-driven) ----
+    let file_ids: Vec<usize> = (0..baseline.program.files.len()).collect();
+    let file_oracle = SharedOracle::new(
+        |items: &[usize]| -> Result<(f64, f64), TestError> {
+            let set: BTreeSet<usize> = items.iter().copied().collect();
+            let exe = file_mixed_executable_in(baseline, variable, &set, cfg.link_driver, &cfg.ctx)
+                .map_err(|e| TestError::Link(e.to_string()))?;
+            let out = Engine::with_variant(baseline.program, variable.program, &exe)
+                .run(driver, input)
+                .map_err(run_to_test_error)?;
+            Ok((compare(&base_out, &out.output), out.seconds))
+        },
+        &cfg.trace,
+    );
+    let file_label = format!("{search}/file");
+    let mut file_plans = [BisectPlan::new(&file_ids, mode)];
+    let file_driven = drive_plans(
+        &mut file_plans,
+        &[&file_oracle],
+        exec,
+        &cfg.trace,
+        &file_label,
+    );
+    let file_result = match file_driven {
+        Err(ExecError::WorkerPanicked { message, .. }) => {
+            return crashed(
+                format!("bisect worker panicked: {message}"),
+                vec![],
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+        Ok(mut results) => results.pop().expect("one file-level plan"),
+    };
+    // Counters and the level span cover the executions the *serial*
+    // algorithm performs — on failures too — never the speculation.
+    let (file_execs, file_secs) = match &file_result {
+        Ok(p) => (p.outcome.executions, p.seconds),
+        Err(f) => (f.executions, f.seconds),
+    };
+    executions += file_execs;
+    cfg.trace
+        .counter(counter_names::BISECT_FILE_RUNS)
+        .incr(file_execs as u64);
+    cfg.trace.span(
+        phase::BISECT_FILE,
+        search.clone(),
+        file_execs as u64,
+        file_secs,
+    );
+    let file_outcome: PlanOutcome<usize> = match file_result {
+        Ok(p) => p,
+        Err(PlanFailure {
+            error: TestError::Crash(s),
+            ..
+        }) => return crashed(s, vec![], vec![], vec![], executions, violations),
+        Err(PlanFailure {
+            error: TestError::Link(s),
+            ..
+        }) => {
+            return crashed(
+                format!("link: {s}"),
+                vec![],
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+    };
+    emit_query_spans(&cfg.trace, &file_label, &file_outcome);
+    for v in &file_outcome.outcome.violations {
+        violations.push(violation_string(v, |id| {
+            baseline.program.files[*id].name.clone()
+        }));
+    }
+
+    let files: Vec<FileFinding> = file_outcome
+        .outcome
+        .found
+        .iter()
+        .map(|(id, value)| FileFinding {
+            file_id: *id,
+            file_name: baseline.program.files[*id].name.clone(),
+            value: *value,
+        })
+        .collect();
+
+    if files.is_empty() {
+        let outcome = if violations.is_empty() {
+            SearchOutcome::LinkStepOnly
+        } else {
+            SearchOutcome::AssumptionViolated
+        };
+        return HierarchicalResult {
+            outcome,
+            files,
+            symbols: vec![],
+            file_level_only: vec![],
+            executions,
+            violations,
+        };
+    }
+
+    // ---- -fPIC probes: one wave over all found files ----
+    let probe_wave = exec.run(files.len(), |i| {
+        let fid = files[i].file_id;
+        let probe =
+            match pic_probe_executable_in(baseline, variable, fid, cfg.link_driver, &cfg.ctx) {
+                Ok(exe) => exe,
+                Err(e) => return ProbeOutcome::LinkFail(format!("pic probe link: {e}")),
+            };
+        match Engine::with_variant(baseline.program, variable.program, &probe).run(driver, input) {
+            Ok(o) => ProbeOutcome::Value(compare(&base_out, &o.output)),
+            Err(RunError::Crash(s)) => ProbeOutcome::RunFail(s),
+            Err(e) => ProbeOutcome::RunFail(e.to_string()),
+        }
+    });
+    let probes = match probe_wave {
+        Ok(p) => p,
+        Err(ExecError::WorkerPanicked { message, .. }) => {
+            return crashed(
+                format!("bisect worker panicked: {message}"),
+                files,
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+    };
+
+    // ---- Symbol Bisect: joint plans for every candidate file ----
+    // Candidates are chosen optimistically (probe positive, exported
+    // symbols present); whether a candidate's result is *consumed* is
+    // decided by the fold below, which replicates the serial walk.
+    struct Candidate {
+        fid: usize,
+        syms: Vec<String>,
+    }
+    let candidates: Vec<Candidate> = files
+        .iter()
+        .enumerate()
+        .filter_map(|(i, finding)| match probes[i] {
+            ProbeOutcome::Value(v) if v != 0.0 => {
+                let syms = baseline.program.exported_symbols_of_file(finding.file_id);
+                (!syms.is_empty()).then_some(Candidate {
+                    fid: finding.file_id,
+                    syms,
+                })
+            }
+            _ => None,
+        })
+        .collect();
+    let sym_oracles: Vec<SharedOracle<'_, String>> = candidates
+        .iter()
+        .map(|c| {
+            let fid = c.fid;
+            let base_out = &base_out;
+            SharedOracle::new(
+                move |items: &[String]| -> Result<(f64, f64), TestError> {
+                    let set: BTreeSet<String> = items.iter().cloned().collect();
+                    let exe = symbol_mixed_executable_in(
+                        baseline,
+                        variable,
+                        fid,
+                        &set,
+                        cfg.link_driver,
+                        &cfg.ctx,
+                    )
+                    .map_err(|e| TestError::Link(e.to_string()))?;
+                    let out = Engine::with_variant(baseline.program, variable.program, &exe)
+                        .run(driver, input)
+                        .map_err(run_to_test_error)?;
+                    Ok((compare(base_out, &out.output), out.seconds))
+                },
+                &cfg.trace,
+            )
+        })
+        .collect();
+    let mut sym_plans: Vec<BisectPlan<String>> = candidates
+        .iter()
+        .map(|c| BisectPlan::new(&c.syms, mode))
+        .collect();
+    let oracle_refs: Vec<&SharedOracle<'_, String>> = sym_oracles.iter().collect();
+    let sym_driven = drive_plans(
+        &mut sym_plans,
+        &oracle_refs,
+        exec,
+        &cfg.trace,
+        &format!("{search}/symbol"),
+    );
+    let sym_results = match sym_driven {
+        Ok(r) => r,
+        Err(ExecError::WorkerPanicked { message, .. }) => {
+            return crashed(
+                format!("bisect worker panicked: {message}"),
+                files,
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+    };
+    let mut sym_by_fid: std::collections::HashMap<usize, Result<PlanOutcome<String>, PlanFailure>> =
+        candidates.iter().map(|c| c.fid).zip(sym_results).collect();
+
+    // ---- Fold in file order: replicate the serial walk byte-for-byte,
+    // discarding any speculative results the serial path never reaches.
+    let mut symbols: Vec<SymbolFinding> = Vec::new();
+    let mut file_level_only: Vec<usize> = Vec::new();
+    for (i, finding) in files.iter().enumerate() {
+        let fid = finding.file_id;
+        match &probes[i] {
+            ProbeOutcome::LinkFail(msg) => {
+                return crashed(
+                    msg.clone(),
+                    files.clone(),
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                )
+            }
+            ProbeOutcome::RunFail(msg) => {
+                executions += 1;
+                probe_runs.incr(1);
+                return crashed(
+                    msg.clone(),
+                    files.clone(),
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                );
+            }
+            ProbeOutcome::Value(v) => {
+                executions += 1;
+                probe_runs.incr(1);
+                if *v == 0.0 {
+                    file_level_only.push(fid);
+                    continue;
+                }
+            }
+        }
+        let syms = baseline.program.exported_symbols_of_file(fid);
+        if syms.is_empty() {
+            file_level_only.push(fid);
+            continue;
+        }
+        let sym_result = sym_by_fid
+            .remove(&fid)
+            .expect("candidate plan for every searched file");
+        let (sym_execs, sym_secs) = match &sym_result {
+            Ok(p) => (p.outcome.executions, p.seconds),
+            Err(f) => (f.executions, f.seconds),
+        };
+        executions += sym_execs;
+        cfg.trace
+            .counter(counter_names::BISECT_SYMBOL_RUNS)
+            .incr(sym_execs as u64);
+        let sym_label = format!("{search}/{}", baseline.program.files[fid].name);
+        cfg.trace.span(
+            phase::BISECT_SYMBOL,
+            sym_label.clone(),
+            sym_execs as u64,
+            sym_secs,
+        );
+        match sym_result {
+            Ok(p) => {
+                emit_query_spans(&cfg.trace, &sym_label, &p);
+                for v in &p.outcome.violations {
+                    violations.push(violation_string(v, |s| s.clone()));
+                }
+                if p.outcome.found.is_empty() {
+                    file_level_only.push(fid);
+                }
+                for (symbol, value) in p.outcome.found {
+                    symbols.push(SymbolFinding {
+                        symbol,
+                        file_id: fid,
+                        value,
+                    });
+                }
+            }
+            Err(PlanFailure {
+                error: TestError::Crash(s),
+                ..
+            }) => {
+                return crashed(
+                    s,
+                    files.clone(),
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                )
+            }
+            Err(PlanFailure {
+                error: TestError::Link(s),
+                ..
+            }) => {
+                return crashed(
+                    format!("link: {s}"),
+                    files.clone(),
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                )
             }
         }
     }
@@ -785,5 +1218,162 @@ mod tests {
         assert_eq!(r1.executions, r2.executions);
         assert_eq!(r1.files, r2.files);
         assert_eq!(r1.symbols, r2.symbols);
+    }
+
+    /// The parallel search must be indistinguishable from the serial one
+    /// in its entire result struct, at any worker count.
+    #[test]
+    fn parallel_hierarchy_matches_serial_at_every_width() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(
+            &p,
+            Compilation::new(
+                flit_toolchain::compiler::CompilerKind::Gcc,
+                OptLevel::O3,
+                vec![Switch::Avx2FmaUnsafe],
+            ),
+            1,
+        );
+        for cfg in [HierarchicalConfig::all(), HierarchicalConfig::biggest(1)] {
+            let serial =
+                bisect_hierarchical(&base, &var, &driver(), &[0.5, 0.25], &l2_compare, &cfg);
+            for jobs in [1, 2, 8] {
+                let par = bisect_hierarchical_parallel(
+                    &base,
+                    &var,
+                    &driver(),
+                    &[0.5, 0.25],
+                    &l2_compare,
+                    &cfg,
+                    &flit_exec::Executor::new(jobs),
+                );
+                assert_eq!(par, serial, "jobs={jobs} k={:?}", cfg.k);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_hierarchy_matches_serial_on_degenerate_shapes() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let exec = flit_exec::Executor::new(8);
+        // Clean compilation: LinkStepOnly, no files.
+        let clean = Build::tagged(
+            &p,
+            Compilation::new(
+                flit_toolchain::compiler::CompilerKind::Gcc,
+                OptLevel::O3,
+                vec![],
+            ),
+            1,
+        );
+        let serial = bisect_hierarchical(
+            &base,
+            &clean,
+            &driver(),
+            &[0.5],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+        );
+        assert_eq!(serial.outcome, SearchOutcome::LinkStepOnly);
+        let par = bisect_hierarchical_parallel(
+            &base,
+            &clean,
+            &driver(),
+            &[0.5],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+            &exec,
+        );
+        assert_eq!(par, serial);
+
+        // x87 blame: found files wash out under the -fPIC probe, so the
+        // probe/file-level-only fold must agree too.
+        let x87 = Build::tagged(
+            &p,
+            Compilation::new(
+                flit_toolchain::compiler::CompilerKind::Gcc,
+                OptLevel::O2,
+                vec![Switch::FpMath387],
+            ),
+            1,
+        );
+        let serial = bisect_hierarchical(
+            &base,
+            &x87,
+            &driver(),
+            &[0.5],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+        );
+        assert!(!serial.files.is_empty());
+        let par = bisect_hierarchical_parallel(
+            &base,
+            &x87,
+            &driver(),
+            &[0.5],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+            &exec,
+        );
+        assert_eq!(par, serial);
+    }
+
+    /// The `bisect.*` counters and level spans — the accounting the
+    /// paper reports — must also match the serial trace exactly; only
+    /// `exec.*` scheduling telemetry may differ.
+    #[test]
+    fn parallel_hierarchy_emits_identical_bisect_counters() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(
+            &p,
+            Compilation::new(
+                flit_toolchain::compiler::CompilerKind::Gcc,
+                OptLevel::O3,
+                vec![Switch::Avx2FmaUnsafe],
+            ),
+            1,
+        );
+        let counters = |trace: &flit_trace::TraceSink| -> Vec<(String, u64)> {
+            trace
+                .registry()
+                .expect("enabled")
+                .snapshot()
+                .into_iter()
+                .filter(|(name, _)| name.starts_with("bisect."))
+                .collect()
+        };
+        let serial_trace = flit_trace::TraceSink::enabled();
+        let serial = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all().with_trace(serial_trace.clone()),
+        );
+        let par_trace = flit_trace::TraceSink::enabled();
+        let par = bisect_hierarchical_parallel(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all().with_trace(par_trace.clone()),
+            &flit_exec::Executor::new(4),
+        );
+        assert_eq!(par, serial);
+        assert_eq!(counters(&par_trace), counters(&serial_trace));
+        // The parallel run additionally reports scheduling telemetry.
+        let waves = par_trace
+            .registry()
+            .unwrap()
+            .snapshot()
+            .get("exec.waves")
+            .copied()
+            .unwrap_or(0);
+        assert!(waves > 0, "parallel search should record its waves");
     }
 }

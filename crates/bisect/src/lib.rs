@@ -17,6 +17,11 @@
 //! * [`baselines`] — Zeller–Hildebrandt `ddmin` (delta debugging) and a
 //!   linear scan, implemented for the complexity comparisons
 //!   (O(k·log N) vs O(k²·log N) vs O(N)).
+//! * [`planner`] — the frontier-based search planner: the serial
+//!   algorithms as a pure replayable state machine whose outcomes are
+//!   byte-identical at any worker count.
+//! * [`parallel`] — wave drivers on the `flit-exec` executor with a
+//!   shared single-flight Test oracle.
 //! * [`test_fn`] — the memoizing `Test` wrapper with execution counting
 //!   (the paper reports searches in *program executions*; memoization is
 //!   why the verification assertions cost only `1 + k` extra runs).
@@ -28,11 +33,20 @@ pub mod algo;
 pub mod baselines;
 pub mod biggest;
 pub mod hierarchy;
+pub mod parallel;
+pub mod planner;
 pub mod test_fn;
 
 pub use algo::{
     bisect_all, bisect_all_unpruned, bisect_one, AssumptionViolation, BisectOutcome, TraceRow,
 };
 pub use biggest::bisect_biggest;
-pub use hierarchy::{bisect_hierarchical, HierarchicalConfig, HierarchicalResult, SearchOutcome};
+pub use hierarchy::{
+    bisect_hierarchical, bisect_hierarchical_parallel, HierarchicalConfig, HierarchicalResult,
+    SearchOutcome,
+};
+pub use parallel::{
+    bisect_all_parallel, bisect_biggest_parallel, drive_plans, ParallelTestFn, SharedOracle,
+};
+pub use planner::{BisectPlan, PlanFailure, PlanOutcome, PlanStep, Query, SearchMode};
 pub use test_fn::{MemoTest, TestError, TestFn};

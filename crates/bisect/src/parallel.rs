@@ -1,0 +1,345 @@
+//! Parallel drivers for [`BisectPlan`]: a shared single-flight Test
+//! oracle plus a wave scheduler on the `flit-exec` executor.
+//!
+//! The division of labor: the *planner* decides which queries matter
+//! and in what canonical order their answers are consumed; the *oracle*
+//! memoizes evaluations (single-flight, shareable across concurrent
+//! searches); the *driver* below batches frontier queries into waves
+//! and fans them out on an [`Executor`]. Answers only ever enter a plan
+//! through its answer table, so speculative or wasted evaluations can
+//! never change an outcome — `--jobs 8` is byte-identical to
+//! `--jobs 1`.
+
+use std::hash::Hash;
+
+use flit_exec::{ExecError, Executor, SingleFlight};
+use flit_trace::names::{counter, phase};
+use flit_trace::sink::TraceSink;
+
+use crate::algo::BisectOutcome;
+use crate::planner::{BisectPlan, PlanFailure, PlanOutcome, PlanStep};
+use crate::test_fn::TestError;
+
+/// A thread-safe Test function: the parallel analogue of
+/// [`TestFn`](crate::test_fn::TestFn). Items arrive canonicalized
+/// (sorted, deduplicated) and the function returns the metric value
+/// plus the run's simulated seconds.
+pub trait ParallelTestFn<I>: Sync {
+    /// Evaluate the metric on a canonical item set.
+    fn test(&self, items: &[I]) -> Result<(f64, f64), TestError>;
+}
+
+impl<I, F> ParallelTestFn<I> for F
+where
+    F: Fn(&[I]) -> Result<(f64, f64), TestError> + Sync,
+{
+    fn test(&self, items: &[I]) -> Result<(f64, f64), TestError> {
+        self(items)
+    }
+}
+
+/// A memoized, single-flight Test oracle shareable across workers and
+/// across concurrent searches (the concurrent analogue of
+/// [`MemoTest`](crate::test_fn::MemoTest)).
+pub struct SharedOracle<'f, I> {
+    memo: SingleFlight<Vec<I>, Result<(f64, f64), TestError>>,
+    raw: Box<dyn ParallelTestFn<I> + 'f>,
+    executed: flit_trace::registry::Counter,
+    memoized: flit_trace::registry::Counter,
+}
+
+impl<'f, I> SharedOracle<'f, I>
+where
+    I: Clone + Ord + Hash + Send + Sync,
+{
+    /// Wrap a raw parallel test function. Memo hits and misses are
+    /// recorded as `exec.queries.*` counters on `trace`.
+    pub fn new(raw: impl ParallelTestFn<I> + 'f, trace: &TraceSink) -> Self {
+        SharedOracle {
+            memo: SingleFlight::new(),
+            raw: Box::new(raw),
+            executed: trace.counter(counter::EXEC_QUERIES_EXECUTED),
+            memoized: trace.counter(counter::EXEC_QUERIES_MEMOIZED),
+        }
+    }
+
+    /// Evaluate (memoized, single-flight). `items` must be canonical —
+    /// frontier queries already are.
+    pub fn eval(&self, items: &[I]) -> Result<(f64, f64), TestError> {
+        let (answer, computed) = self
+            .memo
+            .get_or_compute(items.to_vec(), || self.raw.test(items));
+        if computed {
+            self.executed.incr(1);
+        } else {
+            self.memoized.incr(1);
+        }
+        answer
+    }
+}
+
+/// Drive several plans to completion jointly on one executor.
+///
+/// Each wave gathers every active plan's frontier: all *required*
+/// queries (the replay cannot advance without them), then speculative
+/// queries up to the executor width. The wave fans out on `exec`, the
+/// answers are fed back, and the plans step again — so independent
+/// searches and both branches of each split evaluate concurrently while
+/// every plan's observables stay byte-identical to its serial run.
+///
+/// Returns one result per plan, in order. `Err(ExecError)` only on a
+/// panicking oracle (a Test *error* is a per-plan `PlanFailure`).
+pub fn drive_plans<I>(
+    plans: &mut [BisectPlan<I>],
+    oracles: &[&SharedOracle<'_, I>],
+    exec: &Executor,
+    trace: &TraceSink,
+    label: &str,
+) -> Result<Vec<Result<PlanOutcome<I>, PlanFailure>>, ExecError>
+where
+    I: Clone + Ord + Hash + Send + Sync,
+{
+    assert_eq!(plans.len(), oracles.len(), "one oracle per plan");
+    let waves = trace.counter(counter::EXEC_WAVES);
+    let mut results: Vec<Option<Result<PlanOutcome<I>, PlanFailure>>> =
+        plans.iter().map(|_| None).collect();
+    let mut wave = 0usize;
+    loop {
+        let mut required: Vec<(usize, Vec<I>)> = Vec::new();
+        let mut speculative: Vec<(usize, Vec<I>)> = Vec::new();
+        for (pi, plan) in plans.iter().enumerate() {
+            if results[pi].is_some() {
+                continue;
+            }
+            match plan.step() {
+                PlanStep::Done(result) => results[pi] = Some(*result),
+                PlanStep::Frontier(queries) => {
+                    for q in queries {
+                        if q.required {
+                            required.push((pi, q.items));
+                        } else {
+                            speculative.push((pi, q.items));
+                        }
+                    }
+                }
+            }
+        }
+        if required.is_empty() {
+            // Every active plan emits at least one required query, so
+            // an empty required set means every plan is done.
+            break;
+        }
+        // Fill idle workers with speculation, never shrinking below the
+        // required set.
+        let budget = exec.threads().max(required.len());
+        let mut batch = required;
+        let fill = budget - batch.len();
+        batch.extend(speculative.into_iter().take(fill));
+
+        waves.incr(1);
+        if trace.is_enabled() {
+            trace.span(
+                phase::EXEC_WAVE,
+                format!("{label}/wave-{wave:04}"),
+                batch.len() as u64,
+                0.0,
+            );
+        }
+        let answers = exec.run(batch.len(), |j| {
+            let (pi, items) = &batch[j];
+            oracles[*pi].eval(items)
+        })?;
+        for ((pi, items), answer) in batch.into_iter().zip(answers) {
+            plans[pi].answer(&items, answer);
+        }
+        wave += 1;
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every plan ran to completion"))
+        .collect())
+}
+
+/// Emit the canonical `exec.query` spans for a completed search: one
+/// span per execution, in serial consumption order, with the item-set
+/// size as cost and the run's simulated seconds as duration. Identical
+/// at any worker count.
+pub fn emit_query_spans<I>(trace: &TraceSink, label: &str, outcome: &PlanOutcome<I>) {
+    if !trace.is_enabled() {
+        return;
+    }
+    for (i, (size, secs)) in outcome.consumed.iter().enumerate() {
+        trace.span(
+            phase::EXEC_QUERY,
+            format!("{label}/q{i:04}(n={size})"),
+            *size as u64,
+            *secs,
+        );
+    }
+}
+
+fn exec_error_to_test_error(e: ExecError) -> TestError {
+    TestError::Crash(e.to_string())
+}
+
+/// Parallel [`bisect_all`](crate::algo::bisect_all): same outcome,
+/// byte-for-byte, with frontier queries fanned out on `exec`. A
+/// panicking test function surfaces as [`TestError::Crash`] (the serial
+/// path would propagate the panic).
+pub fn bisect_all_parallel<I, F>(
+    test_fn: F,
+    items: &[I],
+    exec: &Executor,
+) -> Result<BisectOutcome<I>, TestError>
+where
+    I: Clone + Ord + Hash + Send + Sync,
+    F: Fn(&[I]) -> Result<f64, TestError> + Sync,
+{
+    run_single(
+        BisectPlan::new(items, crate::planner::SearchMode::All),
+        test_fn,
+        exec,
+    )
+}
+
+/// Parallel [`bisect_biggest`](crate::biggest::bisect_biggest): same
+/// outcome, byte-for-byte, with both halves of every expansion (and the
+/// speculative frontier) evaluated concurrently.
+pub fn bisect_biggest_parallel<I, F>(
+    test_fn: F,
+    items: &[I],
+    k: usize,
+    exec: &Executor,
+) -> Result<BisectOutcome<I>, TestError>
+where
+    I: Clone + Ord + Hash + Send + Sync,
+    F: Fn(&[I]) -> Result<f64, TestError> + Sync,
+{
+    run_single(
+        BisectPlan::new(items, crate::planner::SearchMode::Biggest(k)),
+        test_fn,
+        exec,
+    )
+}
+
+fn run_single<I, F>(
+    plan: BisectPlan<I>,
+    test_fn: F,
+    exec: &Executor,
+) -> Result<BisectOutcome<I>, TestError>
+where
+    I: Clone + Ord + Hash + Send + Sync,
+    F: Fn(&[I]) -> Result<f64, TestError> + Sync,
+{
+    let trace = TraceSink::disabled();
+    let oracle = SharedOracle::new(move |items: &[I]| test_fn(items).map(|v| (v, 0.0)), &trace);
+    let mut plans = [plan];
+    let mut results = drive_plans(&mut plans, &[&oracle], exec, &trace, "bisect")
+        .map_err(exec_error_to_test_error)?;
+    match results.pop().expect("one plan in, one result out") {
+        Ok(p) => Ok(p.outcome),
+        Err(f) => Err(f.error),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{bisect_all, bisect_all_unpruned};
+    use crate::biggest::bisect_biggest;
+    use crate::planner::SearchMode;
+
+    fn magnitude(weights: Vec<(u32, f64)>) -> impl Fn(&[u32]) -> Result<f64, TestError> + Sync {
+        move |items: &[u32]| {
+            Ok(items
+                .iter()
+                .map(|i| {
+                    weights
+                        .iter()
+                        .find(|(w, _)| w == i)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(0.0)
+                })
+                .sum())
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_every_width() {
+        let weights = vec![(2, 0.25), (8, 1.5), (9, 0.125), (30, 3.0)];
+        let items: Vec<u32> = (1..=40).collect();
+        let serial = bisect_all(magnitude(weights.clone()), &items).unwrap();
+        for jobs in [1, 2, 8] {
+            let exec = Executor::new(jobs);
+            let par = bisect_all_parallel(magnitude(weights.clone()), &items, &exec).unwrap();
+            assert_eq!(par.found, serial.found, "jobs={jobs}");
+            assert_eq!(par.executions, serial.executions, "jobs={jobs}");
+            assert_eq!(par.trace, serial.trace, "jobs={jobs}");
+            assert_eq!(par.violations, serial.violations, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_biggest_matches_serial() {
+        let weights: Vec<(u32, f64)> = (0..9).map(|j| (j * 13 + 4, 1.0 + j as f64)).collect();
+        let items: Vec<u32> = (0..128).collect();
+        for k in [1, 4] {
+            let serial = bisect_biggest(magnitude(weights.clone()), &items, k).unwrap();
+            let exec = Executor::new(8);
+            let par =
+                bisect_biggest_parallel(magnitude(weights.clone()), &items, k, &exec).unwrap();
+            assert_eq!(par.found, serial.found, "k={k}");
+            assert_eq!(par.executions, serial.executions, "k={k}");
+        }
+    }
+
+    #[test]
+    fn joint_plans_share_the_oracle() {
+        // Two searches over the same space share one oracle: the
+        // second's queries are largely memo hits, and outcomes match
+        // their serial runs exactly.
+        let weights = vec![(5, 1.0), (20, 2.0)];
+        let items: Vec<u32> = (0..32).collect();
+        let sink = TraceSink::enabled();
+        let oracle = SharedOracle::new(
+            {
+                let f = magnitude(weights.clone());
+                move |items: &[u32]| f(items).map(|v| (v, 0.0))
+            },
+            &sink,
+        );
+        let mut plans = [
+            BisectPlan::new(&items, SearchMode::All),
+            BisectPlan::new(&items, SearchMode::AllUnpruned),
+        ];
+        let exec = Executor::new(4);
+        let results = drive_plans(&mut plans, &[&oracle, &oracle], &exec, &sink, "joint").unwrap();
+        let [a, b] = <[_; 2]>::try_from(results).ok().unwrap();
+        let serial_a = bisect_all(magnitude(weights.clone()), &items).unwrap();
+        let serial_b = bisect_all_unpruned(magnitude(weights.clone()), &items).unwrap();
+        assert_eq!(a.unwrap().outcome, serial_a);
+        assert_eq!(b.unwrap().outcome, serial_b);
+        let trace = sink.snapshot();
+        assert!(
+            trace.counter(counter::EXEC_QUERIES_MEMOIZED) > 0,
+            "shared memo"
+        );
+        assert!(trace.counter(counter::EXEC_WAVES) > 0);
+    }
+
+    #[test]
+    fn panicking_test_fn_becomes_a_crash_error() {
+        let items: Vec<u32> = (0..16).collect();
+        let exec = Executor::new(2);
+        let err = bisect_all_parallel(
+            |_items: &[u32]| -> Result<f64, TestError> { panic!("oracle exploded") },
+            &items,
+            &exec,
+        )
+        .unwrap_err();
+        match err {
+            TestError::Crash(s) => assert!(s.contains("exploded"), "{s}"),
+            other => panic!("expected Crash, got {other:?}"),
+        }
+    }
+}

@@ -40,6 +40,9 @@ pub enum Command {
         compilation: String,
         /// `BisectBiggest(k)` instead of the verifying `BisectAll`.
         biggest: Option<usize>,
+        /// Worker threads for the search's Test queries (1 = the serial
+        /// algorithm; the result is identical either way).
+        jobs: Option<usize>,
     },
     /// Run the perturbation-injection study.
     Inject {
@@ -55,6 +58,9 @@ pub enum Command {
         app: String,
         /// Cap on bisections (default: all).
         max_bisections: Option<usize>,
+        /// Worker threads for the bisection stage (searches fan out on
+        /// one shared executor; the report is identical at any width).
+        jobs: Option<usize>,
         /// Write a JSONL trace of the whole workflow here.
         trace: Option<String>,
     },
@@ -87,9 +93,9 @@ USAGE:
   flit apps
   flit run <app> [--compiler gcc|clang|icpc|xlc] [--json]
   flit analyze <app>
-  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>]
+  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>] [--jobs <n>]
   flit inject <app> [--limit <n-sites>]
-  flit workflow <app> [--max-bisections <n>] [--trace <file.jsonl>]
+  flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>]
   flit trace <file.jsonl> [--top <n>]
   flit help
 ";
@@ -113,6 +119,16 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
             .ok_or_else(|| ParseError(format!("`{cmd}` needs an application name\n\n{USAGE}")))
     };
 
+    let num_flag = |name: &str| -> Result<Option<usize>, ParseError> {
+        match flag_value(name) {
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| ParseError(format!("{name} takes a number, got `{v}`"))),
+            None => Ok(None),
+        }
+    };
+
     let command = match cmd {
         "apps" => Command::Apps,
         "run" => Command::Run {
@@ -124,60 +140,34 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         "bisect" => {
             let compilation = flag_value("--compilation")
                 .ok_or_else(|| ParseError(format!("`bisect` needs --compilation\n\n{USAGE}")))?;
-            let biggest = match flag_value("--biggest") {
-                Some(v) => Some(
-                    v.parse::<usize>()
-                        .map_err(|_| ParseError(format!("--biggest takes a number, got `{v}`")))?,
-                ),
-                None => None,
-            };
             Command::Bisect {
                 app: positional()?,
                 test: flag_value("--test"),
                 compilation,
-                biggest,
+                biggest: num_flag("--biggest")?,
+                jobs: num_flag("--jobs")?,
             }
         }
-        "inject" => {
-            let limit = match flag_value("--limit") {
-                Some(v) => Some(
-                    v.parse::<usize>()
-                        .map_err(|_| ParseError(format!("--limit takes a number, got `{v}`")))?,
-                ),
-                None => None,
-            };
-            Command::Inject {
-                app: positional()?,
-                limit,
-            }
-        }
-        "workflow" => {
-            let max_bisections = match flag_value("--max-bisections") {
-                Some(v) => Some(v.parse::<usize>().map_err(|_| {
-                    ParseError(format!("--max-bisections takes a number, got `{v}`"))
-                })?),
-                None => None,
-            };
-            Command::Workflow {
-                app: positional()?,
-                max_bisections,
-                trace: flag_value("--trace"),
-            }
-        }
+        "inject" => Command::Inject {
+            app: positional()?,
+            limit: num_flag("--limit")?,
+        },
+        "workflow" => Command::Workflow {
+            app: positional()?,
+            max_bisections: num_flag("--max-bisections")?,
+            jobs: num_flag("--jobs")?,
+            trace: flag_value("--trace"),
+        },
         "trace" => {
             let file = rest
                 .first()
                 .filter(|a| !a.starts_with("--"))
                 .map(|s| s.to_string())
                 .ok_or_else(|| ParseError(format!("`trace` needs a trace file\n\n{USAGE}")))?;
-            let top = match flag_value("--top") {
-                Some(v) => Some(
-                    v.parse::<usize>()
-                        .map_err(|_| ParseError(format!("--top takes a number, got `{v}`")))?,
-                ),
-                None => None,
-            };
-            Command::Trace { file, top }
+            Command::Trace {
+                file,
+                top: num_flag("--top")?,
+            }
         }
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ParseError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -248,7 +238,9 @@ mod tests {
                 "--compilation",
                 "icpc -O2",
                 "--biggest",
-                "2"
+                "2",
+                "--jobs",
+                "8"
             ]))
             .unwrap()
             .command,
@@ -256,7 +248,8 @@ mod tests {
                 app: "mfem".into(),
                 test: Some("ex13".into()),
                 compilation: "icpc -O2".into(),
-                biggest: Some(2)
+                biggest: Some(2),
+                jobs: Some(8)
             }
         );
         assert_eq!(
@@ -274,6 +267,8 @@ mod tests {
                 "laghos",
                 "--max-bisections",
                 "3",
+                "--jobs",
+                "4",
                 "--trace",
                 "wf.jsonl"
             ]))
@@ -282,6 +277,7 @@ mod tests {
             Command::Workflow {
                 app: "laghos".into(),
                 max_bisections: Some(3),
+                jobs: Some(4),
                 trace: Some("wf.jsonl".into())
             }
         );
@@ -310,6 +306,15 @@ mod tests {
             "g++ -O2",
             "--biggest",
             "x"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "bisect",
+            "mfem",
+            "--compilation",
+            "g++ -O2",
+            "--jobs",
+            "-1"
         ]))
         .is_err());
         assert!(parse(&v(&["inject", "lulesh", "--limit", "NaN"])).is_err());

@@ -1,13 +1,16 @@
 //! Command implementations. Every command returns its report as a
 //! `String` (so it can be tested) and the binary prints it.
 
-use flit_bisect::hierarchy::{bisect_hierarchical, HierarchicalConfig, SearchOutcome};
+use flit_bisect::hierarchy::{
+    bisect_hierarchical, bisect_hierarchical_parallel, HierarchicalConfig, SearchOutcome,
+};
 use flit_core::analysis::{
     category_bars, compiler_summary, fastest_is_reproducible_count, variability_summary,
 };
 use flit_core::metrics::l2_compare;
 use flit_core::runner::{run_matrix, RunnerConfig, RunnerError};
 use flit_core::test::FlitTest;
+use flit_exec::Executor;
 use flit_inject::study::{run_study, StudyConfig};
 use flit_program::build::Build;
 use flit_report::table::{fmt_f64, Align, Table};
@@ -37,13 +40,15 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             test,
             compilation,
             biggest,
-        } => cmd_bisect(app, test.as_deref(), compilation, *biggest),
+            jobs,
+        } => cmd_bisect(app, test.as_deref(), compilation, *biggest, *jobs),
         Command::Inject { app, limit } => cmd_inject(app, *limit),
         Command::Workflow {
             app,
             max_bisections,
+            jobs,
             trace,
-        } => cmd_workflow(app, *max_bisections, trace.as_deref()),
+        } => cmd_workflow(app, *max_bisections, *jobs, trace.as_deref()),
         Command::Trace { file, top } => cmd_trace(file, top.unwrap_or(10)),
     }
 }
@@ -190,6 +195,7 @@ fn cmd_bisect(
     test: Option<&str>,
     compilation: &str,
     biggest: Option<usize>,
+    jobs: Option<usize>,
 ) -> Result<String, ParseError> {
     let app = get_app(app)?;
     let comp = parse_compilation(compilation)?;
@@ -210,21 +216,42 @@ fn cmd_bisect(
         trace: TraceSink::disabled(),
     };
     let input = test.default_input();
-    let res = bisect_hierarchical(
-        &baseline,
-        &variable,
-        test.driver(),
-        &input[..test.inputs_per_run().min(input.len())],
-        &l2_compare,
-        &cfg,
-    );
+    let input = &input[..test.inputs_per_run().min(input.len())];
+    let jobs = jobs.unwrap_or(1);
+    // `--jobs` routes through the planner-driven parallel search; the
+    // result is byte-identical to the serial algorithm by construction.
+    let res = if jobs > 1 {
+        bisect_hierarchical_parallel(
+            &baseline,
+            &variable,
+            test.driver(),
+            input,
+            &l2_compare,
+            &cfg,
+            &Executor::new(jobs),
+        )
+    } else {
+        bisect_hierarchical(
+            &baseline,
+            &variable,
+            test.driver(),
+            input,
+            &l2_compare,
+            &cfg,
+        )
+    };
 
     let mut out = format!(
-        "flit bisect {}: test {} | baseline {} | variable {}\n\n",
+        "flit bisect {}: test {} | baseline {} | variable {}{}\n\n",
         app.name,
         test.name(),
         Compilation::baseline().label(),
-        comp.label()
+        comp.label(),
+        if jobs > 1 {
+            format!(" | {jobs} jobs")
+        } else {
+            String::new()
+        }
     );
     match res.outcome {
         SearchOutcome::Crashed(ref why) => {
@@ -315,6 +342,7 @@ fn cmd_inject(app: &str, limit: Option<usize>) -> Result<String, ParseError> {
 fn cmd_workflow(
     app: &str,
     max_bisections: Option<usize>,
+    jobs: Option<usize>,
     trace_path: Option<&str>,
 ) -> Result<String, ParseError> {
     use flit_core::workflow::{run_workflow, WorkflowConfig};
@@ -322,6 +350,7 @@ fn cmd_workflow(
     let comps = matrix_for(&app, None)?;
     let cfg = WorkflowConfig {
         max_bisections: max_bisections.unwrap_or(usize::MAX),
+        jobs: jobs.unwrap_or(1),
         trace: if trace_path.is_some() {
             TraceSink::enabled()
         } else {
@@ -472,6 +501,28 @@ mod tests {
         .unwrap();
         assert!(out.contains("DenseMatrix_AddMultAAt"), "{out}");
         assert!(out.contains("linalg/densemat.cpp"));
+    }
+
+    #[test]
+    fn bisect_with_jobs_reports_the_same_findings() {
+        let args = [
+            "bisect",
+            "mfem",
+            "--test",
+            "ex13",
+            "--compilation",
+            "g++ -O3 -mavx2 -mfma",
+        ];
+        let serial = run_cli(&args).unwrap();
+        let mut with_jobs = args.to_vec();
+        with_jobs.extend(["--jobs", "8"]);
+        let parallel = run_cli(&with_jobs).unwrap();
+        // Identical reports modulo the header's jobs note.
+        assert_eq!(
+            parallel.replace(" | 8 jobs", ""),
+            serial,
+            "--jobs must not change the findings"
+        );
     }
 
     #[test]

@@ -16,7 +16,6 @@
 
 use std::sync::Arc;
 
-use crossbeam::thread;
 use parking_lot::Mutex;
 
 use flit_fpsim::env::FpEnv;
@@ -126,11 +125,11 @@ impl RacyReduce {
     fn race(&self) -> Vec<usize> {
         let arrivals: Mutex<Vec<usize>> = Mutex::new(Vec::with_capacity(self.workers));
         let barrier = std::sync::Barrier::new(self.workers);
-        thread::scope(|s| {
+        std::thread::scope(|s| {
             for w in 0..self.workers {
                 let arrivals = &arrivals;
                 let barrier = &barrier;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     barrier.wait();
                     // A scheduling-sensitive dash to the lock: a little
                     // real work whose cache behavior varies per core.
@@ -142,8 +141,7 @@ impl RacyReduce {
                     arrivals.lock().push(w);
                 });
             }
-        })
-        .expect("racy workers must not panic");
+        });
         arrivals.into_inner()
     }
 }

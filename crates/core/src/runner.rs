@@ -1,20 +1,18 @@
 //! The matrix runner: every test under every compilation, compared to
 //! the trusted baseline.
 //!
-//! Compilations are independent, so the sweep fans out across threads
-//! (crossbeam scoped threads) pulling compilation indices from a shared
-//! atomic work queue. Each worker writes its records into that
-//! compilation's pre-allocated slot, so the database contents are
-//! bit-identical regardless of thread count or schedule — there is no
-//! static chunking, and a slow compilation never leaves a whole chunk's
-//! worth of work stranded on one thread.
+//! Compilations are independent, so the sweep fans out on the shared
+//! [`flit_exec::Executor`]: workers pull compilation indices from an
+//! atomic work queue and deposit records into that compilation's
+//! pre-allocated slot, so the database contents are bit-identical
+//! regardless of thread count or schedule — there is no static
+//! chunking, and a slow compilation never leaves a whole chunk's worth
+//! of work stranded on one thread. A panicking test surfaces as
+//! [`RunnerError::WorkerPanicked`] rather than aborting the sweep.
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crossbeam::thread;
-use parking_lot::Mutex;
-
+use flit_exec::{ExecError, Executor};
 use flit_program::model::SimProgram;
 use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compilation::Compilation;
@@ -27,9 +25,9 @@ use crate::db::{ResultsDb, RunRecord};
 use crate::test::{split_input, FlitTest, RunContext, TestResult};
 
 /// Why a matrix sweep could not produce a database: the trusted
-/// baseline itself failed. (Non-baseline compilations that fail to link
-/// or crash are *data* — they become crashed records — but without a
-/// baseline there is nothing to compare against.)
+/// baseline itself failed, or a worker died. (Non-baseline compilations
+/// that fail to link or crash are *data* — they become crashed records
+/// — but without a baseline there is nothing to compare against.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunnerError {
     /// The baseline compilation failed to link.
@@ -41,6 +39,16 @@ pub enum RunnerError {
         /// The underlying error.
         error: String,
     },
+    /// A worker thread panicked while running a compilation. The sweep
+    /// reports the panic instead of aborting the process; when several
+    /// jobs panic, the lowest compilation index is reported so the
+    /// error is schedule-independent.
+    WorkerPanicked {
+        /// Label of the compilation whose job panicked.
+        compilation: String,
+        /// The rendered panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for RunnerError {
@@ -51,6 +59,12 @@ impl fmt::Display for RunnerError {
             }
             RunnerError::BaselineRun { test, error } => {
                 write!(f, "the baseline run of test `{test}` failed: {error}")
+            }
+            RunnerError::WorkerPanicked {
+                compilation,
+                message,
+            } => {
+                write!(f, "a runner worker panicked on `{compilation}`: {message}")
             }
         }
     }
@@ -264,63 +278,32 @@ pub fn run_matrix_in(
         base_seconds,
     );
 
-    // Fan out over compilations through a work queue: workers pull the
-    // next unclaimed index and deposit records into that compilation's
-    // slot, so collection order (and therefore the database) is
-    // schedule-independent.
+    // Fan out over compilations on the shared executor: workers pull
+    // the next unclaimed index and deposit records into that
+    // compilation's slot, so collection order (and therefore the
+    // database) is schedule-independent. A panic in any job is captured
+    // by the executor and reported as a structured error.
     let nthreads = cfg.threads.max(1).min(compilations.len().max(1));
     let claimed = cfg.trace.counter(counter_names::RUNNER_QUEUE_CLAIMED);
     let drained = cfg.trace.counter(counter_names::RUNNER_QUEUE_DRAINED);
     let mut db = ResultsDb::new(&program.name);
-    if nthreads <= 1 {
-        for comp in compilations {
+    let exec = Executor::with_trace(nthreads, cfg.trace.clone());
+    let results = exec
+        .run(compilations.len(), |i| {
             claimed.incr(1);
-            db.rows.extend(run_one_compilation(
-                program, tests, comp, &baseline, ctx, &cfg.trace,
-            ));
-        }
-        drained.incr(1);
-        db.build_stats = ctx.stats();
-        return Ok(db);
-    }
-
-    let slots: Vec<Mutex<Option<Vec<RunRecord>>>> =
-        compilations.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    thread::scope(|s| {
-        for _ in 0..nthreads {
-            let baseline = &baseline;
-            let slots = &slots;
-            let next = &next;
-            let claimed = &claimed;
-            let drained = &drained;
-            s.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= compilations.len() {
-                    // One terminal empty pull per worker.
-                    drained.incr(1);
-                    break;
-                }
-                claimed.incr(1);
-                let records = run_one_compilation(
-                    program,
-                    tests,
-                    &compilations[i],
-                    baseline,
-                    ctx,
-                    &cfg.trace,
-                );
-                *slots[i].lock() = Some(records);
-            });
-        }
-    })
-    .expect("runner threads must not panic");
-
-    for slot in slots {
-        db.rows.extend(
-            slot.into_inner()
-                .expect("every queue index was claimed and completed"),
-        );
+            run_one_compilation(program, tests, &compilations[i], &baseline, ctx, &cfg.trace)
+        })
+        .map_err(|e| {
+            let ExecError::WorkerPanicked { job, message } = e;
+            RunnerError::WorkerPanicked {
+                compilation: compilations[job].label(),
+                message,
+            }
+        })?;
+    // One terminal empty pull per worker, as with the hand-rolled queue.
+    drained.incr(nthreads as u64);
+    for records in results {
+        db.rows.extend(records);
     }
     db.build_stats = ctx.stats();
     Ok(db)
@@ -444,6 +427,74 @@ mod tests {
             assert_eq!(a.comparison.to_bits(), b.comparison.to_bits());
             assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
             assert_eq!(a.bitwise_equal, b.bitwise_equal);
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_a_structured_error_not_an_abort() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Succeeds during the (sequential) baseline pass, then panics on
+        // every fan-out call, so the panic is guaranteed to happen on a
+        // worker thread of the executor.
+        struct Grenade {
+            inner: DriverTest,
+            calls: AtomicUsize,
+        }
+        impl FlitTest for Grenade {
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+            fn inputs_per_run(&self) -> usize {
+                self.inner.inputs_per_run()
+            }
+            fn default_input(&self) -> Vec<f64> {
+                self.inner.default_input()
+            }
+            fn run_impl(
+                &self,
+                input: &[f64],
+                ctx: &crate::test::RunContext,
+            ) -> Result<(crate::test::TestResult, f64), flit_program::engine::RunError>
+            {
+                if self.calls.fetch_add(1, Ordering::SeqCst) >= 1 {
+                    panic!("simulated harness bug");
+                }
+                self.inner.run_impl(input, ctx)
+            }
+        }
+
+        let p = program();
+        let grenade = Grenade {
+            inner: DriverTest::new(Driver::new("ex1", vec!["dot".into()], 1, 32), 1, vec![0.3]),
+            calls: AtomicUsize::new(0),
+        };
+        let comps = vec![
+            Compilation::baseline(),
+            Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![]),
+        ];
+        for threads in [1, 4] {
+            grenade.calls.store(0, Ordering::SeqCst);
+            let err = run_matrix(
+                &p,
+                &[&grenade as &dyn FlitTest],
+                &comps,
+                &RunnerConfig {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .expect_err("the panic must surface as an error");
+            // Every fan-out job panics; the lowest compilation index is
+            // reported, so the error is the same at any thread count.
+            assert_eq!(
+                err,
+                RunnerError::WorkerPanicked {
+                    compilation: "g++ -O0".into(),
+                    message: "simulated harness bug".into(),
+                },
+                "threads={threads}"
+            );
         }
     }
 

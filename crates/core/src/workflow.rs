@@ -12,6 +12,7 @@
 //! hierarchical bisection of every variability-inducing compilation.
 
 use flit_bisect::hierarchy::{bisect_hierarchical, HierarchicalConfig, HierarchicalResult};
+use flit_exec::{ExecError, Executor};
 use flit_program::build::Build;
 use flit_program::model::{Driver, SimProgram};
 use flit_toolchain::cache::BuildCtx;
@@ -62,6 +63,11 @@ pub struct WorkflowConfig {
     /// Cap on how many (test, compilation) variabilities to bisect
     /// (`usize::MAX` for all — the paper bisected all 1,086).
     pub max_bisections: usize,
+    /// Worker threads for the bisection stage (1 = sequential). The
+    /// searches are independent, so they fan out on one shared
+    /// executor; results are collected in row order, so the report is
+    /// identical at any width.
+    pub jobs: usize,
     /// Trace sink covering the whole workflow. When enabled it is
     /// propagated to the runner and bisect configs (unless those carry
     /// their own enabled sink), and the shared build context's counters
@@ -75,6 +81,7 @@ impl Default for WorkflowConfig {
             runner: RunnerConfig::default(),
             bisect: HierarchicalConfig::all(),
             max_bisections: usize::MAX,
+            jobs: 1,
             trace: TraceSink::disabled(),
         }
     }
@@ -177,34 +184,54 @@ pub fn run_workflow(
     if cfg.trace.is_enabled() && !bisect_cfg.trace.is_enabled() {
         bisect_cfg = bisect_cfg.with_trace(cfg.trace.clone());
     }
-    let mut bisections = Vec::new();
-    for row in db.rows.iter().filter(|r| r.is_variable()) {
-        if bisections.len() >= cfg.max_bisections {
-            break;
-        }
-        launched.incr(1);
-        let test = tests
-            .iter()
-            .find(|t| t.name() == row.test)
-            .expect("db rows correspond to suite tests");
-        let driver: &Driver = test.driver();
-        let baseline = Build::new(program, cfg.runner.baseline.clone());
-        let variable = Build::tagged(program, row.compilation.clone(), 1);
-        let input = test.default_input();
-        let result = bisect_hierarchical(
-            &baseline,
-            &variable,
-            driver,
-            &input[..test.inputs_per_run().min(input.len())],
-            &l2_compare,
-            &bisect_cfg,
-        );
-        bisections.push(BisectedCompilation {
+    // All searches run on one shared executor (jobs = 1 is the serial
+    // special case); each job is a whole serial search, the shared
+    // `ctx` deduplicates build work across them, and collection in row
+    // order keeps the report schedule-independent.
+    let rows: Vec<_> = db
+        .rows
+        .iter()
+        .filter(|r| r.is_variable())
+        .take(cfg.max_bisections)
+        .collect();
+    let exec = Executor::with_trace(cfg.jobs, trace.clone());
+    let results = exec
+        .run(rows.len(), |i| {
+            launched.incr(1);
+            let row = rows[i];
+            let test = tests
+                .iter()
+                .find(|t| t.name() == row.test)
+                .expect("db rows correspond to suite tests");
+            let driver: &Driver = test.driver();
+            let baseline = Build::new(program, cfg.runner.baseline.clone());
+            let variable = Build::tagged(program, row.compilation.clone(), 1);
+            let input = test.default_input();
+            bisect_hierarchical(
+                &baseline,
+                &variable,
+                driver,
+                &input[..test.inputs_per_run().min(input.len())],
+                &l2_compare,
+                &bisect_cfg,
+            )
+        })
+        .map_err(|e| {
+            let ExecError::WorkerPanicked { job, message } = e;
+            RunnerError::WorkerPanicked {
+                compilation: rows[job].compilation.label(),
+                message,
+            }
+        })?;
+    let bisections: Vec<BisectedCompilation> = rows
+        .iter()
+        .zip(results)
+        .map(|(row, result)| BisectedCompilation {
             test: row.test.clone(),
             compilation: row.compilation.clone(),
             result,
-        });
-    }
+        })
+        .collect();
     trace.span(
         phase::WORKFLOW,
         "bisect",
@@ -292,6 +319,35 @@ mod tests {
         // Figure-5 style summary exists.
         assert_eq!(report.bars.len(), 1);
         assert_eq!(report.reproducible_fastest.1, 1);
+    }
+
+    #[test]
+    fn workflow_bisections_are_identical_at_any_job_count() {
+        let p = program();
+        let tests = suite();
+        let comps = vec![
+            Compilation::baseline(),
+            Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![Switch::Avx2Fma]),
+            Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]),
+        ];
+        let serial =
+            run_workflow(&p, &tests, &comps, &WorkflowConfig::default()).expect("workflow runs");
+        let wide = run_workflow(
+            &p,
+            &tests,
+            &comps,
+            &WorkflowConfig {
+                jobs: 8,
+                ..WorkflowConfig::default()
+            },
+        )
+        .expect("workflow runs");
+        assert_eq!(wide.bisections.len(), serial.bisections.len());
+        for (w, s) in wide.bisections.iter().zip(&serial.bisections) {
+            assert_eq!(w.test, s.test);
+            assert_eq!(w.compilation, s.compilation);
+            assert_eq!(w.result, s.result);
+        }
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! The work-queue executor: deterministic fan-out with panic capture.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use flit_trace::names::counter;
+use flit_trace::sink::TraceSink;
+
+/// Why an executor run could not produce results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A job's closure panicked. The panic was caught on the worker —
+    /// the process does not abort — and the *lowest* panicking job
+    /// index is reported, which is the job a serial execution would
+    /// have died on first, so the error is schedule-independent.
+    WorkerPanicked {
+        /// Index of the panicking job.
+        job: usize,
+        /// The panic payload, rendered to a string where possible.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::WorkerPanicked { job, message } => {
+                write!(f, "executor job {job} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Render a caught panic payload: `&str` and `String` payloads (the
+/// overwhelmingly common cases) come through verbatim; anything else
+/// becomes a placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A fixed-width parallel executor over indexed jobs.
+///
+/// `threads` is a width cap, not a pool: each [`Executor::run`] spawns
+/// up to `threads` scoped workers (never more than there are jobs) that
+/// pull indices from an atomic queue, so there is no static chunking
+/// and a slow job never strands the rest of a chunk on one worker.
+#[derive(Clone)]
+pub struct Executor {
+    threads: usize,
+    trace: TraceSink,
+}
+
+impl Executor {
+    /// An executor of the given width with tracing disabled.
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// An executor that records `exec.jobs.*` counters into `trace`.
+    pub fn with_trace(threads: usize, trace: TraceSink) -> Self {
+        Executor {
+            threads: threads.max(1),
+            trace,
+        }
+    }
+
+    /// The configured worker width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(0), f(1), …, f(jobs - 1)` across the workers and return
+    /// the results in job order. The closure runs under `catch_unwind`;
+    /// a panic in any job yields [`ExecError::WorkerPanicked`] for the
+    /// lowest panicking index instead of aborting the process.
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Result<Vec<T>, ExecError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let submitted = self.trace.counter(counter::EXEC_JOBS_SUBMITTED);
+        let completed = self.trace.counter(counter::EXEC_JOBS_COMPLETED);
+        let panicked = self.trace.counter(counter::EXEC_JOBS_PANICKED);
+        submitted.incr(jobs as u64);
+
+        let workers = self.threads.min(jobs.max(1));
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(jobs);
+            for i in 0..jobs {
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(v) => {
+                        completed.incr(1);
+                        out.push(v);
+                    }
+                    Err(payload) => {
+                        panicked.incr(1);
+                        return Err(ExecError::WorkerPanicked {
+                            job: i,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                }
+            }
+            return Ok(out);
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                        Ok(v) => {
+                            completed.incr(1);
+                            *slots[i].lock() = Some(v);
+                        }
+                        Err(payload) => {
+                            panicked.incr(1);
+                            panics.lock().push((i, panic_message(payload.as_ref())));
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut caught = panics.into_inner();
+        caught.sort();
+        if let Some((job, message)) = caught.into_iter().next() {
+            return Err(ExecError::WorkerPanicked { job, message });
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("every queue index was claimed and completed")
+            })
+            .collect())
+    }
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_job_order_at_any_width() {
+        for threads in [1, 2, 8, 64] {
+            let exec = Executor::new(threads);
+            let out = exec.run(17, |i| i * i).unwrap();
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let exec = Executor::new(4);
+        let out: Vec<usize> = exec.run(0, |i| i).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panic_is_captured_as_lowest_job_index() {
+        for threads in [1, 4] {
+            let exec = Executor::new(threads);
+            let err = exec
+                .run(8, |i| {
+                    if i % 3 == 2 {
+                        panic!("job {i} exploded");
+                    }
+                    i
+                })
+                .unwrap_err();
+            match err {
+                ExecError::WorkerPanicked { job, message } => {
+                    assert_eq!(job, 2, "lowest panicking job, threads={threads}");
+                    assert!(message.contains("exploded"), "{message}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counters_account_for_every_job() {
+        let sink = TraceSink::enabled();
+        let exec = Executor::with_trace(3, sink.clone());
+        exec.run(10, |i| i).unwrap();
+        let trace = sink.snapshot();
+        assert_eq!(trace.counter(counter::EXEC_JOBS_SUBMITTED), 10);
+        assert_eq!(trace.counter(counter::EXEC_JOBS_COMPLETED), 10);
+        assert_eq!(trace.counter(counter::EXEC_JOBS_PANICKED), 0);
+    }
+}

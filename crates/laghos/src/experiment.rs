@@ -67,7 +67,7 @@ pub struct Table4Cell {
 }
 
 /// A boxed user-compare metric (§2.3's `compare`).
-type CompareFn = Box<dyn Fn(&[f64], &[f64]) -> f64>;
+type CompareFn = Box<dyn Fn(&[f64], &[f64]) -> f64 + Sync>;
 
 /// Run one Table-4 configuration on the xsw-fixed branch.
 pub fn table4_cell(

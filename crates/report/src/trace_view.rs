@@ -1,9 +1,10 @@
 //! Rendering for `flit-trace` traces: the `flit trace <file>` view.
 //!
-//! Four exhibits, all derived from a canonically-ordered
+//! Five exhibits, all derived from a canonically-ordered
 //! [`Trace`]: a per-phase span summary, the top-N slowest sweep
 //! compilations, the bisect execution counts per level (the paper's
-//! Tables 2/4 "number of runs"), and the build-cache hit rates.
+//! Tables 2/4 "number of runs"), the parallel searches' frontier width
+//! over time, and the build-cache hit rates.
 
 use flit_trace::event::Trace;
 use flit_trace::names::{counter, phase};
@@ -63,6 +64,26 @@ pub fn bisect_executions(trace: &Trace) -> Table {
     t
 }
 
+/// Frontier width over time for the planner-driven parallel searches:
+/// one row per `exec.wave` span in wave order (the zero-padded wave
+/// number in the label makes the canonical order chronological per
+/// search), with a bar visualising how many Test queries were in
+/// flight. Wide early waves narrowing toward 1 are the signature of a
+/// bisection converging on its blame set.
+pub fn frontier_widths(trace: &Trace) -> Table {
+    let mut t = Table::new(&["wave", "queries", ""])
+        .with_title("Parallel bisect frontier width over time")
+        .with_aligns(&[Align::Left, Align::Right, Align::Left]);
+    for s in trace.spans_in(phase::EXEC_WAVE) {
+        t.row(&[
+            s.label.clone(),
+            s.cost.to_string(),
+            "#".repeat(s.cost.min(48) as usize),
+        ]);
+    }
+    t
+}
+
 /// Build-cache effectiveness: requests, hits and hit rate for the
 /// object cache and the link memo.
 pub fn cache_hit_rates(trace: &Trace) -> Table {
@@ -95,7 +116,7 @@ pub fn cache_hit_rates(trace: &Trace) -> Table {
     t
 }
 
-/// The full `flit trace` report: all four exhibits, separated by blank
+/// The full `flit trace` report: all five exhibits, separated by blank
 /// lines. Sections with no data render with their headers so the
 /// output shape is stable.
 pub fn render_trace(trace: &Trace, top: usize) -> String {
@@ -105,6 +126,8 @@ pub fn render_trace(trace: &Trace, top: usize) -> String {
     out.push_str(&slowest_compilations(trace, top).render());
     out.push('\n');
     out.push_str(&bisect_executions(trace).render());
+    out.push('\n');
+    out.push_str(&frontier_widths(trace).render());
     out.push('\n');
     out.push_str(&cache_hit_rates(trace).render());
     out
@@ -135,6 +158,18 @@ mod tests {
                 label: "ex1/g++ -O3 -funsafe-math-optimizations".into(),
                 cost: 9,
                 duration: 4.0,
+            },
+            Span {
+                phase: phase::EXEC_WAVE.into(),
+                label: "ex1/file/wave-0000".into(),
+                cost: 4,
+                duration: 0.0,
+            },
+            Span {
+                phase: phase::EXEC_WAVE.into(),
+                label: "ex1/file/wave-0001".into(),
+                cost: 2,
+                duration: 0.0,
             },
         ];
         let counters: BTreeMap<String, u64> = [
@@ -184,10 +219,20 @@ mod tests {
     }
 
     #[test]
+    fn frontier_widths_render_in_wave_order_with_bars() {
+        let t = frontier_widths(&sample_trace()).render();
+        let w0 = t.lines().position(|l| l.contains("wave-0000")).unwrap();
+        let w1 = t.lines().position(|l| l.contains("wave-0001")).unwrap();
+        assert!(w0 < w1, "{t}");
+        assert!(t.contains("####"), "{t}");
+    }
+
+    #[test]
     fn empty_trace_renders_all_sections() {
         let out = render_trace(&Trace::default(), 5);
         assert!(out.contains("Trace summary by phase"));
         assert!(out.contains("Bisect executions by level"));
+        assert!(out.contains("frontier width over time"));
         assert!(out.contains("Build-cache hit rates"));
         // Zero-request layers report "-", not a division by zero.
         assert!(out.contains('-'));

@@ -13,6 +13,13 @@ pub mod phase {
     pub const BISECT_SYMBOL: &str = "bisect.symbol";
     /// Workflow-driver spans (Figure 1's numbered stages).
     pub const WORKFLOW: &str = "workflow";
+    /// Executor scheduling waves: one span per frontier wave dispatched
+    /// by a parallel bisect driver (cost = wave width in queries).
+    pub const EXEC_WAVE: &str = "exec.wave";
+    /// Canonical per-query spans of a planner-driven search, emitted in
+    /// serial consumption order (cost = item-set size, duration =
+    /// simulated seconds) — byte-identical at any `--jobs` value.
+    pub const EXEC_QUERY: &str = "exec.query";
 }
 
 /// Counter names.
@@ -40,6 +47,19 @@ pub mod counter {
     /// Symbol-level Test-function executions (Table 2's Symbol Bisect
     /// runs).
     pub const BISECT_SYMBOL_RUNS: &str = "bisect.executions.symbol";
+
+    /// Jobs submitted to a `flit-exec` executor.
+    pub const EXEC_JOBS_SUBMITTED: &str = "exec.jobs.submitted";
+    /// Jobs that ran to completion on an executor worker.
+    pub const EXEC_JOBS_COMPLETED: &str = "exec.jobs.completed";
+    /// Jobs whose closure panicked (captured, not process-aborting).
+    pub const EXEC_JOBS_PANICKED: &str = "exec.jobs.panicked";
+    /// Frontier waves dispatched by the parallel bisect drivers.
+    pub const EXEC_WAVES: &str = "exec.waves";
+    /// Oracle queries actually evaluated (single-flight memo misses).
+    pub const EXEC_QUERIES_EXECUTED: &str = "exec.queries.executed";
+    /// Oracle queries served from the shared memo.
+    pub const EXEC_QUERIES_MEMOIZED: &str = "exec.queries.memoized";
 
     /// Hierarchical searches launched by the workflow driver.
     pub const WORKFLOW_BISECTIONS: &str = "workflow.bisections";

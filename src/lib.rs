@@ -31,6 +31,7 @@
 
 pub use flit_bisect as bisect;
 pub use flit_core as core;
+pub use flit_exec as exec;
 pub use flit_fpsim as fpsim;
 pub use flit_inject as inject;
 pub use flit_laghos as laghos;
@@ -46,8 +47,11 @@ pub mod prelude {
     pub use flit_bisect::algo::bisect_all;
     pub use flit_bisect::biggest::bisect_biggest;
     pub use flit_bisect::hierarchy::{
-        bisect_hierarchical, HierarchicalConfig, HierarchicalResult, SearchOutcome,
+        bisect_hierarchical, bisect_hierarchical_parallel, HierarchicalConfig, HierarchicalResult,
+        SearchOutcome,
     };
+    pub use flit_bisect::parallel::{bisect_all_parallel, bisect_biggest_parallel, SharedOracle};
+    pub use flit_bisect::planner::{BisectPlan, PlanStep, SearchMode};
     pub use flit_bisect::test_fn::{MemoTest, TestError};
     pub use flit_core::analysis::{
         category_bars, compiler_summary, switch_attribution, variability_summary,
@@ -57,6 +61,7 @@ pub mod prelude {
     pub use flit_core::runner::{run_matrix, RunnerConfig};
     pub use flit_core::test::{DriverTest, FlitTest, RunContext, TestResult};
     pub use flit_core::workflow::{run_workflow, WorkflowConfig};
+    pub use flit_exec::Executor;
     pub use flit_fpsim::env::{FpEnv, MathLib, SimdWidth};
     pub use flit_program::build::Build;
     pub use flit_program::engine::Engine;

@@ -1,7 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + tests, formatting, and lints.
+# `./verify.sh --quick` runs only the planner/executor determinism
+# suite — the fast invariant check after touching the search machinery.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "--quick" ]]; then
+  echo "== quick: jobs determinism (planner vs serial, 1 vs 8 workers) =="
+  cargo test -q --test jobs_determinism
+  echo "verify --quick: OK"
+  exit 0
+fi
 
 echo "== cargo build --release =="
 cargo build --release
