@@ -12,7 +12,7 @@
 //! content with reporting the file containing the variability."
 
 use std::cell::Cell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use flit_program::build::{
     file_mixed_executable_in, pic_probe_executable_in, symbol_mixed_executable_in, Build,
@@ -28,9 +28,55 @@ use flit_exec::{ExecError, Executor};
 
 use crate::algo::{bisect_all, AssumptionViolation};
 use crate::biggest::bisect_biggest;
-use crate::parallel::{drive_plans, emit_query_spans, SharedOracle};
+use crate::parallel::{drive_plans_seeded, emit_query_spans, SharedOracle, SpeculationScore};
 use crate::planner::{BisectPlan, PlanFailure, PlanOutcome, SearchMode};
 use crate::test_fn::{TestError, TestFn};
+
+/// A static prescreen of the hierarchical search space (produced by
+/// `flit-lint`, consumed here): predicted-sensitivity scores per file
+/// and per exported symbol.
+///
+/// Scores `> 0.0` mean "predicted variable"; missing entries mean
+/// "predicted invariant". The scores seed the parallel drivers'
+/// speculative frontiers in predicted-sensitivity order — answers only
+/// enter a plan through its answer table, so seeding never changes
+/// found sets, traces, violations, or execution counts. When [`prune`]
+/// is set the predicted-invariant items are additionally removed from
+/// the search space itself; because that *is* observable if the static
+/// analysis was wrong, the search then re-runs Test over the unpruned
+/// space and over the found set (an Algorithm-1-style dynamic
+/// verification) and reports a violation when they disagree.
+///
+/// [`prune`]: Prescreen::prune
+#[derive(Debug, Clone, Default)]
+pub struct Prescreen {
+    /// `file_id` → predicted-sensitivity score.
+    pub file_priority: BTreeMap<usize, f64>,
+    /// Exported symbol → predicted-sensitivity score.
+    pub symbol_priority: BTreeMap<String, f64>,
+    /// Prune predicted-invariant items from the search space (opt-in:
+    /// `flit bisect --lint-prune`).
+    pub prune: bool,
+}
+
+impl Prescreen {
+    /// Score for a file (`0.0` = predicted invariant).
+    pub fn file_score(&self, file_id: usize) -> f64 {
+        self.file_priority.get(&file_id).copied().unwrap_or(0.0)
+    }
+
+    /// Score for a symbol (`0.0` = predicted invariant).
+    pub fn symbol_score(&self, symbol: &str) -> f64 {
+        self.symbol_priority.get(symbol).copied().unwrap_or(0.0)
+    }
+}
+
+fn prune_guard_violation(level: &str, full: f64, found: f64) -> String {
+    format!(
+        "lint-prune verification failed at {level} level: Test(all)={full} != \
+         Test(found)={found} (the static prescreen pruned a variability-inducing element)"
+    )
+}
 
 /// Configuration for a hierarchical search.
 #[derive(Debug, Clone)]
@@ -49,6 +95,11 @@ pub struct HierarchicalConfig {
     /// Trace sink for per-level spans and execution counters (the
     /// paper's Tables 2/4 "number of runs"). Disabled by default.
     pub trace: TraceSink,
+    /// Optional static prescreen from `flit-lint`: seeds speculative
+    /// frontiers in predicted-sensitivity order and, when its `prune`
+    /// flag is set, removes predicted-invariant items from the search
+    /// space under dynamic verification.
+    pub prescreen: Option<Prescreen>,
 }
 
 impl HierarchicalConfig {
@@ -59,6 +110,7 @@ impl HierarchicalConfig {
             k: None,
             ctx: BuildCtx::uncached(),
             trace: TraceSink::disabled(),
+            prescreen: None,
         }
     }
 
@@ -79,6 +131,12 @@ impl HierarchicalConfig {
     /// Record this search's spans and execution counters into `trace`.
     pub fn with_trace(mut self, trace: TraceSink) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attach a static prescreen (see [`Prescreen`]).
+    pub fn with_prescreen(mut self, prescreen: Prescreen) -> Self {
+        self.prescreen = Some(prescreen);
         self
     }
 }
@@ -235,7 +293,22 @@ pub fn bisect_hierarchical(
     };
 
     // ---- File Bisect ----
-    let file_ids: Vec<usize> = (0..baseline.program.files.len()).collect();
+    let prune = cfg.prescreen.as_ref().filter(|p| p.prune);
+    let all_file_ids: Vec<usize> = (0..baseline.program.files.len()).collect();
+    let file_ids: Vec<usize> = match prune {
+        Some(p) => {
+            let kept: Vec<usize> = all_file_ids
+                .iter()
+                .copied()
+                .filter(|id| p.file_score(*id) > 0.0)
+                .collect();
+            cfg.trace
+                .counter(counter_names::LINT_PRUNED_FILES)
+                .incr((all_file_ids.len() - kept.len()) as u64);
+            kept
+        }
+        None => all_file_ids.clone(),
+    };
     let mut file_execs = 0usize;
     let file_secs = Cell::new(0.0f64);
     let file_test = |items: &[usize]| -> Result<f64, TestError> {
@@ -249,14 +322,36 @@ pub fn bisect_hierarchical(
         Ok(compare(&base_out, &out.output))
     };
     let counted_file_test = CountingTest {
-        inner: file_test,
+        inner: &file_test,
         count: &mut file_execs,
     };
 
-    let file_outcome = match cfg.k {
+    let mut file_outcome = match cfg.k {
         None => bisect_all(counted_file_test, &file_ids),
         Some(k) => bisect_biggest(counted_file_test, &file_ids, k),
     };
+    // Algorithm-1-style dynamic verification guarding the prune: the
+    // found set must reproduce the *unpruned* space's Test value, or
+    // the static prescreen hid a real culprit.
+    let mut guard_violations: Vec<String> = Vec::new();
+    if prune.is_some() && file_ids.len() < all_file_ids.len() {
+        if let Ok(r) = &file_outcome {
+            file_execs += 2;
+            cfg.trace
+                .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
+                .incr(2);
+            let mut found_ids: Vec<usize> = r.found.iter().map(|(i, _)| *i).collect();
+            found_ids.sort_unstable();
+            match (file_test(&all_file_ids), file_test(&found_ids)) {
+                (Ok(full), Ok(found_v)) => {
+                    if full != found_v {
+                        guard_violations.push(prune_guard_violation("file", full, found_v));
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => file_outcome = Err(e),
+            }
+        }
+    }
     executions += file_execs;
     cfg.trace
         .counter(counter_names::BISECT_FILE_RUNS)
@@ -296,6 +391,7 @@ pub fn bisect_hierarchical(
             baseline.program.files[*id].name.clone()
         }));
     }
+    violations.append(&mut guard_violations);
 
     let files: Vec<FileFinding> = file_result
         .found
@@ -378,11 +474,25 @@ pub fn bisect_hierarchical(
             continue;
         }
 
-        let syms = baseline.program.exported_symbols_of_file(fid);
-        if syms.is_empty() {
+        let all_syms = baseline.program.exported_symbols_of_file(fid);
+        if all_syms.is_empty() {
             file_level_only.push(fid);
             continue;
         }
+        let syms: Vec<String> = match prune {
+            Some(p) => {
+                let kept: Vec<String> = all_syms
+                    .iter()
+                    .filter(|s| p.symbol_score(s) > 0.0)
+                    .cloned()
+                    .collect();
+                cfg.trace
+                    .counter(counter_names::LINT_PRUNED_SYMBOLS)
+                    .incr((all_syms.len() - kept.len()) as u64);
+                kept
+            }
+            None => all_syms.clone(),
+        };
         let mut sym_execs = 0usize;
         let sym_secs = Cell::new(0.0f64);
         let sym_test = |items: &[String]| -> Result<f64, TestError> {
@@ -403,13 +513,36 @@ pub fn bisect_hierarchical(
             Ok(compare(&base_out, &out.output))
         };
         let counted_sym_test = CountingTest {
-            inner: sym_test,
+            inner: &sym_test,
             count: &mut sym_execs,
         };
-        let sym_outcome = match cfg.k {
+        let mut sym_outcome = match cfg.k {
             None => bisect_all(counted_sym_test, &syms),
             Some(k) => bisect_biggest(counted_sym_test, &syms, k),
         };
+        // Dynamic verification guarding a symbol-level prune (see the
+        // file-level guard above).
+        let mut guard_violations: Vec<String> = Vec::new();
+        if prune.is_some() && syms.len() < all_syms.len() {
+            if let Ok(r) = &sym_outcome {
+                sym_execs += 2;
+                cfg.trace
+                    .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
+                    .incr(2);
+                let mut full = all_syms.clone();
+                full.sort();
+                let mut found_syms: Vec<String> = r.found.iter().map(|(s, _)| s.clone()).collect();
+                found_syms.sort();
+                match (sym_test(&full), sym_test(&found_syms)) {
+                    (Ok(a), Ok(b)) => {
+                        if a != b {
+                            guard_violations.push(prune_guard_violation("symbol", a, b));
+                        }
+                    }
+                    (Err(e), _) | (_, Err(e)) => sym_outcome = Err(e),
+                }
+            }
+        }
         executions += sym_execs;
         cfg.trace
             .counter(counter_names::BISECT_SYMBOL_RUNS)
@@ -425,6 +558,7 @@ pub fn bisect_hierarchical(
                 for v in &r.violations {
                     violations.push(violation_string(v, |s| s.clone()));
                 }
+                violations.append(&mut guard_violations);
                 if r.found.is_empty() {
                     // Exported-symbol interposition cannot reproduce it
                     // (e.g. variability lives in statics/inlined code).
@@ -573,7 +707,30 @@ pub fn bisect_hierarchical_parallel(
     };
 
     // ---- File Bisect (planner-driven) ----
-    let file_ids: Vec<usize> = (0..baseline.program.files.len()).collect();
+    let prune = cfg.prescreen.as_ref().filter(|p| p.prune);
+    let all_file_ids: Vec<usize> = (0..baseline.program.files.len()).collect();
+    let file_ids: Vec<usize> = match prune {
+        Some(p) => {
+            let kept: Vec<usize> = all_file_ids
+                .iter()
+                .copied()
+                .filter(|id| p.file_score(*id) > 0.0)
+                .collect();
+            cfg.trace
+                .counter(counter_names::LINT_PRUNED_FILES)
+                .incr((all_file_ids.len() - kept.len()) as u64);
+            kept
+        }
+        None => all_file_ids.clone(),
+    };
+    let file_score = |items: &[usize]| -> f64 {
+        let p = cfg.prescreen.as_ref().expect("seed implies a prescreen");
+        items.iter().map(|i| p.file_score(*i)).fold(0.0, f64::max)
+    };
+    let file_seed: Option<SpeculationScore<'_, usize>> = cfg
+        .prescreen
+        .as_ref()
+        .map(|_| &file_score as SpeculationScore<'_, usize>);
     let file_oracle = SharedOracle::new(
         |items: &[usize]| -> Result<(f64, f64), TestError> {
             let set: BTreeSet<usize> = items.iter().copied().collect();
@@ -588,12 +745,13 @@ pub fn bisect_hierarchical_parallel(
     );
     let file_label = format!("{search}/file");
     let mut file_plans = [BisectPlan::new(&file_ids, mode)];
-    let file_driven = drive_plans(
+    let file_driven = drive_plans_seeded(
         &mut file_plans,
         &[&file_oracle],
         exec,
         &cfg.trace,
         &file_label,
+        file_seed,
     );
     let file_result = match file_driven {
         Err(ExecError::WorkerPanicked { message, .. }) => {
@@ -610,10 +768,40 @@ pub fn bisect_hierarchical_parallel(
     };
     // Counters and the level span cover the executions the *serial*
     // algorithm performs — on failures too — never the speculation.
-    let (file_execs, file_secs) = match &file_result {
+    let (mut file_execs, mut file_secs) = match &file_result {
         Ok(p) => (p.outcome.executions, p.seconds),
         Err(f) => (f.executions, f.seconds),
     };
+    // Prune guard, byte-identical to the serial path (the oracle may
+    // serve these from the memo; the accounting is unconditional).
+    let mut guard_violations: Vec<String> = Vec::new();
+    let mut guard_error: Option<TestError> = None;
+    if prune.is_some() && file_ids.len() < all_file_ids.len() {
+        if let Ok(p) = &file_result {
+            file_execs += 2;
+            cfg.trace
+                .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
+                .incr(2);
+            let mut found_ids: Vec<usize> = p.outcome.found.iter().map(|(i, _)| *i).collect();
+            found_ids.sort_unstable();
+            let full = file_oracle.eval(&all_file_ids);
+            if let Ok((_, s)) = &full {
+                file_secs += *s;
+            }
+            let found_v = file_oracle.eval(&found_ids);
+            if let Ok((_, s)) = &found_v {
+                file_secs += *s;
+            }
+            match (full, found_v) {
+                (Ok((a, _)), Ok((b, _))) => {
+                    if a != b {
+                        guard_violations.push(prune_guard_violation("file", a, b));
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => guard_error = Some(e),
+            }
+        }
+    }
     executions += file_execs;
     cfg.trace
         .counter(counter_names::BISECT_FILE_RUNS)
@@ -624,6 +812,22 @@ pub fn bisect_hierarchical_parallel(
         file_execs as u64,
         file_secs,
     );
+    match guard_error {
+        Some(TestError::Crash(s)) => {
+            return crashed(s, vec![], vec![], vec![], executions, violations)
+        }
+        Some(TestError::Link(s)) => {
+            return crashed(
+                format!("link: {s}"),
+                vec![],
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+        None => {}
+    }
     let file_outcome: PlanOutcome<usize> = match file_result {
         Ok(p) => p,
         Err(PlanFailure {
@@ -650,6 +854,7 @@ pub fn bisect_hierarchical_parallel(
             baseline.program.files[*id].name.clone()
         }));
     }
+    violations.append(&mut guard_violations);
 
     let files: Vec<FileFinding> = file_outcome
         .outcome
@@ -720,7 +925,21 @@ pub fn bisect_hierarchical_parallel(
         .filter_map(|(i, finding)| match probes[i] {
             ProbeOutcome::Value(v) if v != 0.0 => {
                 let syms = baseline.program.exported_symbols_of_file(finding.file_id);
-                (!syms.is_empty()).then_some(Candidate {
+                if syms.is_empty() {
+                    return None;
+                }
+                // Under pruning the plan searches only the kept symbols
+                // (the fold accounts for what was dropped, in serial
+                // order). A fully-pruned file still gets a plan so the
+                // fold has a result to consume.
+                let syms = match prune {
+                    Some(p) => syms
+                        .into_iter()
+                        .filter(|s| p.symbol_score(s) > 0.0)
+                        .collect(),
+                    None => syms,
+                };
+                Some(Candidate {
                     fid: finding.file_id,
                     syms,
                 })
@@ -759,12 +978,26 @@ pub fn bisect_hierarchical_parallel(
         .map(|c| BisectPlan::new(&c.syms, mode))
         .collect();
     let oracle_refs: Vec<&SharedOracle<'_, String>> = sym_oracles.iter().collect();
-    let sym_driven = drive_plans(
+    let sym_score = |items: &[String]| -> f64 {
+        let p = cfg.prescreen.as_ref().expect("seed implies a prescreen");
+        items.iter().map(|s| p.symbol_score(s)).fold(0.0, f64::max)
+    };
+    let sym_seed: Option<SpeculationScore<'_, String>> = cfg
+        .prescreen
+        .as_ref()
+        .map(|_| &sym_score as SpeculationScore<'_, String>);
+    let oracle_idx_by_fid: std::collections::HashMap<usize, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.fid, i))
+        .collect();
+    let sym_driven = drive_plans_seeded(
         &mut sym_plans,
         &oracle_refs,
         exec,
         &cfg.trace,
         &format!("{search}/symbol"),
+        sym_seed,
     );
     let sym_results = match sym_driven {
         Ok(r) => r,
@@ -820,18 +1053,63 @@ pub fn bisect_hierarchical_parallel(
                 }
             }
         }
-        let syms = baseline.program.exported_symbols_of_file(fid);
-        if syms.is_empty() {
+        let all_syms = baseline.program.exported_symbols_of_file(fid);
+        if all_syms.is_empty() {
             file_level_only.push(fid);
             continue;
         }
+        let kept_syms = match prune {
+            Some(p) => {
+                let kept = all_syms.iter().filter(|s| p.symbol_score(s) > 0.0).count();
+                cfg.trace
+                    .counter(counter_names::LINT_PRUNED_SYMBOLS)
+                    .incr((all_syms.len() - kept) as u64);
+                kept
+            }
+            None => all_syms.len(),
+        };
         let sym_result = sym_by_fid
             .remove(&fid)
             .expect("candidate plan for every searched file");
-        let (sym_execs, sym_secs) = match &sym_result {
+        let (mut sym_execs, mut sym_secs) = match &sym_result {
             Ok(p) => (p.outcome.executions, p.seconds),
             Err(f) => (f.executions, f.seconds),
         };
+        // Symbol-level prune guard, mirroring the serial path.
+        let mut guard_violations: Vec<String> = Vec::new();
+        let mut guard_error: Option<TestError> = None;
+        if prune.is_some() && kept_syms < all_syms.len() {
+            if let Ok(p) = &sym_result {
+                sym_execs += 2;
+                cfg.trace
+                    .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
+                    .incr(2);
+                let oracle = sym_oracles
+                    .get(oracle_idx_by_fid[&fid])
+                    .expect("oracle for every candidate");
+                let mut full = all_syms.clone();
+                full.sort();
+                let mut found_syms: Vec<String> =
+                    p.outcome.found.iter().map(|(s, _)| s.clone()).collect();
+                found_syms.sort();
+                let a = oracle.eval(&full);
+                if let Ok((_, s)) = &a {
+                    sym_secs += *s;
+                }
+                let b = oracle.eval(&found_syms);
+                if let Ok((_, s)) = &b {
+                    sym_secs += *s;
+                }
+                match (a, b) {
+                    (Ok((av, _)), Ok((bv, _))) => {
+                        if av != bv {
+                            guard_violations.push(prune_guard_violation("symbol", av, bv));
+                        }
+                    }
+                    (Err(e), _) | (_, Err(e)) => guard_error = Some(e),
+                }
+            }
+        }
         executions += sym_execs;
         cfg.trace
             .counter(counter_names::BISECT_SYMBOL_RUNS)
@@ -843,12 +1121,36 @@ pub fn bisect_hierarchical_parallel(
             sym_execs as u64,
             sym_secs,
         );
+        match guard_error {
+            Some(TestError::Crash(s)) => {
+                return crashed(
+                    s,
+                    files.clone(),
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                )
+            }
+            Some(TestError::Link(s)) => {
+                return crashed(
+                    format!("link: {s}"),
+                    files.clone(),
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                )
+            }
+            None => {}
+        }
         match sym_result {
             Ok(p) => {
                 emit_query_spans(&cfg.trace, &sym_label, &p);
                 for v in &p.outcome.violations {
                     violations.push(violation_string(v, |s| s.clone()));
                 }
+                violations.append(&mut guard_violations);
                 if p.outcome.found.is_empty() {
                     file_level_only.push(fid);
                 }

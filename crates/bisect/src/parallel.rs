@@ -78,6 +78,13 @@ where
     }
 }
 
+/// A speculative-query priority for seeded drives: scores a frontier
+/// query's (canonical) item set. Queries scoring `> 0.0` are kept,
+/// highest score first; zero-scoring queries are dropped from the
+/// speculative fill — evaluating them would only warm the memo for
+/// item sets a prescreen predicts invariant.
+pub type SpeculationScore<'a, I> = &'a (dyn Fn(&[I]) -> f64 + Sync);
+
 /// Drive several plans to completion jointly on one executor.
 ///
 /// Each wave gathers every active plan's frontier: all *required*
@@ -99,8 +106,35 @@ pub fn drive_plans<I>(
 where
     I: Clone + Ord + Hash + Send + Sync,
 {
+    drive_plans_seeded(plans, oracles, exec, trace, label, None)
+}
+
+/// [`drive_plans`] with an optional speculation priority (`seed`).
+///
+/// Seeding only filters and reorders the *speculative* portion of each
+/// wave: required queries are dispatched unconditionally and in frontier
+/// order, and answers enter a plan only through its answer table, whose
+/// replay consumes them in the serial algorithm's order. Every
+/// observable of the outcome — found sets, execution counts, traces,
+/// violations — is therefore byte-identical to the unseeded (and the
+/// serial) run at any worker count; seeding changes only which
+/// speculative evaluations are spent, i.e. the `exec.queries.executed`
+/// counter and wall-clock. Dropped zero-score queries are tallied under
+/// `lint.speculation.skipped`.
+pub fn drive_plans_seeded<I>(
+    plans: &mut [BisectPlan<I>],
+    oracles: &[&SharedOracle<'_, I>],
+    exec: &Executor,
+    trace: &TraceSink,
+    label: &str,
+    seed: Option<SpeculationScore<'_, I>>,
+) -> Result<Vec<Result<PlanOutcome<I>, PlanFailure>>, ExecError>
+where
+    I: Clone + Ord + Hash + Send + Sync,
+{
     assert_eq!(plans.len(), oracles.len(), "one oracle per plan");
     let waves = trace.counter(counter::EXEC_WAVES);
+    let skipped = seed.map(|_| trace.counter(counter::LINT_SPECULATION_SKIPPED));
     let mut results: Vec<Option<Result<PlanOutcome<I>, PlanFailure>>> =
         plans.iter().map(|_| None).collect();
     let mut wave = 0usize;
@@ -130,7 +164,22 @@ where
             break;
         }
         // Fill idle workers with speculation, never shrinking below the
-        // required set.
+        // required set. A seed priority drops predicted-invariant
+        // queries and spends the fill on the likeliest culprits first.
+        if let Some(score) = seed {
+            let before = speculative.len();
+            let mut scored: Vec<(f64, (usize, Vec<I>))> = speculative
+                .into_iter()
+                .map(|q| (score(&q.1), q))
+                .filter(|(s, _)| *s > 0.0)
+                .collect();
+            if let Some(skipped) = &skipped {
+                skipped.incr((before - scored.len()) as u64);
+            }
+            // Stable sort: equal scores keep frontier order.
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            speculative = scored.into_iter().map(|(_, q)| q).collect();
+        }
         let budget = exec.threads().max(required.len());
         let mut batch = required;
         let fill = budget - batch.len();

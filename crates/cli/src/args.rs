@@ -43,6 +43,24 @@ pub enum Command {
         /// Worker threads for the search's Test queries (1 = the serial
         /// algorithm; the result is identical either way).
         jobs: Option<usize>,
+        /// Seed speculation from the static prescreen (identical
+        /// findings, fewer Test executions).
+        lint_seed: bool,
+        /// Additionally prune statically-clean files/symbols (adds a
+        /// dynamic verification probe; implies seeding).
+        lint_prune: bool,
+    },
+    /// Static FP-sensitivity analysis: predict the variable set for a
+    /// compilation pair without running anything.
+    Lint {
+        /// Application name.
+        app: String,
+        /// Test name scoping reachability (defaults to the app's first
+        /// test).
+        test: Option<String>,
+        /// The variable compilation (defaults to
+        /// `g++ -O3 -mavx2 -mfma -funsafe-math-optimizations`).
+        compilation: Option<String>,
     },
     /// Run the perturbation-injection study.
     Inject {
@@ -63,6 +81,9 @@ pub enum Command {
         jobs: Option<usize>,
         /// Write a JSONL trace of the whole workflow here.
         trace: Option<String>,
+        /// Static prescreen mode for the bisection stage: `seed` or
+        /// `prune` (default: off).
+        lint: Option<String>,
     },
     /// Summarize a JSONL trace produced by `flit workflow --trace`.
     Trace {
@@ -93,9 +114,10 @@ USAGE:
   flit apps
   flit run <app> [--compiler gcc|clang|icpc|xlc] [--json]
   flit analyze <app>
-  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>] [--jobs <n>]
+  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>] [--jobs <n>] [--lint-seed] [--lint-prune]
+  flit lint <app> [--compilation \"<compiler -On [flags]>\"] [--test <name>]
   flit inject <app> [--limit <n-sites>]
-  flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>]
+  flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>] [--lint seed|prune]
   flit trace <file.jsonl> [--top <n>]
   flit help
 ";
@@ -146,18 +168,36 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 compilation,
                 biggest: num_flag("--biggest")?,
                 jobs: num_flag("--jobs")?,
+                lint_seed: has_flag("--lint-seed"),
+                lint_prune: has_flag("--lint-prune"),
             }
         }
+        "lint" => Command::Lint {
+            app: positional()?,
+            test: flag_value("--test"),
+            compilation: flag_value("--compilation"),
+        },
         "inject" => Command::Inject {
             app: positional()?,
             limit: num_flag("--limit")?,
         },
-        "workflow" => Command::Workflow {
-            app: positional()?,
-            max_bisections: num_flag("--max-bisections")?,
-            jobs: num_flag("--jobs")?,
-            trace: flag_value("--trace"),
-        },
+        "workflow" => {
+            let lint = flag_value("--lint");
+            if let Some(mode) = &lint {
+                if mode != "seed" && mode != "prune" {
+                    return Err(ParseError(format!(
+                        "--lint takes `seed` or `prune`, got `{mode}`"
+                    )));
+                }
+            }
+            Command::Workflow {
+                app: positional()?,
+                max_bisections: num_flag("--max-bisections")?,
+                jobs: num_flag("--jobs")?,
+                trace: flag_value("--trace"),
+                lint,
+            }
+        }
         "trace" => {
             let file = rest
                 .first()
@@ -249,7 +289,40 @@ mod tests {
                 test: Some("ex13".into()),
                 compilation: "icpc -O2".into(),
                 biggest: Some(2),
-                jobs: Some(8)
+                jobs: Some(8),
+                lint_seed: false,
+                lint_prune: false,
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "bisect",
+                "mfem",
+                "--compilation",
+                "icpc -O2",
+                "--lint-seed",
+                "--lint-prune"
+            ]))
+            .unwrap()
+            .command,
+            Command::Bisect {
+                app: "mfem".into(),
+                test: None,
+                compilation: "icpc -O2".into(),
+                biggest: None,
+                jobs: None,
+                lint_seed: true,
+                lint_prune: true,
+            }
+        );
+        assert_eq!(
+            parse(&v(&["lint", "mfem", "--test", "ex13"]))
+                .unwrap()
+                .command,
+            Command::Lint {
+                app: "mfem".into(),
+                test: Some("ex13".into()),
+                compilation: None,
             }
         );
         assert_eq!(
@@ -278,7 +351,8 @@ mod tests {
                 app: "laghos".into(),
                 max_bisections: Some(3),
                 jobs: Some(4),
-                trace: Some("wf.jsonl".into())
+                trace: Some("wf.jsonl".into()),
+                lint: None,
             }
         );
         assert_eq!(

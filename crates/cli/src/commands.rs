@@ -41,14 +41,36 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             compilation,
             biggest,
             jobs,
-        } => cmd_bisect(app, test.as_deref(), compilation, *biggest, *jobs),
+            lint_seed,
+            lint_prune,
+        } => cmd_bisect(
+            app,
+            test.as_deref(),
+            compilation,
+            *biggest,
+            *jobs,
+            *lint_seed,
+            *lint_prune,
+        ),
+        Command::Lint {
+            app,
+            test,
+            compilation,
+        } => cmd_lint(app, test.as_deref(), compilation.as_deref()),
         Command::Inject { app, limit } => cmd_inject(app, *limit),
         Command::Workflow {
             app,
             max_bisections,
             jobs,
             trace,
-        } => cmd_workflow(app, *max_bisections, *jobs, trace.as_deref()),
+            lint,
+        } => cmd_workflow(
+            app,
+            *max_bisections,
+            *jobs,
+            trace.as_deref(),
+            lint.as_deref(),
+        ),
         Command::Trace { file, top } => cmd_trace(file, top.unwrap_or(10)),
     }
 }
@@ -190,12 +212,48 @@ fn cmd_analyze(app: &str) -> Result<String, ParseError> {
     Ok(out)
 }
 
+/// The default variable compilation for `flit lint` when none is
+/// given: the paper's most variability-inducing gcc configuration.
+const DEFAULT_LINT_COMPILATION: &str = "g++ -O3 -mavx2 -mfma -funsafe-math-optimizations";
+
+fn cmd_lint(
+    app: &str,
+    test: Option<&str>,
+    compilation: Option<&str>,
+) -> Result<String, ParseError> {
+    let app = get_app(app)?;
+    let comp = parse_compilation(compilation.unwrap_or(DEFAULT_LINT_COMPILATION))?;
+    let test = match test {
+        Some(name) => app
+            .tests
+            .iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| ParseError(format!("unknown test `{name}` for {}", app.name)))?,
+        None => &app.tests[0],
+    };
+    let baseline = Build::new(&app.program, Compilation::baseline());
+    let variable = Build::tagged(&app.program, comp.clone(), 1);
+    let pred =
+        flit_lint::predict_pair(&baseline, &variable, Some(test.driver()), CompilerKind::Gcc);
+    let title = format!(
+        "{} | test {} | {} vs {}",
+        app.name,
+        test.name(),
+        Compilation::baseline().label(),
+        comp.label()
+    );
+    Ok(flit_lint::render_prediction(&title, &pred))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn cmd_bisect(
     app: &str,
     test: Option<&str>,
     compilation: &str,
     biggest: Option<usize>,
     jobs: Option<usize>,
+    lint_seed: bool,
+    lint_prune: bool,
 ) -> Result<String, ParseError> {
     let app = get_app(app)?;
     let comp = parse_compilation(compilation)?;
@@ -209,12 +267,19 @@ fn cmd_bisect(
     };
     let baseline = Build::new(&app.program, Compilation::baseline());
     let variable = Build::tagged(&app.program, comp.clone(), 1);
-    let cfg = HierarchicalConfig {
+    let mut cfg = HierarchicalConfig {
         link_driver: CompilerKind::Gcc,
         k: biggest,
         ctx: BuildCtx::cached(),
         trace: TraceSink::disabled(),
+        prescreen: None,
     };
+    let prescreened = lint_seed || lint_prune;
+    if prescreened {
+        let pred =
+            flit_lint::predict_pair(&baseline, &variable, Some(test.driver()), CompilerKind::Gcc);
+        cfg = cfg.with_prescreen(pred.prescreen(lint_prune));
+    }
     let input = test.default_input();
     let input = &input[..test.inputs_per_run().min(input.len())];
     let jobs = jobs.unwrap_or(1);
@@ -247,10 +312,13 @@ fn cmd_bisect(
         test.name(),
         Compilation::baseline().label(),
         comp.label(),
-        if jobs > 1 {
-            format!(" | {jobs} jobs")
-        } else {
-            String::new()
+        match (jobs > 1, lint_prune, lint_seed) {
+            (true, true, _) => format!(" | {jobs} jobs | lint prune"),
+            (true, false, true) => format!(" | {jobs} jobs | lint seed"),
+            (true, false, false) => format!(" | {jobs} jobs"),
+            (false, true, _) => " | lint prune".to_string(),
+            (false, false, true) => " | lint seed".to_string(),
+            (false, false, false) => String::new(),
         }
     );
     match res.outcome {
@@ -344,8 +412,9 @@ fn cmd_workflow(
     max_bisections: Option<usize>,
     jobs: Option<usize>,
     trace_path: Option<&str>,
+    lint: Option<&str>,
 ) -> Result<String, ParseError> {
-    use flit_core::workflow::{run_workflow, WorkflowConfig};
+    use flit_core::workflow::{run_workflow, LintMode, WorkflowConfig};
     let app = get_app(app)?;
     let comps = matrix_for(&app, None)?;
     let cfg = WorkflowConfig {
@@ -355,6 +424,11 @@ fn cmd_workflow(
             TraceSink::enabled()
         } else {
             TraceSink::disabled()
+        },
+        lint: match lint {
+            Some("seed") => LintMode::Seed,
+            Some("prune") => LintMode::Prune,
+            _ => LintMode::Off,
         },
         ..Default::default()
     };
@@ -526,6 +600,74 @@ mod tests {
     }
 
     #[test]
+    fn lint_mfem_predicts_the_blamed_kernel() {
+        let out = run_cli(&[
+            "lint",
+            "mfem",
+            "--test",
+            "ex13",
+            "--compilation",
+            "g++ -O3 -mavx2 -mfma",
+        ])
+        .unwrap();
+        assert!(out.contains("Predicted-variable files"), "{out}");
+        assert!(out.contains("linalg/densemat.cpp"), "{out}");
+        assert!(out.contains("DenseMatrix_AddMultAAt"), "{out}");
+    }
+
+    #[test]
+    fn lint_defaults_are_usable_end_to_end() {
+        let out = run_cli(&["lint", "mfem"]).unwrap();
+        assert!(out.contains("Predicted-variable symbols"), "{out}");
+    }
+
+    #[test]
+    fn lint_seeded_bisect_reports_identical_findings() {
+        let args = [
+            "bisect",
+            "mfem",
+            "--test",
+            "ex13",
+            "--compilation",
+            "g++ -O3 -mavx2 -mfma",
+        ];
+        let plain = run_cli(&args).unwrap();
+        let mut seeded_args = args.to_vec();
+        seeded_args.push("--lint-seed");
+        let seeded = run_cli(&seeded_args).unwrap();
+        assert_eq!(
+            seeded.replace(" | lint seed", ""),
+            plain,
+            "--lint-seed must not change the report"
+        );
+    }
+
+    #[test]
+    fn lint_pruned_bisect_finds_the_same_blame_set() {
+        let args = [
+            "bisect",
+            "mfem",
+            "--test",
+            "ex13",
+            "--compilation",
+            "g++ -O3 -mavx2 -mfma",
+        ];
+        let plain = run_cli(&args).unwrap();
+        let mut pruned_args = args.to_vec();
+        pruned_args.push("--lint-prune");
+        let pruned = run_cli(&pruned_args).unwrap();
+        // Pruning adds verification executions, so compare the findings
+        // rather than the whole report.
+        for line in plain.lines().filter(|l| l.contains("Test = ")) {
+            assert!(pruned.contains(line), "missing `{line}` in:\n{pruned}");
+        }
+        assert!(
+            !pruned.contains("assumption violations"),
+            "prune verification must agree on mfem:\n{pruned}"
+        );
+    }
+
+    #[test]
     fn bisect_biggest_limits_the_find() {
         let out = run_cli(&[
             "bisect",
@@ -570,7 +712,36 @@ mod tests {
             "{rendered}"
         );
         assert!(rendered.contains("Build-cache hit rates"), "{rendered}");
+        assert!(
+            !rendered.contains("Static prescreen (lint)"),
+            "lint section must be absent without --lint: {rendered}"
+        );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_seeded_workflow_trace_shows_lint_counters() {
+        let path = std::env::temp_dir().join("flit-cli-lint-trace-test.jsonl");
+        let path_s = path.to_string_lossy().to_string();
+        run_cli(&[
+            "workflow",
+            "laghos",
+            "--max-bisections",
+            "2",
+            "--lint",
+            "seed",
+            "--trace",
+            &path_s,
+        ])
+        .unwrap();
+        let rendered = run_cli(&["trace", &path_s, "--top", "3"]).unwrap();
+        assert!(
+            rendered.contains("Static prescreen (lint)"),
+            "lint.* counters must surface in flit trace: {rendered}"
+        );
+        assert!(rendered.contains("functions analyzed"), "{rendered}");
+        std::fs::remove_file(&path).ok();
+        assert!(run_cli(&["workflow", "laghos", "--lint", "turbo"]).is_err());
     }
 
     #[test]

@@ -53,6 +53,27 @@ pub struct WorkflowReport {
     pub bisections: Vec<BisectedCompilation>,
 }
 
+/// How the static prescreen (`flit-lint`) participates in the
+/// bisection stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// No static analysis.
+    #[default]
+    Off,
+    /// Predict each pair's variable set and *seed* the searches:
+    /// speculative execution runs the likely-variable elements first.
+    /// Found sets, violations, and traced bisect counters are
+    /// byte-identical to an unseeded run; only wasted speculative Test
+    /// executions drop.
+    Seed,
+    /// Seed, and additionally *prune* files/symbols the analysis
+    /// predicts cannot vary. Unsound if the static model under-predicts
+    /// — each pruned search therefore appends a dynamic verification
+    /// probe (two extra executions) and reports any disagreement as an
+    /// assumption violation.
+    Prune,
+}
+
 /// Workflow options.
 #[derive(Debug, Clone)]
 pub struct WorkflowConfig {
@@ -60,6 +81,8 @@ pub struct WorkflowConfig {
     pub runner: RunnerConfig,
     /// Hierarchical-search options.
     pub bisect: HierarchicalConfig,
+    /// Static-prescreen participation in the bisection stage.
+    pub lint: LintMode,
     /// Cap on how many (test, compilation) variabilities to bisect
     /// (`usize::MAX` for all — the paper bisected all 1,086).
     pub max_bisections: usize,
@@ -80,6 +103,7 @@ impl Default for WorkflowConfig {
         WorkflowConfig {
             runner: RunnerConfig::default(),
             bisect: HierarchicalConfig::all(),
+            lint: LintMode::Off,
             max_bisections: usize::MAX,
             jobs: 1,
             trace: TraceSink::disabled(),
@@ -207,13 +231,30 @@ pub fn run_workflow(
             let baseline = Build::new(program, cfg.runner.baseline.clone());
             let variable = Build::tagged(program, row.compilation.clone(), 1);
             let input = test.default_input();
+            let row_cfg = match cfg.lint {
+                LintMode::Off => bisect_cfg.clone(),
+                mode => {
+                    // Bisect links mixed executables with the baseline
+                    // compiler: predict under the same model.
+                    let pred = flit_lint::predict_pair(
+                        &baseline,
+                        &variable,
+                        Some(driver),
+                        cfg.runner.baseline.compiler,
+                    );
+                    pred.record(trace, format!("{}/{}", row.test, row.compilation.label()));
+                    bisect_cfg
+                        .clone()
+                        .with_prescreen(pred.prescreen(mode == LintMode::Prune))
+                }
+            };
             bisect_hierarchical(
                 &baseline,
                 &variable,
                 driver,
                 &input[..test.inputs_per_run().min(input.len())],
                 &l2_compare,
-                &bisect_cfg,
+                &row_cfg,
             )
         })
         .map_err(|e| {

@@ -1,0 +1,304 @@
+//! The per-program analysis: sensitivity sets propagated through the
+//! call graph, honoring the toolchain's intra-TU binding rules.
+//!
+//! The engine binds a callee into its caller's object — so the callee
+//! inherits the caller's compilation — in exactly two cases, both
+//! same-file:
+//!
+//! * a `static` callee always binds within its translation unit;
+//! * an exported *inlinable* callee binds only when the object is not
+//!   position-independent (`-fPIC` disables the inlining, which is why
+//!   Symbol Bisect recompiles with it).
+//!
+//! The analyzer therefore computes **two** transitive closures per
+//! function: [`effective`] (non-PIC: static and inlinable same-file
+//! callees inherit the caller's compilation) governs file-level
+//! prediction, and [`effective_pic`] (static callees only) governs
+//! symbol-level prediction, where every object is `-fPIC` and extended
+//! precision is additionally washed out (see
+//! [`diff_pic`](crate::sensitivity::diff_pic)).
+//!
+//! [`effective`]: FunctionLint::effective
+//! [`effective_pic`]: FunctionLint::effective_pic
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use flit_program::model::{SimProgram, Visibility};
+
+use crate::sensitivity::{kernel_hazards, kernel_sensitivity, Hazard, SensitivitySet};
+
+/// Lint facts about one function.
+#[derive(Debug, Clone)]
+pub struct FunctionLint {
+    /// The function's symbol name.
+    pub symbol: String,
+    /// Index of the defining file.
+    pub file_id: usize,
+    /// Index within the file's function list.
+    pub func_idx: usize,
+    /// True for exported (interposable) symbols.
+    pub exported: bool,
+    /// Sensitivity of the function's own kernel.
+    pub own: SensitivitySet,
+    /// `own` plus everything reachable through same-file static *or*
+    /// inlinable-exported callees (the non-PIC closure: what this
+    /// function's compiled code can observe when its file is swapped at
+    /// file granularity).
+    pub effective: SensitivitySet,
+    /// `own` plus everything reachable through same-file *static*
+    /// callees only (the `-fPIC` closure: what interposing this symbol
+    /// can observe during Symbol Bisect).
+    pub effective_pic: SensitivitySet,
+    /// Structural hazard lints for the kernel.
+    pub hazards: Vec<Hazard>,
+}
+
+/// The full analysis of one program.
+#[derive(Debug, Clone)]
+pub struct ProgramLint {
+    /// Per-function facts, flattened in `(file, function)` order.
+    pub functions: Vec<FunctionLint>,
+    index: HashMap<String, usize>,
+    /// Intra-TU binding edges, non-PIC rule (caller → bound callees).
+    edges: Vec<Vec<usize>>,
+    /// Intra-TU binding edges, `-fPIC` rule.
+    edges_pic: Vec<Vec<usize>>,
+}
+
+impl ProgramLint {
+    /// Look up a function's facts by symbol name (first definition wins,
+    /// mirroring `SimProgram::lookup`).
+    pub fn get(&self, symbol: &str) -> Option<&FunctionLint> {
+        self.index.get(symbol).map(|&i| &self.functions[i])
+    }
+
+    /// Number of analyzed functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True when the program defines no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Total hazard lints across the program.
+    pub fn hazard_count(&self) -> usize {
+        self.functions.iter().map(|f| f.hazards.len()).sum()
+    }
+
+    /// Propagate a boolean fact along the intra-TU binding edges: the
+    /// result is true for a function when `seed` holds for it or for
+    /// any callee (transitively) that binds into its object. Used to
+    /// carry "this function's *body* differs" (the injection study)
+    /// through the same inheritance rule as the sensitivity sets.
+    pub fn propagate_flag(&self, pic: bool, seed: impl Fn(&FunctionLint) -> bool) -> Vec<bool> {
+        let edges = if pic { &self.edges_pic } else { &self.edges };
+        let mut flag: Vec<bool> = self.functions.iter().map(&seed).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..flag.len() {
+                if flag[i] {
+                    continue;
+                }
+                if edges[i].iter().any(|&j| flag[j]) {
+                    flag[i] = true;
+                    changed = true;
+                }
+            }
+        }
+        flag
+    }
+}
+
+/// Analyze a program: per-function sensitivity sets with both transitive
+/// closures, plus hazard lints. Pure structure — no execution.
+pub fn analyze_program(program: &SimProgram) -> ProgramLint {
+    let mut functions: Vec<FunctionLint> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for (file_id, file) in program.files.iter().enumerate() {
+        for (func_idx, func) in file.functions.iter().enumerate() {
+            let own = kernel_sensitivity(&func.kernel);
+            let i = functions.len();
+            functions.push(FunctionLint {
+                symbol: func.name.clone(),
+                file_id,
+                func_idx,
+                exported: func.visibility == Visibility::Exported,
+                own,
+                effective: own,
+                effective_pic: own,
+                hazards: kernel_hazards(&func.kernel),
+            });
+            // First definition wins, mirroring `SimProgram::lookup`.
+            index.entry(func.name.clone()).or_insert(i);
+        }
+    }
+
+    // Binding edges: calls resolve globally (first definition), and a
+    // callee binds into the caller's object only when defined in the
+    // caller's file and static (always) or inlinable-exported (non-PIC
+    // only).
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); functions.len()];
+    let mut edges_pic: Vec<Vec<usize>> = vec![Vec::new(); functions.len()];
+    for (i, fl) in functions.iter().enumerate() {
+        let func = &program.files[fl.file_id].functions[fl.func_idx];
+        for callee in &func.calls {
+            let Some(&j) = index.get(callee.as_str()) else {
+                continue;
+            };
+            let target = &functions[j];
+            if target.file_id != fl.file_id {
+                continue;
+            }
+            let callee_fn = &program.files[target.file_id].functions[target.func_idx];
+            match callee_fn.visibility {
+                Visibility::Static => {
+                    edges[i].push(j);
+                    edges_pic[i].push(j);
+                }
+                Visibility::Exported if callee_fn.inlinable => edges[i].push(j),
+                Visibility::Exported => {}
+            }
+        }
+    }
+
+    // Fixpoint over the (monotone, 7-bit) lattice.
+    for (edge_set, pic) in [(&edges, false), (&edges_pic, true)] {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..functions.len() {
+                let mut acc = if pic {
+                    functions[i].effective_pic
+                } else {
+                    functions[i].effective
+                };
+                for &j in &edge_set[i] {
+                    acc = acc.union(if pic {
+                        functions[j].effective_pic
+                    } else {
+                        functions[j].effective
+                    });
+                }
+                let slot = if pic {
+                    &mut functions[i].effective_pic
+                } else {
+                    &mut functions[i].effective
+                };
+                if *slot != acc {
+                    *slot = acc;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    ProgramLint {
+        functions,
+        index,
+        edges,
+        edges_pic,
+    }
+}
+
+/// Symbols reachable from the driver entry points over *all* calls
+/// (bound or interposed — any call executes its callee under some
+/// environment). Functions outside this set never run, so they cannot
+/// contribute variability.
+pub fn reachable(program: &SimProgram, entries: &[String]) -> BTreeSet<String> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut queue: VecDeque<&str> = entries.iter().map(String::as_str).collect();
+    while let Some(symbol) = queue.pop_front() {
+        let Some(func) = program.function(symbol) else {
+            continue;
+        };
+        if !seen.insert(func.name.clone()) {
+            continue;
+        }
+        for callee in &func.calls {
+            if !seen.contains(callee) {
+                queue.push_back(callee);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensitivity::Feature;
+    use flit_program::kernel::Kernel;
+    use flit_program::model::{Function, SourceFile};
+
+    /// a.cpp: exported `wrap` → static `hot` (DotMix); exported
+    /// inlinable `inl` (DivScan); exported `cold` (Benign).
+    /// b.cpp: exported `cross` calls `wrap` and `inl` (cross-file
+    /// exported calls: resolved but never bound).
+    fn program() -> SimProgram {
+        SimProgram::new(
+            "lint-test",
+            vec![
+                SourceFile::new(
+                    "a.cpp",
+                    vec![
+                        Function::exported("wrap", Kernel::Benign { flavor: 0 })
+                            .with_calls(vec!["hot".into(), "inl".into()]),
+                        Function::local("hot", Kernel::DotMix { stride: 3 }),
+                        Function::exported("inl", Kernel::DivScan).inlinable(),
+                        Function::exported("cold", Kernel::Benign { flavor: 1 }),
+                    ],
+                ),
+                SourceFile::new(
+                    "b.cpp",
+                    vec![Function::exported("cross", Kernel::Benign { flavor: 2 })
+                        .with_calls(vec!["wrap".into(), "inl".into()])],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn closures_follow_the_binding_rules() {
+        let lint = analyze_program(&program());
+        let wrap = lint.get("wrap").unwrap();
+        // Non-PIC: static `hot` and inlinable `inl` both bind.
+        assert!(wrap.effective.contains(Feature::Simd), "{:?}", wrap);
+        assert!(wrap.effective.contains(Feature::Recip), "{:?}", wrap);
+        // -fPIC: only the static binds; `inl` is interposed.
+        assert!(wrap.effective_pic.contains(Feature::Simd));
+        assert!(!wrap.effective_pic.contains(Feature::Recip));
+        // Cross-file calls never bind.
+        let cross = lint.get("cross").unwrap();
+        assert!(cross.effective.is_empty(), "{:?}", cross);
+        assert!(lint.get("cold").unwrap().effective.is_empty());
+    }
+
+    #[test]
+    fn flags_propagate_like_sensitivities() {
+        let lint = analyze_program(&program());
+        let injected = lint.propagate_flag(true, |f| f.symbol == "hot");
+        let by_name = |name: &str| {
+            injected[lint
+                .functions
+                .iter()
+                .position(|f| f.symbol == name)
+                .unwrap()]
+        };
+        assert!(by_name("hot"));
+        assert!(by_name("wrap"), "static callee carries the flag");
+        assert!(!by_name("cross"), "cross-file call does not bind");
+        assert!(!by_name("cold"));
+    }
+
+    #[test]
+    fn reachability_walks_all_calls() {
+        let p = program();
+        let r = reachable(&p, &["cross".into()]);
+        assert!(r.contains("cross") && r.contains("wrap") && r.contains("inl"));
+        assert!(r.contains("hot"), "transitively via wrap");
+        assert!(!r.contains("cold"));
+    }
+}

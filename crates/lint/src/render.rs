@@ -1,0 +1,147 @@
+//! Human-readable rendering of a [`PairPrediction`] through the shared
+//! `flit-report` table machinery (the same look as the sweep and trace
+//! reports).
+
+use flit_report::table::{fmt_f64, Align, Table};
+
+use crate::predict::PairPrediction;
+
+/// Cap on rows in the file/symbol ranking tables; the full counts stay
+/// visible in the header line.
+const MAX_ROWS: usize = 20;
+
+/// Render the full lint report for one compilation pair.
+pub fn render_prediction(title: &str, pred: &PairPrediction) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# flit lint — {title}\n\n"));
+    out.push_str(&format!(
+        "env diff (bisect link): {}    env diff (-fPIC): {}    sweep diff: {}\n",
+        pred.env_diff, pred.env_diff_pic, pred.sweep_diff
+    ));
+    out.push_str(&format!(
+        "functions analyzed: {}    predicted files: {}    predicted symbols: {}\n",
+        pred.functions_analyzed,
+        pred.files.len(),
+        pred.symbols.len()
+    ));
+    if pred.abi_hazard {
+        out.push_str(
+            "WARNING: mixed-ABI link predicted to CRASH (Intel objects under a \
+             GNU-compatible link, Table 2's File Bisect failures)\n",
+        );
+    }
+    if pred
+        .sweep_diff
+        .minus(pred.env_diff)
+        .contains(crate::sensitivity::Feature::Mathlib)
+    {
+        out.push_str(
+            "note: mathlib differs only at the link step — File Bisect will report \
+             `link-step only` rather than blame a file\n",
+        );
+    }
+    out.push('\n');
+
+    let mut files = Table::new(&["#", "file", "features", "injected", "score"])
+        .with_title("Predicted-variable files (ranked)")
+        .with_aligns(&[
+            Align::Right,
+            Align::Left,
+            Align::Left,
+            Align::Left,
+            Align::Right,
+        ]);
+    for (i, f) in pred.files.iter().take(MAX_ROWS).enumerate() {
+        files.row(&[
+            format!("{}", i + 1),
+            f.file_name.clone(),
+            f.relevant.to_string(),
+            if f.injected { "yes" } else { "" }.into(),
+            fmt_f64(f.score, 1),
+        ]);
+    }
+    out.push_str(&files.render());
+    if pred.files.len() > MAX_ROWS {
+        out.push_str(&format!("… {} more files\n", pred.files.len() - MAX_ROWS));
+    }
+    out.push('\n');
+
+    let mut symbols = Table::new(&["#", "symbol", "features", "injected", "score"])
+        .with_title("Predicted-variable symbols (ranked)")
+        .with_aligns(&[
+            Align::Right,
+            Align::Left,
+            Align::Left,
+            Align::Left,
+            Align::Right,
+        ]);
+    for (i, s) in pred.symbols.iter().take(MAX_ROWS).enumerate() {
+        symbols.row(&[
+            format!("{}", i + 1),
+            s.symbol.clone(),
+            s.relevant.to_string(),
+            if s.injected { "yes" } else { "" }.into(),
+            fmt_f64(s.score, 1),
+        ]);
+    }
+    out.push_str(&symbols.render());
+    if pred.symbols.len() > MAX_ROWS {
+        out.push_str(&format!(
+            "… {} more symbols\n",
+            pred.symbols.len() - MAX_ROWS
+        ));
+    }
+
+    if !pred.hazards.is_empty() {
+        out.push('\n');
+        let mut hz = Table::new(&["symbol", "hazard"])
+            .with_title("Hazard lints")
+            .with_aligns(&[Align::Left, Align::Left]);
+        for (symbol, h) in &pred.hazards {
+            hz.row(&[symbol.clone(), h.name().to_string()]);
+        }
+        out.push_str(&hz.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::predict_pair;
+    use flit_program::build::Build;
+    use flit_program::kernel::Kernel;
+    use flit_program::model::{Function, SimProgram, SourceFile};
+    use flit_toolchain::compilation::Compilation;
+    use flit_toolchain::compiler::{CompilerKind, OptLevel};
+    use flit_toolchain::flags::Switch;
+
+    #[test]
+    fn renders_all_sections() {
+        let p = SimProgram::new(
+            "render-test",
+            vec![SourceFile::new(
+                "k.cpp",
+                vec![
+                    Function::exported("dot", Kernel::DotMix { stride: 3 }),
+                    Function::exported("gate", Kernel::ZeroGate { boost: 2.0 }),
+                ],
+            )],
+        );
+        let baseline = Build::new(
+            &p,
+            Compilation::new(CompilerKind::Gcc, OptLevel::O0, vec![]),
+        );
+        let variable = Build::new(
+            &p,
+            Compilation::new(CompilerKind::Icpc, OptLevel::O2, vec![Switch::FastMath]),
+        );
+        let pred = predict_pair(&baseline, &variable, None, CompilerKind::Gcc);
+        let text = render_prediction("render-test", &pred);
+        assert!(text.contains("Predicted-variable files"));
+        assert!(text.contains("Predicted-variable symbols"));
+        assert!(text.contains("Hazard lints"));
+        assert!(text.contains("exact-fp-compare"));
+        assert!(text.contains("mixed-ABI link predicted to CRASH"));
+    }
+}

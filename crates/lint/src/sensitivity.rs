@@ -1,0 +1,375 @@
+//! Sensitivity sets: which [`FpEnv`] features can change a kernel's
+//! result.
+//!
+//! This is the abstract domain of the lint pass. Each kernel maps to
+//! the set of environment features its arithmetic *observes* — derived
+//! from the kernel evaluation code itself (which `ops`/`reduce`
+//! primitives it calls), not from running anything. Two compilations
+//! can only produce different results in a function if the function's
+//! sensitivity set intersects the [`diff`] of their environments, so
+//! the map below is constructed to over-approximate: a kernel that
+//! *might* observe a feature lists it.
+
+use std::fmt;
+
+use flit_fpsim::env::{FpEnv, SimdWidth};
+use flit_program::kernel::Kernel;
+
+/// One observable [`FpEnv`] feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Feature {
+    /// FMA contraction (`a*b + c` in a single rounding).
+    Fma,
+    /// SIMD-width reduction reassociation (accumulator splitting).
+    Simd,
+    /// Extended-precision intermediates (x87 / double-double).
+    Extended,
+    /// Reciprocal-math rewriting of divisions.
+    Recip,
+    /// Flush-to-zero / denormals-are-zero.
+    Ftz,
+    /// Math-library substitution at link time.
+    Mathlib,
+    /// Aggressive undefined-behaviour exploitation.
+    UbExploit,
+}
+
+impl Feature {
+    /// Every feature, in display order.
+    pub const ALL: [Feature; 7] = [
+        Feature::Fma,
+        Feature::Simd,
+        Feature::Extended,
+        Feature::Recip,
+        Feature::Ftz,
+        Feature::Mathlib,
+        Feature::UbExploit,
+    ];
+
+    /// Short stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::Fma => "fma",
+            Feature::Simd => "simd",
+            Feature::Extended => "ext",
+            Feature::Recip => "recip",
+            Feature::Ftz => "ftz",
+            Feature::Mathlib => "mathlib",
+            Feature::UbExploit => "ub",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            Feature::Fma => 1 << 0,
+            Feature::Simd => 1 << 1,
+            Feature::Extended => 1 << 2,
+            Feature::Recip => 1 << 3,
+            Feature::Ftz => 1 << 4,
+            Feature::Mathlib => 1 << 5,
+            Feature::UbExploit => 1 << 6,
+        }
+    }
+}
+
+/// A set of [`Feature`]s, as a bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct SensitivitySet(u8);
+
+impl SensitivitySet {
+    /// The empty set (provably environment-invariant).
+    pub const EMPTY: SensitivitySet = SensitivitySet(0);
+
+    /// Every feature (the conservative top element, used for opaque
+    /// [`Kernel::Custom`] kernels).
+    pub const FULL: SensitivitySet = SensitivitySet(0x7f);
+
+    /// Build a set from a list of features.
+    pub fn of(features: &[Feature]) -> Self {
+        let mut s = SensitivitySet::EMPTY;
+        for f in features {
+            s.insert(*f);
+        }
+        s
+    }
+
+    /// Insert one feature.
+    pub fn insert(&mut self, f: Feature) {
+        self.0 |= f.bit();
+    }
+
+    /// Membership test.
+    pub fn contains(self, f: Feature) -> bool {
+        self.0 & f.bit() != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: SensitivitySet) -> SensitivitySet {
+        SensitivitySet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: SensitivitySet) -> SensitivitySet {
+        SensitivitySet(self.0 & other.0)
+    }
+
+    /// Remove every feature of `other`.
+    #[must_use]
+    pub fn minus(self, other: SensitivitySet) -> SensitivitySet {
+        SensitivitySet(self.0 & !other.0)
+    }
+
+    /// True when no feature is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when the two sets share no feature.
+    pub fn is_disjoint(self, other: SensitivitySet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Number of features in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The features in display order.
+    pub fn iter(self) -> impl Iterator<Item = Feature> {
+        Feature::ALL.into_iter().filter(move |f| self.contains(*f))
+    }
+}
+
+impl fmt::Display for SensitivitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "-");
+        }
+        let mut first = true;
+        for feat in self.iter() {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{}", feat.name())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// The features on which two environments differ.
+///
+/// A function whose sensitivity set is disjoint from `diff(a, b)`
+/// evaluates bitwise-identically under `a` and `b`.
+pub fn diff(a: &FpEnv, b: &FpEnv) -> SensitivitySet {
+    let mut s = SensitivitySet::EMPTY;
+    if a.fma != b.fma {
+        s.insert(Feature::Fma);
+    }
+    if a.simd_width != b.simd_width {
+        s.insert(Feature::Simd);
+    }
+    if a.extended_precision != b.extended_precision {
+        s.insert(Feature::Extended);
+    }
+    if a.reciprocal_math != b.reciprocal_math {
+        s.insert(Feature::Recip);
+    }
+    if a.flush_to_zero != b.flush_to_zero {
+        s.insert(Feature::Ftz);
+    }
+    if a.mathlib != b.mathlib {
+        s.insert(Feature::Mathlib);
+    }
+    if a.exploit_ub != b.exploit_ub {
+        s.insert(Feature::UbExploit);
+    }
+    s
+}
+
+/// A hazard lint: a structural property that makes a kernel a
+/// divergence amplifier or a UB victim, independent of any particular
+/// compilation pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hazard {
+    /// An exact floating-point comparison (`== 0.0`) gates a large
+    /// branch divergence (the Laghos viscosity pattern).
+    ExactFpCompare,
+    /// The kernel contains undefined behaviour that UB-exploiting
+    /// optimization levels miscompile (the Laghos `xsw` macro).
+    UndefinedBehaviour,
+    /// The kernel body is opaque to the analyzer; its sensitivity is
+    /// conservatively the full set.
+    OpaqueKernel,
+}
+
+impl Hazard {
+    /// Short stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hazard::ExactFpCompare => "exact-fp-compare",
+            Hazard::UndefinedBehaviour => "undefined-behaviour",
+            Hazard::OpaqueKernel => "opaque-kernel",
+        }
+    }
+}
+
+/// The abstract transfer function: which environment features this
+/// kernel's arithmetic can observe.
+///
+/// Derived from the kernel evaluation primitives: `reduce::dot` /
+/// `reduce::sum` observe SIMD reassociation, extended precision and
+/// FTZ; `ops::mul_add` observes FMA contraction and FTZ; `ops::div`
+/// observes reciprocal math and FTZ; library calls observe the math
+/// library; `Benign`, `AmplifyExact` and `DotMixReproducible` use
+/// exact/reproducible arithmetic only.
+pub fn kernel_sensitivity(kernel: &Kernel) -> SensitivitySet {
+    use Feature::*;
+    match kernel {
+        // dot-product reductions + mul_add blends.
+        Kernel::DotMix { .. }
+        | Kernel::MatVecMix { .. }
+        | Kernel::Rank1Mix { .. }
+        | Kernel::NormScale => SensitivitySet::of(&[Fma, Simd, Extended, Ftz]),
+        // CG adds divisions by dot products (alpha/beta).
+        Kernel::CgSolve { .. } => SensitivitySet::of(&[Fma, Simd, Extended, Recip, Ftz]),
+        // Scalar stencils: mul_add chains, no reductions.
+        Kernel::HeatSmooth { .. } | Kernel::ChaoticAmplify { .. } => {
+            SensitivitySet::of(&[Fma, Ftz])
+        }
+        // Library calls wrapped in plain arithmetic.
+        Kernel::TranscMap { .. } => SensitivitySet::of(&[Mathlib]),
+        // Horner steps accumulate through mul_add in extended precision.
+        Kernel::PolyHorner { .. } => SensitivitySet::of(&[Fma, Extended, Ftz]),
+        // Loop-invariant denominator divisions.
+        Kernel::DivScan => SensitivitySet::of(&[Recip, Ftz]),
+        // Checksummed reduction feeding an exact compare.
+        Kernel::ZeroGate { .. } => SensitivitySet::of(&[Simd, Extended, Ftz]),
+        // UB only: misbehaves exactly when the compiler exploits it.
+        Kernel::UbSwap => SensitivitySet::of(&[UbExploit]),
+        // Exact / reproducible arithmetic.
+        Kernel::Benign { .. } | Kernel::AmplifyExact { .. } | Kernel::DotMixReproducible { .. } => {
+            SensitivitySet::EMPTY
+        }
+        // Opaque: assume everything.
+        Kernel::Custom(_) => SensitivitySet::FULL,
+    }
+}
+
+/// Structural hazard lints for a kernel (see [`Hazard`]).
+pub fn kernel_hazards(kernel: &Kernel) -> Vec<Hazard> {
+    match kernel {
+        Kernel::ZeroGate { .. } => vec![Hazard::ExactFpCompare],
+        Kernel::UbSwap => vec![Hazard::UndefinedBehaviour],
+        Kernel::Custom(_) => vec![Hazard::OpaqueKernel],
+        _ => vec![],
+    }
+}
+
+/// The environment diff relevant at *symbol* level: position-independent
+/// recompiles store intermediates at ABI boundaries, so extended
+/// precision is washed out on both sides before diffing (mirrors the
+/// engine's `-fPIC` rule).
+pub fn diff_pic(a: &FpEnv, b: &FpEnv) -> SensitivitySet {
+    let mut a = *a;
+    let mut b = *b;
+    a.extended_precision = false;
+    b.extended_precision = false;
+    diff(&a, &b)
+}
+
+/// Convenience: an environment that differs from strict in exactly one
+/// feature (used by tests and the differential soundness suite).
+pub fn env_with(feature: Feature) -> FpEnv {
+    let mut env = FpEnv::strict();
+    match feature {
+        Feature::Fma => env.fma = true,
+        Feature::Simd => env.simd_width = SimdWidth::W4,
+        Feature::Extended => env.extended_precision = true,
+        Feature::Recip => env.reciprocal_math = true,
+        Feature::Ftz => env.flush_to_zero = true,
+        Feature::Mathlib => env.mathlib = flit_fpsim::env::MathLib::Vendor,
+        Feature::UbExploit => env.exploit_ub = true,
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra_behaves() {
+        let a = SensitivitySet::of(&[Feature::Fma, Feature::Simd]);
+        let b = SensitivitySet::of(&[Feature::Simd, Feature::Mathlib]);
+        assert_eq!(
+            a.union(b),
+            SensitivitySet::of(&[Feature::Fma, Feature::Simd, Feature::Mathlib])
+        );
+        assert_eq!(a.intersect(b), SensitivitySet::of(&[Feature::Simd]));
+        assert!(a.minus(b).contains(Feature::Fma));
+        assert!(!a.minus(b).contains(Feature::Simd));
+        assert!(!a.is_disjoint(b));
+        assert!(SensitivitySet::EMPTY.is_disjoint(SensitivitySet::FULL));
+        assert_eq!(SensitivitySet::FULL.len(), 7);
+        assert_eq!(format!("{}", a), "fma+simd");
+        assert_eq!(format!("{}", SensitivitySet::EMPTY), "-");
+    }
+
+    #[test]
+    fn diff_reports_exactly_the_differing_fields() {
+        let strict = FpEnv::strict();
+        for f in Feature::ALL {
+            let env = env_with(f);
+            assert_eq!(diff(&strict, &env), SensitivitySet::of(&[f]), "{f:?}");
+        }
+        assert!(diff(&strict, &strict).is_empty());
+    }
+
+    #[test]
+    fn pic_diff_washes_out_extended_precision() {
+        let strict = FpEnv::strict();
+        let ext = env_with(Feature::Extended);
+        assert!(diff_pic(&strict, &ext).is_empty());
+        let mut both = env_with(Feature::Fma);
+        both.extended_precision = true;
+        assert_eq!(
+            diff_pic(&strict, &both),
+            SensitivitySet::of(&[Feature::Fma])
+        );
+    }
+
+    #[test]
+    fn benign_kernels_are_invariant_and_custom_is_full() {
+        assert!(kernel_sensitivity(&Kernel::Benign { flavor: 3 }).is_empty());
+        assert!(kernel_sensitivity(&Kernel::DotMixReproducible { stride: 2 }).is_empty());
+        assert!(kernel_sensitivity(&Kernel::AmplifyExact {
+            lambda: 3.7,
+            steps: 4
+        })
+        .is_empty());
+        assert_eq!(
+            kernel_sensitivity(&Kernel::TranscMap { freq: 1.0 }),
+            SensitivitySet::of(&[Feature::Mathlib])
+        );
+        assert_eq!(
+            kernel_sensitivity(&Kernel::UbSwap),
+            SensitivitySet::of(&[Feature::UbExploit])
+        );
+    }
+
+    #[test]
+    fn hazards_flag_the_laghos_patterns() {
+        assert_eq!(
+            kernel_hazards(&Kernel::ZeroGate { boost: 100.0 }),
+            vec![Hazard::ExactFpCompare]
+        );
+        assert_eq!(
+            kernel_hazards(&Kernel::UbSwap),
+            vec![Hazard::UndefinedBehaviour]
+        );
+        assert!(kernel_hazards(&Kernel::DivScan).is_empty());
+    }
+}

@@ -116,9 +116,39 @@ pub fn cache_hit_rates(trace: &Trace) -> Table {
     t
 }
 
-/// The full `flit trace` report: all five exhibits, separated by blank
+/// The static-prescreen (`flit lint`) activity: analyzer volume,
+/// prediction counts, and what the prescreen saved or verified inside
+/// Bisect. Rendered only when the trace recorded lint activity — most
+/// workflows never run the pass, and an all-zero table would read as
+/// "lint ran and found nothing".
+pub fn lint_activity(trace: &Trace) -> Table {
+    let mut t = Table::new(&["counter", "value"])
+        .with_title("Static prescreen (lint)")
+        .with_aligns(&[Align::Left, Align::Right]);
+    let rows = [
+        ("functions analyzed", counter::LINT_FUNCTIONS_ANALYZED),
+        ("predicted files", counter::LINT_PREDICTED_FILES),
+        ("predicted symbols", counter::LINT_PREDICTED_SYMBOLS),
+        ("hazard lints", counter::LINT_HAZARDS),
+        ("speculations skipped", counter::LINT_SPECULATION_SKIPPED),
+        ("files pruned", counter::LINT_PRUNED_FILES),
+        ("symbols pruned", counter::LINT_PRUNED_SYMBOLS),
+        ("prune verifications", counter::LINT_PRUNE_VERIFICATIONS),
+    ];
+    let total: u64 = rows.iter().map(|(_, key)| trace.counter(key)).sum();
+    if total == 0 {
+        return t;
+    }
+    for (name, key) in rows {
+        t.row(&[name.to_string(), trace.counter(key).to_string()]);
+    }
+    t
+}
+
+/// The full `flit trace` report: all exhibits, separated by blank
 /// lines. Sections with no data render with their headers so the
-/// output shape is stable.
+/// output shape is stable (except the lint section, which only appears
+/// when a prescreen actually ran).
 pub fn render_trace(trace: &Trace, top: usize) -> String {
     let mut out = String::new();
     out.push_str(&phase_summary(trace).render());
@@ -130,6 +160,11 @@ pub fn render_trace(trace: &Trace, top: usize) -> String {
     out.push_str(&frontier_widths(trace).render());
     out.push('\n');
     out.push_str(&cache_hit_rates(trace).render());
+    let lint = lint_activity(trace);
+    if !lint.is_empty() {
+        out.push('\n');
+        out.push_str(&lint.render());
+    }
     out
 }
 
@@ -236,5 +271,25 @@ mod tests {
         assert!(out.contains("Build-cache hit rates"));
         // Zero-request layers report "-", not a division by zero.
         assert!(out.contains('-'));
+        // No lint activity → no lint section.
+        assert!(!out.contains("Static prescreen"));
+    }
+
+    #[test]
+    fn lint_section_appears_only_with_activity() {
+        let counters: BTreeMap<String, u64> = [
+            (counter::LINT_FUNCTIONS_ANALYZED.to_string(), 120),
+            (counter::LINT_PREDICTED_FILES.to_string(), 7),
+            (counter::LINT_PREDICTED_SYMBOLS.to_string(), 9),
+            (counter::LINT_SPECULATION_SKIPPED.to_string(), 31),
+        ]
+        .into_iter()
+        .collect();
+        let trace = Trace::from_parts(vec![], counters);
+        let out = render_trace(&trace, 5);
+        assert!(out.contains("Static prescreen (lint)"), "{out}");
+        let line = |name: &str| out.lines().find(|l| l.contains(name)).unwrap().to_string();
+        assert!(line("functions analyzed").contains("120"));
+        assert!(line("speculations skipped").contains("31"));
     }
 }

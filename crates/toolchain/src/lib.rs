@@ -37,6 +37,6 @@ pub use cache::{BuildCtx, BuildStats};
 pub use compilation::Compilation;
 pub use compiler::{CompilerKind, OptLevel};
 pub use flags::Switch;
-pub use linker::{link, Executable, LinkError};
+pub use linker::{link, mixed_abi_hazard, Executable, LinkError};
 pub use object::{Linkage, ObjectFile, SymbolEntry};
 pub use perf::KernelClass;

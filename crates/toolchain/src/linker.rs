@@ -106,6 +106,20 @@ impl Executable {
     }
 }
 
+/// Whether a link mixing objects from `object_compilers` under the
+/// given `driver` is ABI-hazardous: at least one Intel object combined
+/// with at least one GNU-family object *or* a GNU-family driver (§2.3).
+///
+/// This is the single source of truth for the hazard model — [`link`]
+/// applies it to decide [`Executable::abi_hazard`], and `flit-lint`
+/// calls it to predict mixed-link crashes without building anything.
+pub fn mixed_abi_hazard(object_compilers: &[CompilerKind], driver: CompilerKind) -> bool {
+    let has_intel = object_compilers.contains(&CompilerKind::Icpc);
+    let has_gnu =
+        object_compilers.iter().any(|c| *c != CompilerKind::Icpc) || driver != CompilerKind::Icpc;
+    has_intel && has_gnu
+}
+
 /// Link object files into an executable.
 ///
 /// See the module docs for the resolution rules. The `driver` is the
@@ -143,14 +157,8 @@ pub fn link(objects: Vec<ObjectFile>, driver: CompilerKind) -> Result<Executable
         globals.insert(name.clone(), *idx);
     }
 
-    let has_intel = objects
-        .iter()
-        .any(|o| o.compilation.compiler == CompilerKind::Icpc);
-    let has_gnu = objects
-        .iter()
-        .any(|o| o.compilation.compiler != CompilerKind::Icpc)
-        || driver != CompilerKind::Icpc;
-    let abi_hazard = has_intel && has_gnu;
+    let compilers: Vec<CompilerKind> = objects.iter().map(|o| o.compilation.compiler).collect();
+    let abi_hazard = mixed_abi_hazard(&compilers, driver);
 
     let mut seed_input = String::new();
     for o in &objects {

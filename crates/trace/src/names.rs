@@ -20,6 +20,9 @@ pub mod phase {
     /// serial consumption order (cost = item-set size, duration =
     /// simulated seconds) — byte-identical at any `--jobs` value.
     pub const EXEC_QUERY: &str = "exec.query";
+    /// Static lint-analysis spans: one per analyzed (baseline,
+    /// variable) compilation pair (cost = functions analyzed).
+    pub const LINT: &str = "lint";
 }
 
 /// Counter names.
@@ -60,6 +63,25 @@ pub mod counter {
     pub const EXEC_QUERIES_EXECUTED: &str = "exec.queries.executed";
     /// Oracle queries served from the shared memo.
     pub const EXEC_QUERIES_MEMOIZED: &str = "exec.queries.memoized";
+
+    /// Functions statically analyzed by `flit-lint`.
+    pub const LINT_FUNCTIONS_ANALYZED: &str = "lint.functions_analyzed";
+    /// Symbols the lint pass predicts variable for a compilation pair.
+    pub const LINT_PREDICTED_SYMBOLS: &str = "lint.predicted.symbols";
+    /// Files the lint pass predicts variable for a compilation pair.
+    pub const LINT_PREDICTED_FILES: &str = "lint.predicted.files";
+    /// Hazard lints raised (exact FP compares, UB-dependent kernels).
+    pub const LINT_HAZARDS: &str = "lint.hazards";
+    /// Speculative planner queries skipped because every item was
+    /// lint-predicted invariant (prioritization, not pruning — found
+    /// sets are unaffected).
+    pub const LINT_SPECULATION_SKIPPED: &str = "lint.speculation.skipped";
+    /// Files excluded from the search space by `--lint-prune`.
+    pub const LINT_PRUNED_FILES: &str = "lint.pruned.files";
+    /// Symbols excluded from the search space by `--lint-prune`.
+    pub const LINT_PRUNED_SYMBOLS: &str = "lint.pruned.symbols";
+    /// Algorithm-1-style dynamic verification runs guarding pruning.
+    pub const LINT_PRUNE_VERIFICATIONS: &str = "lint.prune.verifications";
 
     /// Hierarchical searches launched by the workflow driver.
     pub const WORKFLOW_BISECTIONS: &str = "workflow.bisections";

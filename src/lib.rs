@@ -35,6 +35,7 @@ pub use flit_exec as exec;
 pub use flit_fpsim as fpsim;
 pub use flit_inject as inject;
 pub use flit_laghos as laghos;
+pub use flit_lint as lint;
 pub use flit_lulesh as lulesh;
 pub use flit_mfem as mfem;
 pub use flit_program as program;
@@ -48,7 +49,7 @@ pub mod prelude {
     pub use flit_bisect::biggest::bisect_biggest;
     pub use flit_bisect::hierarchy::{
         bisect_hierarchical, bisect_hierarchical_parallel, HierarchicalConfig, HierarchicalResult,
-        SearchOutcome,
+        Prescreen, SearchOutcome,
     };
     pub use flit_bisect::parallel::{bisect_all_parallel, bisect_biggest_parallel, SharedOracle};
     pub use flit_bisect::planner::{BisectPlan, PlanStep, SearchMode};
@@ -60,9 +61,13 @@ pub mod prelude {
     pub use flit_core::metrics::{digit_limited_compare, l2_compare};
     pub use flit_core::runner::{run_matrix, RunnerConfig};
     pub use flit_core::test::{DriverTest, FlitTest, RunContext, TestResult};
-    pub use flit_core::workflow::{run_workflow, WorkflowConfig};
+    pub use flit_core::workflow::{run_workflow, LintMode, WorkflowConfig};
     pub use flit_exec::Executor;
     pub use flit_fpsim::env::{FpEnv, MathLib, SimdWidth};
+    pub use flit_lint::{
+        analyze_program, audit_hierarchy, audit_injection, predict_pair, Feature, PairPrediction,
+        SensitivitySet,
+    };
     pub use flit_program::build::Build;
     pub use flit_program::engine::Engine;
     pub use flit_program::kernel::Kernel;

@@ -8,6 +8,9 @@ cd "$(dirname "$0")"
 if [[ "${1:-}" == "--quick" ]]; then
   echo "== quick: jobs determinism (planner vs serial, 1 vs 8 workers) =="
   cargo test -q --test jobs_determinism
+  echo "== quick: static prescreen (flit-lint unit + soundness suite) =="
+  cargo test -q -p flit-lint
+  cargo test -q --test lint_soundness
   echo "verify --quick: OK"
   exit 0
 fi
@@ -21,8 +24,8 @@ cargo test -q
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo clippy --workspace -- -D warnings =="
-cargo clippy --workspace -- -D warnings
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo run --example quickstart =="
 cargo run --release --example quickstart
