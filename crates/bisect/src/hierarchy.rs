@@ -28,6 +28,7 @@ use flit_exec::{ExecError, Executor};
 
 use crate::algo::{bisect_all, AssumptionViolation};
 use crate::biggest::bisect_biggest;
+use crate::ledger::{LedgerHandle, SearchKeys};
 use crate::parallel::{drive_plans_seeded, emit_query_spans, SharedOracle, SpeculationScore};
 use crate::planner::{BisectPlan, PlanFailure, PlanOutcome, SearchMode};
 use crate::test_fn::{TestError, TestFn};
@@ -100,6 +101,18 @@ pub struct HierarchicalConfig {
     /// flag is set, removes predicted-invariant items from the search
     /// space under dynamic verification.
     pub prescreen: Option<Prescreen>,
+    /// Optional handle on a workflow-wide [`QueryLedger`]: every Test
+    /// query (reference run, file level, probes, symbol level) is
+    /// answered through the shared single-flight table — and journaled,
+    /// when the ledger carries a checkpoint journal. All per-search
+    /// observables (found sets, execution counts, seconds, `bisect.*`
+    /// counters and spans) are byte-identical with or without a ledger;
+    /// only the physical `exec.queries.*` counters change. Sharing is
+    /// sound only when every search handed the same ledger uses the
+    /// same pure `compare` metric.
+    ///
+    /// [`QueryLedger`]: crate::ledger::QueryLedger
+    pub ledger: Option<LedgerHandle>,
 }
 
 impl HierarchicalConfig {
@@ -111,6 +124,7 @@ impl HierarchicalConfig {
             ctx: BuildCtx::uncached(),
             trace: TraceSink::disabled(),
             prescreen: None,
+            ledger: None,
         }
     }
 
@@ -139,6 +153,31 @@ impl HierarchicalConfig {
         self.prescreen = Some(prescreen);
         self
     }
+
+    /// Answer this search's Test queries through a shared query ledger
+    /// (see [`HierarchicalConfig::ledger`]).
+    pub fn with_ledger(mut self, ledger: LedgerHandle) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+}
+
+/// The canonical ledger keys of one search task (see [`SearchKeys`]).
+fn search_keys(
+    baseline: &Build,
+    variable: &Build,
+    driver: &Driver,
+    input: &[f64],
+    cfg: &HierarchicalConfig,
+) -> SearchKeys {
+    SearchKeys::new(
+        baseline.program.fingerprint(),
+        variable.program.fingerprint(),
+        &driver.name,
+        input,
+        &baseline.compilation.label(),
+        &format!("{:?}", cfg.link_driver),
+    )
 }
 
 /// A file-level finding.
@@ -257,13 +296,40 @@ pub fn bisect_hierarchical(
     // searched file, labelled by the (driver, variable compilation)
     // pair that identifies the search.
     let search = format!("{}/{}", driver.name, variable.compilation.label());
+    let variable_label = variable.compilation.label();
+    let keys = cfg
+        .ledger
+        .as_ref()
+        .map(|_| search_keys(baseline, variable, driver, input, cfg));
     let reference_runs = cfg.trace.counter(counter_names::BISECT_REFERENCE_RUNS);
     let probe_runs = cfg.trace.counter(counter_names::BISECT_PROBE_RUNS);
 
-    // Reference run under the trusted baseline build.
-    let base_exe = match baseline.executable_in(&cfg.ctx) {
-        Ok(e) => e,
-        Err(e) => {
+    // Reference run under the trusted baseline build. Through a ledger
+    // the answer (the full output vector) may be served by another
+    // search or a journal replay; the accounting below is identical
+    // either way.
+    let reference = {
+        let compute = || -> Result<(Vec<f64>, f64), TestError> {
+            let base_exe = baseline
+                .executable_in(&cfg.ctx)
+                .map_err(|e| TestError::Link(e.to_string()))?;
+            let out = Engine::with_variant(baseline.program, variable.program, &base_exe)
+                .run(driver, input)
+                .map_err(|e| TestError::Crash(e.to_string()))?;
+            Ok((out.output, out.seconds))
+        };
+        match (&cfg.ledger, &keys) {
+            (Some(ledger), Some(keys)) => ledger.eval_output(&keys.reference(), compute),
+            _ => compute(),
+        }
+    };
+    let base_out = match reference {
+        Ok((out, _)) => {
+            executions += 1;
+            reference_runs.incr(1);
+            out
+        }
+        Err(TestError::Link(e)) => {
             return HierarchicalResult {
                 outcome: SearchOutcome::Crashed(format!("baseline link failed: {e}")),
                 files: vec![],
@@ -273,14 +339,9 @@ pub fn bisect_hierarchical(
                 violations,
             }
         }
-    };
-    executions += 1;
-    reference_runs.incr(1);
-    let base_out = match Engine::with_variant(baseline.program, variable.program, &base_exe)
-        .run(driver, input)
-    {
-        Ok(o) => o.output,
-        Err(e) => {
+        Err(TestError::Crash(e)) => {
+            executions += 1;
+            reference_runs.incr(1);
             return HierarchicalResult {
                 outcome: SearchOutcome::Crashed(format!("baseline run failed: {e}")),
                 files: vec![],
@@ -288,7 +349,7 @@ pub fn bisect_hierarchical(
                 file_level_only: vec![],
                 executions,
                 violations,
-            }
+            };
         }
     };
 
@@ -311,15 +372,24 @@ pub fn bisect_hierarchical(
     };
     let mut file_execs = 0usize;
     let file_secs = Cell::new(0.0f64);
-    let file_test = |items: &[usize]| -> Result<f64, TestError> {
+    let file_raw = |items: &[usize]| -> Result<(f64, f64), TestError> {
         let set: BTreeSet<usize> = items.iter().copied().collect();
         let exe = file_mixed_executable_in(baseline, variable, &set, cfg.link_driver, &cfg.ctx)
             .map_err(|e| TestError::Link(e.to_string()))?;
         let out = Engine::with_variant(baseline.program, variable.program, &exe)
             .run(driver, input)
             .map_err(run_to_test_error)?;
-        file_secs.set(file_secs.get() + out.seconds);
-        Ok(compare(&base_out, &out.output))
+        Ok((compare(&base_out, &out.output), out.seconds))
+    };
+    let file_test = |items: &[usize]| -> Result<f64, TestError> {
+        let (value, seconds) = match (&cfg.ledger, &keys) {
+            (Some(ledger), Some(keys)) => {
+                ledger.eval_score(&keys.file_query(&variable_label, items), || file_raw(items))
+            }
+            _ => file_raw(items),
+        }?;
+        file_secs.set(file_secs.get() + seconds);
+        Ok(value)
     };
     let counted_file_test = CountingTest {
         inner: &file_test,
@@ -428,27 +498,47 @@ pub fn bisect_hierarchical(
     for finding in &files {
         let fid = finding.file_id;
         // -fPIC probe: does the variability survive the recompile?
-        let probe =
-            match pic_probe_executable_in(baseline, variable, fid, cfg.link_driver, &cfg.ctx) {
-                Ok(exe) => exe,
-                Err(e) => {
-                    return HierarchicalResult {
-                        outcome: SearchOutcome::Crashed(format!("pic probe link: {e}")),
-                        files,
-                        symbols,
-                        file_level_only,
-                        executions,
-                        violations,
-                    }
+        let probe_answer = {
+            let compute = || -> Result<(f64, f64), TestError> {
+                let probe =
+                    pic_probe_executable_in(baseline, variable, fid, cfg.link_driver, &cfg.ctx)
+                        .map_err(|e| TestError::Link(e.to_string()))?;
+                match Engine::with_variant(baseline.program, variable.program, &probe)
+                    .run(driver, input)
+                {
+                    Ok(o) => Ok((compare(&base_out, &o.output), o.seconds)),
+                    Err(RunError::Crash(s)) => Err(TestError::Crash(s)),
+                    Err(e) => Err(TestError::Crash(e.to_string())),
                 }
             };
-        executions += 1;
-        probe_runs.incr(1);
-        let probe_out = match Engine::with_variant(baseline.program, variable.program, &probe)
-            .run(driver, input)
-        {
-            Ok(o) => o.output,
-            Err(RunError::Crash(s)) => {
+            match (&cfg.ledger, &keys) {
+                (Some(ledger), Some(keys)) => {
+                    ledger.eval_score(&keys.probe(&variable_label, fid), compute)
+                }
+                _ => compute(),
+            }
+        };
+        let probe_value = match probe_answer {
+            Ok((v, _)) => {
+                executions += 1;
+                probe_runs.incr(1);
+                v
+            }
+            // A failed probe *link* is not an execution (the serial
+            // walk returns before counting).
+            Err(TestError::Link(e)) => {
+                return HierarchicalResult {
+                    outcome: SearchOutcome::Crashed(format!("pic probe link: {e}")),
+                    files,
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                }
+            }
+            Err(TestError::Crash(s)) => {
+                executions += 1;
+                probe_runs.incr(1);
                 return HierarchicalResult {
                     outcome: SearchOutcome::Crashed(s),
                     files,
@@ -456,20 +546,10 @@ pub fn bisect_hierarchical(
                     file_level_only,
                     executions,
                     violations,
-                }
-            }
-            Err(e) => {
-                return HierarchicalResult {
-                    outcome: SearchOutcome::Crashed(e.to_string()),
-                    files,
-                    symbols,
-                    file_level_only,
-                    executions,
-                    violations,
-                }
+                };
             }
         };
-        if compare(&base_out, &probe_out) == 0.0 {
+        if probe_value == 0.0 {
             file_level_only.push(fid);
             continue;
         }
@@ -495,7 +575,7 @@ pub fn bisect_hierarchical(
         };
         let mut sym_execs = 0usize;
         let sym_secs = Cell::new(0.0f64);
-        let sym_test = |items: &[String]| -> Result<f64, TestError> {
+        let sym_raw = |items: &[String]| -> Result<(f64, f64), TestError> {
             let set: BTreeSet<String> = items.iter().cloned().collect();
             let exe = symbol_mixed_executable_in(
                 baseline,
@@ -509,8 +589,18 @@ pub fn bisect_hierarchical(
             let out = Engine::with_variant(baseline.program, variable.program, &exe)
                 .run(driver, input)
                 .map_err(run_to_test_error)?;
-            sym_secs.set(sym_secs.get() + out.seconds);
-            Ok(compare(&base_out, &out.output))
+            Ok((compare(&base_out, &out.output), out.seconds))
+        };
+        let sym_test = |items: &[String]| -> Result<f64, TestError> {
+            let (value, seconds) = match (&cfg.ledger, &keys) {
+                (Some(ledger), Some(keys)) => ledger
+                    .eval_score(&keys.symbol_query(&variable_label, fid, items), || {
+                        sym_raw(items)
+                    }),
+                _ => sym_raw(items),
+            }?;
+            sym_secs.set(sym_secs.get() + seconds);
+            Ok(value)
         };
         let counted_sym_test = CountingTest {
             inner: &sym_test,
@@ -668,11 +758,39 @@ pub fn bisect_hierarchical_parallel(
         violations,
     };
 
+    let variable_label = variable.compilation.label();
+    let keys = cfg
+        .ledger
+        .as_ref()
+        .map(|_| search_keys(baseline, variable, driver, input, cfg));
+
     // Reference run under the trusted baseline build (serial: it is one
     // run and everything downstream compares against it).
-    let base_exe = match baseline.executable_in(&cfg.ctx) {
-        Ok(e) => e,
-        Err(e) => {
+    let reference = {
+        let compute = || -> Result<(Vec<f64>, f64), TestError> {
+            let base_exe = baseline
+                .executable_in(&cfg.ctx)
+                .map_err(|e| TestError::Link(e.to_string()))?;
+            match Engine::with_variant(baseline.program, variable.program, &base_exe)
+                .run(driver, input)
+            {
+                Ok(o) => Ok((o.output, o.seconds)),
+                Err(e) => Err(TestError::Crash(e.to_string())),
+            }
+        };
+        match (&cfg.ledger, &keys) {
+            (Some(ledger), Some(keys)) => ledger.eval_output(&keys.reference(), compute),
+            _ => compute(),
+        }
+    };
+    let base_out = match reference {
+        Ok((out, _)) => {
+            executions += 1;
+            reference_runs.incr(1);
+            out
+        }
+        // A failed baseline *link* is not an execution.
+        Err(TestError::Link(e)) => {
             return crashed(
                 format!("baseline link failed: {e}"),
                 vec![],
@@ -682,14 +800,9 @@ pub fn bisect_hierarchical_parallel(
                 violations,
             )
         }
-    };
-    executions += 1;
-    reference_runs.incr(1);
-    let base_out = match Engine::with_variant(baseline.program, variable.program, &base_exe)
-        .run(driver, input)
-    {
-        Ok(o) => o.output,
-        Err(e) => {
+        Err(TestError::Crash(e)) => {
+            executions += 1;
+            reference_runs.incr(1);
             return crashed(
                 format!("baseline run failed: {e}"),
                 vec![],
@@ -697,7 +810,7 @@ pub fn bisect_hierarchical_parallel(
                 vec![],
                 executions,
                 violations,
-            )
+            );
         }
     };
 
@@ -731,18 +844,25 @@ pub fn bisect_hierarchical_parallel(
         .prescreen
         .as_ref()
         .map(|_| &file_score as SpeculationScore<'_, usize>);
-    let file_oracle = SharedOracle::new(
-        |items: &[usize]| -> Result<(f64, f64), TestError> {
-            let set: BTreeSet<usize> = items.iter().copied().collect();
-            let exe = file_mixed_executable_in(baseline, variable, &set, cfg.link_driver, &cfg.ctx)
-                .map_err(|e| TestError::Link(e.to_string()))?;
-            let out = Engine::with_variant(baseline.program, variable.program, &exe)
-                .run(driver, input)
-                .map_err(run_to_test_error)?;
-            Ok((compare(&base_out, &out.output), out.seconds))
-        },
-        &cfg.trace,
-    );
+    let file_raw = |items: &[usize]| -> Result<(f64, f64), TestError> {
+        let set: BTreeSet<usize> = items.iter().copied().collect();
+        let exe = file_mixed_executable_in(baseline, variable, &set, cfg.link_driver, &cfg.ctx)
+            .map_err(|e| TestError::Link(e.to_string()))?;
+        let out = Engine::with_variant(baseline.program, variable.program, &exe)
+            .run(driver, input)
+            .map_err(run_to_test_error)?;
+        Ok((compare(&base_out, &out.output), out.seconds))
+    };
+    let file_oracle = match (&cfg.ledger, &keys) {
+        (Some(ledger), Some(keys)) => {
+            let k = keys.clone();
+            let vl = variable_label.clone();
+            SharedOracle::with_ledger(file_raw, &cfg.trace, ledger.clone(), move |items| {
+                k.file_query(&vl, items)
+            })
+        }
+        _ => SharedOracle::new(file_raw, &cfg.trace),
+    };
     let file_label = format!("{search}/file");
     let mut file_plans = [BisectPlan::new(&file_ids, mode)];
     let file_driven = drive_plans_seeded(
@@ -886,15 +1006,27 @@ pub fn bisect_hierarchical_parallel(
     // ---- -fPIC probes: one wave over all found files ----
     let probe_wave = exec.run(files.len(), |i| {
         let fid = files[i].file_id;
-        let probe =
-            match pic_probe_executable_in(baseline, variable, fid, cfg.link_driver, &cfg.ctx) {
-                Ok(exe) => exe,
-                Err(e) => return ProbeOutcome::LinkFail(format!("pic probe link: {e}")),
-            };
-        match Engine::with_variant(baseline.program, variable.program, &probe).run(driver, input) {
-            Ok(o) => ProbeOutcome::Value(compare(&base_out, &o.output)),
-            Err(RunError::Crash(s)) => ProbeOutcome::RunFail(s),
-            Err(e) => ProbeOutcome::RunFail(e.to_string()),
+        let compute = || -> Result<(f64, f64), TestError> {
+            let probe = pic_probe_executable_in(baseline, variable, fid, cfg.link_driver, &cfg.ctx)
+                .map_err(|e| TestError::Link(e.to_string()))?;
+            match Engine::with_variant(baseline.program, variable.program, &probe)
+                .run(driver, input)
+            {
+                Ok(o) => Ok((compare(&base_out, &o.output), o.seconds)),
+                Err(RunError::Crash(s)) => Err(TestError::Crash(s)),
+                Err(e) => Err(TestError::Crash(e.to_string())),
+            }
+        };
+        let answer = match (&cfg.ledger, &keys) {
+            (Some(ledger), Some(keys)) => {
+                ledger.eval_score(&keys.probe(&variable_label, fid), compute)
+            }
+            _ => compute(),
+        };
+        match answer {
+            Ok((v, _)) => ProbeOutcome::Value(v),
+            Err(TestError::Link(e)) => ProbeOutcome::LinkFail(format!("pic probe link: {e}")),
+            Err(TestError::Crash(s)) => ProbeOutcome::RunFail(s),
         }
     });
     let probes = match probe_wave {
@@ -952,25 +1084,32 @@ pub fn bisect_hierarchical_parallel(
         .map(|c| {
             let fid = c.fid;
             let base_out = &base_out;
-            SharedOracle::new(
-                move |items: &[String]| -> Result<(f64, f64), TestError> {
-                    let set: BTreeSet<String> = items.iter().cloned().collect();
-                    let exe = symbol_mixed_executable_in(
-                        baseline,
-                        variable,
-                        fid,
-                        &set,
-                        cfg.link_driver,
-                        &cfg.ctx,
-                    )
-                    .map_err(|e| TestError::Link(e.to_string()))?;
-                    let out = Engine::with_variant(baseline.program, variable.program, &exe)
-                        .run(driver, input)
-                        .map_err(run_to_test_error)?;
-                    Ok((compare(base_out, &out.output), out.seconds))
-                },
-                &cfg.trace,
-            )
+            let raw = move |items: &[String]| -> Result<(f64, f64), TestError> {
+                let set: BTreeSet<String> = items.iter().cloned().collect();
+                let exe = symbol_mixed_executable_in(
+                    baseline,
+                    variable,
+                    fid,
+                    &set,
+                    cfg.link_driver,
+                    &cfg.ctx,
+                )
+                .map_err(|e| TestError::Link(e.to_string()))?;
+                let out = Engine::with_variant(baseline.program, variable.program, &exe)
+                    .run(driver, input)
+                    .map_err(run_to_test_error)?;
+                Ok((compare(base_out, &out.output), out.seconds))
+            };
+            match (&cfg.ledger, &keys) {
+                (Some(ledger), Some(keys)) => {
+                    let k = keys.clone();
+                    let vl = variable_label.clone();
+                    SharedOracle::with_ledger(raw, &cfg.trace, ledger.clone(), move |items| {
+                        k.symbol_query(&vl, fid, items)
+                    })
+                }
+                _ => SharedOracle::new(raw, &cfg.trace),
+            }
         })
         .collect();
     let mut sym_plans: Vec<BisectPlan<String>> = candidates

@@ -22,6 +22,12 @@
 //!   byte-identical at any worker count.
 //! * [`parallel`] — wave drivers on the `flit-exec` executor with a
 //!   shared single-flight Test oracle.
+//! * [`ledger`] — the workflow-wide query ledger: one sharded
+//!   single-flight answer table shared by every search a workflow
+//!   spawns, keyed on canonical link-recipe digests.
+//! * [`journal`] — the on-disk checkpoint journal backing the ledger:
+//!   CRC-checked JSONL records written atomically, replayed on
+//!   `--resume` for byte-identical continuation of killed searches.
 //! * [`test_fn`] — the memoizing `Test` wrapper with execution counting
 //!   (the paper reports searches in *program executions*; memoization is
 //!   why the verification assertions cost only `1 + k` extra runs).
@@ -33,6 +39,8 @@ pub mod algo;
 pub mod baselines;
 pub mod biggest;
 pub mod hierarchy;
+pub mod journal;
+pub mod ledger;
 pub mod parallel;
 pub mod planner;
 pub mod test_fn;
@@ -45,6 +53,10 @@ pub use hierarchy::{
     bisect_hierarchical, bisect_hierarchical_parallel, HierarchicalConfig, HierarchicalResult,
     SearchOutcome,
 };
+pub use journal::{
+    load_journal, JournalAnswer, JournalError, JournalRecord, JournalWriter, JOURNAL_VERSION,
+};
+pub use ledger::{LedgerHandle, LedgerStats, QueryLedger, SearchKeys, StoredAnswer};
 pub use parallel::{
     bisect_all_parallel, bisect_biggest_parallel, drive_plans, ParallelTestFn, SharedOracle,
 };

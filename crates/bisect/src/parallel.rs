@@ -17,6 +17,7 @@ use flit_trace::names::{counter, phase};
 use flit_trace::sink::TraceSink;
 
 use crate::algo::BisectOutcome;
+use crate::ledger::LedgerHandle;
 use crate::planner::{BisectPlan, PlanFailure, PlanOutcome, PlanStep};
 use crate::test_fn::TestError;
 
@@ -38,6 +39,10 @@ where
     }
 }
 
+/// A ledger routing: the search's handle plus the function that digests
+/// an item set into the workflow-wide canonical key.
+type LedgerRoute<'f, I> = (LedgerHandle, Box<dyn Fn(&[I]) -> String + Sync + 'f>);
+
 /// A memoized, single-flight Test oracle shareable across workers and
 /// across concurrent searches (the concurrent analogue of
 /// [`MemoTest`](crate::test_fn::MemoTest)).
@@ -46,6 +51,7 @@ pub struct SharedOracle<'f, I> {
     raw: Box<dyn ParallelTestFn<I> + 'f>,
     executed: flit_trace::registry::Counter,
     memoized: flit_trace::registry::Counter,
+    ledger: Option<LedgerRoute<'f, I>>,
 }
 
 impl<'f, I> SharedOracle<'f, I>
@@ -60,12 +66,34 @@ where
             raw: Box::new(raw),
             executed: trace.counter(counter::EXEC_QUERIES_EXECUTED),
             memoized: trace.counter(counter::EXEC_QUERIES_MEMOIZED),
+            ledger: None,
+        }
+    }
+
+    /// Wrap a raw parallel test function, routing every evaluation
+    /// through a workflow-wide [`QueryLedger`](crate::ledger::QueryLedger)
+    /// under keys produced by `key_fn`. The ledger's sharded
+    /// single-flight table replaces the oracle's local memo (and its
+    /// counters), so hits are classified as memoized / shared / replayed
+    /// workflow-wide.
+    pub fn with_ledger(
+        raw: impl ParallelTestFn<I> + 'f,
+        trace: &TraceSink,
+        handle: LedgerHandle,
+        key_fn: impl Fn(&[I]) -> String + Sync + 'f,
+    ) -> Self {
+        SharedOracle {
+            ledger: Some((handle, Box::new(key_fn))),
+            ..Self::new(raw, trace)
         }
     }
 
     /// Evaluate (memoized, single-flight). `items` must be canonical —
     /// frontier queries already are.
     pub fn eval(&self, items: &[I]) -> Result<(f64, f64), TestError> {
+        if let Some((handle, key_fn)) = &self.ledger {
+            return handle.eval_score(&key_fn(items), || self.raw.test(items));
+        }
         let (answer, computed) = self
             .memo
             .get_or_compute(items.to_vec(), || self.raw.test(items));

@@ -49,6 +49,12 @@ pub enum Command {
         /// Additionally prune statically-clean files/symbols (adds a
         /// dynamic verification probe; implies seeding).
         lint_prune: bool,
+        /// Journal every completed Test answer to this file (atomic
+        /// appends; safe to kill the process at any point).
+        checkpoint: Option<String>,
+        /// Replay a checkpoint journal before issuing any live query,
+        /// continuing a killed search exactly where it stopped.
+        resume: Option<String>,
     },
     /// Static FP-sensitivity analysis: predict the variable set for a
     /// compilation pair without running anything.
@@ -84,6 +90,10 @@ pub enum Command {
         /// Static prescreen mode for the bisection stage: `seed` or
         /// `prune` (default: off).
         lint: Option<String>,
+        /// Journal every completed bisection Test answer to this file.
+        checkpoint: Option<String>,
+        /// Replay a checkpoint journal before the bisection stage.
+        resume: Option<String>,
     },
     /// Summarize a JSONL trace produced by `flit workflow --trace`.
     Trace {
@@ -114,10 +124,10 @@ USAGE:
   flit apps
   flit run <app> [--compiler gcc|clang|icpc|xlc] [--json]
   flit analyze <app>
-  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>] [--jobs <n>] [--lint-seed] [--lint-prune]
+  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>] [--jobs <n>] [--lint-seed] [--lint-prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>]
   flit lint <app> [--compilation \"<compiler -On [flags]>\"] [--test <name>]
   flit inject <app> [--limit <n-sites>]
-  flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>] [--lint seed|prune]
+  flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>] [--lint seed|prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>]
   flit trace <file.jsonl> [--top <n>]
   flit help
 ";
@@ -170,6 +180,8 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 jobs: num_flag("--jobs")?,
                 lint_seed: has_flag("--lint-seed"),
                 lint_prune: has_flag("--lint-prune"),
+                checkpoint: flag_value("--checkpoint"),
+                resume: flag_value("--resume"),
             }
         }
         "lint" => Command::Lint {
@@ -196,6 +208,8 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 jobs: num_flag("--jobs")?,
                 trace: flag_value("--trace"),
                 lint,
+                checkpoint: flag_value("--checkpoint"),
+                resume: flag_value("--resume"),
             }
         }
         "trace" => {
@@ -292,6 +306,8 @@ mod tests {
                 jobs: Some(8),
                 lint_seed: false,
                 lint_prune: false,
+                checkpoint: None,
+                resume: None,
             }
         );
         assert_eq!(
@@ -313,6 +329,8 @@ mod tests {
                 jobs: None,
                 lint_seed: true,
                 lint_prune: true,
+                checkpoint: None,
+                resume: None,
             }
         );
         assert_eq!(
@@ -353,6 +371,8 @@ mod tests {
                 jobs: Some(4),
                 trace: Some("wf.jsonl".into()),
                 lint: None,
+                checkpoint: None,
+                resume: None,
             }
         );
         assert_eq!(

@@ -1,9 +1,13 @@
 //! Command implementations. Every command returns its report as a
 //! `String` (so it can be tested) and the binary prints it.
 
+use std::sync::Arc;
+
 use flit_bisect::hierarchy::{
     bisect_hierarchical, bisect_hierarchical_parallel, HierarchicalConfig, SearchOutcome,
 };
+use flit_bisect::journal::JournalWriter;
+use flit_bisect::ledger::{LedgerHandle, QueryLedger};
 use flit_core::analysis::{
     category_bars, compiler_summary, fastest_is_reproducible_count, variability_summary,
 };
@@ -43,6 +47,8 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             jobs,
             lint_seed,
             lint_prune,
+            checkpoint,
+            resume,
         } => cmd_bisect(
             app,
             test.as_deref(),
@@ -51,6 +57,8 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             *jobs,
             *lint_seed,
             *lint_prune,
+            checkpoint.as_deref(),
+            resume.as_deref(),
         ),
         Command::Lint {
             app,
@@ -64,12 +72,16 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             jobs,
             trace,
             lint,
+            checkpoint,
+            resume,
         } => cmd_workflow(
             app,
             *max_bisections,
             *jobs,
             trace.as_deref(),
             lint.as_deref(),
+            checkpoint.as_deref(),
+            resume.as_deref(),
         ),
         Command::Trace { file, top } => cmd_trace(file, top.unwrap_or(10)),
     }
@@ -245,6 +257,49 @@ fn cmd_lint(
     Ok(flit_lint::render_prediction(&title, &pred))
 }
 
+/// Build the query ledger behind `--checkpoint` / `--resume`:
+/// `--checkpoint` starts a fresh journal, `--resume` replays an existing
+/// one (validating its program fingerprint) and keeps appending to it.
+fn ledger_for(
+    fingerprint: u64,
+    trace: &TraceSink,
+    checkpoint: Option<&str>,
+    resume: Option<&str>,
+) -> Result<Option<Arc<QueryLedger>>, ParseError> {
+    if checkpoint.is_some() && resume.is_some() {
+        return Err(ParseError(
+            "pass --checkpoint to start a new journal or --resume to continue one, not both".into(),
+        ));
+    }
+    let ledger = QueryLedger::new(fingerprint, trace);
+    if let Some(path) = resume {
+        let (writer, records) = JournalWriter::resume(std::path::Path::new(path), fingerprint)
+            .map_err(|e| ParseError(format!("cannot resume checkpoint journal: {e}")))?;
+        ledger.preload(&records);
+        ledger.attach_journal(writer);
+    } else if let Some(path) = checkpoint {
+        let writer = JournalWriter::create(std::path::Path::new(path), fingerprint)
+            .map_err(|e| ParseError(format!("cannot create checkpoint journal: {e}")))?;
+        ledger.attach_journal(writer);
+    } else {
+        return Ok(None);
+    }
+    Ok(Some(ledger))
+}
+
+/// The journal/dedup footer shared by `flit bisect` and `flit workflow`.
+fn ledger_footer(ledger: &QueryLedger) -> String {
+    let s = ledger.stats();
+    let mut out = format!(
+        "journal: {} executed, {} replayed ({} served), {} shared hits, {} appended\n",
+        s.executed, s.replayed, s.replay_served, s.shared_hits, s.appended
+    );
+    if let Some(err) = ledger.journal_error() {
+        out.push_str(&format!("WARNING: {err}\n"));
+    }
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn cmd_bisect(
     app: &str,
@@ -254,6 +309,8 @@ fn cmd_bisect(
     jobs: Option<usize>,
     lint_seed: bool,
     lint_prune: bool,
+    checkpoint: Option<&str>,
+    resume: Option<&str>,
 ) -> Result<String, ParseError> {
     let app = get_app(app)?;
     let comp = parse_compilation(compilation)?;
@@ -273,12 +330,21 @@ fn cmd_bisect(
         ctx: BuildCtx::cached(),
         trace: TraceSink::disabled(),
         prescreen: None,
+        ledger: None,
     };
     let prescreened = lint_seed || lint_prune;
     if prescreened {
         let pred =
             flit_lint::predict_pair(&baseline, &variable, Some(test.driver()), CompilerKind::Gcc);
         cfg = cfg.with_prescreen(pred.prescreen(lint_prune));
+    }
+    let ledger = ledger_for(app.program.fingerprint(), &cfg.trace, checkpoint, resume)?;
+    if let Some(ledger) = &ledger {
+        cfg.ledger = Some(LedgerHandle::new(
+            ledger.clone(),
+            1,
+            format!("{}/{}", test.name(), comp.label()),
+        ));
     }
     let input = test.default_input();
     let input = &input[..test.inputs_per_run().min(input.len())];
@@ -354,6 +420,9 @@ fn cmd_bisect(
             out.push_str(&format!("  {v}\n"));
         }
     }
+    if let Some(ledger) = &ledger {
+        out.push_str(&ledger_footer(ledger));
+    }
     Ok(out)
 }
 
@@ -407,29 +476,35 @@ fn cmd_inject(app: &str, limit: Option<usize>) -> Result<String, ParseError> {
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cmd_workflow(
     app: &str,
     max_bisections: Option<usize>,
     jobs: Option<usize>,
     trace_path: Option<&str>,
     lint: Option<&str>,
+    checkpoint: Option<&str>,
+    resume: Option<&str>,
 ) -> Result<String, ParseError> {
     use flit_core::workflow::{run_workflow, LintMode, WorkflowConfig};
     let app = get_app(app)?;
     let comps = matrix_for(&app, None)?;
+    let trace = if trace_path.is_some() || checkpoint.is_some() || resume.is_some() {
+        TraceSink::enabled()
+    } else {
+        TraceSink::disabled()
+    };
+    let ledger = ledger_for(app.program.fingerprint(), &trace, checkpoint, resume)?;
     let cfg = WorkflowConfig {
         max_bisections: max_bisections.unwrap_or(usize::MAX),
         jobs: jobs.unwrap_or(1),
-        trace: if trace_path.is_some() {
-            TraceSink::enabled()
-        } else {
-            TraceSink::disabled()
-        },
+        trace,
         lint: match lint {
             Some("seed") => LintMode::Seed,
             Some("prune") => LintMode::Prune,
             _ => LintMode::Off,
         },
+        ledger: ledger.clone(),
         ..Default::default()
     };
     let report = run_workflow(&app.program, &app.tests, &comps, &cfg).map_err(runner_error)?;
@@ -508,12 +583,17 @@ fn cmd_workflow(
     }
     if let Some(path) = trace_path {
         let jsonl = cfg.trace.snapshot().to_jsonl();
-        std::fs::write(path, &jsonl)
+        // Atomic tmp-file + rename: a reader (or a crash mid-write) can
+        // never observe a partially written trace export.
+        flit_persist::write_atomic(std::path::Path::new(path), jsonl.as_bytes())
             .map_err(|e| ParseError(format!("cannot write trace `{path}`: {e}")))?;
         out.push_str(&format!(
             "trace: {} events written to {path} (render with `flit trace {path}`)\n",
             jsonl.lines().count()
         ));
+    }
+    if let Some(ledger) = &ledger {
+        out.push_str(&ledger_footer(ledger));
     }
     Ok(out)
 }
@@ -597,6 +677,63 @@ mod tests {
             serial,
             "--jobs must not change the findings"
         );
+    }
+
+    #[test]
+    fn checkpointed_bisect_resumes_with_zero_live_executions() {
+        let path = std::env::temp_dir().join("flit-cli-bisect-journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        let path_s = path.to_string_lossy().to_string();
+        let args = [
+            "bisect",
+            "mfem",
+            "--test",
+            "ex13",
+            "--compilation",
+            "g++ -O3 -mavx2 -mfma",
+        ];
+        let plain = run_cli(&args).unwrap();
+        let mut ck = args.to_vec();
+        ck.extend(["--checkpoint", &path_s]);
+        let first = run_cli(&ck).unwrap();
+        // The journal footer is additive: the findings are unchanged.
+        assert!(first.starts_with(&plain), "{first}");
+        assert!(first.contains("journal:"), "{first}");
+        let mut rs = args.to_vec();
+        rs.extend(["--resume", &path_s]);
+        let resumed = run_cli(&rs).unwrap();
+        // Every answer replays from the journal; nothing runs live.
+        assert!(resumed.starts_with(&plain), "{resumed}");
+        assert!(resumed.contains("journal: 0 executed"), "{resumed}");
+        let mut both = ck.clone();
+        both.extend(["--resume", &path_s]);
+        assert!(
+            run_cli(&both).is_err(),
+            "--checkpoint + --resume must error"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpointed_workflow_resumes_with_zero_live_executions() {
+        let path = std::env::temp_dir().join("flit-cli-workflow-journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        let path_s = path.to_string_lossy().to_string();
+        let base = ["workflow", "laghos", "--max-bisections", "3"];
+        let plain = run_cli(&base).unwrap();
+        let mut ck = base.to_vec();
+        ck.extend(["--checkpoint", &path_s]);
+        let first = run_cli(&ck).unwrap();
+        assert!(first.starts_with(&plain), "{first}");
+        let mut rs = base.to_vec();
+        rs.extend(["--resume", &path_s]);
+        let resumed = run_cli(&rs).unwrap();
+        assert!(resumed.starts_with(&plain), "{resumed}");
+        assert!(resumed.contains("journal: 0 executed"), "{resumed}");
+        // Resuming under a different program is a structured error.
+        let err = run_cli(&["workflow", "mfem", "--resume", &path_s]).unwrap_err();
+        assert!(err.0.contains("fingerprint"), "{}", err.0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -25,19 +25,24 @@ pub struct SpeedupPoint {
 pub fn speedup_series(db: &ResultsDb, test: &str) -> Vec<SpeedupPoint> {
     let rows = db.for_test(test);
     let reference = Compilation::perf_reference().label();
+    // A crashed reference row has no measurement: fall back to the unit
+    // reference rather than poisoning every speedup with a sentinel.
     let ref_seconds = rows
         .iter()
         .find(|r| r.label == reference)
-        .map(|r| r.seconds)
+        .and_then(|r| r.seconds)
         .unwrap_or(1.0);
     let mut pts: Vec<SpeedupPoint> = rows
         .iter()
         .filter(|r| !r.crashed)
-        .map(|r| SpeedupPoint {
-            label: r.label.clone(),
-            speedup: ref_seconds / r.seconds,
-            bitwise_equal: r.bitwise_equal,
-            comparison: r.comparison,
+        .filter_map(|r| {
+            let secs = r.seconds?;
+            Some(SpeedupPoint {
+                label: r.label.clone(),
+                speedup: ref_seconds / secs,
+                bitwise_equal: r.bitwise_equal,
+                comparison: r.comparison,
+            })
         })
         .collect();
     // total_cmp: NaN speedups (0/0 from a zero-second reference row)
@@ -67,30 +72,34 @@ pub fn category_bars(db: &ResultsDb, test: &str) -> CategoryBars {
     let ref_seconds = rows
         .iter()
         .find(|r| r.label == reference)
-        .map(|r| r.seconds)
+        .and_then(|r| r.seconds)
         .unwrap_or(1.0);
-    let point = |r: &RunRecord| SpeedupPoint {
+    let point = |r: &RunRecord, secs: f64| SpeedupPoint {
         label: r.label.clone(),
-        speedup: ref_seconds / r.seconds,
+        speedup: ref_seconds / secs,
         bitwise_equal: r.bitwise_equal,
         comparison: r.comparison,
     };
+    // Rows without a measurement (crashed) can never win a fastest-of
+    // selection.
     let fastest_equal = CompilerKind::MFEM_STUDY
         .iter()
         .map(|&c| {
             let best = rows
                 .iter()
                 .filter(|r| !r.crashed && r.bitwise_equal && r.compilation.compiler == c)
-                .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
-                .map(|r| point(r));
+                .filter_map(|r| r.seconds.map(|s| (r, s)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(r, s)| point(r, s));
             (c, best)
         })
         .collect();
     let fastest_variable = rows
         .iter()
         .filter(|r| r.is_variable())
-        .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
-        .map(|r| point(r));
+        .filter_map(|r| r.seconds.map(|s| (r, s)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(r, s)| point(r, s));
     CategoryBars {
         test: test.to_string(),
         fastest_equal,
@@ -178,7 +187,7 @@ pub fn compiler_summary(db: &ResultsDb, compiler: CompilerKind) -> CompilerSumma
             db.for_test(t)
                 .iter()
                 .find(|r| r.label == reference)
-                .map(|r| r.seconds)
+                .and_then(|r| r.seconds)
                 .unwrap_or(1.0)
         })
         .collect();
@@ -198,8 +207,8 @@ pub fn compiler_summary(db: &ResultsDb, compiler: CompilerKind) -> CompilerSumma
         let mut sum = 0.0;
         let mut complete = true;
         for (i, t) in tests.iter().enumerate() {
-            match rows.iter().find(|r| &r.test == t) {
-                Some(r) => sum += ref_secs[i] / r.seconds,
+            match rows.iter().find(|r| &r.test == t).and_then(|r| r.seconds) {
+                Some(secs) => sum += ref_secs[i] / secs,
                 None => {
                     complete = false;
                     break;
@@ -297,11 +306,24 @@ mod tests {
             test: test.into(),
             label: comp.label(),
             compilation: comp,
-            seconds,
+            seconds: Some(seconds),
             comparison: cmp,
             bitwise_equal: cmp == 0.0,
             baseline_norm: 10.0,
             crashed: false,
+        }
+    }
+
+    fn crashed_record(test: &str, comp: Compilation) -> RunRecord {
+        RunRecord {
+            test: test.into(),
+            label: comp.label(),
+            compilation: comp,
+            seconds: None,
+            comparison: f64::INFINITY,
+            bitwise_equal: false,
+            baseline_norm: 10.0,
+            crashed: true,
         }
     }
 
@@ -416,6 +438,75 @@ mod tests {
         // The zero-second variable row wins the variable bar (finite
         // seconds sort before NaN under total_cmp).
         assert_eq!(bars.fastest_variable.unwrap().label, "clang++ -O3");
+    }
+
+    #[test]
+    fn crashed_rows_cannot_change_any_reported_median_or_ratio() {
+        // Every analysis output must be identical with and without
+        // crashed rows in the database: a crashed compilation has no
+        // measurement, so it cannot shift a median, a speedup ratio, a
+        // fastest-of selection, or a best-average summary.
+        let clean = sample_db();
+        let mut dirty = sample_db();
+        dirty.rows.push(crashed_record(
+            "e1",
+            Compilation::new(CompilerKind::Gcc, OptLevel::O1, vec![]),
+        ));
+        dirty.rows.push(crashed_record(
+            "e1",
+            Compilation::new(CompilerKind::Icpc, OptLevel::O1, vec![]),
+        ));
+
+        let a = speedup_series(&clean, "e1");
+        let b = speedup_series(&dirty, "e1");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.speedup.to_bits(), y.speedup.to_bits());
+        }
+
+        let ca = category_bars(&clean, "e1");
+        let cb = category_bars(&dirty, "e1");
+        for ((_, x), (_, y)) in ca.fastest_equal.iter().zip(&cb.fastest_equal) {
+            assert_eq!(x.as_ref().map(|p| &p.label), y.as_ref().map(|p| &p.label));
+        }
+        assert_eq!(
+            ca.fastest_variable.as_ref().map(|p| p.speedup.to_bits()),
+            cb.fastest_variable.as_ref().map(|p| p.speedup.to_bits())
+        );
+
+        let va = variability_summary(&clean, "e1");
+        let vb = variability_summary(&dirty, "e1");
+        assert_eq!(va.median_rel_err.to_bits(), vb.median_rel_err.to_bits());
+        assert_eq!(va.variable_compilations, vb.variable_compilations);
+
+        for c in [CompilerKind::Gcc, CompilerKind::Icpc] {
+            let sa = compiler_summary(&clean, c);
+            let sb = compiler_summary(&dirty, c);
+            assert_eq!(sa.best_flags, sb.best_flags);
+            assert_eq!(sa.best_avg_speedup.to_bits(), sb.best_avg_speedup.to_bits());
+        }
+    }
+
+    #[test]
+    fn a_crashed_reference_row_does_not_zero_the_speedups() {
+        // Before seconds became Option, a crashed reference row carried
+        // a `0.0` sentinel that flowed into every ratio as ref/0 or 0/s.
+        let mut db = ResultsDb::new("t");
+        db.rows
+            .push(crashed_record("e9", Compilation::perf_reference()));
+        db.rows.push(record(
+            "e9",
+            Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![]),
+            4.0,
+            0.0,
+        ));
+        let pts = speedup_series(&db, "e9");
+        assert_eq!(pts.len(), 1);
+        // Fallback unit reference: 1.0 / 4.0, not 0.0 / 4.0.
+        assert_eq!(pts[0].speedup, 0.25);
+        let bars = category_bars(&db, "e9");
+        assert_eq!(bars.fastest_equal[0].1.as_ref().unwrap().speedup, 0.25);
     }
 
     #[test]

@@ -16,8 +16,11 @@ pub struct RunRecord {
     /// Human-readable compilation label.
     pub label: String,
     /// Simulated wall-clock seconds (summed over data-driven runs,
-    /// with deterministic measurement jitter applied).
-    pub seconds: f64,
+    /// with deterministic measurement jitter applied). `None` when the
+    /// compilation failed to link or the run crashed: a partial sum up
+    /// to the crash is not a measurement, and timing analysis must skip
+    /// it rather than ingest a sentinel.
+    pub seconds: Option<f64>,
     /// The user `compare` metric against the baseline compilation's
     /// result (summed over data-driven runs). `0.0` = considered equal.
     pub comparison: f64,
@@ -137,7 +140,7 @@ mod tests {
             test: test.into(),
             label: compilation.label(),
             compilation,
-            seconds: 1.0,
+            seconds: Some(1.0),
             comparison: cmp,
             bitwise_equal: cmp == 0.0,
             baseline_norm: 10.0,

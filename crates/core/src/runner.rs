@@ -125,7 +125,7 @@ fn run_one_compilation(
         phase::SWEEP,
         comp.label(),
         records.len() as u64,
-        records.iter().map(|r| r.seconds).sum(),
+        records.iter().filter_map(|r| r.seconds).sum(),
     );
     records
 }
@@ -148,7 +148,7 @@ fn compile_and_run(
                     test: t.name().to_string(),
                     compilation: comp.clone(),
                     label: comp.label(),
-                    seconds: 0.0,
+                    seconds: None,
                     comparison: f64::INFINITY,
                     bitwise_equal: false,
                     baseline_norm: 0.0,
@@ -183,14 +183,14 @@ fn compile_and_run(
                     }
                 }
             }
-            if crashed {
-                // Crashed rows report no runtime, consistent with the
-                // failed-link branch above: a partial `seconds` sum up
-                // to the crashing chunk is not a measurement.
-                seconds = 0.0;
+            // Crashed rows report no runtime, consistent with the
+            // failed-link branch above: a partial `seconds` sum up to
+            // the crashing chunk is not a measurement.
+            let seconds = if crashed {
+                None
             } else {
-                seconds *= jitter(t.name(), comp);
-            }
+                Some(seconds * jitter(t.name(), comp))
+            };
             RunRecord {
                 test: t.name().to_string(),
                 compilation: comp.clone(),
@@ -392,7 +392,7 @@ mod tests {
         assert!(get("ex1", "icpc -O0").bitwise_equal);
         assert!(!get("ex2", "icpc -O0").bitwise_equal);
         // Performance: O3 beats O0 on the dot test.
-        assert!(get("ex1", "g++ -O3").seconds < get("ex1", "g++ -O0").seconds);
+        assert!(get("ex1", "g++ -O3").seconds.unwrap() < get("ex1", "g++ -O0").seconds.unwrap());
     }
 
     #[test]
@@ -425,7 +425,7 @@ mod tests {
             assert_eq!(a.test, b.test);
             assert_eq!(a.label, b.label);
             assert_eq!(a.comparison.to_bits(), b.comparison.to_bits());
-            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+            assert_eq!(a.seconds.map(f64::to_bits), b.seconds.map(f64::to_bits));
             assert_eq!(a.bitwise_equal, b.bitwise_equal);
         }
     }
@@ -528,7 +528,7 @@ mod tests {
             assert_eq!(a.test, b.test);
             assert_eq!(a.label, b.label);
             assert_eq!(a.comparison.to_bits(), b.comparison.to_bits());
-            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+            assert_eq!(a.seconds.map(f64::to_bits), b.seconds.map(f64::to_bits));
             assert_eq!(a.bitwise_equal, b.bitwise_equal);
             assert_eq!(a.crashed, b.crashed);
         }

@@ -11,7 +11,10 @@
 //! determinism pre-check, the matrix sweep with analysis, and the
 //! hierarchical bisection of every variability-inducing compilation.
 
+use std::sync::Arc;
+
 use flit_bisect::hierarchy::{bisect_hierarchical, HierarchicalConfig, HierarchicalResult};
+use flit_bisect::ledger::{LedgerHandle, QueryLedger};
 use flit_exec::{ExecError, Executor};
 use flit_program::build::Build;
 use flit_program::model::{Driver, SimProgram};
@@ -96,6 +99,13 @@ pub struct WorkflowConfig {
     /// their own enabled sink), and the shared build context's counters
     /// land in its registry.
     pub trace: TraceSink,
+    /// Workflow-wide query ledger for the bisection stage. `None` (the
+    /// default) creates a fresh private ledger per workflow; pass a
+    /// pre-built one to preload checkpoint-journal answers or attach a
+    /// journal writer (`flit workflow --checkpoint/--resume`). Every
+    /// search is handed a distinct-origin handle onto the same table,
+    /// so identical queries issued by different rows execute once.
+    pub ledger: Option<Arc<QueryLedger>>,
 }
 
 impl Default for WorkflowConfig {
@@ -107,6 +117,7 @@ impl Default for WorkflowConfig {
             max_bisections: usize::MAX,
             jobs: 1,
             trace: TraceSink::disabled(),
+            ledger: None,
         }
     }
 }
@@ -191,7 +202,7 @@ pub fn run_workflow(
         phase::WORKFLOW,
         "sweep",
         db.rows.len() as u64,
-        db.rows.iter().map(|r| r.seconds).sum(),
+        db.rows.iter().filter_map(|r| r.seconds).sum(),
     );
 
     let bars: Vec<CategoryBars> = db.tests().iter().map(|t| category_bars(&db, t)).collect();
@@ -218,6 +229,13 @@ pub fn run_workflow(
         .filter(|r| r.is_variable())
         .take(cfg.max_bisections)
         .collect();
+    // One query ledger spans every search the workflow spawns: the
+    // reference run and any identical file-level queries issued by
+    // different rows execute once (`exec.queries.shared_hits`).
+    let ledger = cfg
+        .ledger
+        .clone()
+        .unwrap_or_else(|| QueryLedger::new(program.fingerprint(), trace));
     let exec = Executor::with_trace(cfg.jobs, trace.clone());
     let results = exec
         .run(rows.len(), |i| {
@@ -231,6 +249,11 @@ pub fn run_workflow(
             let baseline = Build::new(program, cfg.runner.baseline.clone());
             let variable = Build::tagged(program, row.compilation.clone(), 1);
             let input = test.default_input();
+            let handle = LedgerHandle::new(
+                ledger.clone(),
+                i as u64 + 1,
+                format!("{}/{}", row.test, row.compilation.label()),
+            );
             let row_cfg = match cfg.lint {
                 LintMode::Off => bisect_cfg.clone(),
                 mode => {
@@ -254,7 +277,7 @@ pub fn run_workflow(
                 driver,
                 &input[..test.inputs_per_run().min(input.len())],
                 &l2_compare,
-                &row_cfg,
+                &row_cfg.with_ledger(handle),
             )
         })
         .map_err(|e| {

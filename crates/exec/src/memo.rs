@@ -58,6 +58,24 @@ impl<K: Hash + Eq + Clone, V: Clone> SingleFlight<K, V> {
         }
     }
 
+    /// Insert a value for `key` if no value is present yet. Returns
+    /// `true` when this call installed the value, `false` when the key
+    /// was already resolved (the existing value wins — journal replay
+    /// must never overwrite a live answer, and vice versa).
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let cell = {
+            let mut shard = self.shards[self.shard(&key)].lock();
+            shard.entry(key).or_default().clone()
+        };
+        let mut slot = cell.lock();
+        if slot.is_none() {
+            *slot = Some(value);
+            true
+        } else {
+            false
+        }
+    }
+
     /// The memoized value for `key`, if any (never computes).
     pub fn peek(&self, key: &K) -> Option<V> {
         let cell = self.shards[self.shard(key)].lock().get(key).cloned()?;
@@ -86,6 +104,22 @@ mod tests {
         assert_eq!((v, computed), (7, false));
         assert_eq!(memo.peek(&vec![1, 2]), Some(7));
         assert_eq!(memo.peek(&vec![3]), None);
+    }
+
+    #[test]
+    fn insert_is_first_writer_wins() {
+        let memo: SingleFlight<u32, u32> = SingleFlight::new();
+        assert!(memo.insert(1, 10));
+        assert!(!memo.insert(1, 99), "existing value must win");
+        assert_eq!(memo.peek(&1), Some(10));
+        // A computed value also blocks later inserts.
+        let (_, computed) = memo.get_or_compute(2, || 20);
+        assert!(computed);
+        assert!(!memo.insert(2, 99));
+        assert_eq!(memo.peek(&2), Some(20));
+        // And an inserted value is a hit for get_or_compute.
+        let (v, computed) = memo.get_or_compute(1, || unreachable!());
+        assert_eq!((v, computed), (10, false));
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Durability helpers shared by the checkpoint journal and the trace
+//! exporter: atomic file writes, CRC32 record checksums, and FNV-128
+//! content digests.
+//!
+//! The atomic write contract is the load-bearing piece: a reader that
+//! opens the target path observes either the previous complete payload
+//! or the new complete payload — never a prefix of one. That is what
+//! lets the journal loader treat any mid-record EOF as *corruption*
+//! rather than an innocent crash artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Write `bytes` to `path` atomically: write a uniquely-named temp file
+/// in the same directory, flush it, then `rename` it over the target.
+/// On any error the temp file is removed, so no partial file is ever
+/// observable at *or near* the destination path.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "atomic".to_string());
+    // Unique per (process, call): concurrent writers of the same target
+    // never share a temp file.
+    let tmp_name = format!(
+        ".{stem}.tmp.{}.{}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    );
+    let tmp: PathBuf = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes` — the
+/// per-record checksum used by the checkpoint journal.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// FNV-1a 128-bit digest of `bytes`, rendered as 32 lowercase hex
+/// digits. Used to key cross-search memo entries on canonical link
+/// recipes; 128 bits keeps accidental collisions out of reach for the
+/// table sizes a workflow produces.
+pub fn fnv128_hex(bytes: &[u8]) -> String {
+    // FNV-1a 128: offset basis and prime from the FNV spec.
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:032x}")
+}
+
+/// Incremental FNV-1a 128 hasher for digesting structured content
+/// without intermediate allocation.
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv128 {
+    /// Start a fresh digest.
+    pub fn new() -> Self {
+        Fnv128 {
+            state: 0x6c62272e07bb014262b821756295c58d,
+        }
+    }
+
+    /// Fold `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        const PRIME: u128 = 0x0000000001000000000000000000013b;
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Fold a length-prefixed string in (prefixing prevents `"ab","c"`
+    /// from colliding with `"a","bc"` across `update_str` calls).
+    pub fn update_str(&mut self, s: &str) {
+        self.update(&(s.len() as u64).to_le_bytes());
+        self.update(s.as_bytes());
+    }
+
+    /// Fold a `u64` in.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Finish: 32 lowercase hex digits.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "flit-persist-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xcbf43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv128_is_stable_and_distinct() {
+        let a = fnv128_hex(b"hello");
+        let b = fnv128_hex(b"hello");
+        let c = fnv128_hex(b"hellp");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 32);
+
+        let mut h = Fnv128::new();
+        h.update(b"hello");
+        assert_eq!(h.hex(), a);
+    }
+
+    #[test]
+    fn fnv128_str_framing_prevents_concat_collisions() {
+        let mut h1 = Fnv128::new();
+        h1.update_str("ab");
+        h1.update_str("c");
+        let mut h2 = Fnv128::new();
+        h2.update_str("a");
+        h2.update_str("bc");
+        assert_ne!(h1.hex(), h2.hex());
+    }
+
+    #[test]
+    fn write_atomic_creates_and_replaces() {
+        let dir = tmp_dir("basic");
+        let p = dir.join("out.jsonl");
+        write_atomic(&p, b"first payload\n").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"first payload\n");
+        write_atomic(&p, b"second payload, longer than the first\n").unwrap();
+        assert_eq!(
+            fs::read(&p).unwrap(),
+            b"second payload, longer than the first\n"
+        );
+        // No temp litter left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_failure_leaves_no_temp_file() {
+        let dir = tmp_dir("fail");
+        // Target inside a *missing* subdirectory: File::create fails.
+        let p = dir.join("no-such-subdir").join("out.txt");
+        assert!(write_atomic(&p, b"payload").is_err());
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(leftovers.is_empty(), "unexpected files: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The satellite-1 regression: concurrent writers rewriting one
+    /// target while a reader polls it. Every observation must be one of
+    /// the complete payloads — a torn/partial read fails the test.
+    #[test]
+    fn concurrent_writers_never_expose_a_partial_file() {
+        let dir = tmp_dir("race");
+        let p = dir.join("target.jsonl");
+        // Two distinct full payloads, both ending in the sentinel line.
+        let payload = |tag: u8, reps: usize| -> Vec<u8> {
+            let mut v = Vec::new();
+            for i in 0..reps {
+                v.extend_from_slice(format!("writer-{tag} line {i:04}\n").as_bytes());
+            }
+            v.extend_from_slice(b"END\n");
+            v
+        };
+        let pay_a = payload(b'a', 200);
+        let pay_b = payload(b'b', 350);
+        write_atomic(&p, &pay_a).unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut writers = vec![];
+        for pay in [pay_a.clone(), pay_b.clone()] {
+            let p = p.clone();
+            let stop = stop.clone();
+            writers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    write_atomic(&p, &pay).unwrap();
+                }
+            }));
+        }
+        for _ in 0..500 {
+            let got = fs::read(&p).unwrap();
+            assert!(
+                got == pay_a || got == pay_b,
+                "observed a partial/torn file of {} bytes",
+                got.len()
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,10 +1,11 @@
 //! Rendering for `flit-trace` traces: the `flit trace <file>` view.
 //!
-//! Five exhibits, all derived from a canonically-ordered
+//! Six exhibits, all derived from a canonically-ordered
 //! [`Trace`]: a per-phase span summary, the top-N slowest sweep
 //! compilations, the bisect execution counts per level (the paper's
 //! Tables 2/4 "number of runs"), the parallel searches' frontier width
-//! over time, and the build-cache hit rates.
+//! over time, the build-cache hit rates, and the query ledger's
+//! resume/dedup accounting.
 
 use flit_trace::event::Trace;
 use flit_trace::names::{counter, phase};
@@ -145,10 +146,48 @@ pub fn lint_activity(trace: &Trace) -> Table {
     t
 }
 
+/// Resume & dedup accounting for the workflow-wide query ledger: how
+/// many Test queries actually executed, how many were served from the
+/// per-search memo, how many were deduplicated across sibling searches
+/// (`shared_hits`), and the checkpoint journal's replay/append volume.
+/// Rendered only when a ledger was active — a plain search records
+/// none of these counters, and an all-zero table would read as "the
+/// ledger ran and deduplicated nothing".
+pub fn resume_dedup(trace: &Trace) -> Table {
+    let mut t = Table::new(&["counter", "value"])
+        .with_title("Resume & dedup (query ledger)")
+        .with_aligns(&[Align::Left, Align::Right]);
+    let rows = [
+        ("queries executed", counter::EXEC_QUERIES_EXECUTED),
+        ("memo hits", counter::EXEC_QUERIES_MEMOIZED),
+        (
+            "cross-search shared hits",
+            counter::EXEC_QUERIES_SHARED_HITS,
+        ),
+        ("journal records replayed", counter::JOURNAL_REPLAYED),
+        ("journal records appended", counter::JOURNAL_APPENDED),
+    ];
+    let ledger_active: u64 = [
+        counter::EXEC_QUERIES_SHARED_HITS,
+        counter::JOURNAL_REPLAYED,
+        counter::JOURNAL_APPENDED,
+    ]
+    .iter()
+    .map(|key| trace.counter(key))
+    .sum();
+    if ledger_active == 0 {
+        return t;
+    }
+    for (name, key) in rows {
+        t.row(&[name.to_string(), trace.counter(key).to_string()]);
+    }
+    t
+}
+
 /// The full `flit trace` report: all exhibits, separated by blank
 /// lines. Sections with no data render with their headers so the
-/// output shape is stable (except the lint section, which only appears
-/// when a prescreen actually ran).
+/// output shape is stable (except the lint and ledger sections, which
+/// only appear when a prescreen or a query ledger actually ran).
 pub fn render_trace(trace: &Trace, top: usize) -> String {
     let mut out = String::new();
     out.push_str(&phase_summary(trace).render());
@@ -164,6 +203,11 @@ pub fn render_trace(trace: &Trace, top: usize) -> String {
     if !lint.is_empty() {
         out.push('\n');
         out.push_str(&lint.render());
+    }
+    let ledger = resume_dedup(trace);
+    if !ledger.is_empty() {
+        out.push('\n');
+        out.push_str(&ledger.render());
     }
     out
 }
@@ -273,6 +317,38 @@ mod tests {
         assert!(out.contains('-'));
         // No lint activity → no lint section.
         assert!(!out.contains("Static prescreen"));
+        // No ledger activity → no resume/dedup section.
+        assert!(!out.contains("Resume & dedup"));
+    }
+
+    #[test]
+    fn resume_dedup_section_appears_only_with_ledger_activity() {
+        let counters: BTreeMap<String, u64> = [
+            (counter::EXEC_QUERIES_EXECUTED.to_string(), 40),
+            (counter::EXEC_QUERIES_MEMOIZED.to_string(), 12),
+            (counter::EXEC_QUERIES_SHARED_HITS.to_string(), 5),
+            (counter::JOURNAL_REPLAYED.to_string(), 33),
+            (counter::JOURNAL_APPENDED.to_string(), 7),
+        ]
+        .into_iter()
+        .collect();
+        let trace = Trace::from_parts(vec![], counters);
+        let out = render_trace(&trace, 5);
+        assert!(out.contains("Resume & dedup (query ledger)"), "{out}");
+        let line = |name: &str| out.lines().find(|l| l.contains(name)).unwrap().to_string();
+        assert!(line("queries executed").contains("40"));
+        assert!(line("cross-search shared hits").contains('5'));
+        assert!(line("journal records replayed").contains("33"));
+        // An ordinary shared-oracle run (memo counters only, no ledger)
+        // must NOT surface the section.
+        let plain: BTreeMap<String, u64> = [
+            (counter::EXEC_QUERIES_EXECUTED.to_string(), 9),
+            (counter::EXEC_QUERIES_MEMOIZED.to_string(), 3),
+        ]
+        .into_iter()
+        .collect();
+        let out = render_trace(&Trace::from_parts(vec![], plain), 5);
+        assert!(!out.contains("Resume & dedup"), "{out}");
     }
 
     #[test]

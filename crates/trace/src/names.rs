@@ -63,6 +63,14 @@ pub mod counter {
     pub const EXEC_QUERIES_EXECUTED: &str = "exec.queries.executed";
     /// Oracle queries served from the shared memo.
     pub const EXEC_QUERIES_MEMOIZED: &str = "exec.queries.memoized";
+    /// Ledger queries answered by a *different* search's earlier
+    /// execution (workflow-wide cross-search deduplication).
+    pub const EXEC_QUERIES_SHARED_HITS: &str = "exec.queries.shared_hits";
+
+    /// Checkpoint-journal records replayed into the ledger on resume.
+    pub const JOURNAL_REPLAYED: &str = "journal.records.replayed";
+    /// Checkpoint-journal records appended during this run.
+    pub const JOURNAL_APPENDED: &str = "journal.records.appended";
 
     /// Functions statically analyzed by `flit-lint`.
     pub const LINT_FUNCTIONS_ANALYZED: &str = "lint.functions_analyzed";

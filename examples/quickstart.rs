@@ -78,13 +78,20 @@ fn main() {
 
     let baseline = Build::new(&program, Compilation::baseline());
     let variable_build = Build::tagged(&program, culprit.compilation.clone(), 1);
+    // Checkpoint the search: every answered Test query is appended to a
+    // durable journal, so a killed search resumes where it stopped.
+    let journal_path = std::path::Path::new("target/quickstart-journal.jsonl");
+    let ledger = QueryLedger::new(program.fingerprint(), &TraceSink::disabled());
+    ledger.attach_journal(JournalWriter::create(journal_path, program.fingerprint()).unwrap());
+    let pair = format!("{}/{}", test.driver().name, culprit.label);
+    let cfg = HierarchicalConfig::all().with_ledger(LedgerHandle::new(ledger.clone(), 1, pair));
     let result = bisect_hierarchical(
         &baseline,
         &variable_build,
         test.driver(),
         &[0.4, 0.8],
         &l2_compare,
-        &HierarchicalConfig::all(),
+        &cfg,
     );
 
     assert_eq!(result.outcome, SearchOutcome::Completed);
@@ -102,5 +109,34 @@ fn main() {
     );
     assert_eq!(result.symbols.len(), 1);
     assert_eq!(result.symbols[0].symbol, "integrate_flux");
+    println!(
+        "  checkpoint: {} answers journaled to {}",
+        ledger.stats().appended,
+        journal_path.display()
+    );
+
+    // 5. Resume: a fresh process replays the journal instead of
+    //    re-running anything — the result is byte-identical.
+    let resumed_ledger = QueryLedger::new(program.fingerprint(), &TraceSink::disabled());
+    let (writer, records) = JournalWriter::resume(journal_path, program.fingerprint()).unwrap();
+    resumed_ledger.preload(&records);
+    resumed_ledger.attach_journal(writer);
+    let pair = format!("{}/{}", test.driver().name, culprit.label);
+    let resumed_cfg =
+        HierarchicalConfig::all().with_ledger(LedgerHandle::new(resumed_ledger.clone(), 1, pair));
+    let resumed = bisect_hierarchical(
+        &baseline,
+        &variable_build,
+        test.driver(),
+        &[0.4, 0.8],
+        &l2_compare,
+        &resumed_cfg,
+    );
+    assert_eq!(resumed, result, "resume must reproduce the search exactly");
+    assert_eq!(resumed_ledger.stats().executed, 0);
+    println!(
+        "  resume: {} journal records replayed, 0 live executions, identical findings",
+        resumed_ledger.stats().replayed
+    );
     println!("\nquickstart OK: the reduction kernel was correctly blamed.");
 }

@@ -38,6 +38,7 @@ pub use flit_laghos as laghos;
 pub use flit_lint as lint;
 pub use flit_lulesh as lulesh;
 pub use flit_mfem as mfem;
+pub use flit_persist as persist;
 pub use flit_program as program;
 pub use flit_report as report;
 pub use flit_toolchain as toolchain;
@@ -51,6 +52,8 @@ pub mod prelude {
         bisect_hierarchical, bisect_hierarchical_parallel, HierarchicalConfig, HierarchicalResult,
         Prescreen, SearchOutcome,
     };
+    pub use flit_bisect::journal::{load_journal, JournalError, JournalRecord, JournalWriter};
+    pub use flit_bisect::ledger::{LedgerHandle, LedgerStats, QueryLedger, SearchKeys};
     pub use flit_bisect::parallel::{bisect_all_parallel, bisect_biggest_parallel, SharedOracle};
     pub use flit_bisect::planner::{BisectPlan, PlanStep, SearchMode};
     pub use flit_bisect::test_fn::{MemoTest, TestError};

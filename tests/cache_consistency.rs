@@ -46,7 +46,7 @@ fn sweep_rows_are_bit_identical_with_cache_on_and_off() {
     for (a, b) in on.rows.iter().zip(&off.rows) {
         assert_eq!(a.test, b.test);
         assert_eq!(a.label, b.label);
-        assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+        assert_eq!(a.seconds.map(f64::to_bits), b.seconds.map(f64::to_bits));
         assert_eq!(a.comparison.to_bits(), b.comparison.to_bits());
         assert_eq!(a.bitwise_equal, b.bitwise_equal);
         assert_eq!(a.baseline_norm.to_bits(), b.baseline_norm.to_bits());

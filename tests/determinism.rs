@@ -36,7 +36,7 @@ fn matrix_sweep_is_bitwise_reproducible() {
         assert_eq!(x.test, y.test);
         assert_eq!(x.label, y.label);
         assert_eq!(x.comparison.to_bits(), y.comparison.to_bits());
-        assert_eq!(x.seconds.to_bits(), y.seconds.to_bits());
+        assert_eq!(x.seconds.map(f64::to_bits), y.seconds.map(f64::to_bits));
         assert_eq!(x.bitwise_equal, y.bitwise_equal);
     }
 }

@@ -203,11 +203,11 @@ fn arbitrary_db() -> impl Strategy<Value = ResultsDb> {
         for (test_i, comp_i, sec_kind, cmp_kind, flavor) in raw {
             let compilation = mfem_matrix()[comp_i].clone();
             let seconds = match sec_kind {
-                0 => 0.0,
-                1 => f64::NAN,
-                2 => f64::INFINITY,
-                3 => -1.0,
-                _ => 0.5 + test_i as f64,
+                0 => Some(0.0),
+                1 => Some(f64::NAN),
+                2 => Some(f64::INFINITY),
+                3 => None, // missing measurement, crashed or not
+                _ => Some(0.5 + test_i as f64),
             };
             let comparison = match cmp_kind {
                 0 => 0.0,

@@ -11,6 +11,10 @@ if [[ "${1:-}" == "--quick" ]]; then
   echo "== quick: static prescreen (flit-lint unit + soundness suite) =="
   cargo test -q -p flit-lint
   cargo test -q --test lint_soundness
+  echo "== quick: resume + dedup (kill-and-resume, shared query ledger) =="
+  cargo test -q --test resume_durability
+  cargo test -q -p flit-bisect
+  cargo test -q -p flit-persist
   echo "verify --quick: OK"
   exit 0
 fi
