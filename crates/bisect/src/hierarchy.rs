@@ -268,6 +268,10 @@ fn run_to_test_error(e: RunError) -> TestError {
     match e {
         RunError::Crash(s) => TestError::Crash(s),
         RunError::MissingSymbol(s) => TestError::Link(format!("undefined symbol `{s}`")),
+        // A corrupt build tag means the mixed link itself is broken —
+        // surface it as a link-level fault so the search reports it as
+        // an assumption violation rather than masking it.
+        e @ RunError::CorruptBuildTag { .. } => TestError::Link(e.to_string()),
     }
 }
 

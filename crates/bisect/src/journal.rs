@@ -590,6 +590,85 @@ mod tests {
     }
 
     #[test]
+    fn exactly_25_byte_line_is_malformed() {
+        // Framing is 24 bytes plus the closing brace: a 25-byte line
+        // has an empty payload, the shortest input that reaches the
+        // `24..len-1` payload slice. It must be refused structurally.
+        let line = "{\"crc\":\"00000000\",\"rec\":}";
+        assert_eq!(line.len(), 25);
+        match parse_line("j", 1, line) {
+            Err(JournalError::Malformed { message, .. }) => {
+                assert!(message.contains("truncated mid-payload"), "{message}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // One byte shorter still (framing only, no closing brace) makes
+        // the payload range backwards — also structured, not a panic.
+        match parse_line("j", 1, &line[..24]) {
+            Err(JournalError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multibyte_truncation_mid_character_is_malformed() {
+        // A truncated line can end with a complete multi-byte char, so
+        // `line.len() - 1` is *not* a char boundary: the payload slice
+        // `24..len-1` must bail out structurally (a direct `&line[..]`
+        // index here would panic). 'é' is 2 bytes in UTF-8.
+        let rec = JournalRecord {
+            seq: 0,
+            version: JOURNAL_VERSION,
+            fingerprint: 5,
+            pair: "p".to_string(),
+            key: "k".to_string(),
+            answer: JournalAnswer::Score {
+                score_bits: 0,
+                seconds_bits: 0,
+            },
+        };
+        let full = render_line(&rec);
+        for cut in 24..full.len() - 1 {
+            let line = format!("{}é", &full[..cut]);
+            assert!(!line.is_char_boundary(line.len() - 1));
+            match parse_line("j", 1, &line) {
+                Err(JournalError::Malformed { message, .. }) => {
+                    assert!(message.contains("truncated mid-payload"), "cut {cut}");
+                }
+                other => panic!("cut {cut}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn file_truncated_mid_utf8_char_is_structured() {
+        // Kill a writer mid-append inside a multi-byte character: the
+        // file is no longer valid UTF-8 and the load must surface a
+        // structured error (Io from the decode), never a panic.
+        let p = tmp("utf8");
+        let mut w = JournalWriter::create(&p, 11).unwrap();
+        w.append(
+            "ex1/g++ –O3", // en-dash: 3 bytes
+            "file/abc/0/1",
+            JournalAnswer::Score {
+                score_bits: 0,
+                seconds_bits: 0,
+            },
+        )
+        .unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let dash_at = bytes
+            .windows(3)
+            .position(|w| w == "–".as_bytes())
+            .expect("en-dash present in the payload");
+        std::fs::write(&p, &bytes[..dash_at + 1]).unwrap();
+        match load_journal(&p, 11).unwrap_err() {
+            JournalError::Io { .. } | JournalError::Malformed { .. } => {}
+            other => panic!("expected Io/Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn missing_file_is_an_io_error() {
         let p = tmp("missing");
         match load_journal(p.with_extension("nope"), 0).unwrap_err() {

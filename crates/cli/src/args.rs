@@ -95,6 +95,20 @@ pub enum Command {
         /// Replay a checkpoint journal before the bisection stage.
         resume: Option<String>,
     },
+    /// Generative differential-testing campaign: random codebases with
+    /// planted blame sets, checked against the whole pipeline.
+    Fuzz {
+        /// Seed range, inclusive start, exclusive end.
+        seeds: (u64, u64),
+        /// Wall-clock budget in seconds (default: run the whole range).
+        budget_secs: Option<u64>,
+        /// Shrink divergent seeds and print fixture snippets.
+        shrink: bool,
+        /// Width of the parallel cross-check (default 8; 1 skips it).
+        jobs: Option<usize>,
+        /// Write a JSONL trace of the campaign here.
+        trace: Option<String>,
+    },
     /// Summarize a JSONL trace produced by `flit workflow --trace`.
     Trace {
         /// Path to the JSONL trace file.
@@ -128,6 +142,7 @@ USAGE:
   flit lint <app> [--compilation \"<compiler -On [flags]>\"] [--test <name>]
   flit inject <app> [--limit <n-sites>]
   flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>] [--lint seed|prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>]
+  flit fuzz --seeds <a>..<b> [--budget-secs <n>] [--shrink] [--jobs <n>] [--trace <file.jsonl>]
   flit trace <file.jsonl> [--top <n>]
   flit help
 ";
@@ -210,6 +225,33 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 lint,
                 checkpoint: flag_value("--checkpoint"),
                 resume: flag_value("--resume"),
+            }
+        }
+        "fuzz" => {
+            let spec = flag_value("--seeds")
+                .ok_or_else(|| ParseError(format!("`fuzz` needs --seeds <a>..<b>\n\n{USAGE}")))?;
+            let seeds = spec
+                .split_once("..")
+                .and_then(|(a, b)| Some((a.trim().parse().ok()?, b.trim().parse().ok()?)))
+                .filter(|(a, b)| a < b)
+                .ok_or_else(|| {
+                    ParseError(format!(
+                        "--seeds takes an ascending range like 0..1000, got `{spec}`"
+                    ))
+                })?;
+            let budget_secs =
+                match flag_value("--budget-secs") {
+                    Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                        ParseError(format!("--budget-secs takes a number, got `{v}`"))
+                    })?),
+                    None => None,
+                };
+            Command::Fuzz {
+                seeds,
+                budget_secs,
+                shrink: has_flag("--shrink"),
+                jobs: num_flag("--jobs")?,
+                trace: flag_value("--trace"),
             }
         }
         "trace" => {
@@ -384,6 +426,39 @@ mod tests {
                 top: Some(5)
             }
         );
+        assert_eq!(
+            parse(&v(&[
+                "fuzz",
+                "--seeds",
+                "0..1000",
+                "--budget-secs",
+                "60",
+                "--shrink",
+                "--jobs",
+                "4",
+                "--trace",
+                "fuzz.jsonl"
+            ]))
+            .unwrap()
+            .command,
+            Command::Fuzz {
+                seeds: (0, 1000),
+                budget_secs: Some(60),
+                shrink: true,
+                jobs: Some(4),
+                trace: Some("fuzz.jsonl".into()),
+            }
+        );
+        assert_eq!(
+            parse(&v(&["fuzz", "--seeds", "7..13"])).unwrap().command,
+            Command::Fuzz {
+                seeds: (7, 13),
+                budget_secs: None,
+                shrink: false,
+                jobs: None,
+                trace: None,
+            }
+        );
         assert_eq!(parse(&v(&[])).unwrap().command, Command::Help);
         assert_eq!(parse(&v(&["help"])).unwrap().command, Command::Help);
     }
@@ -414,6 +489,11 @@ mod tests {
         assert!(parse(&v(&["inject", "lulesh", "--limit", "NaN"])).is_err());
         assert!(parse(&v(&["trace"])).is_err());
         assert!(parse(&v(&["trace", "wf.jsonl", "--top", "many"])).is_err());
+        assert!(parse(&v(&["fuzz"])).is_err());
+        assert!(parse(&v(&["fuzz", "--seeds", "10"])).is_err());
+        assert!(parse(&v(&["fuzz", "--seeds", "9..3"])).is_err());
+        assert!(parse(&v(&["fuzz", "--seeds", "5..5"])).is_err());
+        assert!(parse(&v(&["fuzz", "--seeds", "0..4", "--budget-secs", "soon"])).is_err());
     }
 
     #[test]

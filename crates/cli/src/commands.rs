@@ -83,6 +83,13 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             checkpoint.as_deref(),
             resume.as_deref(),
         ),
+        Command::Fuzz {
+            seeds,
+            budget_secs,
+            shrink,
+            jobs,
+            trace,
+        } => cmd_fuzz(*seeds, *budget_secs, *shrink, *jobs, trace.as_deref()),
         Command::Trace { file, top } => cmd_trace(file, top.unwrap_or(10)),
     }
 }
@@ -598,6 +605,41 @@ fn cmd_workflow(
     Ok(out)
 }
 
+fn cmd_fuzz(
+    seeds: (u64, u64),
+    budget_secs: Option<u64>,
+    shrink: bool,
+    jobs: Option<usize>,
+    trace_path: Option<&str>,
+) -> Result<String, ParseError> {
+    let cfg = flit_fuzz::CampaignConfig {
+        start: seeds.0,
+        end: seeds.1,
+        budget_secs,
+        jobs: jobs.unwrap_or(8),
+        shrink,
+        ..flit_fuzz::CampaignConfig::default()
+    };
+    let trace = TraceSink::enabled();
+    let result = flit_fuzz::run_campaign(&cfg, &trace);
+    let mut out = flit_fuzz::render_report(&cfg, &result);
+    if let Some(path) = trace_path {
+        let jsonl = trace.snapshot().to_jsonl();
+        flit_persist::write_atomic(std::path::Path::new(path), jsonl.as_bytes())
+            .map_err(|e| ParseError(format!("cannot write trace `{path}`: {e}")))?;
+        out.push_str(&format!(
+            "\ntrace: {} events written to {path} (render with `flit trace {path}`)\n",
+            jsonl.lines().count()
+        ));
+    }
+    if result.clean() {
+        Ok(out)
+    } else {
+        // A divergence is a pipeline bug: fail the process so CI trips.
+        Err(ParseError(out))
+    }
+}
+
 fn cmd_trace(file: &str, top: usize) -> Result<String, ParseError> {
     let text = std::fs::read_to_string(file)
         .map_err(|e| ParseError(format!("cannot read trace `{file}`: {e}")))?;
@@ -825,6 +867,19 @@ mod tests {
         let out = run_cli(&["workflow", "laghos", "--max-bisections", "6"]).unwrap();
         assert!(out.contains("determinism pre-check: passed"), "{out}");
         assert!(out.contains("QUpdate_Viscosity"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_campaign_runs_clean_and_traces() {
+        let path = std::env::temp_dir().join("flit-cli-fuzz-test.jsonl");
+        let path_s = path.to_string_lossy().to_string();
+        let out = run_cli(&["fuzz", "--seeds", "0..3", "--jobs", "2", "--trace", &path_s]).unwrap();
+        assert!(out.contains("no divergences"), "{out}");
+        assert!(out.contains("events written"), "{out}");
+        let rendered = run_cli(&["trace", &path_s]).unwrap();
+        assert!(rendered.contains("Fuzz campaign"), "{rendered}");
+        assert!(rendered.contains("seeds run"), "{rendered}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! `flit-fuzz` — generative differential-testing campaign over the
+//! whole pipeline, with planted ground truth.
+//!
+//! Each seed generates a random codebase with *planted blame sets*
+//! ([`flit_program::generate::random_planted`]): FP-sensitive kernels
+//! behind exported, static, inlinable, and cross-file entry shapes,
+//! plus mixed-ABI hazards, all recorded as ground truth. The oracle
+//! ([`oracle::check_seed`]) then checks four layers against that truth:
+//!
+//! 1. the hierarchical bisection's found set equals the planted blame
+//!    set (files and symbols),
+//! 2. `flit-lint`'s static prediction keeps recall 1.0 over it,
+//! 3. `--jobs 8` returns byte-identical results to `--jobs 1`, and a
+//!    seeded kill-and-resume through the checkpoint journal replays to
+//!    the same bytes,
+//! 4. the journal round-trips: the file on disk reloads cleanly.
+//!
+//! Divergent seeds feed a delta-debugging shrinker ([`shrink::shrink`])
+//! that minimizes the planted spec and emits a self-contained fixture
+//! snippet. The campaign driver ([`campaign::run_campaign`]) surfaces
+//! as `flit fuzz --seeds A..B`.
+
+pub mod campaign;
+pub mod oracle;
+pub mod pairs;
+pub mod shrink;
+
+pub use campaign::{corpus_seeds, render_report, run_campaign, CampaignConfig, CampaignResult};
+pub use oracle::{check_seed, check_spec, OracleConfig, SeedVerdict};
+pub use pairs::{pair_for_seed, pair_menu, FuzzPair};
+pub use shrink::{shrink, ShrinkResult};

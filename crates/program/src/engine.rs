@@ -24,6 +24,17 @@ pub enum RunError {
     Crash(String),
     /// An entry or callee symbol has no definition in the executable.
     MissingSymbol(String),
+    /// An object's `build_tag` names a source tree the engine was not
+    /// given: the executable was assembled from builds this engine does
+    /// not know about (or the tag itself is corrupt).
+    CorruptBuildTag {
+        /// Index of the offending object in the executable.
+        object: usize,
+        /// The out-of-range tag.
+        tag: u32,
+        /// How many source trees the engine binds.
+        trees: usize,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -31,6 +42,10 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Crash(what) => write!(f, "segmentation fault ({what})"),
             RunError::MissingSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            RunError::CorruptBuildTag { object, tag, trees } => write!(
+                f,
+                "object {object} carries build_tag {tag} but the engine binds {trees} source tree(s)"
+            ),
         }
     }
 }
@@ -72,9 +87,25 @@ impl<'a> Engine<'a> {
     }
 
     /// The source tree providing bodies for object `obj_idx`.
-    fn program_of(&self, obj_idx: usize) -> &'a SimProgram {
-        let tag = self.exe.objects[obj_idx].build_tag as usize;
-        self.programs[tag.min(self.programs.len() - 1)]
+    ///
+    /// A single-tree engine binds every object to its one program —
+    /// tags only distinguish trees in mixed builds. With multiple
+    /// trees, an out-of-range tag is corruption (previously it was
+    /// silently clamped to the last tree, masking exactly the fault a
+    /// fuzzer would plant) and is reported as a structured error.
+    fn program_of(&self, obj_idx: usize) -> Result<&'a SimProgram, RunError> {
+        if self.programs.len() == 1 {
+            return Ok(self.programs[0]);
+        }
+        let tag = self.exe.objects[obj_idx].build_tag;
+        self.programs
+            .get(tag as usize)
+            .copied()
+            .ok_or(RunError::CorruptBuildTag {
+                object: obj_idx,
+                tag,
+                trees: self.programs.len(),
+            })
     }
 
     /// Run the driver on the given FLiT test input.
@@ -167,7 +198,7 @@ impl<'a> Engine<'a> {
         }
 
         // The *body* comes from whichever source tree built the object.
-        let body = &self.program_of(obj_idx).files[file_id].functions[func_idx];
+        let body = &self.program_of(obj_idx)?.files[file_id].functions[func_idx];
         body.kernel.eval(state, &env, body.injection);
         *seconds += simulated_seconds(
             &self.exe.objects[obj_idx].compilation,
@@ -326,6 +357,50 @@ mod tests {
         let out_mixed2 = Engine::new(&p, &mixed2).run(&driver(), &[0.5]).unwrap();
         assert_ne!(out_mixed2.output, out_base.output);
         assert_ne!(out_mixed2.output, out_mixed.output);
+    }
+
+    #[test]
+    fn corrupt_build_tag_is_a_structured_error() {
+        // Pre-fix, `program_of` clamped an out-of-range tag to the last
+        // source tree and the run "succeeded" with the wrong bodies.
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(&p, Compilation::perf_reference(), 1);
+        let mut mixed = crate::build::file_mixed_executable(
+            &base,
+            &var,
+            &[1usize].into_iter().collect(),
+            CompilerKind::Gcc,
+        )
+        .unwrap();
+        mixed.objects[1].build_tag = 7;
+        let err = Engine::with_variant(&p, &p, &mixed)
+            .run(&driver(), &[0.5])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RunError::CorruptBuildTag {
+                    object: 1,
+                    tag: 7,
+                    trees: 2
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn single_tree_engine_ignores_build_tags() {
+        // Tags only distinguish source trees in mixed builds: a
+        // single-program engine binds its one tree no matter what the
+        // objects claim (a tagged variable build run standalone).
+        let p = program();
+        let var = Build::tagged(&p, Compilation::perf_reference(), 1);
+        let exe = var.executable().unwrap();
+        assert!(exe.objects.iter().all(|o| o.build_tag == 1));
+        let out = Engine::new(&p, &exe).run(&driver(), &[0.5]).unwrap();
+        assert_eq!(out.output.len(), 48);
     }
 
     #[test]

@@ -25,7 +25,7 @@ impl Summary {
         if v.is_empty() {
             return None;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.total_cmp(b));
         let q = |p: f64| -> f64 {
             let idx = p * (v.len() - 1) as f64;
             let lo = idx.floor() as usize;
@@ -49,12 +49,18 @@ impl Summary {
     /// Render as a one-line boxplot on a log10 scale between
     /// `lo_exp`/`hi_exp` decades, `width` characters wide.
     pub fn render_log_box(&self, lo_exp: i32, hi_exp: i32, width: usize) -> String {
+        if width == 0 {
+            return String::new();
+        }
         let pos = |x: f64| -> usize {
-            if x <= 0.0 {
+            if x <= 0.0 || hi_exp <= lo_exp {
+                // A degenerate decade range has no scale to place
+                // markers on; collapse everything to the left edge.
                 return 0;
             }
             let l = x.log10().clamp(lo_exp as f64, hi_exp as f64);
-            (((l - lo_exp as f64) / (hi_exp - lo_exp) as f64) * (width - 1) as f64).round() as usize
+            let frac = ((l - lo_exp as f64) / (hi_exp - lo_exp) as f64).clamp(0.0, 1.0);
+            (frac * (width - 1) as f64).round() as usize
         };
         let mut line: Vec<char> = vec![' '; width];
         let (pmin, pq1, pmed, pq3, pmax) = (
@@ -110,11 +116,46 @@ mod tests {
     }
 
     #[test]
+    fn summary_sorts_nan_laden_samples_without_panicking() {
+        // PR-2 panic-proofing policy: `total_cmp` everywhere. NaNs are
+        // filtered before the sort, but the comparator itself must be
+        // total so a future refactor of the filter cannot reintroduce
+        // the `partial_cmp().unwrap()` panic.
+        let s = Summary::of(&[5.0, f64::NAN, 1.0, f64::NAN, 3.0, f64::NEG_INFINITY]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
     fn log_box_renders_markers() {
         let s = Summary::of(&[1e-13, 1e-10, 1e-7]).unwrap();
         let line = s.render_log_box(-16, 0, 40);
         assert_eq!(line.chars().count(), 40);
         assert!(line.contains('#'));
         assert!(line.contains('|'));
+    }
+
+    #[test]
+    fn log_box_zero_width_is_empty() {
+        // Pre-fix: `width - 1` underflowed and `line[pmin]` indexed an
+        // empty vec.
+        let s = Summary::of(&[1e-13, 1e-10, 1e-7]).unwrap();
+        assert_eq!(s.render_log_box(-16, 0, 0), "");
+    }
+
+    #[test]
+    fn log_box_degenerate_decade_range_clamps_to_left_edge() {
+        // `lo_exp == hi_exp` (and inverted ranges) have a zero or
+        // negative denominator; markers must collapse to column 0, not
+        // ride NaN positions into the line buffer.
+        let s = Summary::of(&[1e-13, 1e-10, 1e-7]).unwrap();
+        for (lo, hi) in [(-10, -10), (0, 0), (-4, -9)] {
+            let line = s.render_log_box(lo, hi, 20);
+            assert_eq!(line.chars().count(), 20, "({lo},{hi})");
+            assert!(line.starts_with('#'), "({lo},{hi}): {line:?}");
+            assert_eq!(line.matches('|').count() + line.matches('#').count(), 1);
+        }
     }
 }

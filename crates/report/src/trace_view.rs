@@ -184,6 +184,31 @@ pub fn resume_dedup(trace: &Trace) -> Table {
     t
 }
 
+/// Fuzz-campaign accounting: seeds checked, pass/divergence split,
+/// explained ABI-hazard crashes, resume checks, and shrink effort.
+/// Rendered only when a campaign actually ran (all counters zero
+/// otherwise).
+pub fn fuzz_campaign(trace: &Trace) -> Table {
+    let mut t = Table::new(&["counter", "value"])
+        .with_title("Fuzz campaign")
+        .with_aligns(&[Align::Left, Align::Right]);
+    let rows = [
+        ("seeds run", counter::FUZZ_SEEDS_RUN),
+        ("seeds passed", counter::FUZZ_SEEDS_PASSED),
+        ("explained crashes", counter::FUZZ_CRASHES_EXPLAINED),
+        ("divergences", counter::FUZZ_DIVERGENCES),
+        ("resume checks", counter::FUZZ_RESUME_CHECKS),
+        ("shrink steps", counter::FUZZ_SHRINK_STEPS),
+    ];
+    if trace.counter(counter::FUZZ_SEEDS_RUN) == 0 {
+        return t;
+    }
+    for (name, key) in rows {
+        t.row(&[name.to_string(), trace.counter(key).to_string()]);
+    }
+    t
+}
+
 /// The full `flit trace` report: all exhibits, separated by blank
 /// lines. Sections with no data render with their headers so the
 /// output shape is stable (except the lint and ledger sections, which
@@ -208,6 +233,11 @@ pub fn render_trace(trace: &Trace, top: usize) -> String {
     if !ledger.is_empty() {
         out.push('\n');
         out.push_str(&ledger.render());
+    }
+    let fuzz = fuzz_campaign(trace);
+    if !fuzz.is_empty() {
+        out.push('\n');
+        out.push_str(&fuzz.render());
     }
     out
 }
@@ -349,6 +379,29 @@ mod tests {
         .collect();
         let out = render_trace(&Trace::from_parts(vec![], plain), 5);
         assert!(!out.contains("Resume & dedup"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_section_appears_only_after_a_campaign() {
+        let counters: BTreeMap<String, u64> = [
+            (counter::FUZZ_SEEDS_RUN.to_string(), 1000),
+            (counter::FUZZ_SEEDS_PASSED.to_string(), 998),
+            (counter::FUZZ_CRASHES_EXPLAINED.to_string(), 14),
+            (counter::FUZZ_DIVERGENCES.to_string(), 2),
+            (counter::FUZZ_RESUME_CHECKS.to_string(), 63),
+            (counter::FUZZ_SHRINK_STEPS.to_string(), 11),
+        ]
+        .into_iter()
+        .collect();
+        let out = render_trace(&Trace::from_parts(vec![], counters), 5);
+        assert!(out.contains("Fuzz campaign"), "{out}");
+        let line = |name: &str| out.lines().find(|l| l.contains(name)).unwrap().to_string();
+        assert!(line("seeds run").contains("1000"));
+        assert!(line("divergences").contains('2'));
+        assert!(line("shrink steps").contains("11"));
+        // No campaign → no section.
+        let out = render_trace(&Trace::from_parts(vec![], BTreeMap::new()), 5);
+        assert!(!out.contains("Fuzz campaign"), "{out}");
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub mod phase {
     /// Static lint-analysis spans: one per analyzed (baseline,
     /// variable) compilation pair (cost = functions analyzed).
     pub const LINT: &str = "lint";
+    /// Fuzz-campaign spans: one per checked seed (cost = program
+    /// executions the seed's serial search spent).
+    pub const FUZZ: &str = "fuzz";
 }
 
 /// Counter names.
@@ -95,4 +98,18 @@ pub mod counter {
     pub const WORKFLOW_BISECTIONS: &str = "workflow.bisections";
     /// Variable (test, compilation) rows found by the workflow sweep.
     pub const WORKFLOW_VARIABLE_ROWS: &str = "workflow.variable_rows";
+
+    /// Seeds the fuzz campaign checked.
+    pub const FUZZ_SEEDS_RUN: &str = "fuzz.seeds.run";
+    /// Seeds on which every oracle layer agreed with the planted truth.
+    pub const FUZZ_SEEDS_PASSED: &str = "fuzz.seeds.passed";
+    /// Seeds whose search crashed on a planted ABI hazard (explained —
+    /// the Table-2 outcome, counted separately from passes).
+    pub const FUZZ_CRASHES_EXPLAINED: &str = "fuzz.crashes.explained";
+    /// Oracle divergences (ground truth violated) found by the campaign.
+    pub const FUZZ_DIVERGENCES: &str = "fuzz.divergences";
+    /// Seeds that additionally ran the kill-and-resume oracle layer.
+    pub const FUZZ_RESUME_CHECKS: &str = "fuzz.resume.checks";
+    /// Accepted delta-debugging shrink steps across all divergences.
+    pub const FUZZ_SHRINK_STEPS: &str = "fuzz.shrink.steps";
 }

@@ -33,6 +33,7 @@ pub use flit_bisect as bisect;
 pub use flit_core as core;
 pub use flit_exec as exec;
 pub use flit_fpsim as fpsim;
+pub use flit_fuzz as fuzz;
 pub use flit_inject as inject;
 pub use flit_laghos as laghos;
 pub use flit_lint as lint;
@@ -67,6 +68,9 @@ pub mod prelude {
     pub use flit_core::workflow::{run_workflow, LintMode, WorkflowConfig};
     pub use flit_exec::Executor;
     pub use flit_fpsim::env::{FpEnv, MathLib, SimdWidth};
+    pub use flit_fuzz::{
+        check_seed, run_campaign, CampaignConfig, CampaignResult, OracleConfig, SeedVerdict,
+    };
     pub use flit_lint::{
         analyze_program, audit_hierarchy, audit_injection, predict_pair, Feature, PairPrediction,
         SensitivitySet,

@@ -2,6 +2,9 @@
 # Tier-1 verification: build + tests, formatting, and lints.
 # `./verify.sh --quick` runs only the planner/executor determinism
 # suite — the fast invariant check after touching the search machinery.
+# `./verify.sh --fuzz` runs a time-boxed differential fuzz campaign
+# (the corpus plus a fixed seed range) through the release CLI; any
+# unexplained divergence from the planted blame sets fails the script.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,7 +18,18 @@ if [[ "${1:-}" == "--quick" ]]; then
   cargo test -q --test resume_durability
   cargo test -q -p flit-bisect
   cargo test -q -p flit-persist
+  echo "== quick: fuzz oracle + campaign plumbing + report stats =="
+  cargo test -q -p flit-fuzz
+  cargo test -q -p flit-report
   echo "verify --quick: OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--fuzz" ]]; then
+  echo "== fuzz: differential campaign vs planted blame sets (60 s box) =="
+  cargo build -q --release -p flit-cli
+  ./target/release/flit fuzz --seeds 0..1000 --budget-secs 60 --shrink
+  echo "verify --fuzz: OK"
   exit 0
 fi
 
