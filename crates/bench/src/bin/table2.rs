@@ -2,11 +2,177 @@
 //! MFEM — average test executions, File Bisect successes, Symbol Bisect
 //! successes. "A failure here means the resulting mixed executable
 //! crashed."
+//!
+//! Besides the rendered table this binary emits `BENCH_table2.json`
+//! (machine-readable characterization, build-cache A/B, and a
+//! perf-bisect demonstration with per-phase simulated seconds plus
+//! cache/ledger counters) for CI to archive.
+
+use std::collections::BTreeMap;
 
 use flit_bench::{bisect_all_variable_with, mfem_study::default_threads, mfem_sweep};
+use flit_bisect::ledger::{LedgerHandle, QueryLedger};
+use flit_bisect::perf::{perf_bisect, PerfConfig};
+use flit_exec::Executor;
+use flit_mfem::examples::example_driver;
 use flit_mfem::mfem_program;
+use flit_program::build::Build;
 use flit_report::table::{Align, Table};
-use flit_toolchain::cache::BuildCtx;
+use flit_toolchain::cache::{BuildCtx, BuildStats};
+use flit_toolchain::compilation::Compilation;
+use flit_toolchain::compiler::{CompilerKind, OptLevel};
+use flit_toolchain::flags::Switch;
+use flit_trace::sink::TraceSink;
+use serde::Serialize;
+
+/// One Table-2 column, machine-readable.
+#[derive(Serialize)]
+struct CompilerRowJson {
+    compiler: String,
+    searches: usize,
+    executions: usize,
+    avg_executions: f64,
+    file_successes: usize,
+    with_files: usize,
+    symbol_successes: usize,
+    crashes: usize,
+}
+
+#[derive(Serialize)]
+struct CacheSideJson {
+    objects_compiled: u64,
+    object_cache_hits: u64,
+    links: u64,
+    link_memo_hits: u64,
+}
+
+impl From<BuildStats> for CacheSideJson {
+    fn from(s: BuildStats) -> Self {
+        CacheSideJson {
+            objects_compiled: s.objects_compiled,
+            object_cache_hits: s.object_cache_hits,
+            links: s.links,
+            link_memo_hits: s.link_memo_hits,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct BuildCacheJson {
+    off: CacheSideJson,
+    on: CacheSideJson,
+    compile_reduction: f64,
+}
+
+/// Aggregated span totals of one trace phase: how many simulated
+/// seconds the perf search spent where.
+#[derive(Serialize)]
+struct PhaseJson {
+    phase: String,
+    spans: usize,
+    cost: u64,
+    simulated_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct LedgerJson {
+    executed: u64,
+    memoized: u64,
+    shared_hits: u64,
+}
+
+#[derive(Serialize)]
+struct PerfJson {
+    test: String,
+    baseline: String,
+    candidate: String,
+    samples: u32,
+    alpha: f64,
+    seed: u64,
+    outcome: String,
+    overall: Option<String>,
+    files: Vec<String>,
+    symbols: Vec<String>,
+    executions: usize,
+    phases: Vec<PhaseJson>,
+    counters: BTreeMap<String, u64>,
+    ledger: LedgerJson,
+}
+
+#[derive(Serialize)]
+struct BenchJson {
+    schema: String,
+    table2: Vec<CompilerRowJson>,
+    build_cache: BuildCacheJson,
+    perf_bisect: PerfJson,
+}
+
+/// Run the perf-bisect demonstration on the Table-2 workload: ex09 is
+/// the compute-dominated example, and `-fimf-precision=high` slows its
+/// transcendental kernels only.
+fn perf_demo(program: &flit_program::model::SimProgram) -> PerfJson {
+    let base_comp = Compilation::new(CompilerKind::Icpc, OptLevel::O2, vec![]);
+    let cand_comp = Compilation::new(
+        CompilerKind::Icpc,
+        OptLevel::O2,
+        vec![Switch::ImfPrecisionHigh],
+    );
+    let base = Build::new(program, base_comp.clone());
+    let cand = Build::tagged(program, cand_comp.clone(), 1);
+    let driver = example_driver(9, 1);
+
+    let trace = TraceSink::enabled();
+    let ledger = QueryLedger::new(program.fingerprint(), &trace);
+    let handle = LedgerHandle::new(ledger.clone(), 1, "perf/table2");
+    let cfg = PerfConfig::new()
+        .with_ctx(BuildCtx::cached())
+        .with_trace(trace.clone())
+        .with_ledger(handle);
+    let res = perf_bisect(
+        &base,
+        &cand,
+        &driver,
+        &[0.35, 0.62],
+        &cfg,
+        &Executor::new(default_threads()),
+    );
+
+    let snapshot = trace.snapshot();
+    let phases = snapshot
+        .phases()
+        .into_iter()
+        .map(|phase| {
+            let spans = snapshot.spans_in(&phase);
+            PhaseJson {
+                spans: spans.len(),
+                cost: spans.iter().map(|s| s.cost).sum(),
+                simulated_seconds: spans.iter().map(|s| s.duration).sum(),
+                phase,
+            }
+        })
+        .collect();
+    let stats = ledger.stats();
+    PerfJson {
+        test: driver.name.clone(),
+        baseline: base_comp.label(),
+        candidate: cand_comp.label(),
+        samples: cfg.samples,
+        alpha: cfg.alpha,
+        seed: cfg.seed,
+        outcome: format!("{:?}", res.outcome),
+        overall: res.overall.as_ref().map(|r| r.render()),
+        files: res.files.iter().map(|f| f.file_name.clone()).collect(),
+        symbols: res.symbols.iter().map(|s| s.symbol.clone()).collect(),
+        executions: res.executions,
+        phases,
+        counters: snapshot.counters(),
+        ledger: LedgerJson {
+            executed: stats.executed,
+            memoized: stats.memoized,
+            shared_hits: stats.shared_hits,
+        },
+    }
+}
 
 fn main() {
     let program = mfem_program();
@@ -85,8 +251,43 @@ fn main() {
         "  links:            {} -> {} ({} memo hits)",
         off.links, on.links, on.link_memo_hits
     );
+    let compile_reduction = off.objects_compiled as f64 / on.objects_compiled.max(1) as f64;
+    println!("  compile reduction: {compile_reduction:.1}x");
+
+    let perf = perf_demo(&program);
+    println!("\nperf bisect ({} vs {}):", perf.baseline, perf.candidate);
+    if let Some(overall) = &perf.overall {
+        println!("  overall: {overall}");
+    }
     println!(
-        "  compile reduction: {:.1}x",
-        off.objects_compiled as f64 / on.objects_compiled.max(1) as f64
+        "  blamed: {} / {}",
+        perf.files.join(", "),
+        perf.symbols.join(", ")
     );
+
+    let bench = BenchJson {
+        schema: "flit-bench/table2/v1".into(),
+        table2: character
+            .iter()
+            .map(|(compiler, c)| CompilerRowJson {
+                compiler: format!("{compiler:?}"),
+                searches: c.searches,
+                executions: c.executions,
+                avg_executions: c.avg_executions(),
+                file_successes: c.file_successes,
+                with_files: c.with_files,
+                symbol_successes: c.symbol_successes,
+                crashes: c.crashes,
+            })
+            .collect(),
+        build_cache: BuildCacheJson {
+            off: off.into(),
+            on: on.into(),
+            compile_reduction,
+        },
+        perf_bisect: perf,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("bench summary serializes");
+    std::fs::write("BENCH_table2.json", json + "\n").expect("BENCH_table2.json writes");
+    println!("\nwrote BENCH_table2.json");
 }

@@ -429,6 +429,77 @@ impl SearchKeys {
         }
         format!("sym/{}/{}", self.task, h.hex())
     }
+
+    /// Key of the performance baseline timing run. Perf keys live under
+    /// distinct `perf*/` prefixes (a perf answer is a Welch effect, not
+    /// a variability metric, so it must never alias a `ref/`, `file/`,
+    /// or `sym/` answer for the same task) and digest the full noise
+    /// protocol — sample count, significance level, and noise seed —
+    /// because changing any of them changes the answer.
+    pub fn perf_reference(&self, samples: u32, alpha: f64, seed: u64) -> String {
+        let h = Self::perf_params(samples, alpha, seed);
+        format!("perfref/{}/{}", self.task, h.hex())
+    }
+
+    /// Key of a file-level perf Test query (timing of the file-mixed
+    /// binary vs the baseline samples). The empty set links pure
+    /// baseline objects, so — like [`SearchKeys::file_query`] — it is
+    /// shared across variable compilations.
+    pub fn perf_file_query(
+        &self,
+        variable_label: &str,
+        items: &[usize],
+        samples: u32,
+        alpha: f64,
+        seed: u64,
+    ) -> String {
+        let mut sorted: Vec<usize> = items.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut h = Self::perf_params(samples, alpha, seed);
+        h.update_u64(sorted.len() as u64);
+        for i in &sorted {
+            h.update_u64(*i as u64);
+        }
+        if !sorted.is_empty() {
+            h.update_str(variable_label);
+        }
+        format!("perffile/{}/{}", self.task, h.hex())
+    }
+
+    /// Key of a symbol-level perf Test query within one found file. The
+    /// empty set is the `-fPIC`-overhead reference (target file pic'd
+    /// under the baseline build), so symbol-level comparisons cancel
+    /// the pic speed factor instead of misattributing it.
+    pub fn perf_symbol_query(
+        &self,
+        variable_label: &str,
+        file_id: usize,
+        items: &[String],
+        samples: u32,
+        alpha: f64,
+        seed: u64,
+    ) -> String {
+        let mut sorted: Vec<&String> = items.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        let mut h = Self::perf_params(samples, alpha, seed);
+        h.update_str(variable_label);
+        h.update_u64(file_id as u64);
+        h.update_u64(sorted.len() as u64);
+        for s in &sorted {
+            h.update_str(s);
+        }
+        format!("perfsym/{}/{}", self.task, h.hex())
+    }
+
+    fn perf_params(samples: u32, alpha: f64, seed: u64) -> Fnv128 {
+        let mut h = Fnv128::new();
+        h.update_u64(samples as u64);
+        h.update_u64(alpha.to_bits());
+        h.update_u64(seed);
+        h
+    }
 }
 
 #[cfg(test)]
@@ -466,6 +537,39 @@ mod tests {
             k.symbol_query("icpc -O3", 1, &a),
             k.symbol_query("icpc -O3", 2, &a)
         );
+    }
+
+    #[test]
+    fn perf_keys_never_alias_variability_keys_and_bind_noise_params() {
+        let k = keys();
+        // Distinct namespaces for the same logical query.
+        assert_ne!(k.perf_reference(8, 0.05, 42), k.reference());
+        assert_ne!(
+            k.perf_file_query("icpc -O3", &[1, 2], 8, 0.05, 42),
+            k.file_query("icpc -O3", &[1, 2])
+        );
+        assert!(k.perf_reference(8, 0.05, 42).starts_with("perfref/"));
+        assert!(k
+            .perf_file_query("icpc -O3", &[1], 8, 0.05, 42)
+            .starts_with("perffile/"));
+        assert!(k
+            .perf_symbol_query("icpc -O3", 1, &[], 8, 0.05, 42)
+            .starts_with("perfsym/"));
+        // Canonical over item order, like the variability keys.
+        assert_eq!(
+            k.perf_file_query("icpc -O3", &[3, 1, 2], 8, 0.05, 42),
+            k.perf_file_query("icpc -O3", &[1, 2, 3, 2], 8, 0.05, 42)
+        );
+        // Empty file set is variable-independent.
+        assert_eq!(
+            k.perf_file_query("icpc -O3", &[], 8, 0.05, 42),
+            k.perf_file_query("g++ -O3", &[], 8, 0.05, 42)
+        );
+        // Every noise-protocol parameter changes the key.
+        let base = k.perf_file_query("icpc -O3", &[1], 8, 0.05, 42);
+        assert_ne!(base, k.perf_file_query("icpc -O3", &[1], 16, 0.05, 42));
+        assert_ne!(base, k.perf_file_query("icpc -O3", &[1], 8, 0.01, 42));
+        assert_ne!(base, k.perf_file_query("icpc -O3", &[1], 8, 0.05, 43));
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //! * [`test_fn`] — the memoizing `Test` wrapper with execution counting
 //!   (the paper reports searches in *program executions*; memoization is
 //!   why the verification assertions cost only `1 + k` extra runs).
+//! * [`perf`] — the performance bisect: the same hierarchy driven by a
+//!   statistical Test function (seeded timing samples + Welch's t-test)
+//!   that root-causes which file/symbol makes a compilation *slower*,
+//!   with a confidence interval and verdict on every speedup claim.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +46,7 @@ pub mod hierarchy;
 pub mod journal;
 pub mod ledger;
 pub mod parallel;
+pub mod perf;
 pub mod planner;
 pub mod test_fn;
 
@@ -59,6 +64,10 @@ pub use journal::{
 pub use ledger::{LedgerHandle, LedgerStats, QueryLedger, SearchKeys, StoredAnswer};
 pub use parallel::{
     bisect_all_parallel, bisect_biggest_parallel, drive_plans, ParallelTestFn, SharedOracle,
+};
+pub use perf::{
+    perf_bisect, predicted_slow_files, predicted_slow_symbols, PerfBisectResult, PerfConfig,
+    PerfFileFinding, PerfOutcome, PerfSymbolFinding,
 };
 pub use planner::{BisectPlan, PlanFailure, PlanOutcome, PlanStep, Query, SearchMode};
 pub use test_fn::{MemoTest, TestError, TestFn};

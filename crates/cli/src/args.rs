@@ -56,6 +56,30 @@ pub enum Command {
         /// continuing a killed search exactly where it stopped.
         resume: Option<String>,
     },
+    /// Statistical performance bisect: confirm a compilation is slower
+    /// than another, then root-cause the slowdown to files and symbols
+    /// with a confidence interval and Welch verdict on every claim.
+    Perf {
+        /// Application name.
+        app: String,
+        /// Test name (defaults to the app's first test).
+        test: Option<String>,
+        /// Baseline compilation label, e.g. `"icpc -O2"`.
+        base: String,
+        /// Candidate compilation label, e.g. `"icpc -O2 -prec-div"`.
+        candidate: String,
+        /// Timing samples per executable (default 8).
+        samples: Option<usize>,
+        /// Significance level for the Welch tests (default 0.05).
+        alpha: Option<f64>,
+        /// Noise-model seed (default 42).
+        seed: Option<u64>,
+        /// Worker threads for the search's timing queries (the result
+        /// is byte-identical at any width).
+        jobs: Option<usize>,
+        /// Write a JSONL trace of the search here.
+        trace: Option<String>,
+    },
     /// Static FP-sensitivity analysis: predict the variable set for a
     /// compilation pair without running anything.
     Lint {
@@ -139,6 +163,7 @@ USAGE:
   flit run <app> [--compiler gcc|clang|icpc|xlc] [--json]
   flit analyze <app>
   flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>] [--jobs <n>] [--lint-seed] [--lint-prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>]
+  flit perf <app> --pair \"<base>\" \"<candidate>\" [--test <name>] [--samples <n>] [--alpha <a>] [--seed <s>] [--jobs <n>] [--trace <file.jsonl>]
   flit lint <app> [--compilation \"<compiler -On [flags]>\"] [--test <name>]
   flit inject <app> [--limit <n-sites>]
   flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>] [--lint seed|prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>]
@@ -197,6 +222,55 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 lint_prune: has_flag("--lint-prune"),
                 checkpoint: flag_value("--checkpoint"),
                 resume: flag_value("--resume"),
+            }
+        }
+        "perf" => {
+            let pair_at = rest
+                .iter()
+                .position(|a| a.as_str() == "--pair")
+                .ok_or_else(|| {
+                    ParseError(format!(
+                        "`perf` needs --pair \"<base>\" \"<candidate>\"\n\n{USAGE}"
+                    ))
+                })?;
+            let pair_label = |off: usize| -> Result<String, ParseError> {
+                rest.get(pair_at + off)
+                    .filter(|a| !a.starts_with("--"))
+                    .map(|s| s.to_string())
+                    .ok_or_else(|| {
+                        ParseError(format!("--pair takes two compilation labels\n\n{USAGE}"))
+                    })
+            };
+            let base = pair_label(1)?;
+            let candidate = pair_label(2)?;
+            let alpha = match flag_value("--alpha") {
+                Some(v) => Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|a| *a > 0.0 && *a < 1.0)
+                        .ok_or_else(|| {
+                            ParseError(format!("--alpha takes a number in (0, 1), got `{v}`"))
+                        })?,
+                ),
+                None => None,
+            };
+            let seed = match flag_value("--seed") {
+                Some(v) => Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ParseError(format!("--seed takes a number, got `{v}`")))?,
+                ),
+                None => None,
+            };
+            Command::Perf {
+                app: positional()?,
+                test: flag_value("--test"),
+                base,
+                candidate,
+                samples: num_flag("--samples")?,
+                alpha,
+                seed,
+                jobs: num_flag("--jobs")?,
+                trace: flag_value("--trace"),
             }
         }
         "lint" => Command::Lint {
@@ -461,6 +535,72 @@ mod tests {
         );
         assert_eq!(parse(&v(&[])).unwrap().command, Command::Help);
         assert_eq!(parse(&v(&["help"])).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn parses_perf_with_a_pair_and_protocol_flags() {
+        assert_eq!(
+            parse(&v(&[
+                "perf",
+                "mfem",
+                "--test",
+                "ex19",
+                "--pair",
+                "icpc -O2",
+                "icpc -O2 -prec-div",
+                "--samples",
+                "16",
+                "--alpha",
+                "0.01",
+                "--seed",
+                "7",
+                "--jobs",
+                "8",
+                "--trace",
+                "perf.jsonl"
+            ]))
+            .unwrap()
+            .command,
+            Command::Perf {
+                app: "mfem".into(),
+                test: Some("ex19".into()),
+                base: "icpc -O2".into(),
+                candidate: "icpc -O2 -prec-div".into(),
+                samples: Some(16),
+                alpha: Some(0.01),
+                seed: Some(7),
+                jobs: Some(8),
+                trace: Some("perf.jsonl".into()),
+            }
+        );
+        assert_eq!(
+            parse(&v(&["perf", "mfem", "--pair", "g++ -O2", "g++ -O3"]))
+                .unwrap()
+                .command,
+            Command::Perf {
+                app: "mfem".into(),
+                test: None,
+                base: "g++ -O2".into(),
+                candidate: "g++ -O3".into(),
+                samples: None,
+                alpha: None,
+                seed: None,
+                jobs: None,
+                trace: None,
+            }
+        );
+        // Missing pair, a one-label pair, and out-of-range alpha all fail.
+        assert!(parse(&v(&["perf", "mfem"])).is_err());
+        assert!(parse(&v(&["perf", "mfem", "--pair", "g++ -O2"])).is_err());
+        assert!(parse(&v(&["perf", "mfem", "--pair", "g++ -O2", "--jobs", "2"])).is_err());
+        assert!(parse(&v(&[
+            "perf", "mfem", "--pair", "g++ -O2", "g++ -O3", "--alpha", "1.5"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "perf", "mfem", "--pair", "g++ -O2", "g++ -O3", "--seed", "x"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -60,6 +60,27 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             checkpoint.as_deref(),
             resume.as_deref(),
         ),
+        Command::Perf {
+            app,
+            test,
+            base,
+            candidate,
+            samples,
+            alpha,
+            seed,
+            jobs,
+            trace,
+        } => cmd_perf(
+            app,
+            test.as_deref(),
+            base,
+            candidate,
+            *samples,
+            *alpha,
+            *seed,
+            *jobs,
+            trace.as_deref(),
+        ),
         Command::Lint {
             app,
             test,
@@ -433,6 +454,147 @@ fn cmd_bisect(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
+fn cmd_perf(
+    app: &str,
+    test: Option<&str>,
+    base: &str,
+    candidate: &str,
+    samples: Option<usize>,
+    alpha: Option<f64>,
+    seed: Option<u64>,
+    jobs: Option<usize>,
+    trace_path: Option<&str>,
+) -> Result<String, ParseError> {
+    use flit_bisect::perf::{perf_bisect, PerfConfig, PerfOutcome};
+    use flit_report::stats::Verdict;
+    let app = get_app(app)?;
+    let base_comp = parse_compilation(base)?;
+    let cand_comp = parse_compilation(candidate)?;
+    if base_comp == cand_comp {
+        return Err(ParseError("--pair needs two distinct compilations".into()));
+    }
+    if let Some(n) = samples {
+        if n < 2 {
+            return Err(ParseError(format!(
+                "--samples needs at least 2 (a variance estimate), got {n}"
+            )));
+        }
+    }
+    let test = match test {
+        Some(name) => app
+            .tests
+            .iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| ParseError(format!("unknown test `{name}` for {}", app.name)))?,
+        None => &app.tests[0],
+    };
+    let baseline = Build::new(&app.program, base_comp.clone());
+    let cand_build = Build::tagged(&app.program, cand_comp.clone(), 1);
+    let trace = if trace_path.is_some() {
+        TraceSink::enabled()
+    } else {
+        TraceSink::disabled()
+    };
+    let mut cfg = PerfConfig::new()
+        .with_ctx(BuildCtx::cached())
+        .with_trace(trace);
+    if let Some(n) = samples {
+        cfg = cfg.with_samples(n as u32);
+    }
+    if let Some(a) = alpha {
+        cfg = cfg.with_alpha(a);
+    }
+    if let Some(s) = seed {
+        cfg = cfg.with_seed(s);
+    }
+    let input = test.default_input();
+    let input = &input[..test.inputs_per_run().min(input.len())];
+    let jobs = jobs.unwrap_or(1);
+    let res = perf_bisect(
+        &baseline,
+        &cand_build,
+        test.driver(),
+        input,
+        &cfg,
+        &Executor::new(jobs),
+    );
+
+    let mut out = format!(
+        "flit perf {}: test {} | baseline {} | candidate {} | {} samples @ alpha={}{}\n\n",
+        app.name,
+        test.name(),
+        base_comp.label(),
+        cand_comp.label(),
+        cfg.samples,
+        cfg.alpha,
+        if jobs > 1 {
+            format!(" | {jobs} jobs")
+        } else {
+            String::new()
+        }
+    );
+    if let Some(overall) = &res.overall {
+        out.push_str(&format!("overall: {}\n", overall.render()));
+    }
+    match res.outcome {
+        PerfOutcome::Crashed(ref why) => {
+            out.push_str(&format!(
+                "search ABORTED: timed executable failed ({why})\n"
+            ));
+        }
+        PerfOutcome::NoRegression => {
+            out.push_str(
+                match res.overall.as_ref().map(|r| r.verdict()) {
+                    Some(Verdict::Faster) => {
+                        "no regression: the candidate is statistically FASTER — nothing to bisect\n"
+                    }
+                    _ => "no regression: the pair is statistically indistinguishable at this alpha — nothing to bisect\n",
+                },
+            );
+        }
+        PerfOutcome::LinkStepOnly => {
+            out.push_str("no file blame: the slowdown is introduced by the link step itself\n");
+        }
+        _ => {
+            out.push_str(&format!("files  ({}):\n", res.files.len()));
+            for f in &res.files {
+                out.push_str(&format!("  {:<28} {}\n", f.file_name, f.report.render()));
+            }
+            out.push_str(&format!("symbols ({}):\n", res.symbols.len()));
+            for s in &res.symbols {
+                out.push_str(&format!("  {:<28} {}\n", s.symbol, s.report.render()));
+            }
+            for fid in &res.file_level_only {
+                out.push_str(&format!(
+                    "  (file-level only: {} — the slowdown does not survive -fPIC interposition)\n",
+                    app.program.files[*fid].name
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\ntimed executions: {} (x{} samples each)\n",
+        res.executions, cfg.samples
+    ));
+    if !res.violations.is_empty() {
+        out.push_str("WARNING: assumption violations (possible false negatives):\n");
+        for v in &res.violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    if let Some(path) = trace_path {
+        let jsonl = cfg.trace.snapshot().to_jsonl();
+        flit_persist::write_atomic(std::path::Path::new(path), jsonl.as_bytes())
+            .map_err(|e| ParseError(format!("cannot write trace `{path}`: {e}")))?;
+        out.push_str(&format!(
+            "trace: {} events written to {path} (render with `flit trace {path}`)\n",
+            jsonl.lines().count()
+        ));
+    }
+    Ok(out)
+}
+
 fn cmd_inject(app: &str, limit: Option<usize>) -> Result<String, ParseError> {
     let app = get_app(app)?;
     let sites = flit_inject::enumerate_sites(&app.program);
@@ -775,6 +937,103 @@ mod tests {
         // Resuming under a different program is a structured error.
         let err = run_cli(&["workflow", "mfem", "--resume", &path_s]).unwrap_err();
         assert!(err.0.contains("fingerprint"), "{}", err.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn perf_mfem_blames_the_transcendental_kernel_exactly() {
+        let out = run_cli(&[
+            "perf",
+            "mfem",
+            "--test",
+            "ex09",
+            "--pair",
+            "icpc -O2",
+            "icpc -O2 -fimf-precision=high",
+        ])
+        .unwrap();
+        // `-fimf-precision=high` slows exactly one kernel class
+        // (Transcendental); the planted blame is the single vendor-math
+        // kernel reached by the compute-dominated ex09.
+        assert!(out.contains("files  (1):"), "{out}");
+        assert!(out.contains("fem/coefficient.cpp"), "{out}");
+        assert!(out.contains("symbols (1):"), "{out}");
+        assert!(out.contains("SineCoefficient_Eval"), "{out}");
+        assert!(out.contains("overall:"), "{out}");
+        // Every speedup claim carries a confidence interval and a
+        // verdict — no bare point estimates in the perf path.
+        let claims: Vec<&str> = out.lines().filter(|l| l.contains("x  CI [")).collect();
+        assert!(claims.len() >= 3, "{out}");
+        for line in claims {
+            assert!(
+                line.contains("Slower") || line.contains("Faster") || line.contains("Inconclusive"),
+                "claim without a verdict: {line}"
+            );
+            assert!(line.contains("@95%"), "claim without a CI level: {line}");
+        }
+    }
+
+    #[test]
+    fn perf_with_jobs_is_byte_identical() {
+        let args = [
+            "perf",
+            "mfem",
+            "--test",
+            "ex09",
+            "--pair",
+            "icpc -O2",
+            "icpc -O2 -fimf-precision=high",
+        ];
+        let serial = run_cli(&args).unwrap();
+        let mut with_jobs = args.to_vec();
+        with_jobs.extend(["--jobs", "8"]);
+        let parallel = run_cli(&with_jobs).unwrap();
+        assert_eq!(
+            parallel.replace(" | 8 jobs", ""),
+            serial,
+            "--jobs must not change the perf findings"
+        );
+    }
+
+    #[test]
+    fn perf_faster_candidate_is_an_honest_no_regression() {
+        // Swapping the pair turns the regression into a speedup: the
+        // gate reports FASTER instead of inventing blame.
+        let out = run_cli(&[
+            "perf",
+            "mfem",
+            "--test",
+            "ex09",
+            "--pair",
+            "icpc -O2 -fimf-precision=high",
+            "icpc -O2",
+        ])
+        .unwrap();
+        assert!(out.contains("no regression"), "{out}");
+        assert!(out.contains("FASTER"), "{out}");
+        assert!(out.contains("x  CI ["), "{out}");
+    }
+
+    #[test]
+    fn perf_trace_renders_the_performance_bisect_table() {
+        let path = std::env::temp_dir().join("flit-cli-perf-trace.jsonl");
+        std::fs::remove_file(&path).ok();
+        let path_s = path.to_string_lossy().to_string();
+        run_cli(&[
+            "perf",
+            "mfem",
+            "--test",
+            "ex09",
+            "--pair",
+            "icpc -O2",
+            "icpc -O2 -fimf-precision=high",
+            "--trace",
+            &path_s,
+        ])
+        .unwrap();
+        let rendered = run_cli(&["trace", &path_s]).unwrap();
+        assert!(rendered.contains("Performance bisect"), "{rendered}");
+        assert!(rendered.contains("verdicts: slower"), "{rendered}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -37,16 +37,21 @@ pub fn speedup_series(db: &ResultsDb, test: &str) -> Vec<SpeedupPoint> {
         .filter(|r| !r.crashed)
         .filter_map(|r| {
             let secs = r.seconds?;
+            let speedup = ref_seconds / secs;
+            // A zero- or NaN-second measurement has no meaningful
+            // ratio: drop the point rather than handing the plot an
+            // infinite (or NaN) bar to scale against.
+            if !speedup.is_finite() {
+                return None;
+            }
             Some(SpeedupPoint {
                 label: r.label.clone(),
-                speedup: ref_seconds / secs,
+                speedup,
                 bitwise_equal: r.bitwise_equal,
                 comparison: r.comparison,
             })
         })
         .collect();
-    // total_cmp: NaN speedups (0/0 from a zero-second reference row)
-    // sort last instead of panicking.
     pts.sort_by(|a, b| a.speedup.total_cmp(&b.speedup));
     pts
 }
@@ -181,6 +186,18 @@ pub fn compiler_summary(db: &ResultsDb, compiler: CompilerKind) -> CompilerSumma
     // Reference seconds per test.
     let reference = Compilation::perf_reference().label();
     let tests = db.tests();
+    if tests.is_empty() {
+        // An empty database has no averages: without this guard the
+        // per-compilation mean below is 0/0 = NaN, and NaN wins the
+        // `best` slot on the first comparison.
+        return CompilerSummary {
+            compiler,
+            variable_runs,
+            total_runs,
+            best_flags: "<none>".into(),
+            best_avg_speedup: 0.0,
+        };
+    }
     let ref_secs: Vec<f64> = tests
         .iter()
         .map(|t| {
@@ -283,13 +300,24 @@ pub fn fastest_is_reproducible_count(db: &ResultsDb) -> (usize, usize) {
             .fastest_equal
             .iter()
             .filter_map(|(_, p)| p.as_ref().map(|p| p.speedup))
-            .fold(f64::NEG_INFINITY, f64::max);
-        let best_var = bars
-            .fastest_variable
-            .as_ref()
-            .map(|p| p.speedup)
-            .unwrap_or(f64::NEG_INFINITY);
-        if best_equal >= best_var {
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            });
+        let best_var = bars.fastest_variable.as_ref().map(|p| p.speedup);
+        // Ties go to the reproducible side: the paper asks whether a
+        // bitwise-equal compilation *matches* the highest speedup, so
+        // an exactly-equal variable bar does not cost the win. A test
+        // with no variable bar at all (the fully-invariant examples)
+        // wins trivially; one with only variable bars cannot.
+        let win = match (best_equal, best_var) {
+            (Some(e), Some(v)) => e >= v,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            // No measurable bars either way (every row crashed):
+            // vacuously reproducible, matching the pre-audit fold.
+            (None, None) => true,
+        };
+        if win {
             wins += 1;
         }
     }
@@ -427,10 +455,11 @@ mod tests {
         let zero = Compilation::new(CompilerKind::Clang, OptLevel::O3, vec![]);
         db.rows.push(record("e1", zero, 0.0, 3e-8));
 
+        // The NaN-second and zero-second rows produce no points at all:
+        // every rendered bar is finite.
         let pts = speedup_series(&db, "e1");
-        assert_eq!(pts.len(), 7);
-        // total_cmp sorts the NaN speedup last instead of panicking.
-        assert!(pts.last().unwrap().speedup.is_nan());
+        assert_eq!(pts.len(), 5);
+        assert!(pts.iter().all(|p| p.speedup.is_finite()));
 
         let bars = category_bars(&db, "e1");
         // The finite gcc winner is unaffected by the NaN row.
@@ -531,6 +560,61 @@ mod tests {
             "{}",
             s.median_rel_err
         );
+    }
+
+    #[test]
+    fn an_empty_db_summarizes_to_none_not_nan() {
+        // 0/0 = NaN used to win the `best` slot on the first compare;
+        // the guard must return the explicit "<none>" placeholder.
+        let db = ResultsDb::new("empty");
+        for c in [CompilerKind::Gcc, CompilerKind::Icpc] {
+            let s = compiler_summary(&db, c);
+            assert_eq!(s.best_flags, "<none>");
+            assert_eq!(s.best_avg_speedup, 0.0);
+            assert!(!s.best_avg_speedup.is_nan());
+            assert_eq!((s.variable_runs, s.total_runs), (0, 0));
+        }
+    }
+
+    #[test]
+    fn a_zero_second_row_never_renders_an_infinite_bar() {
+        let mut db = sample_db();
+        let zero = Compilation::new(CompilerKind::Clang, OptLevel::O3, vec![]);
+        db.rows.push(record("e1", zero, 0.0, 3e-8));
+        let pts = speedup_series(&db, "e1");
+        assert!(
+            pts.iter().all(|p| p.speedup.is_finite()),
+            "ref/0 must not leak an infinite speedup into the plot"
+        );
+        assert!(pts.iter().all(|p| p.label != "clang++ -O3"));
+    }
+
+    #[test]
+    fn fastest_reproducible_ties_count_as_reproducible_wins() {
+        // An exactly-equal variable bar does not cost the win…
+        let mut db = ResultsDb::new("t");
+        let gcc = |o| Compilation::new(CompilerKind::Gcc, o, vec![]);
+        db.rows.push(record("tie", gcc(OptLevel::O2), 4.0, 0.0));
+        db.rows.push(record("tie", gcc(OptLevel::O3), 2.0, 0.0));
+        let icpc = Compilation::new(CompilerKind::Icpc, OptLevel::O3, vec![]);
+        db.rows.push(record("tie", icpc, 2.0, 5e-8)); // same 2.0x
+        assert_eq!(fastest_is_reproducible_count(&db), (1, 1));
+
+        // …but a strictly faster variable bar still does.
+        let mut db = ResultsDb::new("t");
+        db.rows.push(record("lose", gcc(OptLevel::O2), 4.0, 0.0));
+        db.rows.push(record("lose", gcc(OptLevel::O3), 2.0, 0.0));
+        let icpc = Compilation::new(CompilerKind::Icpc, OptLevel::O3, vec![]);
+        db.rows.push(record("lose", icpc, 1.9, 5e-8));
+        assert_eq!(fastest_is_reproducible_count(&db), (0, 1));
+
+        // A test with only variable measurements cannot win; one with
+        // only crashed rows counts vacuously.
+        let mut db = ResultsDb::new("t");
+        let icpc = Compilation::new(CompilerKind::Icpc, OptLevel::O3, vec![]);
+        db.rows.push(record("varonly", icpc, 3.0, 5e-8));
+        db.rows.push(crashed_record("crashed", gcc(OptLevel::O2)));
+        assert_eq!(fastest_is_reproducible_count(&db), (1, 2));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The execution engine: runs a driver against a linked executable,
 //! resolving every call the way the binary would.
 
+use flit_toolchain::compilation::Compilation;
 use flit_toolchain::linker::Executable;
-use flit_toolchain::perf::{fnv1a, simulated_seconds};
+use flit_toolchain::perf::{fnv1a, noise_factor, simulated_seconds, KernelClass};
 
 use crate::model::{Driver, SimProgram, Visibility};
 
@@ -15,6 +16,61 @@ pub struct RunOutput {
     pub seconds: f64,
     /// Number of function invocations executed.
     pub calls: u64,
+}
+
+/// Base (noise-free) seconds of one run, aggregated per
+/// `(compilation, kernel class)` — the granularity of the perf model's
+/// seeded noise distribution.
+///
+/// Collected by [`Engine::run_with_profile`] so that N repeated timing
+/// samples of a whole binary come from *one* engine run: sample *i* is
+/// `Σ base_seconds × noise_factor(comp, class, seed, i)` over the
+/// profile's entries, which is exactly what running the binary N times
+/// under per-(compilation, kernel-class) multiplicative noise would
+/// yield.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimingProfile {
+    /// `(compilation, class, base seconds)` in first-touch execution
+    /// order (deterministic: the engine itself is).
+    entries: Vec<(Compilation, KernelClass, f64)>,
+}
+
+impl TimingProfile {
+    fn add(&mut self, comp: &Compilation, class: KernelClass, secs: f64) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|(c, k, _)| *k == class && c == comp)
+        {
+            e.2 += secs;
+        } else {
+            self.entries.push((comp.clone(), class, secs));
+        }
+    }
+
+    /// The aggregated `(compilation, class, base seconds)` entries.
+    pub fn entries(&self) -> &[(Compilation, KernelClass, f64)] {
+        &self.entries
+    }
+
+    /// Total base seconds (equals the run's deterministic `seconds` up
+    /// to f64 summation order).
+    pub fn total_seconds(&self) -> f64 {
+        self.entries.iter().map(|(_, _, s)| s).sum()
+    }
+
+    /// Draw `n` whole-run timing samples from the seeded noise model.
+    /// Byte-deterministic given the seed.
+    pub fn samples(&self, seed: u64, n: u32) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                self.entries
+                    .iter()
+                    .map(|(comp, class, secs)| secs * noise_factor(comp, *class, seed, i))
+                    .sum()
+            })
+            .collect()
+    }
 }
 
 /// Run-time failures.
@@ -110,6 +166,19 @@ impl<'a> Engine<'a> {
 
     /// Run the driver on the given FLiT test input.
     pub fn run(&self, driver: &Driver, input: &[f64]) -> Result<RunOutput, RunError> {
+        self.run_with_profile(driver, input).map(|(out, _)| out)
+    }
+
+    /// [`Engine::run`], additionally collecting the per-(compilation,
+    /// kernel-class) [`TimingProfile`] that seeds repeated timing
+    /// samples. The [`RunOutput`] is identical to [`Engine::run`]'s —
+    /// profiling only aggregates the per-call seconds the run already
+    /// computes.
+    pub fn run_with_profile(
+        &self,
+        driver: &Driver,
+        input: &[f64],
+    ) -> Result<(RunOutput, TimingProfile), RunError> {
         // The ABI-hazard crash decision is salted by the driver (test),
         // modeling that different tests exercise different call paths.
         let salt = fnv1a(driver.name.as_bytes());
@@ -122,26 +191,40 @@ impl<'a> Engine<'a> {
         let mut state = driver.init_state(input);
         let mut seconds = 0.0f64;
         let mut calls = 0u64;
+        let mut profile = TimingProfile::default();
         for _ in 0..driver.rounds {
             for entry in &driver.entries {
-                self.exec(entry, None, &mut state, &mut seconds, &mut calls, 0)?;
+                self.exec(
+                    entry,
+                    None,
+                    &mut state,
+                    &mut seconds,
+                    &mut profile,
+                    &mut calls,
+                    0,
+                )?;
             }
         }
-        Ok(RunOutput {
-            output: state,
-            seconds,
-            calls,
-        })
+        Ok((
+            RunOutput {
+                output: state,
+                seconds,
+                calls,
+            },
+            profile,
+        ))
     }
 
     /// Execute one function: resolve its defining object, evaluate its
     /// kernel under that object's environment, then its callees.
+    #[allow(clippy::too_many_arguments)]
     fn exec(
         &self,
         symbol: &str,
         caller_obj: Option<usize>,
         state: &mut Vec<f64>,
         seconds: &mut f64,
+        profile: &mut TimingProfile,
         calls: &mut u64,
         depth: usize,
     ) -> Result<(), RunError> {
@@ -200,15 +283,29 @@ impl<'a> Engine<'a> {
         // The *body* comes from whichever source tree built the object.
         let body = &self.program_of(obj_idx)?.files[file_id].functions[func_idx];
         body.kernel.eval(state, &env, body.injection);
-        *seconds += simulated_seconds(
+        let call_seconds = simulated_seconds(
             &self.exe.objects[obj_idx].compilation,
             body.kernel.class(),
             body.kernel.work(state.len()) * body.work_scale,
         );
+        *seconds += call_seconds;
+        profile.add(
+            &self.exe.objects[obj_idx].compilation,
+            body.kernel.class(),
+            call_seconds,
+        );
         *calls += 1;
 
         for callee in &func.calls {
-            self.exec(callee, Some(obj_idx), state, seconds, calls, depth + 1)?;
+            self.exec(
+                callee,
+                Some(obj_idx),
+                state,
+                seconds,
+                profile,
+                calls,
+                depth + 1,
+            )?;
         }
         Ok(())
     }
@@ -401,6 +498,79 @@ mod tests {
         assert!(exe.objects.iter().all(|o| o.build_tag == 1));
         let out = Engine::new(&p, &exe).run(&driver(), &[0.5]).unwrap();
         assert_eq!(out.output.len(), 48);
+    }
+
+    #[test]
+    fn timing_profile_accounts_for_every_simulated_second() {
+        let p = program();
+        let build = Build::new(
+            &p,
+            Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2Fma]),
+        );
+        let exe = build.executable().unwrap();
+        let engine = Engine::new(&p, &exe);
+        let (out, profile) = engine.run_with_profile(&driver(), &[0.3, 0.6]).unwrap();
+        // Profiling never perturbs the run itself.
+        assert_eq!(out, engine.run(&driver(), &[0.3, 0.6]).unwrap());
+        // The aggregated base seconds equal the run's deterministic
+        // total (up to f64 summation order).
+        let total = profile.total_seconds();
+        assert!(
+            (total / out.seconds - 1.0).abs() < 1e-12,
+            "{total} vs {}",
+            out.seconds
+        );
+        // A uniform build aggregates by (compilation, class): every
+        // executed kernel in this fixture is DotHeavy, so one entry.
+        assert_eq!(profile.entries().len(), 1);
+    }
+
+    #[test]
+    fn profile_samples_are_seeded_and_deterministic() {
+        let p = program();
+        let build = Build::new(&p, Compilation::perf_reference());
+        let exe = build.executable().unwrap();
+        let (_, profile) = Engine::new(&p, &exe)
+            .run_with_profile(&driver(), &[0.5])
+            .unwrap();
+        let a = profile.samples(11, 8);
+        let b = profile.samples(11, 8);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_ne!(a, profile.samples(12, 8));
+        // Samples scatter around the deterministic total.
+        let total = profile.total_seconds();
+        for s in &a {
+            assert!((s / total - 1.0).abs() < 0.2, "{s} vs {total}");
+        }
+    }
+
+    #[test]
+    fn mixed_build_profile_splits_entries_by_compilation() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::new(
+            &p,
+            Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![]),
+        );
+        let mixed = crate::build::file_mixed_executable(
+            &base,
+            &var,
+            &[1usize].into_iter().collect(),
+            CompilerKind::Gcc,
+        )
+        .unwrap();
+        let (_, profile) = Engine::new(&p, &mixed)
+            .run_with_profile(&driver(), &[0.5])
+            .unwrap();
+        let comps: std::collections::BTreeSet<String> = profile
+            .entries()
+            .iter()
+            .map(|(c, _, _)| c.label())
+            .collect();
+        assert_eq!(comps.len(), 2, "both compilations appear: {comps:?}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod model;
 pub mod sites;
 
 pub use build::Build;
-pub use engine::{Engine, RunError, RunOutput};
+pub use engine::{Engine, RunError, RunOutput, TimingProfile};
 pub use kernel::Kernel;
 pub use model::{Driver, Function, SimProgram, SourceFile, Visibility};
 pub use sites::{InjectOp, Injection, SiteCtx};

@@ -1,0 +1,161 @@
+//! Statistical speedup reports: every speedup claim carries a
+//! confidence interval and a [`Verdict`], never a bare point estimate.
+//!
+//! The speedup of a candidate over a baseline is the ratio of mean
+//! runtimes `R = mean(baseline) / mean(candidate)` (R > 1 ⇔ candidate
+//! faster). Its confidence interval comes from the delta method on the
+//! ratio of two independent sample means; the verdict comes from
+//! Welch's t-test on the raw second samples — so the interval and the
+//! verdict can honestly disagree near the boundary, and the verdict is
+//! what gates decisions.
+
+use crate::stats::{t_quantile, welch_test, ConfidenceInterval, MeanVar, Verdict, WelchOutcome};
+
+/// A complete statistical comparison of two timing samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupReport {
+    /// Point estimate `mean(baseline seconds) / mean(candidate
+    /// seconds)`: > 1 means the candidate is faster.
+    pub ratio: f64,
+    /// Delta-method confidence interval for the ratio at `1 − α`.
+    pub ci: ConfidenceInterval,
+    /// Welch test on the raw samples (seconds; lower = faster).
+    pub welch: WelchOutcome,
+    /// Baseline sample moments.
+    pub baseline: MeanVar,
+    /// Candidate sample moments.
+    pub candidate: MeanVar,
+}
+
+impl SpeedupReport {
+    /// Compare `candidate` against `baseline` (both in seconds) at
+    /// significance `alpha`. `None` when either sample is unusable (see
+    /// [`welch_test`]) or a mean is non-positive — simulated timing
+    /// samples are always positive, so absence flags a caller bug
+    /// instead of producing an infinite ratio.
+    pub fn compare(candidate: &[f64], baseline: &[f64], alpha: f64) -> Option<SpeedupReport> {
+        let welch = welch_test(candidate, baseline, alpha)?;
+        let c = MeanVar::of(candidate)?;
+        let b = MeanVar::of(baseline)?;
+        if c.mean <= 0.0 || b.mean <= 0.0 {
+            return None;
+        }
+        let ratio = b.mean / c.mean;
+        // Delta method: Var(B̄/C̄) ≈ Var(B̄)/C̄² + B̄²·Var(C̄)/C̄⁴.
+        let var_b = b.var / b.n as f64;
+        let var_c = c.var / c.n as f64;
+        let var_ratio = var_b / (c.mean * c.mean)
+            + (b.mean * b.mean) * var_c / (c.mean * c.mean * c.mean * c.mean);
+        let level = 1.0 - alpha;
+        let half = if var_ratio > 0.0 {
+            t_quantile(0.5 + level / 2.0, welch.df) * var_ratio.sqrt()
+        } else {
+            0.0
+        };
+        Some(SpeedupReport {
+            ratio,
+            ci: ConfidenceInterval {
+                lo: ratio - half,
+                hi: ratio + half,
+                level,
+            },
+            welch,
+            baseline: b,
+            candidate: c,
+        })
+    }
+
+    /// The three-way verdict at the report's α.
+    pub fn verdict(&self) -> Verdict {
+        self.welch.verdict
+    }
+
+    /// Positive effect size when the candidate is statistically
+    /// *slower* (the perf planner's Test value: how much slower, as
+    /// `mean(candidate)/mean(baseline) − 1`), `0.0` otherwise. This is
+    /// the gate that replaces magic ratio thresholds: a point estimate
+    /// only counts once the hypothesis test rejects at α.
+    pub fn slowdown_effect(&self) -> f64 {
+        match self.welch.verdict {
+            Verdict::Slower => (1.0 / self.ratio - 1.0).max(0.0),
+            _ => 0.0,
+        }
+    }
+
+    /// One-line rendering with every statistical qualifier:
+    /// `0.957x  CI [0.952, 0.961] @95%  Slower (p=1.6e-03, t=4.21, df=13.8, n=8)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{:.3}x  CI [{:.3}, {:.3}] @{:.0}%  {} (p={:.1e}, t={:.2}, df={:.1}, n={})",
+            self.ratio,
+            self.ci.lo,
+            self.ci.hi,
+            self.ci.level * 100.0,
+            self.welch.verdict,
+            self.welch.p,
+            self.welch.t,
+            self.welch.df,
+            self.candidate.n,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(center: f64, n: usize) -> Vec<f64> {
+        // Deterministic ±1% ripple around `center`.
+        (0..n)
+            .map(|i| center * (1.0 + 0.01 * ((i as f64 * 2.399).sin())))
+            .collect()
+    }
+
+    #[test]
+    fn clear_slowdown_gets_a_slower_verdict_and_positive_effect() {
+        let base = noisy(1.0, 10);
+        let cand = noisy(1.2, 10);
+        let r = SpeedupReport::compare(&cand, &base, 0.05).unwrap();
+        assert_eq!(r.verdict(), Verdict::Slower);
+        assert!(r.ratio < 1.0);
+        assert!(r.ci.hi < 1.0, "the whole interval sits below 1: {:?}", r.ci);
+        assert!((r.slowdown_effect() - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn clear_speedup_gets_a_faster_verdict_and_zero_effect() {
+        let base = noisy(1.2, 10);
+        let cand = noisy(1.0, 10);
+        let r = SpeedupReport::compare(&cand, &base, 0.05).unwrap();
+        assert_eq!(r.verdict(), Verdict::Faster);
+        assert!(r.ratio > 1.0);
+        assert_eq!(r.slowdown_effect(), 0.0);
+    }
+
+    #[test]
+    fn statistical_tie_is_inconclusive_with_ci_straddling_one() {
+        let base = noisy(1.0, 6);
+        let cand: Vec<f64> = noisy(1.0, 6).iter().map(|x| x * 1.001).collect();
+        let r = SpeedupReport::compare(&cand, &base, 0.05).unwrap();
+        assert_eq!(r.verdict(), Verdict::Inconclusive);
+        assert_eq!(r.slowdown_effect(), 0.0);
+        assert!(r.ci.contains(1.0), "{:?}", r.ci);
+    }
+
+    #[test]
+    fn render_carries_ci_verdict_and_test_statistics() {
+        let r = SpeedupReport::compare(&noisy(1.1, 8), &noisy(1.0, 8), 0.05).unwrap();
+        let line = r.render();
+        assert!(line.contains("CI ["), "{line}");
+        assert!(line.contains("@95%"), "{line}");
+        assert!(line.contains("Slower"), "{line}");
+        assert!(line.contains("p="), "{line}");
+        assert!(line.contains("df="), "{line}");
+    }
+
+    #[test]
+    fn degenerate_samples_are_absent_not_infinite() {
+        assert!(SpeedupReport::compare(&[0.0, 0.0], &[1.0, 1.0], 0.05).is_none());
+        assert!(SpeedupReport::compare(&[], &[1.0], 0.05).is_none());
+    }
+}

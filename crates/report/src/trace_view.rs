@@ -184,6 +184,35 @@ pub fn resume_dedup(trace: &Trace) -> Table {
     t
 }
 
+/// Performance-bisect accounting: timed executions per level, samples
+/// drawn from the seeded noise model, and the Welch verdict split of
+/// every statistical claim the searches surfaced. Rendered only when a
+/// perf bisect actually ran (all counters zero otherwise).
+pub fn perf_bisect_summary(trace: &Trace) -> Table {
+    let mut t = Table::new(&["counter", "value"])
+        .with_title("Performance bisect")
+        .with_aligns(&[Align::Left, Align::Right]);
+    let rows = [
+        ("reference timings", counter::PERF_REFERENCE_RUNS),
+        ("file-level timings", counter::PERF_FILE_RUNS),
+        ("symbol-level timings", counter::PERF_SYMBOL_RUNS),
+        ("samples drawn", counter::PERF_SAMPLES_DRAWN),
+        ("verdicts: faster", counter::PERF_VERDICTS_FASTER),
+        ("verdicts: slower", counter::PERF_VERDICTS_SLOWER),
+        (
+            "verdicts: inconclusive",
+            counter::PERF_VERDICTS_INCONCLUSIVE,
+        ),
+    ];
+    if trace.counter(counter::PERF_REFERENCE_RUNS) == 0 {
+        return t;
+    }
+    for (name, key) in rows {
+        t.row(&[name.to_string(), trace.counter(key).to_string()]);
+    }
+    t
+}
+
 /// Fuzz-campaign accounting: seeds checked, pass/divergence split,
 /// explained ABI-hazard crashes, resume checks, and shrink effort.
 /// Rendered only when a campaign actually ran (all counters zero
@@ -233,6 +262,11 @@ pub fn render_trace(trace: &Trace, top: usize) -> String {
     if !ledger.is_empty() {
         out.push('\n');
         out.push_str(&ledger.render());
+    }
+    let perf = perf_bisect_summary(trace);
+    if !perf.is_empty() {
+        out.push('\n');
+        out.push_str(&perf.render());
     }
     let fuzz = fuzz_campaign(trace);
     if !fuzz.is_empty() {
@@ -402,6 +436,29 @@ mod tests {
         // No campaign → no section.
         let out = render_trace(&Trace::from_parts(vec![], BTreeMap::new()), 5);
         assert!(!out.contains("Fuzz campaign"), "{out}");
+    }
+
+    #[test]
+    fn perf_section_appears_only_after_a_perf_bisect() {
+        let counters: BTreeMap<String, u64> = [
+            (counter::PERF_REFERENCE_RUNS.to_string(), 3),
+            (counter::PERF_FILE_RUNS.to_string(), 9),
+            (counter::PERF_SYMBOL_RUNS.to_string(), 6),
+            (counter::PERF_SAMPLES_DRAWN.to_string(), 144),
+            (counter::PERF_VERDICTS_SLOWER.to_string(), 3),
+            (counter::PERF_VERDICTS_INCONCLUSIVE.to_string(), 1),
+        ]
+        .into_iter()
+        .collect();
+        let out = render_trace(&Trace::from_parts(vec![], counters), 5);
+        assert!(out.contains("Performance bisect"), "{out}");
+        let line = |name: &str| out.lines().find(|l| l.contains(name)).unwrap().to_string();
+        assert!(line("reference timings").contains('3'));
+        assert!(line("samples drawn").contains("144"));
+        assert!(line("verdicts: slower").contains('3'));
+        // No perf bisect → no section.
+        let out = render_trace(&Trace::from_parts(vec![], BTreeMap::new()), 5);
+        assert!(!out.contains("Performance bisect"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Property tests for the inferential statistics layer: the invariants
+//! every perf-bisect verdict silently relies on.
+
+use proptest::prelude::*;
+
+use flit_report::stats::{t_confidence_interval, welch_test, Summary, Verdict};
+
+/// Strategy: a small sample of finite, well-scaled "timings".
+fn sample(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..100.0, min_len..24)
+}
+
+/// Strategy: one of the three conventional confidence levels.
+fn level() -> impl Strategy<Value = f64> {
+    (0usize..3).prop_map(|i| [0.90, 0.95, 0.99][i])
+}
+
+proptest! {
+    /// A constant sample has zero spread: its t-interval collapses onto
+    /// the mean (up to accumulation ulps in the variance sum).
+    #[test]
+    fn constant_samples_give_a_zero_width_interval_containing_the_mean(
+        x in 0.01f64..100.0,
+        n in 2usize..24,
+        level in level(),
+    ) {
+        let xs = vec![x; n];
+        let ci = t_confidence_interval(&xs, level).expect("constant sample has a CI");
+        let tol = 1e-9 * x.abs();
+        prop_assert!(ci.width() <= tol, "width {} for x={x}", ci.width());
+        prop_assert!(
+            ci.lo - tol <= x && x <= ci.hi + tol,
+            "CI [{}, {}] vs x {}", ci.lo, ci.hi, x
+        );
+        prop_assert_eq!(ci.level, level);
+    }
+
+    /// The t-interval is symmetric about the mean and always contains
+    /// it, at any confidence level.
+    #[test]
+    fn t_interval_contains_the_sample_mean(
+        xs in sample(2),
+        level in level(),
+    ) {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let ci = t_confidence_interval(&xs, level).expect("finite sample has a CI");
+        prop_assert!(ci.contains(mean), "CI [{}, {}] vs mean {}", ci.lo, ci.hi, mean);
+        prop_assert!(ci.lo <= ci.hi);
+    }
+
+    /// Welch's statistic is antisymmetric under swapping the groups:
+    /// same |t|, same df, same p — and the verdict flips Faster↔Slower
+    /// while Inconclusive stays put.
+    #[test]
+    fn welch_is_antisymmetric_under_swap(a in sample(2), b in sample(2)) {
+        let fwd = welch_test(&a, &b, 0.05);
+        let rev = welch_test(&b, &a, 0.05);
+        // Degeneracy (zero pooled variance) is symmetric.
+        prop_assert_eq!(fwd.is_none(), rev.is_none());
+        if let (Some(fwd), Some(rev)) = (fwd, rev) {
+            prop_assert!((fwd.t + rev.t).abs() <= 1e-9 * fwd.t.abs().max(1.0));
+            prop_assert!((fwd.df - rev.df).abs() <= 1e-9 * fwd.df.max(1.0));
+            prop_assert!((fwd.p - rev.p).abs() <= 1e-6);
+            let flipped = match fwd.verdict {
+                Verdict::Faster => Verdict::Slower,
+                Verdict::Slower => Verdict::Faster,
+                Verdict::Inconclusive => Verdict::Inconclusive,
+            };
+            prop_assert_eq!(rev.verdict, flipped);
+        }
+    }
+
+    /// One pair, one alpha, one verdict: a comparison can never be both
+    /// Faster and Slower, and a significant verdict always comes with
+    /// p < alpha.
+    #[test]
+    fn a_pair_never_earns_contradictory_verdicts(a in sample(2), b in sample(2)) {
+        if let Some(out) = welch_test(&a, &b, 0.05) {
+            match out.verdict {
+                Verdict::Faster => {
+                    prop_assert!(out.p < 0.05);
+                    prop_assert!(out.t < 0.0);
+                }
+                Verdict::Slower => {
+                    prop_assert!(out.p < 0.05);
+                    prop_assert!(out.t > 0.0);
+                }
+                Verdict::Inconclusive => prop_assert!(out.p >= 0.05),
+            }
+            prop_assert!((0.0..=1.0).contains(&out.p), "p = {}", out.p);
+        }
+    }
+
+    /// The five-number summary is bounded by the order statistics:
+    /// min ≤ q1 ≤ median ≤ q3 ≤ max, each inside the sample's range.
+    #[test]
+    fn summary_quartiles_are_order_statistics_bounded(xs in sample(1)) {
+        let s = Summary::of(&xs).expect("finite sample summarizes");
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.n, xs.len());
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+        prop_assert!(s.min <= s.q1);
+        prop_assert!(s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3);
+        prop_assert!(s.q3 <= s.max);
+    }
+}

@@ -169,6 +169,84 @@ fn flag_factor(comp: &Compilation, class: KernelClass) -> f64 {
     f
 }
 
+/// Relative standard deviation of one timing sample of `class` code
+/// under `comp` — the width of the seeded noise distribution that
+/// [`kernel_seconds`] draws from.
+///
+/// Memory- and branch-bound loops are the noisiest (cache and predictor
+/// state vary run to run); dense compute is the tightest. Unoptimized
+/// builds run long enough that their *relative* noise is slightly
+/// calmer.
+pub fn noise_sigma(comp: &Compilation, class: KernelClass) -> f64 {
+    let class_sigma = match class {
+        KernelClass::Memory => 0.030,
+        KernelClass::Branchy => 0.022,
+        KernelClass::Transcendental => 0.015,
+        KernelClass::Stencil => 0.012,
+        KernelClass::DivHeavy => 0.012,
+        KernelClass::DotHeavy => 0.008,
+    };
+    let level = match comp.opt {
+        OptLevel::O0 => 0.8,
+        OptLevel::O1 => 0.9,
+        OptLevel::O2 | OptLevel::O3 => 1.0,
+    };
+    class_sigma * level
+}
+
+/// Multiplicative noise on one timing sample: `1 + σ·z`, where σ is
+/// [`noise_sigma`] and `z` is a standard-normal draw keyed on
+/// `(class, seed, sample)`.
+///
+/// The draw is *common-mode per kernel class*: two compilations timed
+/// under the same seed see the same `z` for the same class and sample
+/// index (machine-wide jitter affects a whole run), scaled by each
+/// compilation's own σ. That keeps repeated-sample comparisons honest —
+/// differences between binaries come from their speed factors, not from
+/// uncorrelated noise realizations — while every sample stream stays
+/// byte-deterministic given the seed.
+pub fn noise_factor(comp: &Compilation, class: KernelClass, seed: u64, sample: u32) -> f64 {
+    let sigma = noise_sigma(comp, class);
+    (1.0 + sigma * noise_z(class, seed, sample)).max(0.05)
+}
+
+/// Standard-normal draw for `(class, seed, sample)`: an Irwin–Hall sum
+/// of 12 uniforms (mean 6, unit variance) from a splitmix64 stream
+/// seeded by the FNV-1a digest of the key — pure integer arithmetic, so
+/// the stream is bit-stable across platforms.
+fn noise_z(class: KernelClass, seed: u64, sample: u32) -> f64 {
+    let key = format!("noise|{class:?}|{seed}|{sample}");
+    let mut s = fnv1a(key.as_bytes());
+    let mut z = -6.0;
+    for _ in 0..12 {
+        s = s.wrapping_add(0x9e3779b97f4a7c15);
+        let mut x = s;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^= x >> 31;
+        z += (x >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    z
+}
+
+/// Draw `n` repeated timing samples of `work` abstract units of `class`
+/// code under `comp`: [`simulated_seconds`] scaled by the seeded
+/// per-(compilation, kernel-class) [`noise_factor`]. Byte-deterministic
+/// given the seed, so every downstream statistical verdict is
+/// replayable.
+pub fn kernel_seconds(
+    comp: &Compilation,
+    class: KernelClass,
+    work: f64,
+    seed: u64,
+    n: u32,
+) -> Vec<f64> {
+    let base = simulated_seconds(comp, class, work);
+    (0..n)
+        .map(|i| base * noise_factor(comp, class, seed, i))
+        .collect()
+}
+
 /// Deterministic per-(workload, compilation) jitter in `[-2.5%, +2.5%]`,
 /// so that sorted speedup curves (Figure 4) look like measurements while
 /// staying exactly reproducible.
@@ -288,5 +366,77 @@ mod tests {
     fn fnv1a_is_stable() {
         assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn kernel_seconds_is_byte_deterministic_per_seed() {
+        let c = Compilation::new(CompilerKind::Icpc, OptLevel::O3, vec![Switch::XHost]);
+        let a = kernel_seconds(&c, KernelClass::DotHeavy, 1e6, 42, 16);
+        let b = kernel_seconds(&c, KernelClass::DotHeavy, 1e6, 42, 16);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // A different seed draws a different stream.
+        let other = kernel_seconds(&c, KernelClass::DotHeavy, 1e6, 43, 16);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn noise_samples_stay_centered_on_the_deterministic_model() {
+        let c = Compilation::perf_reference();
+        for class in KernelClass::ALL {
+            let base = simulated_seconds(&c, class, 1e6);
+            let samples = kernel_seconds(&c, class, 1e6, 7, 400);
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let sigma = noise_sigma(&c, class);
+            // Mean of 400 draws lands within ~4 standard errors.
+            assert!(
+                (mean / base - 1.0).abs() < 4.0 * sigma / (400f64).sqrt(),
+                "{class:?}: mean {mean} vs base {base}"
+            );
+            assert!(samples.iter().all(|s| *s > 0.0));
+        }
+    }
+
+    #[test]
+    fn noise_sigma_ranks_memory_noisiest_and_dot_tightest() {
+        let c = Compilation::perf_reference();
+        let mem = noise_sigma(&c, KernelClass::Memory);
+        let dot = noise_sigma(&c, KernelClass::DotHeavy);
+        assert!(mem > dot);
+        for class in KernelClass::ALL {
+            let s = noise_sigma(&c, class);
+            assert!(s > 0.0 && s < 0.05, "{class:?}: {s}");
+        }
+    }
+
+    #[test]
+    fn noise_draws_are_common_mode_across_compilations() {
+        // Same class, seed, and sample index ⇒ the same z draw, scaled
+        // by each compilation's σ. With equal σ (same opt level) the
+        // noise factors are identical, so speedup ratios between two
+        // same-level compilations are noise-free by construction.
+        let a = Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![]);
+        let b = Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![Switch::PrecDiv]);
+        for i in 0..8 {
+            assert_eq!(
+                noise_factor(&a, KernelClass::DivHeavy, 5, i).to_bits(),
+                noise_factor(&b, KernelClass::DivHeavy, 5, i).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn noise_factors_never_go_nonpositive() {
+        // The 0.05 floor guards pathological tail draws: a timing
+        // sample can never be negative or zero.
+        for comp in mfem_matrix() {
+            for class in KernelClass::ALL {
+                for i in 0..32 {
+                    assert!(noise_factor(&comp, class, 999, i) >= 0.05);
+                }
+            }
+        }
     }
 }

@@ -26,6 +26,10 @@ pub mod phase {
     /// Fuzz-campaign spans: one per checked seed (cost = program
     /// executions the seed's serial search spent).
     pub const FUZZ: &str = "fuzz";
+    /// File-level performance-bisect spans (one per perf search).
+    pub const PERF_FILE: &str = "perf.file";
+    /// Symbol-level performance-bisect spans (one per searched file).
+    pub const PERF_SYMBOL: &str = "perf.symbol";
 }
 
 /// Counter names.
@@ -98,6 +102,21 @@ pub mod counter {
     pub const WORKFLOW_BISECTIONS: &str = "workflow.bisections";
     /// Variable (test, compilation) rows found by the workflow sweep.
     pub const WORKFLOW_VARIABLE_ROWS: &str = "workflow.variable_rows";
+
+    /// Trusted baseline timing runs of performance-bisect searches.
+    pub const PERF_REFERENCE_RUNS: &str = "perf.executions.reference";
+    /// File-level perf Test executions (timed file-mixed binaries).
+    pub const PERF_FILE_RUNS: &str = "perf.executions.file";
+    /// Symbol-level perf Test executions (timed symbol-mixed binaries).
+    pub const PERF_SYMBOL_RUNS: &str = "perf.executions.symbol";
+    /// Timing samples drawn from the seeded noise model.
+    pub const PERF_SAMPLES_DRAWN: &str = "perf.samples.drawn";
+    /// Welch verdicts concluding the candidate is faster.
+    pub const PERF_VERDICTS_FASTER: &str = "perf.verdicts.faster";
+    /// Welch verdicts concluding the candidate is slower.
+    pub const PERF_VERDICTS_SLOWER: &str = "perf.verdicts.slower";
+    /// Welch verdicts unable to separate the pair at the chosen α.
+    pub const PERF_VERDICTS_INCONCLUSIVE: &str = "perf.verdicts.inconclusive";
 
     /// Seeds the fuzz campaign checked.
     pub const FUZZ_SEEDS_RUN: &str = "fuzz.seeds.run";

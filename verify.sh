@@ -18,9 +18,12 @@ if [[ "${1:-}" == "--quick" ]]; then
   cargo test -q --test resume_durability
   cargo test -q -p flit-bisect
   cargo test -q -p flit-persist
-  echo "== quick: fuzz oracle + campaign plumbing + report stats =="
+  echo "== quick: fuzz oracle + campaign plumbing =="
   cargo test -q -p flit-fuzz
+  echo "== quick: perf bisect (planner, stats layer, CLI verdicts) =="
+  cargo test -q -p flit-bisect perf
   cargo test -q -p flit-report
+  cargo test -q -p flit-cli perf
   echo "verify --quick: OK"
   exit 0
 fi
@@ -50,5 +53,9 @@ cargo run --release --example quickstart
 
 echo "== cargo run --example determinize_replay =="
 cargo run --release --example determinize_replay
+
+echo "== table2 characterization (emits BENCH_table2.json) =="
+cargo run --release -p flit-bench --bin table2
+test -s BENCH_table2.json
 
 echo "verify: OK"
