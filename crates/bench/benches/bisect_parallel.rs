@@ -17,7 +17,7 @@ use flit_bisect::hierarchy::{
 use flit_core::metrics::l2_compare;
 use flit_core::runner::{run_matrix, RunnerConfig};
 use flit_core::test::FlitTest;
-use flit_exec::Executor;
+use flit_exec::ThreadsBackend;
 use flit_mfem::examples::example_driver;
 use flit_mfem::{mfem_examples, mfem_program};
 use flit_program::build::Build;
@@ -53,7 +53,7 @@ fn bench_single_search(c: &mut Criterion) {
         })
     });
     for &jobs in &[1usize, 2, 4, 8] {
-        let exec = Executor::new(jobs);
+        let exec = ThreadsBackend::new(jobs);
         group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, _| {
             b.iter(|| {
                 bisect_hierarchical_parallel(

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use flit_bisect::hierarchy::{bisect_hierarchical_parallel, HierarchicalConfig};
 use flit_core::metrics::l2_compare;
-use flit_exec::Executor;
+use flit_exec::ThreadsBackend;
 use flit_lint::{analyze_program, predict_pair};
 use flit_mfem::examples::example_driver;
 use flit_mfem::mfem_program;
@@ -67,7 +67,7 @@ fn bench_seeded_search(c: &mut Criterion) {
     let driver = example_driver(13, 1);
     let input = [0.35, 0.62];
     let pred = predict_pair(&baseline, &variable, Some(&driver), CompilerKind::Gcc);
-    let exec = Executor::new(8);
+    let exec = ThreadsBackend::new(8);
 
     let run = |cfg: &HierarchicalConfig| {
         bisect_hierarchical_parallel(

@@ -14,7 +14,7 @@ use flit_bisect::hierarchy::{
     bisect_hierarchical, bisect_hierarchical_parallel, HierarchicalConfig, SearchOutcome,
 };
 use flit_core::metrics::l2_compare;
-use flit_exec::Executor;
+use flit_exec::{Executor, ThreadsBackend};
 use flit_inject::study::{run_study, StudyConfig};
 use flit_lint::{audit_hierarchy, audit_injection, predict_pair};
 use flit_lulesh::{lulesh_driver, lulesh_program};
@@ -163,7 +163,7 @@ fn seeding_savings(program: &SimProgram) {
         .collect();
     let driver = example_driver(13, 1);
     let base = Build::new(program, Compilation::baseline());
-    let exec = Executor::new(8);
+    let exec = ThreadsBackend::new(8);
     let ctx = BuildCtx::cached();
 
     let mut unseeded = 0u64;

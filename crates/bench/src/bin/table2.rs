@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use flit_bench::{bisect_all_variable_with, mfem_study::default_threads, mfem_sweep};
 use flit_bisect::ledger::{LedgerHandle, QueryLedger};
 use flit_bisect::perf::{perf_bisect, PerfConfig};
-use flit_exec::Executor;
+use flit_exec::ThreadsBackend;
 use flit_mfem::examples::example_driver;
 use flit_mfem::mfem_program;
 use flit_program::build::Build;
@@ -134,7 +134,7 @@ fn perf_demo(program: &flit_program::model::SimProgram) -> PerfJson {
         &driver,
         &[0.35, 0.62],
         &cfg,
-        &Executor::new(default_threads()),
+        &ThreadsBackend::new(default_threads()),
     );
 
     let snapshot = trace.snapshot();

@@ -12,19 +12,17 @@
 //! content with reporting the file containing the variability."
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use flit_program::build::{
-    file_mixed_executable_in, pic_probe_executable_in, symbol_mixed_executable_in, Build,
-};
-use flit_program::engine::{Engine, RunError};
+use flit_program::build::Build;
 use flit_program::model::Driver;
 use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compiler::CompilerKind;
 use flit_trace::names::{counter as counter_names, phase};
 use flit_trace::sink::TraceSink;
 
-use flit_exec::{ExecError, Executor};
+use flit_exec::{run_on, ExecBackend, ExecError};
 
 use crate::algo::{bisect_all, AssumptionViolation};
 use crate::biggest::bisect_biggest;
@@ -32,6 +30,7 @@ use crate::ledger::{LedgerHandle, SearchKeys};
 use crate::parallel::{drive_plans_seeded, emit_query_spans, SharedOracle, SpeculationScore};
 use crate::planner::{BisectPlan, PlanFailure, PlanOutcome, SearchMode};
 use crate::test_fn::{TestError, TestFn};
+use crate::wire::{ExeRecipe, LocalPlane, QueryPlane, RemotePlane};
 
 /// A static prescreen of the hierarchical search space (produced by
 /// `flit-lint`, consumed here): predicted-sensitivity scores per file
@@ -113,6 +112,15 @@ pub struct HierarchicalConfig {
     ///
     /// [`QueryLedger`]: crate::ledger::QueryLedger
     pub ledger: Option<LedgerHandle>,
+    /// Optional execution backend deciding *where* Test queries
+    /// evaluate. `None` (and any backend whose
+    /// [`ExecBackend::is_remote`] is false) evaluates in-process via a
+    /// [`LocalPlane`]; a remote backend (the `process` coordinator)
+    /// ships every query through [`ExecBackend::dispatch`] via a
+    /// [`RemotePlane`]. Found sets, execution counts, `bisect.*`
+    /// counters/spans, and ledger accounting are byte-identical either
+    /// way; only the `build.*` counters move into the workers.
+    pub backend: Option<Arc<dyn ExecBackend>>,
 }
 
 impl HierarchicalConfig {
@@ -125,6 +133,7 @@ impl HierarchicalConfig {
             trace: TraceSink::disabled(),
             prescreen: None,
             ledger: None,
+            backend: None,
         }
     }
 
@@ -159,6 +168,41 @@ impl HierarchicalConfig {
     pub fn with_ledger(mut self, ledger: LedgerHandle) -> Self {
         self.ledger = Some(ledger);
         self
+    }
+
+    /// Evaluate this search's Test queries through an execution
+    /// backend (see [`HierarchicalConfig::backend`]).
+    pub fn with_backend(mut self, backend: Arc<dyn ExecBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The query plane this configuration evaluates through.
+    fn plane<'a>(
+        &'a self,
+        baseline: &'a Build<'a>,
+        variable: &'a Build<'a>,
+        driver: &'a Driver,
+        input: &'a [f64],
+    ) -> Box<dyn QueryPlane + 'a> {
+        match &self.backend {
+            Some(b) if b.is_remote() => Box::new(RemotePlane::new(
+                b.clone(),
+                baseline,
+                variable,
+                driver,
+                input,
+                self.link_driver,
+            )),
+            _ => Box::new(LocalPlane {
+                baseline,
+                variable,
+                driver,
+                input,
+                link_driver: self.link_driver,
+                ctx: &self.ctx,
+            }),
+        }
     }
 }
 
@@ -264,17 +308,6 @@ impl HierarchicalResult {
     }
 }
 
-fn run_to_test_error(e: RunError) -> TestError {
-    match e {
-        RunError::Crash(s) => TestError::Crash(s),
-        RunError::MissingSymbol(s) => TestError::Link(format!("undefined symbol `{s}`")),
-        // A corrupt build tag means the mixed link itself is broken —
-        // surface it as a link-level fault so the search reports it as
-        // an assumption violation rather than masking it.
-        e @ RunError::CorruptBuildTag { .. } => TestError::Link(e.to_string()),
-    }
-}
-
 /// Run the full hierarchical search.
 ///
 /// * `baseline` / `variable` — the two builds (identical program
@@ -307,21 +340,14 @@ pub fn bisect_hierarchical(
         .map(|_| search_keys(baseline, variable, driver, input, cfg));
     let reference_runs = cfg.trace.counter(counter_names::BISECT_REFERENCE_RUNS);
     let probe_runs = cfg.trace.counter(counter_names::BISECT_PROBE_RUNS);
+    let plane = cfg.plane(baseline, variable, driver, input);
 
     // Reference run under the trusted baseline build. Through a ledger
     // the answer (the full output vector) may be served by another
     // search or a journal replay; the accounting below is identical
     // either way.
     let reference = {
-        let compute = || -> Result<(Vec<f64>, f64), TestError> {
-            let base_exe = baseline
-                .executable_in(&cfg.ctx)
-                .map_err(|e| TestError::Link(e.to_string()))?;
-            let out = Engine::with_variant(baseline.program, variable.program, &base_exe)
-                .run(driver, input)
-                .map_err(|e| TestError::Crash(e.to_string()))?;
-            Ok((out.output, out.seconds))
-        };
+        let compute = || plane.run_recipe(&ExeRecipe::Baseline);
         match (&cfg.ledger, &keys) {
             (Some(ledger), Some(keys)) => ledger.eval_output(&keys.reference(), compute),
             _ => compute(),
@@ -377,13 +403,11 @@ pub fn bisect_hierarchical(
     let mut file_execs = 0usize;
     let file_secs = Cell::new(0.0f64);
     let file_raw = |items: &[usize]| -> Result<(f64, f64), TestError> {
-        let set: BTreeSet<usize> = items.iter().copied().collect();
-        let exe = file_mixed_executable_in(baseline, variable, &set, cfg.link_driver, &cfg.ctx)
-            .map_err(|e| TestError::Link(e.to_string()))?;
-        let out = Engine::with_variant(baseline.program, variable.program, &exe)
-            .run(driver, input)
-            .map_err(run_to_test_error)?;
-        Ok((compare(&base_out, &out.output), out.seconds))
+        let recipe = ExeRecipe::FileMixed {
+            items: items.to_vec(),
+        };
+        let (out, seconds) = plane.run_recipe(&recipe)?;
+        Ok((compare(&base_out, &out), seconds))
     };
     let file_test = |items: &[usize]| -> Result<f64, TestError> {
         let (value, seconds) = match (&cfg.ledger, &keys) {
@@ -504,16 +528,8 @@ pub fn bisect_hierarchical(
         // -fPIC probe: does the variability survive the recompile?
         let probe_answer = {
             let compute = || -> Result<(f64, f64), TestError> {
-                let probe =
-                    pic_probe_executable_in(baseline, variable, fid, cfg.link_driver, &cfg.ctx)
-                        .map_err(|e| TestError::Link(e.to_string()))?;
-                match Engine::with_variant(baseline.program, variable.program, &probe)
-                    .run(driver, input)
-                {
-                    Ok(o) => Ok((compare(&base_out, &o.output), o.seconds)),
-                    Err(RunError::Crash(s)) => Err(TestError::Crash(s)),
-                    Err(e) => Err(TestError::Crash(e.to_string())),
-                }
+                let (out, seconds) = plane.run_recipe(&ExeRecipe::PicProbe { file: fid })?;
+                Ok((compare(&base_out, &out), seconds))
             };
             match (&cfg.ledger, &keys) {
                 (Some(ledger), Some(keys)) => {
@@ -580,20 +596,12 @@ pub fn bisect_hierarchical(
         let mut sym_execs = 0usize;
         let sym_secs = Cell::new(0.0f64);
         let sym_raw = |items: &[String]| -> Result<(f64, f64), TestError> {
-            let set: BTreeSet<String> = items.iter().cloned().collect();
-            let exe = symbol_mixed_executable_in(
-                baseline,
-                variable,
-                fid,
-                &set,
-                cfg.link_driver,
-                &cfg.ctx,
-            )
-            .map_err(|e| TestError::Link(e.to_string()))?;
-            let out = Engine::with_variant(baseline.program, variable.program, &exe)
-                .run(driver, input)
-                .map_err(run_to_test_error)?;
-            Ok((compare(&base_out, &out.output), out.seconds))
+            let recipe = ExeRecipe::SymbolMixed {
+                file: fid,
+                items: items.to_vec(),
+            };
+            let (out, seconds) = plane.run_recipe(&recipe)?;
+            Ok((compare(&base_out, &out), seconds))
         };
         let sym_test = |items: &[String]| -> Result<f64, TestError> {
             let (value, seconds) = match (&cfg.ledger, &keys) {
@@ -717,21 +725,25 @@ enum ProbeOutcome {
 }
 
 /// [`bisect_hierarchical`] with every independent Test query fanned out
-/// on a shared executor.
+/// on a shared execution backend.
 ///
 /// Three parallel stages, each *decided* by the planner and *folded* in
 /// the serial order: the file-level search runs as a frontier-driven
 /// plan (both halves of every split, plus speculation, evaluated
 /// concurrently through a single-flight [`SharedOracle`]); the `-fPIC`
 /// probes of all found files run as one wave; the per-file symbol
-/// searches run as *joint* plans sharing the executor. The result —
+/// searches run as *joint* plans sharing the backend. The result —
 /// outcome, findings, execution counts, violations, and the `bisect.*`
 /// spans/counters — is byte-identical to [`bisect_hierarchical`] at any
 /// worker count; only the additional `exec.wave` scheduling spans
-/// depend on the executor width.
+/// depend on the backend width. With a remote backend
+/// ([`ExecBackend::is_remote`], e.g. the `process` coordinator), the
+/// same fan-out applies but each query evaluates in a worker
+/// subprocess via [`RemotePlane`].
 ///
 /// A panicking Test (which would abort the serial process) surfaces as
-/// [`SearchOutcome::Crashed`].
+/// [`SearchOutcome::Crashed`], as does a backend whose retry budget is
+/// exhausted.
 pub fn bisect_hierarchical_parallel(
     baseline: &Build,
     variable: &Build,
@@ -739,7 +751,7 @@ pub fn bisect_hierarchical_parallel(
     input: &[f64],
     compare: &(dyn Fn(&[f64], &[f64]) -> f64 + Sync),
     cfg: &HierarchicalConfig,
-    exec: &Executor,
+    backend: &dyn ExecBackend,
 ) -> HierarchicalResult {
     let mut executions = 0usize;
     let mut violations: Vec<String> = Vec::new();
@@ -767,21 +779,12 @@ pub fn bisect_hierarchical_parallel(
         .ledger
         .as_ref()
         .map(|_| search_keys(baseline, variable, driver, input, cfg));
+    let plane = cfg.plane(baseline, variable, driver, input);
 
     // Reference run under the trusted baseline build (serial: it is one
     // run and everything downstream compares against it).
     let reference = {
-        let compute = || -> Result<(Vec<f64>, f64), TestError> {
-            let base_exe = baseline
-                .executable_in(&cfg.ctx)
-                .map_err(|e| TestError::Link(e.to_string()))?;
-            match Engine::with_variant(baseline.program, variable.program, &base_exe)
-                .run(driver, input)
-            {
-                Ok(o) => Ok((o.output, o.seconds)),
-                Err(e) => Err(TestError::Crash(e.to_string())),
-            }
-        };
+        let compute = || plane.run_recipe(&ExeRecipe::Baseline);
         match (&cfg.ledger, &keys) {
             (Some(ledger), Some(keys)) => ledger.eval_output(&keys.reference(), compute),
             _ => compute(),
@@ -849,13 +852,11 @@ pub fn bisect_hierarchical_parallel(
         .as_ref()
         .map(|_| &file_score as SpeculationScore<'_, usize>);
     let file_raw = |items: &[usize]| -> Result<(f64, f64), TestError> {
-        let set: BTreeSet<usize> = items.iter().copied().collect();
-        let exe = file_mixed_executable_in(baseline, variable, &set, cfg.link_driver, &cfg.ctx)
-            .map_err(|e| TestError::Link(e.to_string()))?;
-        let out = Engine::with_variant(baseline.program, variable.program, &exe)
-            .run(driver, input)
-            .map_err(run_to_test_error)?;
-        Ok((compare(&base_out, &out.output), out.seconds))
+        let recipe = ExeRecipe::FileMixed {
+            items: items.to_vec(),
+        };
+        let (out, seconds) = plane.run_recipe(&recipe)?;
+        Ok((compare(&base_out, &out), seconds))
     };
     let file_oracle = match (&cfg.ledger, &keys) {
         (Some(ledger), Some(keys)) => {
@@ -872,7 +873,7 @@ pub fn bisect_hierarchical_parallel(
     let file_driven = drive_plans_seeded(
         &mut file_plans,
         &[&file_oracle],
-        exec,
+        backend,
         &cfg.trace,
         &file_label,
         file_seed,
@@ -881,6 +882,16 @@ pub fn bisect_hierarchical_parallel(
         Err(ExecError::WorkerPanicked { message, .. }) => {
             return crashed(
                 format!("bisect worker panicked: {message}"),
+                vec![],
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+        Err(ExecError::Backend { message }) => {
+            return crashed(
+                format!("bisect backend failed: {message}"),
                 vec![],
                 vec![],
                 vec![],
@@ -1008,18 +1019,11 @@ pub fn bisect_hierarchical_parallel(
     }
 
     // ---- -fPIC probes: one wave over all found files ----
-    let probe_wave = exec.run(files.len(), |i| {
+    let probe_wave = run_on(backend, files.len(), |i| {
         let fid = files[i].file_id;
         let compute = || -> Result<(f64, f64), TestError> {
-            let probe = pic_probe_executable_in(baseline, variable, fid, cfg.link_driver, &cfg.ctx)
-                .map_err(|e| TestError::Link(e.to_string()))?;
-            match Engine::with_variant(baseline.program, variable.program, &probe)
-                .run(driver, input)
-            {
-                Ok(o) => Ok((compare(&base_out, &o.output), o.seconds)),
-                Err(RunError::Crash(s)) => Err(TestError::Crash(s)),
-                Err(e) => Err(TestError::Crash(e.to_string())),
-            }
+            let (out, seconds) = plane.run_recipe(&ExeRecipe::PicProbe { file: fid })?;
+            Ok((compare(&base_out, &out), seconds))
         };
         let answer = match (&cfg.ledger, &keys) {
             (Some(ledger), Some(keys)) => {
@@ -1038,6 +1042,16 @@ pub fn bisect_hierarchical_parallel(
         Err(ExecError::WorkerPanicked { message, .. }) => {
             return crashed(
                 format!("bisect worker panicked: {message}"),
+                files,
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+        Err(ExecError::Backend { message }) => {
+            return crashed(
+                format!("bisect backend failed: {message}"),
                 files,
                 vec![],
                 vec![],
@@ -1088,21 +1102,14 @@ pub fn bisect_hierarchical_parallel(
         .map(|c| {
             let fid = c.fid;
             let base_out = &base_out;
+            let plane = &plane;
             let raw = move |items: &[String]| -> Result<(f64, f64), TestError> {
-                let set: BTreeSet<String> = items.iter().cloned().collect();
-                let exe = symbol_mixed_executable_in(
-                    baseline,
-                    variable,
-                    fid,
-                    &set,
-                    cfg.link_driver,
-                    &cfg.ctx,
-                )
-                .map_err(|e| TestError::Link(e.to_string()))?;
-                let out = Engine::with_variant(baseline.program, variable.program, &exe)
-                    .run(driver, input)
-                    .map_err(run_to_test_error)?;
-                Ok((compare(base_out, &out.output), out.seconds))
+                let recipe = ExeRecipe::SymbolMixed {
+                    file: fid,
+                    items: items.to_vec(),
+                };
+                let (out, seconds) = plane.run_recipe(&recipe)?;
+                Ok((compare(base_out, &out), seconds))
             };
             match (&cfg.ledger, &keys) {
                 (Some(ledger), Some(keys)) => {
@@ -1137,7 +1144,7 @@ pub fn bisect_hierarchical_parallel(
     let sym_driven = drive_plans_seeded(
         &mut sym_plans,
         &oracle_refs,
-        exec,
+        backend,
         &cfg.trace,
         &format!("{search}/symbol"),
         sym_seed,
@@ -1147,6 +1154,16 @@ pub fn bisect_hierarchical_parallel(
         Err(ExecError::WorkerPanicked { message, .. }) => {
             return crashed(
                 format!("bisect worker panicked: {message}"),
+                files,
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+        Err(ExecError::Backend { message }) => {
+            return crashed(
+                format!("bisect backend failed: {message}"),
                 files,
                 vec![],
                 vec![],
@@ -1691,7 +1708,7 @@ mod tests {
                     &[0.5, 0.25],
                     &l2_compare,
                     &cfg,
-                    &flit_exec::Executor::new(jobs),
+                    &flit_exec::ThreadsBackend::new(jobs),
                 );
                 assert_eq!(par, serial, "jobs={jobs} k={:?}", cfg.k);
             }
@@ -1702,7 +1719,7 @@ mod tests {
     fn parallel_hierarchy_matches_serial_on_degenerate_shapes() {
         let p = program();
         let base = Build::new(&p, Compilation::baseline());
-        let exec = flit_exec::Executor::new(8);
+        let exec = flit_exec::ThreadsBackend::new(8);
         // Clean compilation: LinkStepOnly, no files.
         let clean = Build::tagged(
             &p,
@@ -1807,7 +1824,7 @@ mod tests {
             &[0.5, 0.25],
             &l2_compare,
             &HierarchicalConfig::all().with_trace(par_trace.clone()),
-            &flit_exec::Executor::new(4),
+            &flit_exec::ThreadsBackend::new(4),
         );
         assert_eq!(par, serial);
         assert_eq!(counters(&par_trace), counters(&serial_trace));

@@ -19,10 +19,19 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use flit_persist::{crc32, write_atomic};
+use flit_persist::{frame_record, unframe_record, write_atomic, FrameError};
 
 /// The journal schema version this crate reads and writes.
-pub const JOURNAL_VERSION: u32 = 1;
+///
+/// Version history:
+/// - 1: seq/version/fingerprint/pair/key/answer.
+/// - 2: adds `backend` — which execution plane produced the answer —
+///   when the record schema became the coordinator/worker wire format.
+pub const JOURNAL_VERSION: u32 = 2;
+
+/// The `backend` value for answers computed in the coordinator
+/// process (the serial and `threads` planes).
+pub const BACKEND_LOCAL: &str = "local";
 
 /// A completed Test answer, with every float stored as its IEEE-754 bit
 /// pattern (`u64`) so the round trip is exact even for values the JSON
@@ -72,6 +81,11 @@ pub struct JournalRecord {
     /// The canonical ledger key: search-task digest plus the canonical
     /// item-set digest of the mixed link recipe.
     pub key: String,
+    /// Which execution plane produced the answer: [`BACKEND_LOCAL`]
+    /// for in-process evaluation, a backend label (e.g. `"process"`)
+    /// for answers that crossed the wire. Provenance only — replay
+    /// matches on `key` and ignores this field.
+    pub backend: String,
     /// The answer.
     pub answer: JournalAnswer,
 }
@@ -177,10 +191,15 @@ impl std::error::Error for JournalError {}
 
 fn render_line(rec: &JournalRecord) -> String {
     let payload = serde_json::to_string(rec).expect("journal record serializes");
-    format!(
-        "{{\"crc\":\"{:08x}\",\"rec\":{payload}}}",
-        crc32(payload.as_bytes())
-    )
+    frame_record(&payload)
+}
+
+/// Version probe: reads *only* the `version` field, so a record from
+/// any schema generation — older or newer, with fields this build has
+/// never heard of — still identifies itself before the full parse.
+#[derive(Deserialize)]
+struct VersionProbe {
+    version: u32,
 }
 
 fn parse_line(path: &str, lineno: usize, line: &str) -> Result<JournalRecord, JournalError> {
@@ -189,26 +208,30 @@ fn parse_line(path: &str, lineno: usize, line: &str) -> Result<JournalRecord, Jo
         line: lineno,
         message,
     };
-    // Framing: {"crc":"<8 hex>","rec":<payload>}   (all framing is
-    // ASCII, so the fixed byte offsets below are char boundaries in any
-    // well-formed line; `get` keeps corrupted lines from panicking.)
-    let crc_hex = match (line.get(..8), line.get(8..16), line.get(16..24)) {
-        (Some("{\"crc\":\""), Some(hex), Some("\",\"rec\":")) => hex,
-        _ => return Err(malformed("missing `crc`/`rec` framing".to_string())),
+    // Framing and CRC validation are shared with the wire protocol
+    // (the journal record schema *is* the wire format).
+    let payload = match unframe_record(line) {
+        Ok(payload) => payload,
+        Err(FrameError::Malformed(message)) => return Err(malformed(message)),
+        Err(FrameError::Checksum { expected, actual }) => {
+            return Err(JournalError::Checksum {
+                path: path.to_string(),
+                line: lineno,
+                expected,
+                actual,
+            })
+        }
     };
-    let expected = u32::from_str_radix(crc_hex, 16)
-        .map_err(|_| malformed(format!("`{crc_hex}` is not a CRC32 in hex")))?;
-    let payload = line
-        .get(24..line.len() - 1)
-        .filter(|_| line.ends_with('}') && line.len() > 25)
-        .ok_or_else(|| malformed("record truncated mid-payload".to_string()))?;
-    let actual = crc32(payload.as_bytes());
-    if actual != expected {
-        return Err(JournalError::Checksum {
+    // Check the schema version before demanding this version's fields,
+    // so a valid record of another generation reports
+    // UnsupportedVersion rather than a confusing parse failure.
+    let probe = serde_json::from_str::<VersionProbe>(payload)
+        .map_err(|e| malformed(format!("unparseable record payload: {e}")))?;
+    if probe.version != JOURNAL_VERSION {
+        return Err(JournalError::UnsupportedVersion {
             path: path.to_string(),
             line: lineno,
-            expected: format!("{expected:08x}"),
-            actual: format!("{actual:08x}"),
+            version: probe.version,
         });
     }
     serde_json::from_str::<JournalRecord>(payload)
@@ -322,13 +345,22 @@ impl JournalWriter {
     }
 
     /// Append one completed answer and persist the journal atomically.
-    pub fn append(&mut self, pair: &str, key: &str, answer: JournalAnswer) -> io::Result<()> {
+    /// `backend` records which execution plane produced the answer
+    /// (see [`JournalRecord::backend`]).
+    pub fn append(
+        &mut self,
+        pair: &str,
+        key: &str,
+        backend: &str,
+        answer: JournalAnswer,
+    ) -> io::Result<()> {
         let rec = JournalRecord {
             seq: self.lines.len() as u64,
             version: JOURNAL_VERSION,
             fingerprint: self.fingerprint,
             pair: pair.to_string(),
             key: key.to_string(),
+            backend: backend.to_string(),
             answer,
         };
         self.lines.push(render_line(&rec));
@@ -406,7 +438,7 @@ mod tests {
     fn write_sample(path: &Path, fingerprint: u64) -> Vec<JournalRecord> {
         let mut w = JournalWriter::create(path, fingerprint).unwrap();
         for (pair, key, ans) in sample_answers() {
-            w.append(&pair, &key, ans).unwrap();
+            w.append(&pair, &key, BACKEND_LOCAL, ans).unwrap();
         }
         load_journal(path, fingerprint).unwrap()
     }
@@ -420,6 +452,7 @@ mod tests {
             assert_eq!(rec.seq, i as u64);
             assert_eq!(rec.version, JOURNAL_VERSION);
             assert_eq!(rec.fingerprint, 0xdead_beef);
+            assert_eq!(rec.backend, BACKEND_LOCAL);
         }
         // Bit-exact floats, including the NaN element.
         match &recs[0].answer {
@@ -446,6 +479,7 @@ mod tests {
         w.append(
             "ex1/clang++ -O3",
             "probe/abc123/c/1",
+            BACKEND_LOCAL,
             JournalAnswer::Score {
                 score_bits: 2.0f64.to_bits(),
                 seconds_bits: 1.0f64.to_bits(),
@@ -477,37 +511,51 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_version_is_structured() {
-        let p = tmp("ver");
+    fn old_version_1_journal_is_rejected_structurally() {
+        // A pre-wire-format journal: version 1, no `backend` field.
+        // The loader must identify the generation and reject it as
+        // UnsupportedVersion — not trip over the missing field, and
+        // never panic.
+        let p = tmp("ver-old");
+        let v1_payload = "{\"seq\":0,\"version\":1,\"fingerprint\":3,\
+                          \"pair\":\"p\",\"key\":\"k\",\"answer\":\
+                          {\"Score\":{\"score_bits\":0,\"seconds_bits\":0}}}";
+        std::fs::write(&p, format!("{}\n", frame_record(v1_payload))).unwrap();
+        match load_journal(&p, 3).unwrap_err() {
+            JournalError::UnsupportedVersion { line, version, .. } => {
+                assert_eq!((line, version), (1, 1));
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_is_rejected_structurally() {
+        let p = tmp("ver-future");
         let mut w = JournalWriter::create(&p, 3).unwrap();
         w.append(
             "p",
             "k",
+            BACKEND_LOCAL,
             JournalAnswer::Score {
                 score_bits: 0,
                 seconds_bits: 0,
             },
         )
         .unwrap();
-        // Hand-craft a version-2 record with a valid CRC.
-        let rec = JournalRecord {
-            seq: 1,
-            version: 2,
-            fingerprint: 3,
-            pair: "p".to_string(),
-            key: "k2".to_string(),
-            answer: JournalAnswer::Score {
-                score_bits: 0,
-                seconds_bits: 0,
-            },
-        };
+        // A record from a future generation, carrying a field this
+        // build has never heard of: still identified by its version.
+        let v3_payload = "{\"seq\":1,\"version\":3,\"fingerprint\":3,\
+                          \"pair\":\"p\",\"key\":\"k2\",\"backend\":\"local\",\
+                          \"shard\":7,\"answer\":\
+                          {\"Score\":{\"score_bits\":0,\"seconds_bits\":0}}}";
         let mut content = std::fs::read_to_string(&p).unwrap();
-        content.push_str(&render_line(&rec));
+        content.push_str(&frame_record(v3_payload));
         content.push('\n');
         std::fs::write(&p, content).unwrap();
         match load_journal(&p, 3).unwrap_err() {
             JournalError::UnsupportedVersion { line, version, .. } => {
-                assert_eq!((line, version), (2, 2));
+                assert_eq!((line, version), (2, 3));
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
@@ -622,6 +670,7 @@ mod tests {
             fingerprint: 5,
             pair: "p".to_string(),
             key: "k".to_string(),
+            backend: BACKEND_LOCAL.to_string(),
             answer: JournalAnswer::Score {
                 score_bits: 0,
                 seconds_bits: 0,
@@ -650,6 +699,7 @@ mod tests {
         w.append(
             "ex1/g++ –O3", // en-dash: 3 bytes
             "file/abc/0/1",
+            BACKEND_LOCAL,
             JournalAnswer::Score {
                 score_bits: 0,
                 seconds_bits: 0,

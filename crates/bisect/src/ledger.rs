@@ -139,6 +139,7 @@ pub struct QueryLedger {
     appended: Counter,
     journal: Mutex<Option<JournalWriter>>,
     journal_error: Mutex<Option<String>>,
+    backend_label: Mutex<String>,
 }
 
 impl std::fmt::Debug for QueryLedger {
@@ -170,7 +171,16 @@ impl QueryLedger {
             appended: trace.counter(counter_names::JOURNAL_APPENDED),
             journal: Mutex::new(None),
             journal_error: Mutex::new(None),
+            backend_label: Mutex::new(crate::journal::BACKEND_LOCAL.to_string()),
         })
+    }
+
+    /// Record which execution plane computes this ledger's answers
+    /// (journal provenance; defaults to
+    /// [`crate::journal::BACKEND_LOCAL`]). Replay matches on key and
+    /// never reads this.
+    pub fn set_backend_label(&self, label: &str) {
+        *self.backend_label.lock() = label.to_string();
     }
 
     /// The program fingerprint this ledger (and its journal) is keyed
@@ -222,7 +232,8 @@ impl QueryLedger {
     fn append_to_journal(&self, pair: &str, key: &str, answer: &StoredAnswer) {
         let mut journal = self.journal.lock();
         if let Some(writer) = journal.as_mut() {
-            match writer.append(pair, key, answer.to_journal()) {
+            let backend = self.backend_label.lock().clone();
+            match writer.append(pair, key, &backend, answer.to_journal()) {
                 Ok(()) => {
                     self.stats_appended.fetch_add(1, Ordering::Relaxed);
                     self.appended.incr(1);
@@ -624,6 +635,7 @@ mod tests {
             fingerprint: 11,
             pair: "t/one".into(),
             key: "ref/task0".into(),
+            backend: crate::journal::BACKEND_LOCAL.into(),
             answer: JournalAnswer::Output {
                 output_bits: vec![1.5f64.to_bits()],
                 seconds_bits: 0.25f64.to_bits(),

@@ -49,6 +49,7 @@ pub mod parallel;
 pub mod perf;
 pub mod planner;
 pub mod test_fn;
+pub mod wire;
 
 pub use algo::{
     bisect_all, bisect_all_unpruned, bisect_one, AssumptionViolation, BisectOutcome, TraceRow,
@@ -71,3 +72,4 @@ pub use perf::{
 };
 pub use planner::{BisectPlan, PlanFailure, PlanOutcome, PlanStep, Query, SearchMode};
 pub use test_fn::{MemoTest, TestError, TestFn};
+pub use wire::{evaluate, ExeRecipe, LocalPlane, QueryPlane, RemotePlane, WireRequest, WireTask};

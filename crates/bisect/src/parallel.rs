@@ -5,14 +5,16 @@
 //! and in what canonical order their answers are consumed; the *oracle*
 //! memoizes evaluations (single-flight, shareable across concurrent
 //! searches); the *driver* below batches frontier queries into waves
-//! and fans them out on an [`Executor`]. Answers only ever enter a plan
+//! and fans them out on an [`ExecBackend`]. Answers only ever enter a plan
 //! through its answer table, so speculative or wasted evaluations can
 //! never change an outcome — `--jobs 8` is byte-identical to
 //! `--jobs 1`.
 
 use std::hash::Hash;
 
-use flit_exec::{ExecError, Executor, SingleFlight};
+#[cfg(test)]
+use flit_exec::ThreadsBackend;
+use flit_exec::{run_on, ExecBackend, ExecError, SingleFlight};
 use flit_trace::names::{counter, phase};
 use flit_trace::sink::TraceSink;
 
@@ -113,7 +115,7 @@ where
 /// item sets a prescreen predicts invariant.
 pub type SpeculationScore<'a, I> = &'a (dyn Fn(&[I]) -> f64 + Sync);
 
-/// Drive several plans to completion jointly on one executor.
+/// Drive several plans to completion jointly on one execution backend.
 ///
 /// Each wave gathers every active plan's frontier: all *required*
 /// queries (the replay cannot advance without them), then speculative
@@ -121,20 +123,22 @@ pub type SpeculationScore<'a, I> = &'a (dyn Fn(&[I]) -> f64 + Sync);
 /// answers are fed back, and the plans step again — so independent
 /// searches and both branches of each split evaluate concurrently while
 /// every plan's observables stay byte-identical to its serial run.
+/// (Remote backends fan the wave out locally too — their oracles route
+/// each evaluation through [`ExecBackend::dispatch`] internally.)
 ///
 /// Returns one result per plan, in order. `Err(ExecError)` only on a
 /// panicking oracle (a Test *error* is a per-plan `PlanFailure`).
 pub fn drive_plans<I>(
     plans: &mut [BisectPlan<I>],
     oracles: &[&SharedOracle<'_, I>],
-    exec: &Executor,
+    backend: &dyn ExecBackend,
     trace: &TraceSink,
     label: &str,
 ) -> Result<Vec<Result<PlanOutcome<I>, PlanFailure>>, ExecError>
 where
     I: Clone + Ord + Hash + Send + Sync,
 {
-    drive_plans_seeded(plans, oracles, exec, trace, label, None)
+    drive_plans_seeded(plans, oracles, backend, trace, label, None)
 }
 
 /// [`drive_plans`] with an optional speculation priority (`seed`).
@@ -152,7 +156,7 @@ where
 pub fn drive_plans_seeded<I>(
     plans: &mut [BisectPlan<I>],
     oracles: &[&SharedOracle<'_, I>],
-    exec: &Executor,
+    backend: &dyn ExecBackend,
     trace: &TraceSink,
     label: &str,
     seed: Option<SpeculationScore<'_, I>>,
@@ -208,7 +212,7 @@ where
             scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
             speculative = scored.into_iter().map(|(_, q)| q).collect();
         }
-        let budget = exec.threads().max(required.len());
+        let budget = backend.workers().max(required.len());
         let mut batch = required;
         let fill = budget - batch.len();
         batch.extend(speculative.into_iter().take(fill));
@@ -222,7 +226,7 @@ where
                 0.0,
             );
         }
-        let answers = exec.run(batch.len(), |j| {
+        let answers = run_on(backend, batch.len(), |j| {
             let (pi, items) = &batch[j];
             oracles[*pi].eval(items)
         })?;
@@ -266,7 +270,7 @@ fn exec_error_to_test_error(e: ExecError) -> TestError {
 pub fn bisect_all_parallel<I, F>(
     test_fn: F,
     items: &[I],
-    exec: &Executor,
+    backend: &dyn ExecBackend,
 ) -> Result<BisectOutcome<I>, TestError>
 where
     I: Clone + Ord + Hash + Send + Sync,
@@ -275,7 +279,7 @@ where
     run_single(
         BisectPlan::new(items, crate::planner::SearchMode::All),
         test_fn,
-        exec,
+        backend,
     )
 }
 
@@ -286,7 +290,7 @@ pub fn bisect_biggest_parallel<I, F>(
     test_fn: F,
     items: &[I],
     k: usize,
-    exec: &Executor,
+    backend: &dyn ExecBackend,
 ) -> Result<BisectOutcome<I>, TestError>
 where
     I: Clone + Ord + Hash + Send + Sync,
@@ -295,14 +299,14 @@ where
     run_single(
         BisectPlan::new(items, crate::planner::SearchMode::Biggest(k)),
         test_fn,
-        exec,
+        backend,
     )
 }
 
 fn run_single<I, F>(
     plan: BisectPlan<I>,
     test_fn: F,
-    exec: &Executor,
+    backend: &dyn ExecBackend,
 ) -> Result<BisectOutcome<I>, TestError>
 where
     I: Clone + Ord + Hash + Send + Sync,
@@ -311,7 +315,7 @@ where
     let trace = TraceSink::disabled();
     let oracle = SharedOracle::new(move |items: &[I]| test_fn(items).map(|v| (v, 0.0)), &trace);
     let mut plans = [plan];
-    let mut results = drive_plans(&mut plans, &[&oracle], exec, &trace, "bisect")
+    let mut results = drive_plans(&mut plans, &[&oracle], backend, &trace, "bisect")
         .map_err(exec_error_to_test_error)?;
     match results.pop().expect("one plan in, one result out") {
         Ok(p) => Ok(p.outcome),
@@ -347,7 +351,7 @@ mod tests {
         let items: Vec<u32> = (1..=40).collect();
         let serial = bisect_all(magnitude(weights.clone()), &items).unwrap();
         for jobs in [1, 2, 8] {
-            let exec = Executor::new(jobs);
+            let exec = ThreadsBackend::new(jobs);
             let par = bisect_all_parallel(magnitude(weights.clone()), &items, &exec).unwrap();
             assert_eq!(par.found, serial.found, "jobs={jobs}");
             assert_eq!(par.executions, serial.executions, "jobs={jobs}");
@@ -362,7 +366,7 @@ mod tests {
         let items: Vec<u32> = (0..128).collect();
         for k in [1, 4] {
             let serial = bisect_biggest(magnitude(weights.clone()), &items, k).unwrap();
-            let exec = Executor::new(8);
+            let exec = ThreadsBackend::new(8);
             let par =
                 bisect_biggest_parallel(magnitude(weights.clone()), &items, k, &exec).unwrap();
             assert_eq!(par.found, serial.found, "k={k}");
@@ -389,7 +393,7 @@ mod tests {
             BisectPlan::new(&items, SearchMode::All),
             BisectPlan::new(&items, SearchMode::AllUnpruned),
         ];
-        let exec = Executor::new(4);
+        let exec = ThreadsBackend::new(4);
         let results = drive_plans(&mut plans, &[&oracle, &oracle], &exec, &sink, "joint").unwrap();
         let [a, b] = <[_; 2]>::try_from(results).ok().unwrap();
         let serial_a = bisect_all(magnitude(weights.clone()), &items).unwrap();
@@ -407,7 +411,7 @@ mod tests {
     #[test]
     fn panicking_test_fn_becomes_a_crash_error() {
         let items: Vec<u32> = (0..16).collect();
-        let exec = Executor::new(2);
+        let exec = ThreadsBackend::new(2);
         let err = bisect_all_parallel(
             |_items: &[u32]| -> Result<f64, TestError> { panic!("oracle exploded") },
             &items,

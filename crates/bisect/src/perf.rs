@@ -23,10 +23,9 @@
 //! they are statistically indistinguishable — the found set explains
 //! the regression.
 
-use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use flit_program::build::{file_mixed_executable_in, symbol_mixed_executable_in, Build};
-use flit_program::engine::{Engine, RunError};
+use flit_program::build::Build;
 use flit_program::model::{Driver, SimProgram, Visibility};
 use flit_report::speedup::SpeedupReport;
 use flit_report::stats::{welch_test, Verdict};
@@ -37,13 +36,14 @@ use flit_toolchain::perf::speed_factor;
 use flit_trace::names::{counter as counter_names, phase};
 use flit_trace::sink::TraceSink;
 
-use flit_exec::{ExecError, Executor};
+use flit_exec::{ExecBackend, ExecError};
 
 use crate::algo::AssumptionViolation;
 use crate::ledger::{LedgerHandle, SearchKeys};
 use crate::parallel::{drive_plans, emit_query_spans, SharedOracle};
 use crate::planner::{BisectPlan, PlanFailure, PlanOutcome, SearchMode};
 use crate::test_fn::TestError;
+use crate::wire::{ExeRecipe, LocalPlane, QueryPlane, RemotePlane};
 
 /// Configuration of a performance bisect.
 #[derive(Debug, Clone)]
@@ -66,6 +66,12 @@ pub struct PerfConfig {
     /// Optional workflow-wide query ledger (see the variability
     /// hierarchy); perf queries live under distinct `perf*/` keys.
     pub ledger: Option<LedgerHandle>,
+    /// Optional execution backend deciding *where* timing queries
+    /// evaluate (see `HierarchicalConfig::backend`): `None` or a local
+    /// backend times in-process; a remote backend ships each query to a
+    /// worker subprocess. Sample vectors are seeded and byte-exact on
+    /// the wire, so reports and verdicts are identical either way.
+    pub backend: Option<Arc<dyn ExecBackend>>,
 }
 
 impl PerfConfig {
@@ -79,6 +85,7 @@ impl PerfConfig {
             ctx: BuildCtx::uncached(),
             trace: TraceSink::disabled(),
             ledger: None,
+            backend: None,
         }
     }
 
@@ -116,6 +123,41 @@ impl PerfConfig {
     pub fn with_ledger(mut self, ledger: LedgerHandle) -> Self {
         self.ledger = Some(ledger);
         self
+    }
+
+    /// Evaluate this search's timing queries through an execution
+    /// backend (see [`PerfConfig::backend`]).
+    pub fn with_backend(mut self, backend: Arc<dyn ExecBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The query plane this configuration times through.
+    fn plane<'a>(
+        &'a self,
+        baseline: &'a Build<'a>,
+        candidate: &'a Build<'a>,
+        driver: &'a Driver,
+        input: &'a [f64],
+    ) -> Box<dyn QueryPlane + 'a> {
+        match &self.backend {
+            Some(b) if b.is_remote() => Box::new(RemotePlane::new(
+                b.clone(),
+                baseline,
+                candidate,
+                driver,
+                input,
+                self.link_driver,
+            )),
+            _ => Box::new(LocalPlane {
+                baseline,
+                variable: candidate,
+                driver,
+                input,
+                link_driver: self.link_driver,
+                ctx: &self.ctx,
+            }),
+        }
     }
 }
 
@@ -238,14 +280,6 @@ pub fn predicted_slow_symbols(
         .collect()
 }
 
-fn run_to_test_error(e: RunError) -> TestError {
-    match e {
-        RunError::Crash(s) => TestError::Crash(s),
-        RunError::MissingSymbol(s) => TestError::Link(format!("undefined symbol `{s}`")),
-        e @ RunError::CorruptBuildTag { .. } => TestError::Link(e.to_string()),
-    }
-}
-
 fn test_error_message(e: TestError) -> String {
     match e {
         TestError::Crash(s) => s,
@@ -271,16 +305,18 @@ fn violation_string<I>(v: &AssumptionViolation<I>, name: impl Fn(&I) -> String) 
 /// Run the performance bisect: confirm the candidate is statistically
 /// slower than the baseline, then search files — and symbols within
 /// found files — for where the slowdown lives. Independent Test queries
-/// fan out on `exec`; the entire result (findings, reports, execution
-/// counts, `perf.*` counters and spans) is byte-identical at any worker
-/// count because answers fold in the serial planner order.
+/// fan out on `backend`; the entire result (findings, reports,
+/// execution counts, `perf.*` counters and spans) is byte-identical at
+/// any worker count because answers fold in the serial planner order —
+/// and identical again under a remote backend, because the seeded
+/// sample vectors cross the wire bit-exactly.
 pub fn perf_bisect(
     baseline: &Build,
     candidate: &Build,
     driver: &Driver,
     input: &[f64],
     cfg: &PerfConfig,
-    exec: &Executor,
+    backend: &dyn ExecBackend,
 ) -> PerfBisectResult {
     let mut executions = 0usize;
     let mut violations: Vec<String> = Vec::new();
@@ -324,18 +360,14 @@ pub fn perf_bisect(
         violations,
     };
 
+    let plane = cfg.plane(baseline, candidate, driver, input);
+
     // ---- Timing references: the two real binaries ----
     // Baseline samples go through the ledger (variable-independent, so
     // every candidate compared against this baseline shares them).
     let base_reference = {
         let compute = || -> Result<(Vec<f64>, f64), TestError> {
-            let exe = baseline
-                .executable_in(&cfg.ctx)
-                .map_err(|e| TestError::Link(e.to_string()))?;
-            let (_, prof) = Engine::with_variant(baseline.program, candidate.program, &exe)
-                .run_with_profile(driver, input)
-                .map_err(|e| TestError::Crash(e.to_string()))?;
-            let s = prof.samples(cfg.seed, cfg.samples);
+            let s = plane.time_recipe(&ExeRecipe::Baseline, cfg.seed, cfg.samples)?;
             let total = s.iter().sum();
             Ok((s, total))
         };
@@ -383,13 +415,7 @@ pub fn perf_bisect(
 
     let cand_samples = {
         let compute = || -> Result<Vec<f64>, TestError> {
-            let exe = candidate
-                .executable_in(&cfg.ctx)
-                .map_err(|e| TestError::Link(e.to_string()))?;
-            let (_, prof) = Engine::with_variant(baseline.program, candidate.program, &exe)
-                .run_with_profile(driver, input)
-                .map_err(|e| TestError::Crash(e.to_string()))?;
-            Ok(prof.samples(cfg.seed, cfg.samples))
+            plane.time_recipe(&ExeRecipe::Candidate, cfg.seed, cfg.samples)
         };
         match compute() {
             Ok(s) => {
@@ -449,13 +475,10 @@ pub fn perf_bisect(
     // Raw sample vectors of a file-mixed binary (shared by the oracle,
     // the finding reports, and the violation re-verification).
     let file_samples = |items: &[usize]| -> Result<Vec<f64>, TestError> {
-        let set: BTreeSet<usize> = items.iter().copied().collect();
-        let exe = file_mixed_executable_in(baseline, candidate, &set, cfg.link_driver, &cfg.ctx)
-            .map_err(|e| TestError::Link(e.to_string()))?;
-        let (_, prof) = Engine::with_variant(baseline.program, candidate.program, &exe)
-            .run_with_profile(driver, input)
-            .map_err(run_to_test_error)?;
-        Ok(prof.samples(cfg.seed, cfg.samples))
+        let recipe = ExeRecipe::FileMixed {
+            items: items.to_vec(),
+        };
+        plane.time_recipe(&recipe, cfg.seed, cfg.samples)
     };
     let file_raw = |items: &[usize]| -> Result<(f64, f64), TestError> {
         let s = file_samples(items)?;
@@ -480,13 +503,24 @@ pub fn perf_bisect(
     let file_result = match drive_plans(
         &mut file_plans,
         &[&file_oracle],
-        exec,
+        backend,
         &cfg.trace,
         &file_label,
     ) {
         Err(ExecError::WorkerPanicked { message, .. }) => {
             return crashed(
                 format!("perf bisect worker panicked: {message}"),
+                Some(overall),
+                vec![],
+                vec![],
+                vec![],
+                executions,
+                violations,
+            )
+        }
+        Err(ExecError::Backend { message }) => {
+            return crashed(
+                format!("perf bisect backend failed: {message}"),
                 Some(overall),
                 vec![],
                 vec![],
@@ -634,14 +668,11 @@ pub fn perf_bisect(
         symref: Vec<f64>,
     }
     let sym_samples = |fid: usize, items: &[String]| -> Result<Vec<f64>, TestError> {
-        let set: BTreeSet<String> = items.iter().cloned().collect();
-        let exe =
-            symbol_mixed_executable_in(baseline, candidate, fid, &set, cfg.link_driver, &cfg.ctx)
-                .map_err(|e| TestError::Link(e.to_string()))?;
-        let (_, prof) = Engine::with_variant(baseline.program, candidate.program, &exe)
-            .run_with_profile(driver, input)
-            .map_err(run_to_test_error)?;
-        Ok(prof.samples(cfg.seed, cfg.samples))
+        let recipe = ExeRecipe::SymbolMixed {
+            file: fid,
+            items: items.to_vec(),
+        };
+        plane.time_recipe(&recipe, cfg.seed, cfg.samples)
     };
     let mut candidates: Vec<Candidate> = Vec::new();
     let mut file_level_only: Vec<usize> = Vec::new();
@@ -711,7 +742,7 @@ pub fn perf_bisect(
     let sym_driven = drive_plans(
         &mut sym_plans,
         &oracle_refs,
-        exec,
+        backend,
         &cfg.trace,
         &format!("{search}/perf-symbol"),
     );
@@ -720,6 +751,17 @@ pub fn perf_bisect(
         Err(ExecError::WorkerPanicked { message, .. }) => {
             return crashed(
                 format!("perf bisect worker panicked: {message}"),
+                Some(overall),
+                files,
+                vec![],
+                file_level_only,
+                executions,
+                violations,
+            )
+        }
+        Err(ExecError::Backend { message }) => {
+            return crashed(
+                format!("perf bisect backend failed: {message}"),
                 Some(overall),
                 files,
                 vec![],
@@ -923,7 +965,7 @@ mod tests {
             &driver(),
             &[0.5, 0.25],
             &PerfConfig::new(),
-            &Executor::new(1),
+            &flit_exec::ThreadsBackend::new(1),
         );
         assert_eq!(res.outcome, PerfOutcome::Completed, "{:?}", res.violations);
         assert!(res.verified_complete());
@@ -966,7 +1008,7 @@ mod tests {
             &driver(),
             &[0.5],
             &PerfConfig::new(),
-            &Executor::new(1),
+            &flit_exec::ThreadsBackend::new(1),
         );
         assert_eq!(res.outcome, PerfOutcome::NoRegression);
         assert!(res.files.is_empty());
@@ -991,7 +1033,7 @@ mod tests {
             &driver(),
             &[0.5],
             &PerfConfig::new(),
-            &Executor::new(1),
+            &flit_exec::ThreadsBackend::new(1),
         );
         assert_eq!(res.outcome, PerfOutcome::NoRegression);
         assert_eq!(res.overall.unwrap().verdict(), Verdict::Faster);
@@ -1018,7 +1060,7 @@ mod tests {
             &driver(),
             &[0.5, 0.25],
             &PerfConfig::new().with_trace(t1.clone()),
-            &Executor::new(1),
+            &flit_exec::ThreadsBackend::new(1),
         );
         for jobs in [2, 8] {
             let tn = TraceSink::enabled();
@@ -1028,7 +1070,7 @@ mod tests {
                 &driver(),
                 &[0.5, 0.25],
                 &PerfConfig::new().with_trace(tn.clone()),
-                &Executor::new(jobs),
+                &flit_exec::ThreadsBackend::new(jobs),
             );
             assert_eq!(par, serial, "jobs={jobs}");
             assert_eq!(perf_counters(&tn), perf_counters(&t1), "jobs={jobs}");
@@ -1040,7 +1082,7 @@ mod tests {
         let p = program();
         let base = Build::new(&p, base_comp());
         let cand = Build::tagged(&p, slow_comp(), 1);
-        let exec = Executor::new(1);
+        let exec = flit_exec::ThreadsBackend::new(1);
         let a = perf_bisect(
             &base,
             &cand,
@@ -1082,7 +1124,7 @@ mod tests {
         let p = program();
         let base = Build::new(&p, base_comp());
         let cand = Build::tagged(&p, slow_comp(), 1);
-        let exec = Executor::new(2);
+        let exec = flit_exec::ThreadsBackend::new(2);
         let plain = perf_bisect(
             &base,
             &cand,

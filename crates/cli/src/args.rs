@@ -55,6 +55,14 @@ pub enum Command {
         /// Replay a checkpoint journal before issuing any live query,
         /// continuing a killed search exactly where it stopped.
         resume: Option<String>,
+        /// Execution backend for Test queries: `threads` (default) or
+        /// `process` (coordinator + `flit worker` subprocesses).
+        backend: Option<String>,
+        /// Worker count for the process backend.
+        workers: Option<usize>,
+        /// Deterministic worker-kill schedule (testing): the i-th
+        /// spawned worker exits right before its n_i-th answer.
+        kill_workers: Option<Vec<u64>>,
     },
     /// Statistical performance bisect: confirm a compilation is slower
     /// than another, then root-cause the slowdown to files and symbols
@@ -79,6 +87,13 @@ pub enum Command {
         jobs: Option<usize>,
         /// Write a JSONL trace of the search here.
         trace: Option<String>,
+        /// Execution backend for timing queries: `threads` (default) or
+        /// `process`.
+        backend: Option<String>,
+        /// Worker count for the process backend.
+        workers: Option<usize>,
+        /// Deterministic worker-kill schedule (testing).
+        kill_workers: Option<Vec<u64>>,
     },
     /// Static FP-sensitivity analysis: predict the variable set for a
     /// compilation pair without running anything.
@@ -118,6 +133,13 @@ pub enum Command {
         checkpoint: Option<String>,
         /// Replay a checkpoint journal before the bisection stage.
         resume: Option<String>,
+        /// Execution backend for the bisection stage's Test queries:
+        /// `threads` (default) or `process`.
+        backend: Option<String>,
+        /// Worker count for the process backend.
+        workers: Option<usize>,
+        /// Deterministic worker-kill schedule (testing).
+        kill_workers: Option<Vec<u64>>,
     },
     /// Generative differential-testing campaign: random codebases with
     /// planted blame sets, checked against the whole pipeline.
@@ -132,6 +154,9 @@ pub enum Command {
         jobs: Option<usize>,
         /// Write a JSONL trace of the campaign here.
         trace: Option<String>,
+        /// `process` additionally cross-checks every corpus seed
+        /// against `flit worker` subprocesses (default: threads only).
+        backend: Option<String>,
     },
     /// Summarize a JSONL trace produced by `flit workflow --trace`.
     Trace {
@@ -140,6 +165,9 @@ pub enum Command {
         /// How many slowest compilations to show (default 10).
         top: Option<usize>,
     },
+    /// Serve Test/Time queries over stdin/stdout for a coordinator
+    /// (the worker half of the `process` execution backend).
+    Worker,
     /// Print usage.
     Help,
 }
@@ -162,14 +190,20 @@ USAGE:
   flit apps
   flit run <app> [--compiler gcc|clang|icpc|xlc] [--json]
   flit analyze <app>
-  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>] [--jobs <n>] [--lint-seed] [--lint-prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>]
-  flit perf <app> --pair \"<base>\" \"<candidate>\" [--test <name>] [--samples <n>] [--alpha <a>] [--seed <s>] [--jobs <n>] [--trace <file.jsonl>]
+  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>] [--jobs <n>] [--lint-seed] [--lint-prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>] [--backend threads|process] [--workers <n>]
+  flit perf <app> --pair \"<base>\" \"<candidate>\" [--test <name>] [--samples <n>] [--alpha <a>] [--seed <s>] [--jobs <n>] [--trace <file.jsonl>] [--backend threads|process] [--workers <n>]
   flit lint <app> [--compilation \"<compiler -On [flags]>\"] [--test <name>]
   flit inject <app> [--limit <n-sites>]
-  flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>] [--lint seed|prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>]
-  flit fuzz --seeds <a>..<b> [--budget-secs <n>] [--shrink] [--jobs <n>] [--trace <file.jsonl>]
+  flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>] [--lint seed|prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>] [--backend threads|process] [--workers <n>]
+  flit fuzz --seeds <a>..<b> [--budget-secs <n>] [--shrink] [--jobs <n>] [--trace <file.jsonl>] [--backend threads|process]
   flit trace <file.jsonl> [--top <n>]
+  flit worker
   flit help
+
+The `process` backend evaluates Test/timing queries in `flit worker`
+subprocesses (crash-isolated; results byte-identical to serial).
+`--kill-workers n1,n2,...` installs a deterministic worker-kill
+schedule for recovery testing.
 ";
 
 /// Parse a command line (excluding the program name).
@@ -201,6 +235,32 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         }
     };
 
+    let backend_flag = || -> Result<Option<String>, ParseError> {
+        match flag_value("--backend") {
+            Some(v) if v == "threads" || v == "process" => Ok(Some(v)),
+            Some(v) => Err(ParseError(format!(
+                "--backend takes `threads` or `process`, got `{v}`"
+            ))),
+            None => Ok(None),
+        }
+    };
+    let kill_flag = || -> Result<Option<Vec<u64>>, ParseError> {
+        match flag_value("--kill-workers") {
+            Some(v) => v
+                .split(',')
+                .map(|p| {
+                    p.trim().parse::<u64>().map_err(|_| {
+                        ParseError(format!(
+                            "--kill-workers takes comma-separated counts like 1,2,1, got `{v}`"
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<u64>, ParseError>>()
+                .map(Some),
+            None => Ok(None),
+        }
+    };
+
     let command = match cmd {
         "apps" => Command::Apps,
         "run" => Command::Run {
@@ -222,6 +282,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 lint_prune: has_flag("--lint-prune"),
                 checkpoint: flag_value("--checkpoint"),
                 resume: flag_value("--resume"),
+                backend: backend_flag()?,
+                workers: num_flag("--workers")?,
+                kill_workers: kill_flag()?,
             }
         }
         "perf" => {
@@ -271,6 +334,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 seed,
                 jobs: num_flag("--jobs")?,
                 trace: flag_value("--trace"),
+                backend: backend_flag()?,
+                workers: num_flag("--workers")?,
+                kill_workers: kill_flag()?,
             }
         }
         "lint" => Command::Lint {
@@ -299,6 +365,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 lint,
                 checkpoint: flag_value("--checkpoint"),
                 resume: flag_value("--resume"),
+                backend: backend_flag()?,
+                workers: num_flag("--workers")?,
+                kill_workers: kill_flag()?,
             }
         }
         "fuzz" => {
@@ -326,6 +395,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 shrink: has_flag("--shrink"),
                 jobs: num_flag("--jobs")?,
                 trace: flag_value("--trace"),
+                backend: backend_flag()?,
             }
         }
         "trace" => {
@@ -339,6 +409,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 top: num_flag("--top")?,
             }
         }
+        "worker" => Command::Worker,
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ParseError(format!("unknown command `{other}`\n\n{USAGE}"))),
     };
@@ -424,6 +495,9 @@ mod tests {
                 lint_prune: false,
                 checkpoint: None,
                 resume: None,
+                backend: None,
+                workers: None,
+                kill_workers: None,
             }
         );
         assert_eq!(
@@ -447,6 +521,9 @@ mod tests {
                 lint_prune: true,
                 checkpoint: None,
                 resume: None,
+                backend: None,
+                workers: None,
+                kill_workers: None,
             }
         );
         assert_eq!(
@@ -489,6 +566,9 @@ mod tests {
                 lint: None,
                 checkpoint: None,
                 resume: None,
+                backend: None,
+                workers: None,
+                kill_workers: None,
             }
         );
         assert_eq!(
@@ -521,6 +601,7 @@ mod tests {
                 shrink: true,
                 jobs: Some(4),
                 trace: Some("fuzz.jsonl".into()),
+                backend: None,
             }
         );
         assert_eq!(
@@ -531,6 +612,7 @@ mod tests {
                 shrink: false,
                 jobs: None,
                 trace: None,
+                backend: None,
             }
         );
         assert_eq!(parse(&v(&[])).unwrap().command, Command::Help);
@@ -571,6 +653,9 @@ mod tests {
                 seed: Some(7),
                 jobs: Some(8),
                 trace: Some("perf.jsonl".into()),
+                backend: None,
+                workers: None,
+                kill_workers: None,
             }
         );
         assert_eq!(
@@ -587,6 +672,9 @@ mod tests {
                 seed: None,
                 jobs: None,
                 trace: None,
+                backend: None,
+                workers: None,
+                kill_workers: None,
             }
         );
         // Missing pair, a one-label pair, and out-of-range alpha all fail.
@@ -599,6 +687,84 @@ mod tests {
         .is_err());
         assert!(parse(&v(&[
             "perf", "mfem", "--pair", "g++ -O2", "g++ -O3", "--seed", "x"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_backend_flags_and_the_worker_subcommand() {
+        assert_eq!(parse(&v(&["worker"])).unwrap().command, Command::Worker);
+        match parse(&v(&[
+            "bisect",
+            "mfem",
+            "--compilation",
+            "icpc -O2",
+            "--backend",
+            "process",
+            "--workers",
+            "4",
+            "--kill-workers",
+            "1,2,1",
+        ]))
+        .unwrap()
+        .command
+        {
+            Command::Bisect {
+                backend,
+                workers,
+                kill_workers,
+                ..
+            } => {
+                assert_eq!(backend.as_deref(), Some("process"));
+                assert_eq!(workers, Some(4));
+                assert_eq!(kill_workers, Some(vec![1, 2, 1]));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&v(&[
+            "workflow",
+            "laghos",
+            "--backend",
+            "threads",
+            "--workers",
+            "2",
+        ]))
+        .unwrap()
+        .command
+        {
+            Command::Workflow {
+                backend, workers, ..
+            } => {
+                assert_eq!(backend.as_deref(), Some("threads"));
+                assert_eq!(workers, Some(2));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&v(&["fuzz", "--seeds", "0..2", "--backend", "process"]))
+            .unwrap()
+            .command
+        {
+            Command::Fuzz { backend, .. } => assert_eq!(backend.as_deref(), Some("process")),
+            other => panic!("parsed {other:?}"),
+        }
+        // Unknown backends and malformed kill schedules are errors.
+        assert!(parse(&v(&[
+            "bisect",
+            "mfem",
+            "--compilation",
+            "icpc -O2",
+            "--backend",
+            "gpu"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "perf",
+            "mfem",
+            "--pair",
+            "g++ -O2",
+            "g++ -O3",
+            "--kill-workers",
+            "1,x"
         ]))
         .is_err());
     }

@@ -14,7 +14,7 @@ use flit_core::analysis::{
 use flit_core::metrics::l2_compare;
 use flit_core::runner::{run_matrix, RunnerConfig, RunnerError};
 use flit_core::test::FlitTest;
-use flit_exec::Executor;
+use flit_exec::{ExecBackend, ProcessBackend, ThreadsBackend};
 use flit_inject::study::{run_study, StudyConfig};
 use flit_program::build::Build;
 use flit_report::table::{fmt_f64, Align, Table};
@@ -49,6 +49,9 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             lint_prune,
             checkpoint,
             resume,
+            backend,
+            workers,
+            kill_workers,
         } => cmd_bisect(
             app,
             test.as_deref(),
@@ -59,6 +62,7 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             *lint_prune,
             checkpoint.as_deref(),
             resume.as_deref(),
+            &BackendChoice::parse(backend.as_deref(), *workers, *jobs, kill_workers.clone()),
         ),
         Command::Perf {
             app,
@@ -70,6 +74,9 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             seed,
             jobs,
             trace,
+            backend,
+            workers,
+            kill_workers,
         } => cmd_perf(
             app,
             test.as_deref(),
@@ -80,6 +87,7 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             *seed,
             *jobs,
             trace.as_deref(),
+            &BackendChoice::parse(backend.as_deref(), *workers, *jobs, kill_workers.clone()),
         ),
         Command::Lint {
             app,
@@ -95,6 +103,9 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             lint,
             checkpoint,
             resume,
+            backend,
+            workers,
+            kill_workers,
         } => cmd_workflow(
             app,
             *max_bisections,
@@ -103,6 +114,7 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             lint.as_deref(),
             checkpoint.as_deref(),
             resume.as_deref(),
+            &BackendChoice::parse(backend.as_deref(), *workers, *jobs, kill_workers.clone()),
         ),
         Command::Fuzz {
             seeds,
@@ -110,9 +122,82 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             shrink,
             jobs,
             trace,
-        } => cmd_fuzz(*seeds, *budget_secs, *shrink, *jobs, trace.as_deref()),
+            backend,
+        } => cmd_fuzz(
+            *seeds,
+            *budget_secs,
+            *shrink,
+            *jobs,
+            trace.as_deref(),
+            backend.as_deref() == Some("process"),
+        ),
         Command::Trace { file, top } => cmd_trace(file, top.unwrap_or(10)),
+        Command::Worker => Err(ParseError(
+            "`flit worker` serves a coordinator over stdin/stdout; it is spawned by \
+             `--backend process`, not run for a report"
+                .into(),
+        )),
     }
+}
+
+/// The resolved `--backend` / `--workers` / `--kill-workers` choice.
+struct BackendChoice {
+    /// `--backend process` was requested.
+    process: bool,
+    /// Process-backend pool width (`--workers`, falling back to
+    /// `--jobs`, then 4).
+    workers: usize,
+    /// Deterministic worker-kill schedule for recovery testing.
+    kill_schedule: Vec<u64>,
+}
+
+impl BackendChoice {
+    fn parse(
+        backend: Option<&str>,
+        workers: Option<usize>,
+        jobs: Option<usize>,
+        kill_workers: Option<Vec<u64>>,
+    ) -> Self {
+        BackendChoice {
+            process: backend == Some("process"),
+            workers: workers.or(jobs).unwrap_or(4).max(1),
+            kill_schedule: kill_workers.unwrap_or_default(),
+        }
+    }
+
+    /// Build the process backend: `flit worker` subprocesses recording
+    /// `exec.backend.*` counters into `trace`.
+    fn process_backend(&self, trace: &TraceSink) -> Result<Arc<dyn ExecBackend>, ParseError> {
+        let mut backend = ProcessBackend::with_trace(worker_cmd()?, self.workers, trace.clone());
+        if !self.kill_schedule.is_empty() {
+            backend = backend.with_kill_schedule(self.kill_schedule.clone());
+        }
+        Ok(Arc::new(backend))
+    }
+
+    /// The report-header note for this choice (empty for threads).
+    fn note(&self) -> String {
+        if self.process {
+            format!(" | process backend ({} workers)", self.workers)
+        } else {
+            String::new()
+        }
+    }
+}
+
+/// The command line workers execute: this binary's own executable with
+/// the `worker` subcommand. `FLIT_WORKER_EXE` overrides the executable
+/// path (used by tests, whose `current_exe` is the test harness, not
+/// `flit`).
+fn worker_cmd() -> Result<Vec<String>, ParseError> {
+    let exe = match std::env::var("FLIT_WORKER_EXE") {
+        Ok(path) => path,
+        Err(_) => std::env::current_exe()
+            .map_err(|e| ParseError(format!("cannot locate the flit executable: {e}")))?
+            .to_string_lossy()
+            .into_owned(),
+    };
+    Ok(vec![exe, "worker".to_string()])
 }
 
 fn runner_error(e: RunnerError) -> ParseError {
@@ -339,6 +424,7 @@ fn cmd_bisect(
     lint_prune: bool,
     checkpoint: Option<&str>,
     resume: Option<&str>,
+    choice: &BackendChoice,
 ) -> Result<String, ParseError> {
     let app = get_app(app)?;
     let comp = parse_compilation(compilation)?;
@@ -359,6 +445,7 @@ fn cmd_bisect(
         trace: TraceSink::disabled(),
         prescreen: None,
         ledger: None,
+        backend: None,
     };
     let prescreened = lint_seed || lint_prune;
     if prescreened {
@@ -377,9 +464,16 @@ fn cmd_bisect(
     let input = test.default_input();
     let input = &input[..test.inputs_per_run().min(input.len())];
     let jobs = jobs.unwrap_or(1);
-    // `--jobs` routes through the planner-driven parallel search; the
-    // result is byte-identical to the serial algorithm by construction.
-    let res = if jobs > 1 {
+    // `--jobs` routes through the planner-driven parallel search and
+    // `--backend process` additionally evaluates every query in worker
+    // subprocesses; the result is byte-identical to the serial
+    // algorithm by construction either way.
+    let res = if choice.process {
+        let backend = choice.process_backend(&cfg.trace)?;
+        cfg = cfg.with_backend(backend.clone());
+        if let Some(ledger) = &ledger {
+            ledger.set_backend_label("process");
+        }
         bisect_hierarchical_parallel(
             &baseline,
             &variable,
@@ -387,7 +481,17 @@ fn cmd_bisect(
             input,
             &l2_compare,
             &cfg,
-            &Executor::new(jobs),
+            &*backend,
+        )
+    } else if jobs > 1 {
+        bisect_hierarchical_parallel(
+            &baseline,
+            &variable,
+            test.driver(),
+            input,
+            &l2_compare,
+            &cfg,
+            &ThreadsBackend::new(jobs),
         )
     } else {
         bisect_hierarchical(
@@ -400,20 +504,25 @@ fn cmd_bisect(
         )
     };
 
+    let mode_note = {
+        let mut note = choice.note();
+        if note.is_empty() && jobs > 1 {
+            note.push_str(&format!(" | {jobs} jobs"));
+        }
+        if lint_prune {
+            note.push_str(" | lint prune");
+        } else if lint_seed {
+            note.push_str(" | lint seed");
+        }
+        note
+    };
     let mut out = format!(
         "flit bisect {}: test {} | baseline {} | variable {}{}\n\n",
         app.name,
         test.name(),
         Compilation::baseline().label(),
         comp.label(),
-        match (jobs > 1, lint_prune, lint_seed) {
-            (true, true, _) => format!(" | {jobs} jobs | lint prune"),
-            (true, false, true) => format!(" | {jobs} jobs | lint seed"),
-            (true, false, false) => format!(" | {jobs} jobs"),
-            (false, true, _) => " | lint prune".to_string(),
-            (false, false, true) => " | lint seed".to_string(),
-            (false, false, false) => String::new(),
-        }
+        mode_note
     );
     match res.outcome {
         SearchOutcome::Crashed(ref why) => {
@@ -465,6 +574,7 @@ fn cmd_perf(
     seed: Option<u64>,
     jobs: Option<usize>,
     trace_path: Option<&str>,
+    choice: &BackendChoice,
 ) -> Result<String, ParseError> {
     use flit_bisect::perf::{perf_bisect, PerfConfig, PerfOutcome};
     use flit_report::stats::Verdict;
@@ -511,14 +621,27 @@ fn cmd_perf(
     let input = test.default_input();
     let input = &input[..test.inputs_per_run().min(input.len())];
     let jobs = jobs.unwrap_or(1);
-    let res = perf_bisect(
-        &baseline,
-        &cand_build,
-        test.driver(),
-        input,
-        &cfg,
-        &Executor::new(jobs),
-    );
+    let res = if choice.process {
+        let backend = choice.process_backend(&cfg.trace)?;
+        cfg = cfg.with_backend(backend.clone());
+        perf_bisect(
+            &baseline,
+            &cand_build,
+            test.driver(),
+            input,
+            &cfg,
+            &*backend,
+        )
+    } else {
+        perf_bisect(
+            &baseline,
+            &cand_build,
+            test.driver(),
+            input,
+            &cfg,
+            &ThreadsBackend::new(jobs),
+        )
+    };
 
     let mut out = format!(
         "flit perf {}: test {} | baseline {} | candidate {} | {} samples @ alpha={}{}\n\n",
@@ -528,7 +651,9 @@ fn cmd_perf(
         cand_comp.label(),
         cfg.samples,
         cfg.alpha,
-        if jobs > 1 {
+        if choice.process {
+            choice.note()
+        } else if jobs > 1 {
             format!(" | {jobs} jobs")
         } else {
             String::new()
@@ -654,6 +779,7 @@ fn cmd_workflow(
     lint: Option<&str>,
     checkpoint: Option<&str>,
     resume: Option<&str>,
+    choice: &BackendChoice,
 ) -> Result<String, ParseError> {
     use flit_core::workflow::{run_workflow, LintMode, WorkflowConfig};
     let app = get_app(app)?;
@@ -664,7 +790,7 @@ fn cmd_workflow(
         TraceSink::disabled()
     };
     let ledger = ledger_for(app.program.fingerprint(), &trace, checkpoint, resume)?;
-    let cfg = WorkflowConfig {
+    let mut cfg = WorkflowConfig {
         max_bisections: max_bisections.unwrap_or(usize::MAX),
         jobs: jobs.unwrap_or(1),
         trace,
@@ -676,13 +802,26 @@ fn cmd_workflow(
         ledger: ledger.clone(),
         ..Default::default()
     };
+    if choice.process {
+        // The bisection stage's Test queries evaluate in worker
+        // subprocesses; the workflow's own row fan-out stays on
+        // threads (the planner always runs in the coordinator).
+        cfg.bisect = cfg
+            .bisect
+            .clone()
+            .with_backend(choice.process_backend(&cfg.trace)?);
+        if let Some(ledger) = &ledger {
+            ledger.set_backend_label("process");
+        }
+    }
     let report = run_workflow(&app.program, &app.tests, &comps, &cfg).map_err(runner_error)?;
 
     let mut out = format!(
-        "flit workflow {} (Figure 1)
+        "flit workflow {}{} (Figure 1)
 
 ",
-        app.name
+        app.name,
+        choice.note()
     );
     out.push_str(&format!(
         "[1] determinism pre-check: {}
@@ -773,6 +912,7 @@ fn cmd_fuzz(
     shrink: bool,
     jobs: Option<usize>,
     trace_path: Option<&str>,
+    process: bool,
 ) -> Result<String, ParseError> {
     let cfg = flit_fuzz::CampaignConfig {
         start: seeds.0,
@@ -780,6 +920,7 @@ fn cmd_fuzz(
         budget_secs,
         jobs: jobs.unwrap_or(8),
         shrink,
+        process_cmd: if process { Some(worker_cmd()?) } else { None },
         ..flit_fuzz::CampaignConfig::default()
     };
     let trace = TraceSink::enabled();

@@ -20,6 +20,8 @@
 pub mod apps;
 pub mod args;
 pub mod commands;
+pub mod worker;
 
 pub use apps::{app_names, resolve_app, BundledApp};
 pub use args::{parse, Cli, Command};
+pub use worker::run_worker;

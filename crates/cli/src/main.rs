@@ -11,6 +11,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The worker subcommand is an interactive protocol loop over
+    // stdin/stdout, not a report-producing command.
+    if cli.command == flit_cli::Command::Worker {
+        return match flit_cli::run_worker() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("worker error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match flit_cli::commands::execute(&cli) {
         Ok(report) => {
             println!("{report}");

@@ -1,0 +1,240 @@
+//! End-to-end tests of the `process` execution backend.
+//!
+//! Every test here spawns the real `flit` binary so the coordinator
+//! resolves its own executable for `flit worker` subprocesses — the
+//! exact production path. The invariant under test is the issue's
+//! acceptance bar: the process backend must be a pure execution-plane
+//! substitution, producing byte-identical reports to the serial
+//! in-process algorithm at any worker count and under any worker-kill
+//! schedule, with exactly-once ledger accounting.
+
+use proptest::prelude::*;
+use std::process::Command;
+
+fn flit(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_flit"))
+        .args(args)
+        .output()
+        .expect("flit binary runs");
+    assert!(
+        out.status.success(),
+        "flit {args:?} failed:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const BISECT: &[&str] = &[
+    "bisect",
+    "mfem",
+    "--test",
+    "ex13",
+    "--compilation",
+    "g++ -O3 -mavx2 -mfma",
+];
+
+const PERF: &[&str] = &[
+    "perf",
+    "mfem",
+    "--test",
+    "ex09",
+    "--pair",
+    "icpc -O2",
+    "icpc -O2 -fimf-precision=high",
+];
+
+fn with(base: &[&str], extra: &[&str]) -> Vec<&'static str> {
+    // Leak is fine in tests; keeps the call sites readable.
+    base.iter()
+        .chain(extra.iter())
+        .map(|s| -> &'static str { Box::leak(s.to_string().into_boxed_str()) })
+        .collect()
+}
+
+#[test]
+fn process_bisect_is_byte_identical_to_serial() {
+    let serial = flit(BISECT);
+    let process = flit(&with(BISECT, &["--backend", "process", "--workers", "4"]));
+    assert_eq!(
+        process.replace(" | process backend (4 workers)", ""),
+        serial,
+        "the process backend must not change bisect findings"
+    );
+}
+
+#[test]
+fn process_perf_is_byte_identical_to_serial() {
+    let serial = flit(PERF);
+    let process = flit(&with(PERF, &["--backend", "process", "--workers", "3"]));
+    assert_eq!(
+        process.replace(" | process backend (3 workers)", ""),
+        serial,
+        "the process backend must not change perf verdicts"
+    );
+}
+
+#[test]
+fn process_workflow_is_byte_identical_to_serial() {
+    let base = ["workflow", "laghos", "--max-bisections", "3"];
+    let serial = flit(&base);
+    let process = flit(&with(&base, &["--backend", "process", "--workers", "2"]));
+    assert_eq!(
+        process.replace(" | process backend (2 workers)", ""),
+        serial,
+        "the process backend must not change workflow results"
+    );
+}
+
+#[test]
+fn a_worker_killed_at_every_query_never_changes_findings() {
+    let serial = flit(BISECT);
+    // Each worker dies right before its 2nd answer, so every other
+    // dispatch is lost and requeued for the full length of the search:
+    // every query is exercised against the recovery path.
+    let schedule = vec!["1"; 40].join(",");
+    let process = flit(&with(
+        BISECT,
+        &[
+            "--backend",
+            "process",
+            "--workers",
+            "2",
+            "--kill-workers",
+            &schedule,
+        ],
+    ));
+    assert_eq!(
+        process.replace(" | process backend (2 workers)", ""),
+        serial,
+        "crash recovery must be invisible in the report"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized kill schedules: whatever subset of workers dies, and
+    /// whenever they die, the report stays byte-identical to serial.
+    #[test]
+    fn random_kill_schedules_never_change_findings(
+        schedule in proptest::collection::vec(0u64..3, 1..10),
+        workers in 1usize..4,
+    ) {
+        let serial = flit(BISECT);
+        let csv = schedule
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let w = workers.to_string();
+        let process = flit(&with(
+            BISECT,
+            &["--backend", "process", "--workers", &w, "--kill-workers", &csv],
+        ));
+        prop_assert_eq!(
+            process.replace(&format!(" | process backend ({workers} workers)"), ""),
+            serial
+        );
+    }
+}
+
+#[test]
+fn process_checkpoint_accounts_exactly_once_and_resumes_dead() {
+    let path = std::env::temp_dir().join("flit-process-backend-journal.jsonl");
+    std::fs::remove_file(&path).ok();
+    let path_s = path.to_string_lossy().to_string();
+
+    let plain = flit(BISECT);
+    // Checkpoint through the process backend, with workers dying
+    // mid-search: the journal must still record each query exactly once.
+    let first = flit(&with(
+        BISECT,
+        &[
+            "--backend",
+            "process",
+            "--workers",
+            "2",
+            "--kill-workers",
+            "1,0,2",
+            "--checkpoint",
+            &path_s,
+        ],
+    ));
+    // The binary prints the report with a trailing newline; the journal
+    // footer lands before it, so prefix-match against the trimmed body.
+    let stripped = first.replace(" | process backend (2 workers)", "");
+    assert!(
+        stripped.starts_with(plain.trim_end()),
+        "plain:\n{plain}\nstripped:\n{stripped}"
+    );
+    assert!(first.contains("journal:"), "{first}");
+
+    // Journal records carry the execution-plane provenance, and the
+    // crash-recovery requeue path never double-appends a query: every
+    // ledger key appears exactly once.
+    let text = std::fs::read_to_string(&path).expect("journal written");
+    assert!(
+        text.contains("\"backend\":\"process\""),
+        "journal must label process-backend answers: {text}"
+    );
+    let keys: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.split("\"key\":\"").nth(1))
+        .filter_map(|rest| rest.split('"').next())
+        .collect();
+    let unique: std::collections::BTreeSet<&str> = keys.iter().copied().collect();
+    assert_eq!(
+        keys.len(),
+        unique.len(),
+        "requeued queries must not duplicate ledger entries"
+    );
+
+    // Resume serially: every answer replays; nothing runs live, and no
+    // entry was lost or duplicated by the crash-recovery path.
+    let resumed = flit(&with(BISECT, &["--resume", &path_s]));
+    assert!(resumed.starts_with(plain.trim_end()), "{resumed}");
+    assert!(resumed.contains("journal: 0 executed"), "{resumed}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn process_trace_renders_the_distributed_execution_table() {
+    let path = std::env::temp_dir().join("flit-process-backend-trace.jsonl");
+    std::fs::remove_file(&path).ok();
+    let path_s = path.to_string_lossy().to_string();
+    flit(&with(
+        PERF,
+        &["--backend", "process", "--workers", "2", "--trace", &path_s],
+    ));
+    let rendered = flit(&["trace", &path_s]);
+    assert!(rendered.contains("Distributed execution"), "{rendered}");
+    assert!(rendered.contains("queries dispatched"), "{rendered}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn fuzz_corpus_seeds_cross_check_the_process_backend() {
+    // Corpus seeds always run the resume layer, which under
+    // `--backend process` also re-runs each search through worker
+    // subprocesses and requires a bit-identical result.
+    // `flit fuzz` exits nonzero on any divergence, so `flit()`
+    // succeeding already certifies a clean campaign.
+    let out = flit(&[
+        "fuzz",
+        "--seeds",
+        "0..4",
+        "--jobs",
+        "2",
+        "--backend",
+        "process",
+    ]);
+    assert!(!out.contains("DIVERGENCE"), "{out}");
+    let checks: u64 = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("process checks"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|n| n.parse().ok())
+        .expect("summary reports process checks");
+    assert!(checks > 0, "at least one seed must cross-check: {out}");
+}

@@ -1,0 +1,41 @@
+//! One-off timing probe for the wire layer (run with --nocapture).
+
+use flit_bisect::wire::WireTask;
+use flit_core::test::FlitTest;
+use flit_program::build::Build;
+use flit_toolchain::compilation::Compilation;
+use flit_toolchain::compiler::CompilerKind;
+
+#[test]
+#[ignore]
+fn time_wire_task_round_trip() {
+    let app = flit_cli::resolve_app("mfem").unwrap();
+    let comp = flit_cli::args::parse_compilation("g++ -O3 -mavx2 -mfma").unwrap();
+    let baseline = Build::new(&app.program, Compilation::baseline());
+    let variable = Build::tagged(&app.program, comp, 1);
+    let test = &app.tests[0];
+    let input = test.default_input();
+
+    let t0 = std::time::Instant::now();
+    let task = WireTask::capture(
+        &baseline,
+        &variable,
+        test.driver(),
+        &input,
+        CompilerKind::Gcc,
+    );
+    eprintln!("capture: {:?}", t0.elapsed());
+
+    let t0 = std::time::Instant::now();
+    let body = task.to_wire();
+    eprintln!("to_wire: {:?} ({} bytes)", t0.elapsed(), body.len());
+
+    let t0 = std::time::Instant::now();
+    let digest = WireTask::digest_of(&body);
+    eprintln!("digest: {:?} ({digest})", t0.elapsed());
+
+    let t0 = std::time::Instant::now();
+    let back: WireTask = serde_json::from_str(&body).unwrap();
+    eprintln!("from_str: {:?}", t0.elapsed());
+    assert_eq!(back.baseline_tag, 0);
+}

@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use flit_exec::{ExecError, Executor};
+use flit_exec::{run_on, ExecError, ThreadsBackend};
 use flit_program::model::SimProgram;
 use flit_toolchain::cache::BuildCtx;
 use flit_toolchain::compilation::Compilation;
@@ -49,6 +49,12 @@ pub enum RunnerError {
         /// The rendered panic payload.
         message: String,
     },
+    /// The execution backend failed structurally (e.g. a remote
+    /// coordinator exhausted its retry budget).
+    Backend {
+        /// The backend's structured error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for RunnerError {
@@ -65,6 +71,9 @@ impl fmt::Display for RunnerError {
                 message,
             } => {
                 write!(f, "a runner worker panicked on `{compilation}`: {message}")
+            }
+            RunnerError::Backend { message } => {
+                write!(f, "the runner's execution backend failed: {message}")
             }
         }
     }
@@ -287,19 +296,18 @@ pub fn run_matrix_in(
     let claimed = cfg.trace.counter(counter_names::RUNNER_QUEUE_CLAIMED);
     let drained = cfg.trace.counter(counter_names::RUNNER_QUEUE_DRAINED);
     let mut db = ResultsDb::new(&program.name);
-    let exec = Executor::with_trace(nthreads, cfg.trace.clone());
-    let results = exec
-        .run(compilations.len(), |i| {
-            claimed.incr(1);
-            run_one_compilation(program, tests, &compilations[i], &baseline, ctx, &cfg.trace)
-        })
-        .map_err(|e| {
-            let ExecError::WorkerPanicked { job, message } = e;
-            RunnerError::WorkerPanicked {
-                compilation: compilations[job].label(),
-                message,
-            }
-        })?;
+    let backend = ThreadsBackend::with_trace(nthreads, cfg.trace.clone());
+    let results = run_on(&backend, compilations.len(), |i| {
+        claimed.incr(1);
+        run_one_compilation(program, tests, &compilations[i], &baseline, ctx, &cfg.trace)
+    })
+    .map_err(|e| match e {
+        ExecError::WorkerPanicked { job, message } => RunnerError::WorkerPanicked {
+            compilation: compilations[job].label(),
+            message,
+        },
+        ExecError::Backend { message } => RunnerError::Backend { message },
+    })?;
     // One terminal empty pull per worker, as with the hand-rolled queue.
     drained.incr(nthreads as u64);
     for records in results {

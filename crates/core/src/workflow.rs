@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use flit_bisect::hierarchy::{bisect_hierarchical, HierarchicalConfig, HierarchicalResult};
 use flit_bisect::ledger::{LedgerHandle, QueryLedger};
-use flit_exec::{ExecError, Executor};
+use flit_exec::{run_on, ExecError, ThreadsBackend};
 use flit_program::build::Build;
 use flit_program::model::{Driver, SimProgram};
 use flit_toolchain::cache::BuildCtx;
@@ -236,57 +236,56 @@ pub fn run_workflow(
         .ledger
         .clone()
         .unwrap_or_else(|| QueryLedger::new(program.fingerprint(), trace));
-    let exec = Executor::with_trace(cfg.jobs, trace.clone());
-    let results = exec
-        .run(rows.len(), |i| {
-            launched.incr(1);
-            let row = rows[i];
-            let test = tests
-                .iter()
-                .find(|t| t.name() == row.test)
-                .expect("db rows correspond to suite tests");
-            let driver: &Driver = test.driver();
-            let baseline = Build::new(program, cfg.runner.baseline.clone());
-            let variable = Build::tagged(program, row.compilation.clone(), 1);
-            let input = test.default_input();
-            let handle = LedgerHandle::new(
-                ledger.clone(),
-                i as u64 + 1,
-                format!("{}/{}", row.test, row.compilation.label()),
-            );
-            let row_cfg = match cfg.lint {
-                LintMode::Off => bisect_cfg.clone(),
-                mode => {
-                    // Bisect links mixed executables with the baseline
-                    // compiler: predict under the same model.
-                    let pred = flit_lint::predict_pair(
-                        &baseline,
-                        &variable,
-                        Some(driver),
-                        cfg.runner.baseline.compiler,
-                    );
-                    pred.record(trace, format!("{}/{}", row.test, row.compilation.label()));
-                    bisect_cfg
-                        .clone()
-                        .with_prescreen(pred.prescreen(mode == LintMode::Prune))
-                }
-            };
-            bisect_hierarchical(
-                &baseline,
-                &variable,
-                driver,
-                &input[..test.inputs_per_run().min(input.len())],
-                &l2_compare,
-                &row_cfg.with_ledger(handle),
-            )
-        })
-        .map_err(|e| {
-            let ExecError::WorkerPanicked { job, message } = e;
-            RunnerError::WorkerPanicked {
-                compilation: rows[job].compilation.label(),
-                message,
+    let backend = ThreadsBackend::with_trace(cfg.jobs, trace.clone());
+    let results = run_on(&backend, rows.len(), |i| {
+        launched.incr(1);
+        let row = rows[i];
+        let test = tests
+            .iter()
+            .find(|t| t.name() == row.test)
+            .expect("db rows correspond to suite tests");
+        let driver: &Driver = test.driver();
+        let baseline = Build::new(program, cfg.runner.baseline.clone());
+        let variable = Build::tagged(program, row.compilation.clone(), 1);
+        let input = test.default_input();
+        let handle = LedgerHandle::new(
+            ledger.clone(),
+            i as u64 + 1,
+            format!("{}/{}", row.test, row.compilation.label()),
+        );
+        let row_cfg = match cfg.lint {
+            LintMode::Off => bisect_cfg.clone(),
+            mode => {
+                // Bisect links mixed executables with the baseline
+                // compiler: predict under the same model.
+                let pred = flit_lint::predict_pair(
+                    &baseline,
+                    &variable,
+                    Some(driver),
+                    cfg.runner.baseline.compiler,
+                );
+                pred.record(trace, format!("{}/{}", row.test, row.compilation.label()));
+                bisect_cfg
+                    .clone()
+                    .with_prescreen(pred.prescreen(mode == LintMode::Prune))
             }
-        })?;
+        };
+        bisect_hierarchical(
+            &baseline,
+            &variable,
+            driver,
+            &input[..test.inputs_per_run().min(input.len())],
+            &l2_compare,
+            &row_cfg.with_ledger(handle),
+        )
+    })
+    .map_err(|e| match e {
+        ExecError::WorkerPanicked { job, message } => RunnerError::WorkerPanicked {
+            compilation: rows[job].compilation.label(),
+            message,
+        },
+        ExecError::Backend { message } => RunnerError::Backend { message },
+    })?;
     let bisections: Vec<BisectedCompilation> = rows
         .iter()
         .zip(results)

@@ -1,0 +1,233 @@
+//! Pluggable execution backends.
+//!
+//! Every parallel fan-out in the workspace — the matrix runner, the
+//! planner-driven bisect drivers, the perf bisect, the workflow — used
+//! to hold a concrete [`Executor`]. This module abstracts that into
+//! [`ExecBackend`], a trait with two capabilities:
+//!
+//! - **fan-out** ([`ExecBackend::run_units`]): run `n` indexed unit
+//!   closures across the backend's width. This is what the in-process
+//!   `threads` backend serves directly, and what remote backends still
+//!   serve locally (the *driver* loop always runs in the coordinator;
+//!   only query evaluation moves).
+//! - **dispatch** ([`ExecBackend::dispatch`]): ship one serialized
+//!   [`QueryEnvelope`] to wherever the backend evaluates queries and
+//!   block for its [`AnswerEnvelope`]. Backends that answer `true` from
+//!   [`ExecBackend::is_remote`] support this; the `threads` backend
+//!   rejects it with a structured [`ExecError::Backend`] because its
+//!   queries never leave the process.
+//!
+//! The envelopes are deliberately opaque to this crate: `flit-bisect`
+//! serializes its search task and query spec into strings, and the
+//! backend's only contract is to move them and return the answer
+//! payload unmodified. That keeps `flit-exec` free of any dependency
+//! on the search layer.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::executor::{ExecError, Executor};
+use flit_trace::sink::TraceSink;
+
+/// A serialized query, addressed to whatever evaluation plane the
+/// backend owns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryEnvelope {
+    /// Stable digest of `task`; remote backends use it to register the
+    /// (potentially large) task body at most once per worker.
+    pub task_digest: String,
+    /// The serialized search task: everything a worker needs to build
+    /// and run mixed executables (program, compilations, driver,
+    /// input). Opaque to the backend.
+    pub task: String,
+    /// The serialized query spec (which executable to build, whether to
+    /// run or time it). Opaque to the backend.
+    pub spec: String,
+}
+
+/// A serialized answer, returned verbatim from the evaluation plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnswerEnvelope {
+    /// The serialized answer record (the checkpoint-journal answer
+    /// schema doubles as the wire format). Opaque to the backend.
+    pub payload: String,
+}
+
+/// A pluggable execution plane: local fan-out plus (for remote
+/// backends) query dispatch.
+pub trait ExecBackend: Send + Sync + fmt::Debug {
+    /// Short stable name ("threads", "process") for reports and traces.
+    fn label(&self) -> &str;
+
+    /// The backend's worker width — what the parallel drivers use to
+    /// size their speculative frontier waves.
+    fn workers(&self) -> usize;
+
+    /// Does this backend evaluate queries outside the coordinator
+    /// process? When `true`, searches route query evaluation through
+    /// [`ExecBackend::dispatch`] instead of building and running mixed
+    /// executables in-process.
+    fn is_remote(&self) -> bool {
+        false
+    }
+
+    /// Run `f(0), f(1), …, f(units - 1)` across the backend's width.
+    /// Unit closures communicate results through captured state (see
+    /// [`run_on`] for the typed wrapper); panics surface as
+    /// [`ExecError::WorkerPanicked`] with the lowest panicking index,
+    /// exactly like [`Executor::run`].
+    fn run_units(&self, units: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), ExecError>;
+
+    /// Ship one query envelope to the evaluation plane and block for
+    /// its answer.
+    fn dispatch(&self, query: &QueryEnvelope) -> Result<AnswerEnvelope, ExecError>;
+}
+
+/// Typed fan-out over any backend: run `f` for each index and collect
+/// the results in index order. This is the bridge from the object-safe
+/// [`ExecBackend::run_units`] (which cannot be generic) back to the
+/// `Vec<T>` shape every call site wants.
+pub fn run_on<T, F>(backend: &dyn ExecBackend, jobs: usize, f: F) -> Result<Vec<T>, ExecError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    backend.run_units(jobs, &|i| {
+        *slots[i].lock() = Some(f(i));
+    })?;
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.into_inner().ok_or_else(|| ExecError::Backend {
+                message: format!("backend reported success but left job {i} unfilled"),
+            })
+        })
+        .collect()
+}
+
+/// The in-process `threads` backend: the scoped-thread work queue
+/// [`Executor`], re-homed behind the trait. Queries are evaluated by
+/// the caller inside its unit closures, so [`ExecBackend::dispatch`]
+/// is a structured error rather than a capability.
+#[derive(Debug, Clone)]
+pub struct ThreadsBackend {
+    exec: Executor,
+}
+
+impl ThreadsBackend {
+    /// A threads backend of the given width with tracing disabled.
+    pub fn new(threads: usize) -> Self {
+        ThreadsBackend {
+            exec: Executor::new(threads),
+        }
+    }
+
+    /// A threads backend recording `exec.jobs.*` counters into `trace`.
+    pub fn with_trace(threads: usize, trace: TraceSink) -> Self {
+        ThreadsBackend {
+            exec: Executor::with_trace(threads, trace),
+        }
+    }
+
+    /// Wrap an existing executor.
+    pub fn from_executor(exec: Executor) -> Self {
+        ThreadsBackend { exec }
+    }
+
+    /// The wrapped executor.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+}
+
+impl ExecBackend for ThreadsBackend {
+    fn label(&self) -> &str {
+        "threads"
+    }
+
+    fn workers(&self) -> usize {
+        self.exec.threads()
+    }
+
+    fn run_units(&self, units: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), ExecError> {
+        self.exec.run(units, f).map(|_| ())
+    }
+
+    fn dispatch(&self, query: &QueryEnvelope) -> Result<AnswerEnvelope, ExecError> {
+        Err(ExecError::Backend {
+            message: format!(
+                "the threads backend evaluates queries in-process; \
+                 nothing to dispatch (query task {})",
+                query.task_digest
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit_trace::names::counter;
+
+    #[test]
+    fn run_on_collects_results_in_index_order() {
+        let backend = ThreadsBackend::new(4);
+        for jobs in [0, 1, 7, 33] {
+            let out = run_on(&backend, jobs, |i| i * 3).unwrap();
+            assert_eq!(out, (0..jobs).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_on_surfaces_lowest_panicking_index() {
+        let backend = ThreadsBackend::new(4);
+        let err = run_on(&backend, 9, |i| {
+            if i >= 5 {
+                panic!("unit {i} failed");
+            }
+            i
+        })
+        .unwrap_err();
+        match err {
+            ExecError::WorkerPanicked { job, message } => {
+                assert_eq!(job, 5);
+                assert!(message.contains("failed"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threads_backend_reports_shape_and_rejects_dispatch() {
+        let backend = ThreadsBackend::new(6);
+        assert_eq!(backend.label(), "threads");
+        assert_eq!(backend.workers(), 6);
+        assert!(!backend.is_remote());
+        let err = backend
+            .dispatch(&QueryEnvelope {
+                task_digest: "t0".into(),
+                task: "{}".into(),
+                spec: "{}".into(),
+            })
+            .unwrap_err();
+        match err {
+            ExecError::Backend { message } => {
+                assert!(message.contains("in-process"), "{message}");
+            }
+            other => panic!("expected Backend, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threads_backend_records_job_counters() {
+        let sink = TraceSink::enabled();
+        let backend = ThreadsBackend::with_trace(3, sink.clone());
+        run_on(&backend, 10, |i| i).unwrap();
+        let trace = sink.snapshot();
+        assert_eq!(trace.counter(counter::EXEC_JOBS_SUBMITTED), 10);
+        assert_eq!(trace.counter(counter::EXEC_JOBS_COMPLETED), 10);
+    }
+}

@@ -22,6 +22,15 @@ pub enum ExecError {
         /// The panic payload, rendered to a string where possible.
         message: String,
     },
+    /// An execution backend failed outside any single job's closure: a
+    /// worker process kept dying past the retry budget, the wire
+    /// protocol broke down, or a backend was asked for an operation it
+    /// does not support (e.g. dispatching a query envelope to the
+    /// in-process `threads` backend).
+    Backend {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -29,6 +38,9 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::WorkerPanicked { job, message } => {
                 write!(f, "executor job {job} panicked: {message}")
+            }
+            ExecError::Backend { message } => {
+                write!(f, "execution backend error: {message}")
             }
         }
     }
@@ -62,15 +74,15 @@ pub struct Executor {
 }
 
 impl Executor {
-    /// An executor of the given width with tracing disabled.
+    /// An executor of the given width with tracing disabled. A width of
+    /// `0` is a caller bug (there is no meaningful zero-worker
+    /// executor) and clamps to serial width 1.
     pub fn new(threads: usize) -> Self {
-        Executor {
-            threads: threads.max(1),
-            trace: TraceSink::disabled(),
-        }
+        Self::with_trace(threads, TraceSink::disabled())
     }
 
     /// An executor that records `exec.jobs.*` counters into `trace`.
+    /// Width `0` clamps to 1, as in [`Executor::new`].
     pub fn with_trace(threads: usize, trace: TraceSink) -> Self {
         Executor {
             threads: threads.max(1),
@@ -98,6 +110,10 @@ impl Executor {
         submitted.incr(jobs as u64);
 
         let workers = self.threads.min(jobs.max(1));
+        debug_assert!(
+            workers >= 1,
+            "worker width must be at least 1 after the constructor clamp"
+        );
         if workers <= 1 {
             let mut out = Vec::with_capacity(jobs);
             for i in 0..jobs {
@@ -186,6 +202,21 @@ mod tests {
     }
 
     #[test]
+    fn zero_width_clamps_to_one_worker() {
+        // `Executor::new(0)` is a caller bug, but it must degrade to a
+        // serial executor — never a zero-worker deadlock or a panic.
+        let exec = Executor::new(0);
+        assert_eq!(exec.threads(), 1);
+        let out = exec.run(5, |i| i * 2).unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        // And the degenerate product of both clamps: zero workers asked
+        // to run zero jobs is an empty success.
+        let out: Vec<usize> = exec.run(0, |i| i).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(Executor::with_trace(0, TraceSink::enabled()).threads(), 1);
+    }
+
+    #[test]
     fn panic_is_captured_as_lowest_job_index() {
         for threads in [1, 4] {
             let exec = Executor::new(threads);
@@ -202,6 +233,7 @@ mod tests {
                     assert_eq!(job, 2, "lowest panicking job, threads={threads}");
                     assert!(message.contains("exploded"), "{message}");
                 }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
             }
         }
     }

@@ -17,8 +17,18 @@
 //!   digests so concurrent searches share one Test oracle and never
 //!   build the same mixed binary twice.
 
+//! - [`backend::ExecBackend`]: the pluggable execution plane. The
+//!   executor is re-homed behind it as [`backend::ThreadsBackend`];
+//!   [`process::ProcessBackend`] farms query evaluation out to
+//!   `flit worker` subprocesses over a CRC-framed stdin/stdout wire,
+//!   with dead-worker detection and bounded requeue.
+
+pub mod backend;
 pub mod executor;
 pub mod memo;
+pub mod process;
 
+pub use backend::{run_on, AnswerEnvelope, ExecBackend, QueryEnvelope, ThreadsBackend};
 pub use executor::{ExecError, Executor};
 pub use memo::SingleFlight;
+pub use process::{serve_worker, ProcessBackend, WORKER_EXIT_AFTER_ENV};

@@ -27,6 +27,11 @@ pub struct CampaignConfig {
     /// Run the kill-and-resume layer on every `resume_stride`-th seed
     /// (0 disables it). Corpus seeds always get it.
     pub resume_stride: u64,
+    /// Worker command for the process-backend byte-identity layer.
+    /// When set, every seed that runs the resume layer (corpus seeds
+    /// and `resume_stride` hits) also re-runs its search through
+    /// worker subprocesses and requires a bit-identical result.
+    pub process_cmd: Option<Vec<String>>,
 }
 
 impl Default for CampaignConfig {
@@ -38,6 +43,7 @@ impl Default for CampaignConfig {
             jobs: 8,
             shrink: true,
             resume_stride: 16,
+            process_cmd: None,
         }
     }
 }
@@ -70,6 +76,8 @@ pub struct CampaignResult {
     pub explained_crashes: u64,
     /// Seeds that ran the kill-and-resume layer.
     pub resume_checks: u64,
+    /// Seeds that ran the process-backend byte-identity layer.
+    pub process_checks: u64,
     /// Total program executions across serial searches.
     pub executions: u64,
     /// Every divergence, in discovery order.
@@ -111,6 +119,7 @@ pub fn run_campaign(cfg: &CampaignConfig, trace: &TraceSink) -> CampaignResult {
         passed: 0,
         explained_crashes: 0,
         resume_checks: 0,
+        process_checks: 0,
         executions: 0,
         divergences: Vec::new(),
         out_of_budget: false,
@@ -131,9 +140,15 @@ pub fn run_campaign(cfg: &CampaignConfig, trace: &TraceSink) -> CampaignResult {
             }
         }
         let check_resume = from_corpus || (cfg.resume_stride > 0 && seed % cfg.resume_stride == 0);
+        let process_cmd = if check_resume {
+            cfg.process_cmd.clone()
+        } else {
+            None
+        };
         let oracle = OracleConfig {
             jobs: cfg.jobs,
             check_resume,
+            process_cmd,
         };
         let verdict = check_seed(seed, &oracle);
 
@@ -149,6 +164,9 @@ pub fn run_campaign(cfg: &CampaignConfig, trace: &TraceSink) -> CampaignResult {
         if check_resume {
             result.resume_checks += 1;
             trace.counter(counter::FUZZ_RESUME_CHECKS).incr(1);
+        }
+        if oracle.process_cmd.is_some() && !verdict.crashed_explained {
+            result.process_checks += 1;
         }
         if verdict.crashed_explained {
             result.explained_crashes += 1;
@@ -204,6 +222,7 @@ pub fn render_report(cfg: &CampaignConfig, result: &CampaignResult) -> String {
          passed             {:>8}\n\
          explained crashes  {:>8}  (planted ABI hazards, Table 2)\n\
          resume checks      {:>8}\n\
+         process checks     {:>8}\n\
          executions         {:>8}\n\
          divergences        {:>8}\n",
         result.seeds_run,
@@ -215,6 +234,7 @@ pub fn render_report(cfg: &CampaignConfig, result: &CampaignResult) -> String {
         result.passed,
         result.explained_crashes,
         result.resume_checks,
+        result.process_checks,
         result.executions,
         result.divergences.len(),
     ));
@@ -262,6 +282,7 @@ mod tests {
             jobs: 2,
             shrink: true,
             resume_stride: 0,
+            process_cmd: None,
         };
         let trace = TraceSink::enabled();
         let result = run_campaign(&cfg, &trace);

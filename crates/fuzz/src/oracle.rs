@@ -23,6 +23,7 @@ use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use flit_bisect::hierarchy::{
     bisect_hierarchical, bisect_hierarchical_parallel, HierarchicalConfig, HierarchicalResult,
@@ -31,7 +32,7 @@ use flit_bisect::hierarchy::{
 use flit_bisect::journal::{load_journal, JournalWriter};
 use flit_bisect::ledger::{LedgerHandle, QueryLedger};
 use flit_core::metrics::l2_compare;
-use flit_exec::Executor;
+use flit_exec::{ExecBackend, ProcessBackend, ThreadsBackend};
 use flit_program::build::Build;
 use flit_program::generate::{plant, random_planted, PlantedCodebase, PlantedSpec};
 use flit_toolchain::compilation::Compilation;
@@ -47,6 +48,10 @@ pub struct OracleConfig {
     pub jobs: usize,
     /// Run the kill-and-resume + journal round-trip layer.
     pub check_resume: bool,
+    /// Worker command for the process-backend byte-identity layer
+    /// (`None` skips it). Typically the running `flit` binary plus the
+    /// `worker` subcommand.
+    pub process_cmd: Option<Vec<String>>,
 }
 
 impl Default for OracleConfig {
@@ -54,6 +59,7 @@ impl Default for OracleConfig {
         OracleConfig {
             jobs: 8,
             check_resume: false,
+            process_cmd: None,
         }
     }
 }
@@ -115,6 +121,7 @@ fn run_search(
     compare: &(dyn Fn(&[f64], &[f64]) -> f64 + Sync),
     ledger: Option<&std::sync::Arc<QueryLedger>>,
     jobs: usize,
+    backend: Option<Arc<dyn ExecBackend>>,
 ) -> HierarchicalResult {
     let baseline = Build::new(&planted.program, Compilation::baseline());
     let variable = Build::tagged(&planted.program, pair.variable.clone(), 1);
@@ -126,6 +133,9 @@ fn run_search(
             format!("{}/{}", planted.driver.name, pair.variable.label()),
         ));
     }
+    if let Some(backend) = backend {
+        cfg = cfg.with_backend(backend);
+    }
     let input = &[0.3, 0.7];
     if jobs > 1 {
         bisect_hierarchical_parallel(
@@ -135,7 +145,7 @@ fn run_search(
             input,
             compare,
             &cfg,
-            &Executor::new(jobs),
+            &ThreadsBackend::new(jobs),
         )
     } else {
         bisect_hierarchical(&baseline, &variable, &planted.driver, input, compare, &cfg)
@@ -168,7 +178,7 @@ pub fn check_spec(seed: u64, spec: &PlantedSpec, cfg: &OracleConfig) -> SeedVerd
     let mut crashed_explained = false;
 
     // Layer (a): the serial verifying search vs the planted truth.
-    let serial = run_search(&planted, &pair, &l2_compare, None, 1);
+    let serial = run_search(&planted, &pair, &l2_compare, None, 1, None);
     match &serial.outcome {
         SearchOutcome::Crashed(why) => {
             if pair.abi_hazard {
@@ -214,7 +224,7 @@ pub fn check_spec(seed: u64, spec: &PlantedSpec, cfg: &OracleConfig) -> SeedVerd
 
     // Layer (c1): planner-driven parallel width must agree bit-for-bit.
     if cfg.jobs > 1 {
-        let wide = run_search(&planted, &pair, &l2_compare, None, cfg.jobs);
+        let wide = run_search(&planted, &pair, &l2_compare, None, cfg.jobs, None);
         if crashed_explained {
             if !matches!(wide.outcome, SearchOutcome::Crashed(_)) {
                 divergences.push(format!(
@@ -226,6 +236,22 @@ pub fn check_spec(seed: u64, spec: &PlantedSpec, cfg: &OracleConfig) -> SeedVerd
             divergences.push(format!(
                 "jobs=1 vs jobs={} results differ:\n  serial {serial:?}\n  wide {wide:?}",
                 cfg.jobs
+            ));
+        }
+    }
+
+    // Layer (e): process-backend byte-identity — the same serial
+    // search, but every Test query ships to `flit worker` subprocesses
+    // through the coordinator. Found sets, execution counts, and every
+    // f64 bit must match the in-process serial result. (Skipped on
+    // explained ABI crashes: the layer exists to pin transport
+    // fidelity, not crash semantics.)
+    if let (Some(cmd), false) = (&cfg.process_cmd, crashed_explained) {
+        let backend: Arc<dyn ExecBackend> = Arc::new(ProcessBackend::new(cmd.clone(), 2));
+        let remote = run_search(&planted, &pair, &l2_compare, None, 1, Some(backend));
+        if remote != serial {
+            divergences.push(format!(
+                "process backend vs in-process serial differ:\n  serial {serial:?}\n  process {remote:?}"
             ));
         }
     }
@@ -273,7 +299,14 @@ pub fn check_spec(seed: u64, spec: &PlantedSpec, cfg: &OracleConfig) -> SeedVerd
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let killed = catch_unwind(AssertUnwindSafe(|| {
-            run_search(&planted, &pair, &killing_compare(budget), Some(&ledger), 1)
+            run_search(
+                &planted,
+                &pair,
+                &killing_compare(budget),
+                Some(&ledger),
+                1,
+                None,
+            )
         }));
         std::panic::set_hook(prev_hook);
         if let Ok(res) = &killed {
@@ -298,7 +331,8 @@ pub fn check_spec(seed: u64, spec: &PlantedSpec, cfg: &OracleConfig) -> SeedVerd
                 let resumed_ledger = QueryLedger::new(fp, &TraceSink::disabled());
                 resumed_ledger.preload(&records);
                 resumed_ledger.attach_journal(writer);
-                let resumed = run_search(&planted, &pair, &l2_compare, Some(&resumed_ledger), 1);
+                let resumed =
+                    run_search(&planted, &pair, &l2_compare, Some(&resumed_ledger), 1, None);
                 if resumed != serial {
                     divergences.push(format!(
                         "kill-and-resume result differs from uninterrupted run \
@@ -348,6 +382,7 @@ mod tests {
         let cfg = OracleConfig {
             jobs: 4,
             check_resume: false,
+            process_cmd: None,
         };
         for seed in 0..6u64 {
             let v = check_seed(seed, &cfg);
@@ -360,6 +395,7 @@ mod tests {
         let cfg = OracleConfig {
             jobs: 2,
             check_resume: true,
+            process_cmd: None,
         };
         // Seed 1 draws a gcc pair (no ABI hazard), so the resume layer
         // actually runs.

@@ -66,6 +66,75 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// Why a framed record line could not be opened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line is not `{"crc":"<8 hex>","rec":<payload>}`.
+    Malformed(String),
+    /// The framing parsed but the stored CRC does not match the
+    /// payload.
+    Checksum {
+        /// CRC stored in the frame, as 8 hex digits.
+        expected: String,
+        /// CRC of the payload as found, as 8 hex digits.
+        actual: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Malformed(message) => write!(f, "{message}"),
+            FrameError::Checksum { expected, actual } => write!(
+                f,
+                "CRC mismatch (stored {expected}, payload hashes to {actual})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Frame one record payload as a single CRC'd line:
+/// `{"crc":"<8 hex>","rec":<payload>}`. This is both the checkpoint
+/// journal's record format and the coordinator/worker wire format —
+/// one framing, one validator.
+pub fn frame_record(payload: &str) -> String {
+    format!(
+        "{{\"crc\":\"{:08x}\",\"rec\":{payload}}}",
+        crc32(payload.as_bytes())
+    )
+}
+
+/// Open one framed line: validate the framing and the CRC, and return
+/// the payload slice. All framing is ASCII, so the fixed byte offsets
+/// below are char boundaries in any well-formed line; `get` keeps
+/// corrupted lines from turning into panics.
+pub fn unframe_record(line: &str) -> Result<&str, FrameError> {
+    let crc_hex = match (line.get(..8), line.get(8..16), line.get(16..24)) {
+        (Some("{\"crc\":\""), Some(hex), Some("\",\"rec\":")) => hex,
+        _ => {
+            return Err(FrameError::Malformed(
+                "missing `crc`/`rec` framing".to_string(),
+            ))
+        }
+    };
+    let expected = u32::from_str_radix(crc_hex, 16)
+        .map_err(|_| FrameError::Malformed(format!("`{crc_hex}` is not a CRC32 in hex")))?;
+    let payload = line
+        .get(24..line.len() - 1)
+        .filter(|_| line.ends_with('}') && line.len() > 25)
+        .ok_or_else(|| FrameError::Malformed("record truncated mid-payload".to_string()))?;
+    let actual = crc32(payload.as_bytes());
+    if actual != expected {
+        return Err(FrameError::Checksum {
+            expected: format!("{expected:08x}"),
+            actual: format!("{actual:08x}"),
+        });
+    }
+    Ok(payload)
+}
+
 /// FNV-1a 128-bit digest of `bytes`, rendered as 32 lowercase hex
 /// digits. Used to key cross-search memo entries on canonical link
 /// recipes; 128 bits keeps accidental collisions out of reach for the
@@ -152,6 +221,39 @@ mod tests {
         // Standard check value for "123456789" under CRC-32/IEEE.
         assert_eq!(crc32(b"123456789"), 0xcbf43926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trips_and_validates() {
+        let payload = r#"{"answer":42,"text":"é\n"}"#;
+        let line = frame_record(payload);
+        assert!(line.starts_with("{\"crc\":\""));
+        assert_eq!(unframe_record(&line).unwrap(), payload);
+    }
+
+    #[test]
+    fn unframe_rejects_corruption_structurally() {
+        let line = frame_record("{\"k\":1}");
+        // Flipped payload byte → checksum error, with both CRCs shown.
+        let bad = line.replace("\"k\":1", "\"k\":2");
+        match unframe_record(&bad).unwrap_err() {
+            FrameError::Checksum { expected, actual } => assert_ne!(expected, actual),
+            other => panic!("expected Checksum, got {other:?}"),
+        }
+        // Truncations at every offset are Malformed or Checksum, never
+        // a panic, and never accepted.
+        for cut in 0..line.len() {
+            assert!(unframe_record(&line[..cut]).is_err(), "cut {cut}");
+        }
+        // Garbage framing.
+        match unframe_record("not a frame").unwrap_err() {
+            FrameError::Malformed(m) => assert!(m.contains("framing"), "{m}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        match unframe_record("{\"crc\":\"zzzzzzzz\",\"rec\":{}}").unwrap_err() {
+            FrameError::Malformed(m) => assert!(m.contains("CRC32"), "{m}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 
     #[test]

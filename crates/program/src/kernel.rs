@@ -156,6 +156,191 @@ pub enum Kernel {
     Custom(Arc<dyn KernelImpl>),
 }
 
+/// Global registry resolving [`Kernel::Custom`] names on
+/// deserialization. A custom kernel is a trait object, so the wire
+/// carries only its [`KernelImpl::name`]; any process that needs to
+/// rebuild such a program (e.g. a `flit worker` subprocess) must have
+/// registered the implementation first.
+static CUSTOM_KERNELS: std::sync::OnceLock<
+    std::sync::Mutex<std::collections::HashMap<String, Arc<dyn KernelImpl>>>,
+> = std::sync::OnceLock::new();
+
+/// Register a custom kernel implementation under its name, making
+/// serialized programs that reference it deserializable in this
+/// process. Re-registering a name replaces the implementation.
+pub fn register_custom_kernel(imp: Arc<dyn KernelImpl>) {
+    CUSTOM_KERNELS
+        .get_or_init(Default::default)
+        .lock()
+        .expect("custom-kernel registry lock poisoned")
+        .insert(imp.name().to_string(), imp);
+}
+
+fn lookup_custom_kernel(name: &str) -> Option<Arc<dyn KernelImpl>> {
+    CUSTOM_KERNELS
+        .get()?
+        .lock()
+        .expect("custom-kernel registry lock poisoned")
+        .get(name)
+        .cloned()
+}
+
+// Manual serde impls: every data variant uses the same externally
+// tagged encoding the shim derive emits; `Custom` (a trait object)
+// serializes as its registered name and deserializes through the
+// registry.
+impl serde::Serialize for Kernel {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let named = |tag: &str, fields: Vec<(String, Value)>| {
+            Value::Object(vec![(tag.to_string(), Value::Object(fields))])
+        };
+        match self {
+            Kernel::DotMix { stride } => {
+                named("DotMix", vec![("stride".to_string(), stride.to_value())])
+            }
+            Kernel::DotMixReproducible { stride } => named(
+                "DotMixReproducible",
+                vec![("stride".to_string(), stride.to_value())],
+            ),
+            Kernel::MatVecMix { n } => named("MatVecMix", vec![("n".to_string(), n.to_value())]),
+            Kernel::Rank1Mix { n, alpha } => named(
+                "Rank1Mix",
+                vec![
+                    ("n".to_string(), n.to_value()),
+                    ("alpha".to_string(), alpha.to_value()),
+                ],
+            ),
+            Kernel::CgSolve { n, tol, cond } => named(
+                "CgSolve",
+                vec![
+                    ("n".to_string(), n.to_value()),
+                    ("tol".to_string(), tol.to_value()),
+                    ("cond".to_string(), cond.to_value()),
+                ],
+            ),
+            Kernel::HeatSmooth { steps, r } => named(
+                "HeatSmooth",
+                vec![
+                    ("steps".to_string(), steps.to_value()),
+                    ("r".to_string(), r.to_value()),
+                ],
+            ),
+            Kernel::ChaoticAmplify { lambda, steps } => named(
+                "ChaoticAmplify",
+                vec![
+                    ("lambda".to_string(), lambda.to_value()),
+                    ("steps".to_string(), steps.to_value()),
+                ],
+            ),
+            Kernel::TranscMap { freq } => {
+                named("TranscMap", vec![("freq".to_string(), freq.to_value())])
+            }
+            Kernel::PolyHorner { degree } => named(
+                "PolyHorner",
+                vec![("degree".to_string(), degree.to_value())],
+            ),
+            Kernel::DivScan => Value::String("DivScan".to_string()),
+            Kernel::NormScale => Value::String("NormScale".to_string()),
+            Kernel::Benign { flavor } => {
+                named("Benign", vec![("flavor".to_string(), flavor.to_value())])
+            }
+            Kernel::UbSwap => Value::String("UbSwap".to_string()),
+            Kernel::ZeroGate { boost } => {
+                named("ZeroGate", vec![("boost".to_string(), boost.to_value())])
+            }
+            Kernel::AmplifyExact { lambda, steps } => named(
+                "AmplifyExact",
+                vec![
+                    ("lambda".to_string(), lambda.to_value()),
+                    ("steps".to_string(), steps.to_value()),
+                ],
+            ),
+            Kernel::Custom(imp) => named(
+                "Custom",
+                vec![("name".to_string(), Value::String(imp.name().to_string()))],
+            ),
+        }
+    }
+}
+
+impl serde::Deserialize for Kernel {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::{DeError, Value};
+        match v {
+            Value::String(s) => match s.as_str() {
+                "DivScan" => Ok(Kernel::DivScan),
+                "NormScale" => Ok(Kernel::NormScale),
+                "UbSwap" => Ok(Kernel::UbSwap),
+                other => Err(DeError(format!("unknown variant `{other}` of Kernel"))),
+            },
+            Value::Object(pairs) if pairs.len() == 1 => {
+                let (tag, inner) = &pairs[0];
+                match tag.as_str() {
+                    "DotMix" => Ok(Kernel::DotMix {
+                        stride: usize::from_value(inner.field("stride")?)?,
+                    }),
+                    "DotMixReproducible" => Ok(Kernel::DotMixReproducible {
+                        stride: usize::from_value(inner.field("stride")?)?,
+                    }),
+                    "MatVecMix" => Ok(Kernel::MatVecMix {
+                        n: usize::from_value(inner.field("n")?)?,
+                    }),
+                    "Rank1Mix" => Ok(Kernel::Rank1Mix {
+                        n: usize::from_value(inner.field("n")?)?,
+                        alpha: f64::from_value(inner.field("alpha")?)?,
+                    }),
+                    "CgSolve" => Ok(Kernel::CgSolve {
+                        n: usize::from_value(inner.field("n")?)?,
+                        tol: f64::from_value(inner.field("tol")?)?,
+                        cond: f64::from_value(inner.field("cond")?)?,
+                    }),
+                    "HeatSmooth" => Ok(Kernel::HeatSmooth {
+                        steps: usize::from_value(inner.field("steps")?)?,
+                        r: f64::from_value(inner.field("r")?)?,
+                    }),
+                    "ChaoticAmplify" => Ok(Kernel::ChaoticAmplify {
+                        lambda: f64::from_value(inner.field("lambda")?)?,
+                        steps: usize::from_value(inner.field("steps")?)?,
+                    }),
+                    "TranscMap" => Ok(Kernel::TranscMap {
+                        freq: f64::from_value(inner.field("freq")?)?,
+                    }),
+                    "PolyHorner" => Ok(Kernel::PolyHorner {
+                        degree: usize::from_value(inner.field("degree")?)?,
+                    }),
+                    "Benign" => Ok(Kernel::Benign {
+                        flavor: u8::from_value(inner.field("flavor")?)?,
+                    }),
+                    "ZeroGate" => Ok(Kernel::ZeroGate {
+                        boost: f64::from_value(inner.field("boost")?)?,
+                    }),
+                    "AmplifyExact" => Ok(Kernel::AmplifyExact {
+                        lambda: f64::from_value(inner.field("lambda")?)?,
+                        steps: usize::from_value(inner.field("steps")?)?,
+                    }),
+                    "Custom" => {
+                        let name = String::from_value(inner.field("name")?)?;
+                        lookup_custom_kernel(&name)
+                            .map(Kernel::Custom)
+                            .ok_or_else(|| {
+                                DeError(format!(
+                                    "custom kernel `{name}` is not registered in this process \
+                                 (call register_custom_kernel first)"
+                                ))
+                            })
+                    }
+                    other => Err(DeError(format!("unknown variant `{other}` of Kernel"))),
+                }
+            }
+            other => Err(DeError(format!(
+                "expected variant of Kernel, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 /// Blend weights used by feedback kernels; exact dyadic values so the
 /// blend multiplications add no rounding of their own.
 const WEIGHTS: [f64; 8] = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];

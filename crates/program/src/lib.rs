@@ -36,6 +36,6 @@ pub mod sites;
 
 pub use build::Build;
 pub use engine::{Engine, RunError, RunOutput, TimingProfile};
-pub use kernel::Kernel;
+pub use kernel::{register_custom_kernel, Kernel};
 pub use model::{Driver, Function, SimProgram, SourceFile, Visibility};
 pub use sites::{InjectOp, Injection, SiteCtx};

@@ -6,12 +6,13 @@ use flit_toolchain::cache::RecipeHasher;
 use flit_toolchain::compilation::Compilation;
 use flit_toolchain::object::{Linkage, ObjectFile, SymbolEntry};
 use flit_toolchain::perf::KernelClass;
+use serde::{Deserialize, Serialize};
 
 use crate::kernel::Kernel;
 use crate::sites::Injection;
 
 /// Symbol visibility at the source level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Visibility {
     /// Globally exported (a strong symbol in the object file).
     Exported,
@@ -21,7 +22,7 @@ pub enum Visibility {
 }
 
 /// One function: a kernel, its linkage properties, and its callees.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Function {
     /// Unique (program-wide) symbol name.
     pub name: String,
@@ -98,7 +99,7 @@ impl Function {
 }
 
 /// One source file (one translation unit).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SourceFile {
     /// File name (e.g. `linalg/densemat.cpp`).
     pub name: String,
@@ -306,8 +307,29 @@ impl SimProgram {
     }
 }
 
+// Manual impls: `index` and `fingerprint` are derived state, so the
+// wire carries `{name, files}` only and deserialization rebuilds (and
+// re-validates) through [`SimProgram::new`] — a deserialized program is
+// structurally identical to the original, fingerprint included.
+impl Serialize for SimProgram {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("name".to_string(), self.name.to_value()),
+            ("files".to_string(), self.files.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SimProgram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let name = String::from_value(v.field("name")?)?;
+        let files = Vec::<SourceFile>::from_value(v.field("files")?)?;
+        Ok(SimProgram::new(name, files))
+    }
+}
+
 /// How a test drives the program: the entry sequence `main()` performs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Driver {
     /// Driver (test) name; also salts the ABI-crash model the way real
     /// crash sites depend on the exercised code path.

@@ -213,6 +213,31 @@ pub fn perf_bisect_summary(trace: &Trace) -> Table {
     t
 }
 
+/// Distributed-execution accounting for the process backend: query
+/// envelopes dispatched to workers, worker subprocess churn (spawns,
+/// deaths), and in-flight queries requeued after a death. Rendered
+/// only when a remote backend actually dispatched something — under
+/// the default threads backend every counter is zero, and an all-zero
+/// table would read as "workers ran and did nothing".
+pub fn distributed_execution(trace: &Trace) -> Table {
+    let mut t = Table::new(&["counter", "value"])
+        .with_title("Distributed execution")
+        .with_aligns(&[Align::Left, Align::Right]);
+    if trace.counter(counter::EXEC_BACKEND_DISPATCHED) == 0 {
+        return t;
+    }
+    let rows = [
+        ("queries dispatched", counter::EXEC_BACKEND_DISPATCHED),
+        ("worker spawns", counter::EXEC_BACKEND_WORKER_SPAWNS),
+        ("worker deaths", counter::EXEC_BACKEND_WORKER_DEATHS),
+        ("queries requeued", counter::EXEC_BACKEND_REQUEUED),
+    ];
+    for (name, key) in rows {
+        t.row(&[name.to_string(), trace.counter(key).to_string()]);
+    }
+    t
+}
+
 /// Fuzz-campaign accounting: seeds checked, pass/divergence split,
 /// explained ABI-hazard crashes, resume checks, and shrink effort.
 /// Rendered only when a campaign actually ran (all counters zero
@@ -267,6 +292,11 @@ pub fn render_trace(trace: &Trace, top: usize) -> String {
     if !perf.is_empty() {
         out.push('\n');
         out.push_str(&perf.render());
+    }
+    let distributed = distributed_execution(trace);
+    if !distributed.is_empty() {
+        out.push('\n');
+        out.push_str(&distributed.render());
     }
     let fuzz = fuzz_campaign(trace);
     if !fuzz.is_empty() {
@@ -459,6 +489,28 @@ mod tests {
         // No perf bisect → no section.
         let out = render_trace(&Trace::from_parts(vec![], BTreeMap::new()), 5);
         assert!(!out.contains("Performance bisect"), "{out}");
+    }
+
+    #[test]
+    fn distributed_section_appears_only_after_remote_dispatch() {
+        let counters: BTreeMap<String, u64> = [
+            (counter::EXEC_BACKEND_DISPATCHED.to_string(), 250),
+            (counter::EXEC_BACKEND_WORKER_SPAWNS.to_string(), 7),
+            (counter::EXEC_BACKEND_WORKER_DEATHS.to_string(), 3),
+            (counter::EXEC_BACKEND_REQUEUED.to_string(), 3),
+        ]
+        .into_iter()
+        .collect();
+        let out = render_trace(&Trace::from_parts(vec![], counters), 5);
+        assert!(out.contains("Distributed execution"), "{out}");
+        let line = |name: &str| out.lines().find(|l| l.contains(name)).unwrap().to_string();
+        assert!(line("queries dispatched").contains("250"));
+        assert!(line("worker spawns").contains('7'));
+        assert!(line("worker deaths").contains('3'));
+        assert!(line("queries requeued").contains('3'));
+        // Threads-only runs never dispatch an envelope → no section.
+        let out = render_trace(&Trace::from_parts(vec![], BTreeMap::new()), 5);
+        assert!(!out.contains("Distributed execution"), "{out}");
     }
 
     #[test]

@@ -74,6 +74,15 @@ pub mod counter {
     /// execution (workflow-wide cross-search deduplication).
     pub const EXEC_QUERIES_SHARED_HITS: &str = "exec.queries.shared_hits";
 
+    /// Query envelopes dispatched to a remote execution backend.
+    pub const EXEC_BACKEND_DISPATCHED: &str = "exec.backend.dispatched";
+    /// Worker subprocesses spawned by the process backend.
+    pub const EXEC_BACKEND_WORKER_SPAWNS: &str = "exec.backend.worker_spawns";
+    /// Worker subprocesses that died mid-exchange and were retired.
+    pub const EXEC_BACKEND_WORKER_DEATHS: &str = "exec.backend.worker_deaths";
+    /// In-flight queries requeued after a worker death.
+    pub const EXEC_BACKEND_REQUEUED: &str = "exec.backend.requeued";
+
     /// Checkpoint-journal records replayed into the ledger on resume.
     pub const JOURNAL_REPLAYED: &str = "journal.records.replayed";
     /// Checkpoint-journal records appended during this run.

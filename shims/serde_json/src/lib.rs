@@ -313,11 +313,33 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // Consume a whole run of plain ASCII at once; the
+                    // common case for identifier-heavy payloads.
+                    let start = self.pos;
+                    while matches!(self.bytes.get(self.pos), Some(&b) if b < 0x80 && b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("ASCII bytes are valid UTF-8"),
+                    );
+                }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error("invalid UTF-8 in JSON string".to_string()))?;
-                    let c = rest.chars().next().unwrap();
+                    // Consume one multi-byte UTF-8 code point (at most
+                    // 4 bytes — never validate the whole remainder).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(_) => return Err(Error("invalid UTF-8 in JSON string".to_string())),
+                    };
+                    let c = valid.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

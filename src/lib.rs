@@ -66,7 +66,7 @@ pub mod prelude {
     pub use flit_core::runner::{run_matrix, RunnerConfig};
     pub use flit_core::test::{DriverTest, FlitTest, RunContext, TestResult};
     pub use flit_core::workflow::{run_workflow, LintMode, WorkflowConfig};
-    pub use flit_exec::Executor;
+    pub use flit_exec::{ExecBackend, Executor, ProcessBackend, ThreadsBackend};
     pub use flit_fpsim::env::{FpEnv, MathLib, SimdWidth};
     pub use flit_fuzz::{
         check_seed, run_campaign, CampaignConfig, CampaignResult, OracleConfig, SeedVerdict,

@@ -67,7 +67,7 @@ fn figure_2_search_is_identical_at_jobs_1_and_8() {
         let par = bisect_all_parallel(
             weighted(weights.clone()),
             &items,
-            &flit::exec::Executor::new(jobs),
+            &flit::exec::ThreadsBackend::new(jobs),
         )
         .unwrap();
         assert_outcomes_identical(&par, &serial, &format!("figure-2 jobs={jobs}"));
@@ -91,7 +91,8 @@ fn coupled_fixture_reports_the_same_violation_at_any_width() {
     let serial = bisect_all(coupled, &items).unwrap();
     assert!(!serial.verified());
     for jobs in [1, 8] {
-        let par = bisect_all_parallel(coupled, &items, &flit::exec::Executor::new(jobs)).unwrap();
+        let par =
+            bisect_all_parallel(coupled, &items, &flit::exec::ThreadsBackend::new(jobs)).unwrap();
         assert_outcomes_identical(&par, &serial, &format!("coupled jobs={jobs}"));
     }
 }
@@ -113,7 +114,8 @@ fn masked_fixture_reports_the_same_violation_at_any_width() {
     };
     let serial = bisect_all(masking, &items).unwrap();
     for jobs in [1, 8] {
-        let par = bisect_all_parallel(masking, &items, &flit::exec::Executor::new(jobs)).unwrap();
+        let par =
+            bisect_all_parallel(masking, &items, &flit::exec::ThreadsBackend::new(jobs)).unwrap();
         assert_outcomes_identical(&par, &serial, &format!("masked jobs={jobs}"));
     }
 }
@@ -129,7 +131,7 @@ fn biggest_is_identical_at_jobs_1_and_8() {
                 weighted(weights.clone()),
                 &items,
                 k,
-                &flit::exec::Executor::new(jobs),
+                &flit::exec::ThreadsBackend::new(jobs),
             )
             .unwrap();
             assert_outcomes_identical(&par, &serial, &format!("biggest k={k} jobs={jobs}"));
@@ -166,7 +168,7 @@ fn mfem_hierarchy_is_identical_at_jobs_1_and_8() {
             &[0.35, 0.62],
             &l2_compare,
             &cfg,
-            &flit::exec::Executor::new(jobs),
+            &flit::exec::ThreadsBackend::new(jobs),
         );
         assert_eq!(par, serial, "mfem ex13 jobs={jobs}");
     }

@@ -173,7 +173,7 @@ fn mfem_seeded_search_is_identical_and_cheaper() {
                 INPUT,
                 &l2_compare,
                 &cfg,
-                &Executor::new(jobs),
+                &ThreadsBackend::new(jobs),
             );
             (result, trace.snapshot())
         };
@@ -230,7 +230,7 @@ fn mfem_pruned_search_matches_and_verifies() {
         INPUT,
         &l2_compare,
         &cfg,
-        &Executor::new(8),
+        &ThreadsBackend::new(8),
     );
 
     for (label, r) in [("serial", &pruned), ("parallel", &pruned_par)] {

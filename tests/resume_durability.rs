@@ -102,7 +102,7 @@ fn run_search(
         INPUT,
         compare,
         &cfg,
-        &Executor::new(jobs),
+        &ThreadsBackend::new(jobs),
     );
     let snap = trace.snapshot();
     let counters = [

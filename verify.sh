@@ -24,6 +24,15 @@ if [[ "${1:-}" == "--quick" ]]; then
   cargo test -q -p flit-bisect perf
   cargo test -q -p flit-report
   cargo test -q -p flit-cli perf
+  echo "== quick: process backend (byte-identity, kill schedules, ledger) =="
+  cargo test -q -p flit-exec
+  cargo test -q -p flit-cli --test process_backend
+  echo "== quick: process backend CLI smoke (worker subprocesses + worker-kill) =="
+  cargo build -q -p flit-cli
+  ./target/debug/flit bisect mfem --test ex13 --compilation "g++ -O3 -mavx2 -mfma" \
+      --backend process --workers 4 > /dev/null
+  ./target/debug/flit bisect mfem --test ex13 --compilation "g++ -O3 -mavx2 -mfma" \
+      --backend process --workers 4 --kill-workers 1,1,2 > /dev/null
   echo "verify --quick: OK"
   exit 0
 fi
@@ -31,7 +40,10 @@ fi
 if [[ "${1:-}" == "--fuzz" ]]; then
   echo "== fuzz: differential campaign vs planted blame sets (60 s box) =="
   cargo build -q --release -p flit-cli
-  ./target/release/flit fuzz --seeds 0..1000 --budget-secs 60 --shrink
+  # --backend process adds the fifth oracle layer: corpus seeds (and
+  # every resume-stride hit) re-run their search through `flit worker`
+  # subprocesses and require a bit-identical result.
+  ./target/release/flit fuzz --seeds 0..1000 --budget-secs 60 --shrink --backend process
   echo "verify --fuzz: OK"
   exit 0
 fi
