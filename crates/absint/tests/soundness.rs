@@ -1,0 +1,281 @@
+//! The ground-truth check: certificates must never be contradicted by
+//! the real engine.
+//!
+//! For a zoo of programs covering every kernel family and a set of
+//! value-changing compilation pairs, build the actual executables the
+//! bisect workflow builds (pure, file-mixed singleton, symbol-mixed
+//! singleton), run them, and assert the observed `l2_diff` divergence
+//! respects every emitted certificate: `Invariant` ⇒ exactly zero,
+//! `Bounded(ε)` ⇒ `observed ≤ ε`. One violation here is a soundness bug
+//! in the abstract interpreter.
+
+use std::collections::BTreeSet;
+
+use flit_absint::certify_pair;
+use flit_fpsim::ulp::l2_diff;
+use flit_program::model::Visibility;
+use flit_program::{
+    build::{file_mixed_executable, symbol_mixed_executable},
+    Build, Driver, Engine, Function, Kernel, SimProgram, SourceFile,
+};
+use flit_toolchain::{Compilation, CompilerKind, OptLevel, Switch};
+
+const INPUT: &[f64] = &[0.3, 0.7];
+
+fn apps() -> Vec<(SimProgram, Driver)> {
+    let reductions = SimProgram::new(
+        "reductions",
+        vec![
+            SourceFile::new(
+                "hot.cpp",
+                vec![
+                    Function::exported("dot", Kernel::DotMix { stride: 3 })
+                        .with_calls(vec!["norm".into(), "amp".into()]),
+                    Function::local("norm", Kernel::NormScale),
+                ],
+            ),
+            SourceFile::new(
+                "cold.cpp",
+                vec![
+                    Function::exported(
+                        "amp",
+                        Kernel::AmplifyExact {
+                            lambda: 2.9,
+                            steps: 4,
+                        },
+                    ),
+                    Function::exported("repro", Kernel::DotMixReproducible { stride: 5 }),
+                ],
+            ),
+        ],
+    );
+    let mixed = SimProgram::new(
+        "mixed",
+        vec![
+            SourceFile::new(
+                "solve.cpp",
+                vec![
+                    Function::exported(
+                        "cg",
+                        Kernel::CgSolve {
+                            n: 12,
+                            tol: 1e-10,
+                            cond: 1e8,
+                        },
+                    ),
+                    Function::exported("mv", Kernel::MatVecMix { n: 8 }),
+                ],
+            ),
+            SourceFile::new(
+                "phys.cpp",
+                vec![
+                    Function::exported("heat", Kernel::HeatSmooth { steps: 4, r: 0.2 })
+                        .with_calls(vec!["gate".into()]),
+                    Function::exported("gate", Kernel::ZeroGate { boost: 50.0 }),
+                    Function::exported("rank1", Kernel::Rank1Mix { n: 6, alpha: 0.5 }),
+                ],
+            ),
+            SourceFile::new(
+                "lib.cpp",
+                vec![
+                    Function::exported("transc", Kernel::TranscMap { freq: 3.0 }),
+                    Function::exported("div", Kernel::DivScan),
+                    Function::exported("poly", Kernel::PolyHorner { degree: 9 }),
+                    Function::exported("calm", Kernel::Benign { flavor: 4 }),
+                ],
+            ),
+        ],
+    );
+    let ub = SimProgram::new(
+        "ub",
+        vec![SourceFile::new(
+            "swap.cpp",
+            vec![
+                Function::exported("xsw", Kernel::UbSwap).with_calls(vec!["chaos".into()]),
+                Function::exported(
+                    "chaos",
+                    Kernel::ChaoticAmplify {
+                        lambda: 2.9,
+                        steps: 3,
+                    },
+                ),
+            ],
+        )],
+    );
+    vec![
+        (
+            reductions,
+            Driver::new("t", vec!["dot".into(), "repro".into()], 3, 48),
+        ),
+        (
+            mixed,
+            Driver::new(
+                "t",
+                vec!["cg".into(), "heat".into(), "transc".into(), "div".into()],
+                2,
+                40,
+            )
+            .with_decomposition(2),
+        ),
+        (ub, Driver::new("t", vec!["xsw".into()], 2, 24)),
+    ]
+}
+
+fn pairs() -> Vec<(Compilation, Compilation)> {
+    vec![
+        (
+            Compilation::baseline(),
+            Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]),
+        ),
+        (
+            Compilation::baseline(),
+            Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![Switch::Avx2Fma]),
+        ),
+        (
+            Compilation::baseline(),
+            Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![]),
+        ),
+        (
+            Compilation::baseline(),
+            Compilation::new(CompilerKind::Xlc, OptLevel::O3, vec![]),
+        ),
+        (
+            Compilation::baseline(),
+            Compilation::new(CompilerKind::Icpc, OptLevel::O2, vec![Switch::FpModelFast2]),
+        ),
+        (
+            Compilation::new(CompilerKind::Clang, OptLevel::O2, vec![]),
+            Compilation::new(CompilerKind::Clang, OptLevel::O3, vec![Switch::FastMath]),
+        ),
+    ]
+}
+
+fn run(prog: &SimProgram, exe: &flit_toolchain::Executable, driver: &Driver) -> Option<Vec<f64>> {
+    Engine::new(prog, exe)
+        .run(driver, INPUT)
+        .ok()
+        .map(|o| o.output)
+}
+
+fn observed(a: Option<Vec<f64>>, b: Option<Vec<f64>>) -> f64 {
+    match (a, b) {
+        (Some(a), Some(b)) => l2_diff(&a, &b),
+        _ => f64::INFINITY,
+    }
+}
+
+#[test]
+fn certificates_hold_against_the_engine() {
+    let mut invariants = 0u32;
+    let mut bounded = 0u32;
+    for (prog, driver) in apps() {
+        for (base, cand) in pairs() {
+            let link = base.compiler;
+            let certs = certify_pair(&prog, &prog, &driver, &base, &cand, link);
+            let base_build = Build::new(&prog, base.clone());
+            let cand_build = Build::new(&prog, cand.clone());
+
+            // Whole pair: each pure binary linked by its own driver.
+            let base_out = run(&prog, &base_build.executable().unwrap(), &driver);
+            let cand_out = run(&prog, &cand_build.executable().unwrap(), &driver);
+            let whole_obs = observed(base_out.clone(), cand_out);
+            assert!(
+                !certs.whole.contradicted_by(whole_obs),
+                "{}: whole {:?} contradicted by {whole_obs:e} ({} vs {})",
+                prog.name,
+                certs.whole,
+                base.label(),
+                cand.label()
+            );
+
+            // File items: singleton flip vs the pure baseline, linked by
+            // the baseline driver (the bisect comparison).
+            let base_ref = run(
+                &prog,
+                &Build::new(&prog, base.clone()).executable().unwrap(),
+                &driver,
+            );
+            for fid in 0..prog.files.len() {
+                let flip: BTreeSet<usize> = [fid].into();
+                let exe = file_mixed_executable(&base_build, &cand_build, &flip, link).unwrap();
+                let obs = observed(base_ref.clone(), run(&prog, &exe, &driver));
+                let cert = certs.file(fid);
+                assert!(
+                    !cert.contradicted_by(obs),
+                    "{}: file {fid} {cert:?} contradicted by {obs:e} ({} vs {})",
+                    prog.name,
+                    base.label(),
+                    cand.label()
+                );
+                match cert {
+                    flit_absint::Certificate::Invariant => invariants += 1,
+                    flit_absint::Certificate::Bounded(_) => bounded += 1,
+                    flit_absint::Certificate::Unknown => {}
+                }
+            }
+
+            // Symbol items: Test({s}) vs Test(∅) within the defining
+            // file — the exact executables Symbol Bisect compares.
+            for (fid, file) in prog.files.iter().enumerate() {
+                for f in &file.functions {
+                    if !matches!(f.visibility, Visibility::Exported) {
+                        continue;
+                    }
+                    let none: BTreeSet<String> = BTreeSet::new();
+                    let one: BTreeSet<String> = [f.name.clone()].into();
+                    let exe0 = symbol_mixed_executable(&base_build, &cand_build, fid, &none, link)
+                        .unwrap();
+                    let exe1 =
+                        symbol_mixed_executable(&base_build, &cand_build, fid, &one, link).unwrap();
+                    let obs = observed(run(&prog, &exe0, &driver), run(&prog, &exe1, &driver));
+                    let cert = certs.symbol(&f.name);
+                    assert!(
+                        !cert.contradicted_by(obs),
+                        "{}: symbol {} {cert:?} contradicted by {obs:e} ({} vs {})",
+                        prog.name,
+                        f.name,
+                        base.label(),
+                        cand.label()
+                    );
+                }
+            }
+        }
+    }
+    // The suite must actually exercise both meaningful verdicts, or the
+    // soundness claim is vacuous.
+    assert!(invariants > 0, "no Invariant certificate was ever tested");
+    assert!(bounded > 0, "no Bounded certificate was ever tested");
+}
+
+/// Injected (edited-body) trees: certificates must stay sound when the
+/// two build trees differ, the fuzz campaign's planted-divergence shape.
+#[test]
+fn certificates_hold_for_differing_trees() {
+    let (prog, driver) = &apps()[0];
+    let mut edited = prog.clone();
+    edited.function_mut("repro").unwrap().kernel = Kernel::DotMix { stride: 5 };
+    let base = Compilation::baseline();
+    let certs = certify_pair(prog, &edited, driver, &base, &base, base.compiler);
+
+    let base_build = Build::new(prog, base.clone());
+    let cand_build = Build::tagged(&edited, base.clone(), 1);
+
+    let base_ref = run(prog, &base_build.executable().unwrap(), driver);
+    for fid in 0..prog.files.len() {
+        let flip: BTreeSet<usize> = [fid].into();
+        let exe = file_mixed_executable(&base_build, &cand_build, &flip, base.compiler).unwrap();
+        let out = Engine::with_variant(prog, &edited, &exe)
+            .run(driver, INPUT)
+            .ok()
+            .map(|o| o.output);
+        let obs = observed(base_ref.clone(), out);
+        assert!(
+            !certs.file(fid).contradicted_by(obs),
+            "file {fid} {:?} contradicted by {obs:e}",
+            certs.file(fid)
+        );
+    }
+    // The edited function's file cannot be invariant; the other can.
+    assert_ne!(certs.file(1), flit_absint::Certificate::Invariant);
+    assert_eq!(certs.file(0), flit_absint::Certificate::Invariant);
+}

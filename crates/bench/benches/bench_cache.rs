@@ -36,10 +36,10 @@ fn bench_bisect(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_bisect");
     group.sample_size(10);
     group.bench_function("uncached", |b| {
-        b.iter(|| run(&HierarchicalConfig::all().with_ctx(BuildCtx::counting())))
+        b.iter(|| run(&HierarchicalConfig::all().with_ctx(BuildCtx::counting())));
     });
     group.bench_function("cold_cache", |b| {
-        b.iter(|| run(&HierarchicalConfig::all().with_ctx(BuildCtx::cached())))
+        b.iter(|| run(&HierarchicalConfig::all().with_ctx(BuildCtx::cached())));
     });
     let warm = HierarchicalConfig::all().with_ctx(BuildCtx::cached());
     group.bench_function("warm_cache", |b| b.iter(|| run(&warm)));
@@ -65,10 +65,10 @@ fn bench_sweep(c: &mut Criterion) {
                     ..Default::default()
                 },
             )
-        })
+        });
     });
     group.bench_function("gcc_68_cached", |b| {
-        b.iter(|| run_matrix(&program, &dyn_tests, &gcc_only, &RunnerConfig::default()))
+        b.iter(|| run_matrix(&program, &dyn_tests, &gcc_only, &RunnerConfig::default()));
     });
     group.finish();
 }

@@ -50,7 +50,7 @@ fn bench_single_search(c: &mut Criterion) {
                 &l2_compare,
                 &HierarchicalConfig::all(),
             )
-        })
+        });
     });
     for &jobs in &[1usize, 2, 4, 8] {
         let exec = ThreadsBackend::new(jobs);
@@ -65,7 +65,7 @@ fn bench_single_search(c: &mut Criterion) {
                     &HierarchicalConfig::all(),
                     &exec,
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -91,7 +91,7 @@ fn bench_characterization(c: &mut Criterion) {
     group.sample_size(10);
     for &jobs in &[1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, _| {
-            b.iter(|| bisect_all_variable_with(&program, &db, jobs, &BuildCtx::uncached()))
+            b.iter(|| bisect_all_variable_with(&program, &db, jobs, &BuildCtx::uncached()));
         });
     }
     group.finish();

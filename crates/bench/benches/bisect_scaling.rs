@@ -25,8 +25,7 @@ fn scripted(weights: Vec<(u32, f64)>) -> impl FnMut(&[u32]) -> Result<f64, TestE
                 weights
                     .iter()
                     .find(|(w, _)| w == i)
-                    .map(|(_, v)| *v)
-                    .unwrap_or(0.0)
+                    .map_or(0.0, |(_, v)| *v)
             })
             .sum())
     }
@@ -38,13 +37,13 @@ fn bench_search_scaling(c: &mut Criterion) {
         let items: Vec<u32> = (0..n as u32).collect();
         let k = 4;
         group.bench_with_input(BenchmarkId::new("bisect_all", n), &n, |b, _| {
-            b.iter(|| bisect_all(scripted(weights(n, k)), &items).unwrap())
+            b.iter(|| bisect_all(scripted(weights(n, k)), &items).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("ddmin", n), &n, |b, _| {
-            b.iter(|| ddmin(scripted(weights(n, k)), &items).unwrap())
+            b.iter(|| ddmin(scripted(weights(n, k)), &items).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
-            b.iter(|| linear_search(scripted(weights(n, k)), &items).unwrap())
+            b.iter(|| linear_search(scripted(weights(n, k)), &items).unwrap());
         });
     }
     group.finish();
@@ -56,10 +55,10 @@ fn bench_search_scaling_k(c: &mut Criterion) {
     let items: Vec<u32> = (0..n as u32).collect();
     for &k in &[1usize, 4, 16, 64] {
         group.bench_with_input(BenchmarkId::new("bisect_all", k), &k, |b, _| {
-            b.iter(|| bisect_all(scripted(weights(n, k)), &items).unwrap())
+            b.iter(|| bisect_all(scripted(weights(n, k)), &items).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("bisect_biggest_top1", k), &k, |b, _| {
-            b.iter(|| bisect_biggest(scripted(weights(n, k)), &items, 1).unwrap())
+            b.iter(|| bisect_biggest(scripted(weights(n, k)), &items, 1).unwrap());
         });
     }
     group.finish();
@@ -80,7 +79,7 @@ fn report_execution_counts(c: &mut Criterion) {
             let lin = linear_search(scripted(weights(n, k)), &items).unwrap();
             assert!(bis.executions < lin.executions / 10);
             (bis.executions, lin.executions)
-        })
+        });
     });
     group.finish();
 }
@@ -96,10 +95,10 @@ fn bench_pruning_ablation(c: &mut Criterion) {
             .map(|j| ((n - 1 - j * 3) as u32, 1.0 + j as f64))
             .collect();
         group.bench_with_input(BenchmarkId::new("pruned", k), &k, |b, _| {
-            b.iter(|| bisect_all(scripted(w.clone()), &items).unwrap())
+            b.iter(|| bisect_all(scripted(w.clone()), &items).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("unpruned", k), &k, |b, _| {
-            b.iter(|| bisect_all_unpruned(scripted(w.clone()), &items).unwrap())
+            b.iter(|| bisect_all_unpruned(scripted(w.clone()), &items).unwrap());
         });
     }
     group.finish();

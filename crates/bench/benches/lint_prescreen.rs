@@ -34,7 +34,7 @@ fn bench_analyze(c: &mut Criterion) {
     let mut group = c.benchmark_group("lint_analyze");
     group.bench_function("mfem", |b| b.iter(|| analyze_program(&mfem)));
     group.bench_function("synthetic_97x31", |b| {
-        b.iter(|| analyze_program(&synthetic))
+        b.iter(|| analyze_program(&synthetic));
     });
     group.finish();
 }
@@ -51,7 +51,7 @@ fn bench_predict(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("lint_predict");
     group.bench_function("mfem_pair", |b| {
-        b.iter(|| predict_pair(&baseline, &variable, Some(&driver), CompilerKind::Gcc))
+        b.iter(|| predict_pair(&baseline, &variable, Some(&driver), CompilerKind::Gcc));
     });
     group.finish();
 }
@@ -84,10 +84,10 @@ fn bench_seeded_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("lint_seeded_search");
     group.sample_size(10);
     group.bench_function("unseeded_jobs8", |b| {
-        b.iter(|| run(&HierarchicalConfig::all()))
+        b.iter(|| run(&HierarchicalConfig::all()));
     });
     group.bench_function("seeded_jobs8", |b| {
-        b.iter(|| run(&HierarchicalConfig::all().with_prescreen(pred.prescreen(false))))
+        b.iter(|| run(&HierarchicalConfig::all().with_prescreen(pred.prescreen(false))));
     });
     group.finish();
 }

@@ -29,14 +29,14 @@ fn bench_sweep(c: &mut Criterion) {
                     ..Default::default()
                 },
             )
-        })
+        });
     });
     group.bench_function("gcc_68_compilations_par", |b| {
-        b.iter(|| run_matrix(&program, &dyn_tests, &gcc_only, &RunnerConfig::default()))
+        b.iter(|| run_matrix(&program, &dyn_tests, &gcc_only, &RunnerConfig::default()));
     });
     let full = mfem_matrix();
     group.bench_function("full_244_compilations_par", |b| {
-        b.iter(|| run_matrix(&program, &dyn_tests, &full, &RunnerConfig::default()))
+        b.iter(|| run_matrix(&program, &dyn_tests, &full, &RunnerConfig::default()));
     });
     group.finish();
 }

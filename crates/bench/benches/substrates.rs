@@ -23,7 +23,7 @@ fn bench_reductions(c: &mut Criterion) {
         ("fast", FpEnv::fast()),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &env, |b, env| {
-            b.iter(|| reduce::dot(env, &xs, &xs))
+            b.iter(|| reduce::dot(env, &xs, &xs));
         });
     }
     group.finish();
@@ -43,7 +43,7 @@ fn bench_cg(c: &mut Criterion) {
     let mut group = c.benchmark_group("fpsim_cg");
     for (name, env) in [("strict", FpEnv::strict()), ("fast", FpEnv::fast())] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &env, |b, env| {
-            b.iter(|| solve::conjugate_gradient(env, &a, &bvec, 1e-12, 500))
+            b.iter(|| solve::conjugate_gradient(env, &a, &bvec, 1e-12, 500));
         });
     }
     group.finish();
@@ -54,7 +54,7 @@ fn bench_linker(c: &mut Criterion) {
     let build = Build::new(&program, Compilation::perf_reference());
     let objects = build.all_objects();
     c.bench_function("linker_mfem_97_objects", |b| {
-        b.iter(|| link(objects.clone(), CompilerKind::Gcc).unwrap())
+        b.iter(|| link(objects.clone(), CompilerKind::Gcc).unwrap());
     });
     let var = Build::tagged(
         &program,
@@ -62,7 +62,7 @@ fn bench_linker(c: &mut Criterion) {
         1,
     );
     c.bench_function("compile_and_link_mfem", |b| {
-        b.iter(|| var.executable().unwrap())
+        b.iter(|| var.executable().unwrap());
     });
 }
 
@@ -76,7 +76,7 @@ fn bench_engine(c: &mut Criterion) {
             flit_program::engine::Engine::new(&program, &exe)
                 .run(&driver, &[0.35, 0.62])
                 .unwrap()
-        })
+        });
     });
 }
 

@@ -22,7 +22,7 @@ fn bench_traced_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_sweep");
     group.sample_size(10);
     group.bench_function("gcc_68_untraced", |b| {
-        b.iter(|| run_matrix(&program, &dyn_tests, &gcc_only, &RunnerConfig::default()))
+        b.iter(|| run_matrix(&program, &dyn_tests, &gcc_only, &RunnerConfig::default()));
     });
     group.bench_function("gcc_68_traced", |b| {
         b.iter(|| {
@@ -35,7 +35,7 @@ fn bench_traced_sweep(c: &mut Criterion) {
                     ..Default::default()
                 },
             )
-        })
+        });
     });
     group.finish();
 }
@@ -45,11 +45,11 @@ fn bench_primitives(c: &mut Criterion) {
 
     let disabled = TraceSink::disabled();
     group.bench_function("span_disabled", |b| {
-        b.iter(|| disabled.span(phase::SWEEP, "g++ -O2", 19, 1.25))
+        b.iter(|| disabled.span(phase::SWEEP, "g++ -O2", 19, 1.25));
     });
     let enabled = TraceSink::enabled();
     group.bench_function("span_enabled", |b| {
-        b.iter(|| enabled.span(phase::SWEEP, "g++ -O2", 19, 1.25))
+        b.iter(|| enabled.span(phase::SWEEP, "g++ -O2", 19, 1.25));
     });
 
     let hot = enabled.counter(counter::RUNNER_QUEUE_CLAIMED);
@@ -61,7 +61,7 @@ fn bench_primitives(c: &mut Criterion) {
     }
     snap.counter(counter::BUILD_LINKS).incr(42);
     group.bench_function("snapshot_500_spans_jsonl", |b| {
-        b.iter(|| snap.snapshot().to_jsonl())
+        b.iter(|| snap.snapshot().to_jsonl());
     });
     group.finish();
 }

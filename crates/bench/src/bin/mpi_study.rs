@@ -41,8 +41,7 @@ fn main() {
         let ok = (1..100).all(|_| {
             engine
                 .run(&driver, &INPUT)
-                .map(|o| o.output == first.output)
-                .unwrap_or(false)
+                .is_ok_and(|o| o.output == first.output)
         });
         if ok {
             deterministic += 1;

@@ -160,7 +160,7 @@ fn perf_demo(program: &flit_program::model::SimProgram) -> PerfJson {
         alpha: cfg.alpha,
         seed: cfg.seed,
         outcome: format!("{:?}", res.outcome),
-        overall: res.overall.as_ref().map(|r| r.render()),
+        overall: res.overall.as_ref().map(flit_report::SpeedupReport::render),
         files: res.files.iter().map(|f| f.file_name.clone()).collect(),
         symbols: res.symbols.iter().map(|s| s.symbol.clone()).collect(),
         executions: res.executions,

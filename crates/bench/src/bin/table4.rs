@@ -40,8 +40,8 @@ fn main() {
     for cell in &grid {
         table.row(&[
             cell.baseline.clone(),
-            cell.digits.map(|d| d.to_string()).unwrap_or("all".into()),
-            cell.k.map(|k| k.to_string()).unwrap_or("all".into()),
+            cell.digits.map_or("all".into(), |d| d.to_string()),
+            cell.k.map_or("all".into(), |k| k.to_string()),
             cell.files.to_string(),
             cell.funcs.to_string(),
             cell.runs.to_string(),

@@ -6,9 +6,6 @@
 //! `mpi_study`); `benches/` holds the Criterion microbenchmarks
 //! (Bisect vs delta debugging vs linear scaling, substrate throughput).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod mfem_study;
 
 pub use mfem_study::{

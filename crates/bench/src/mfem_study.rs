@@ -152,9 +152,7 @@ pub fn bisect_all_variable_with(
 
 /// Default worker count for the heavy studies.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 #[cfg(test)]

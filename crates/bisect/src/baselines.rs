@@ -34,7 +34,7 @@ where
 
     'outer: while current.len() >= 2 {
         let chunk = current.len().div_ceil(n);
-        let subsets: Vec<Vec<I>> = current.chunks(chunk).map(|c| c.to_vec()).collect();
+        let subsets: Vec<Vec<I>> = current.chunks(chunk).map(<[I]>::to_vec).collect();
 
         // Reduce to subset.
         for s in &subsets {
@@ -119,8 +119,7 @@ mod tests {
                     weights
                         .iter()
                         .find(|(w, _)| w == i)
-                        .map(|(_, v)| *v)
-                        .unwrap_or(0.0)
+                        .map_or(0.0, |(_, v)| *v)
                 })
                 .sum())
         }

@@ -79,8 +79,7 @@ mod tests {
                     weights
                         .iter()
                         .find(|(w, _)| w == i)
-                        .map(|(_, v)| *v)
-                        .unwrap_or(0.0)
+                        .map_or(0.0, |(_, v)| *v)
                 })
                 .sum())
         }

@@ -24,7 +24,7 @@ use flit_trace::sink::TraceSink;
 
 use flit_exec::{run_on, ExecBackend, ExecError};
 
-use crate::algo::{bisect_all, AssumptionViolation};
+use crate::algo::{bisect_all, AssumptionViolation, BisectOutcome};
 use crate::biggest::bisect_biggest;
 use crate::ledger::{LedgerHandle, SearchKeys};
 use crate::parallel::{drive_plans_seeded, emit_query_spans, SharedOracle, SpeculationScore};
@@ -57,6 +57,20 @@ pub struct Prescreen {
     /// Prune predicted-invariant items from the search space (opt-in:
     /// `flit bisect --lint-prune`).
     pub prune: bool,
+    /// Certified divergence bounds from `flit-absint` backing a
+    /// `--prune certified` run. When present together with [`prune`],
+    /// the search space drops `Invariant`-certified items instead of
+    /// score-zero items, the 2-execution dynamic probe is replaced by a
+    /// single residual audit per pruned level (`Test(all)` against the
+    /// search's own found-set verification value), and every file-level
+    /// finding is cross-checked against its certificate — a dishonest
+    /// certificate surfaces as a structured assumption violation, never
+    /// as a silently dropped item. Certificates must have been computed
+    /// for the same `(baseline, variable, link_driver)` the search
+    /// uses; the CLI guarantees this.
+    ///
+    /// [`prune`]: Prescreen::prune
+    pub certificates: Option<flit_absint::PairCertificates>,
 }
 
 impl Prescreen {
@@ -69,6 +83,26 @@ impl Prescreen {
     pub fn symbol_score(&self, symbol: &str) -> f64 {
         self.symbol_priority.get(symbol).copied().unwrap_or(0.0)
     }
+
+    /// Keep this file in a pruned search space? Certified mode drops
+    /// exactly the `Invariant`-certified files; lint mode drops
+    /// score-zero files.
+    fn keep_file(&self, file_id: usize) -> bool {
+        match &self.certificates {
+            Some(c) => !c.file(file_id).prunable(),
+            None => self.file_score(file_id) > 0.0,
+        }
+    }
+
+    /// Keep this symbol in a pruned search space? (See [`keep_file`].)
+    ///
+    /// [`keep_file`]: Prescreen::keep_file
+    fn keep_symbol(&self, symbol: &str) -> bool {
+        match &self.certificates {
+            Some(c) => !c.symbol(symbol).prunable(),
+            None => self.symbol_score(symbol) > 0.0,
+        }
+    }
 }
 
 fn prune_guard_violation(level: &str, full: f64, found: f64) -> String {
@@ -76,6 +110,56 @@ fn prune_guard_violation(level: &str, full: f64, found: f64) -> String {
         "lint-prune verification failed at {level} level: Test(all)={full} != \
          Test(found)={found} (the static prescreen pruned a variability-inducing element)"
     )
+}
+
+fn certified_audit_violation(level: &str, full: f64, found: f64) -> String {
+    format!(
+        "certified-prune audit failed at {level} level: Test(all)={full} != \
+         Test(found)={found} (a certificate wrongly claimed Invariant for a \
+         variability-inducing element)"
+    )
+}
+
+fn certified_bound_violation(file: &str, cert: &flit_absint::Certificate, value: f64) -> String {
+    format!(
+        "certified bound violated for file {file}: certificate {cert:?} \
+         contradicted by Test = {value:e} (unsound certificate)"
+    )
+}
+
+/// Zero-execution certificate cross-check: every file-level finding's
+/// singleton Test value must respect its certified bound. (The symbol
+/// level compares against a non-`-fPIC` reference, which is outside the
+/// symbol certificates' model — symbol dishonesty is caught by the
+/// residual audit instead.)
+fn check_certified_bounds(
+    cfg: &HierarchicalConfig,
+    files: &[FileFinding],
+    violations: &mut Vec<String>,
+) {
+    let Some(certs) = cfg.prescreen.as_ref().and_then(|p| p.certificates.as_ref()) else {
+        return;
+    };
+    for f in files {
+        let cert = certs.file(f.file_id);
+        if cert.contradicted_by(f.value) {
+            violations.push(certified_bound_violation(&f.file_name, &cert, f.value));
+        }
+    }
+}
+
+/// The Test value the search itself established for its found set (the
+/// Assumption-1 verification query), mined from the trace so the
+/// certified audit does not re-execute it. `None` when the search mode
+/// skipped that verification.
+fn found_verification_value<I: Clone + Ord>(outcome: &BisectOutcome<I>) -> Option<f64> {
+    let mut found: Vec<I> = outcome.found.iter().map(|(i, _)| i.clone()).collect();
+    found.sort();
+    outcome.trace.iter().rev().find_map(|row| {
+        let mut tested = row.tested.clone();
+        tested.sort();
+        (tested == found).then_some(row.value)
+    })
 }
 
 /// Configuration for a hierarchical search.
@@ -391,10 +475,15 @@ pub fn bisect_hierarchical(
             let kept: Vec<usize> = all_file_ids
                 .iter()
                 .copied()
-                .filter(|id| p.file_score(*id) > 0.0)
+                .filter(|id| p.keep_file(*id))
                 .collect();
+            let pruned_counter = if p.certificates.is_some() {
+                counter_names::ABSINT_PRUNED_FILES
+            } else {
+                counter_names::LINT_PRUNED_FILES
+            };
             cfg.trace
-                .counter(counter_names::LINT_PRUNED_FILES)
+                .counter(pruned_counter)
                 .incr((all_file_ids.len() - kept.len()) as u64);
             kept
         }
@@ -430,20 +519,48 @@ pub fn bisect_hierarchical(
     };
     // Algorithm-1-style dynamic verification guarding the prune: the
     // found set must reproduce the *unpruned* space's Test value, or
-    // the static prescreen hid a real culprit.
+    // the static prescreen hid a real culprit. In certified mode the
+    // certificate replaces one leg of the probe: `Test(found)` is mined
+    // from the search's own Assumption-1 verification query, so only
+    // the residual `Test(all)` audit executes.
     let mut guard_violations: Vec<String> = Vec::new();
-    if prune.is_some() && file_ids.len() < all_file_ids.len() {
+    if let Some(p) = prune.filter(|_| file_ids.len() < all_file_ids.len()) {
         if let Ok(r) = &file_outcome {
-            file_execs += 2;
-            cfg.trace
-                .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
-                .incr(2);
+            let certified = p.certificates.is_some();
             let mut found_ids: Vec<usize> = r.found.iter().map(|(i, _)| *i).collect();
             found_ids.sort_unstable();
-            match (file_test(&all_file_ids), file_test(&found_ids)) {
+            let (full, found_v) = if certified {
+                cfg.trace
+                    .counter(counter_names::ABSINT_PRUNE_AUDITS)
+                    .incr(1);
+                file_execs += 1;
+                let full = file_test(&all_file_ids);
+                let found_v = match found_verification_value(r) {
+                    Some(v) => Ok(v),
+                    None => {
+                        // BisectBiggest skips the Assumption-1
+                        // verification query; fall back to an explicit
+                        // one.
+                        file_execs += 1;
+                        file_test(&found_ids)
+                    }
+                };
+                (full, found_v)
+            } else {
+                file_execs += 2;
+                cfg.trace
+                    .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
+                    .incr(2);
+                (file_test(&all_file_ids), file_test(&found_ids))
+            };
+            match (full, found_v) {
                 (Ok(full), Ok(found_v)) => {
                     if full != found_v {
-                        guard_violations.push(prune_guard_violation("file", full, found_v));
+                        guard_violations.push(if certified {
+                            certified_audit_violation("file", full, found_v)
+                        } else {
+                            prune_guard_violation("file", full, found_v)
+                        });
                     }
                 }
                 (Err(e), _) | (_, Err(e)) => file_outcome = Err(e),
@@ -500,6 +617,7 @@ pub fn bisect_hierarchical(
             value: *value,
         })
         .collect();
+    check_certified_bounds(cfg, &files, &mut violations);
 
     if files.is_empty() {
         let outcome = if violations.is_empty() {
@@ -583,11 +701,16 @@ pub fn bisect_hierarchical(
             Some(p) => {
                 let kept: Vec<String> = all_syms
                     .iter()
-                    .filter(|s| p.symbol_score(s) > 0.0)
+                    .filter(|s| p.keep_symbol(s))
                     .cloned()
                     .collect();
+                let pruned_counter = if p.certificates.is_some() {
+                    counter_names::ABSINT_PRUNED_SYMBOLS
+                } else {
+                    counter_names::LINT_PRUNED_SYMBOLS
+                };
                 cfg.trace
-                    .counter(counter_names::LINT_PRUNED_SYMBOLS)
+                    .counter(pruned_counter)
                     .incr((all_syms.len() - kept.len()) as u64);
                 kept
             }
@@ -625,20 +748,42 @@ pub fn bisect_hierarchical(
         // Dynamic verification guarding a symbol-level prune (see the
         // file-level guard above).
         let mut guard_violations: Vec<String> = Vec::new();
-        if prune.is_some() && syms.len() < all_syms.len() {
+        if let Some(p) = prune.filter(|_| syms.len() < all_syms.len()) {
             if let Ok(r) = &sym_outcome {
-                sym_execs += 2;
-                cfg.trace
-                    .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
-                    .incr(2);
+                let certified = p.certificates.is_some();
                 let mut full = all_syms.clone();
                 full.sort();
                 let mut found_syms: Vec<String> = r.found.iter().map(|(s, _)| s.clone()).collect();
                 found_syms.sort();
-                match (sym_test(&full), sym_test(&found_syms)) {
+                let (a, b) = if certified {
+                    cfg.trace
+                        .counter(counter_names::ABSINT_PRUNE_AUDITS)
+                        .incr(1);
+                    sym_execs += 1;
+                    let a = sym_test(&full);
+                    let b = match found_verification_value(r) {
+                        Some(v) => Ok(v),
+                        None => {
+                            sym_execs += 1;
+                            sym_test(&found_syms)
+                        }
+                    };
+                    (a, b)
+                } else {
+                    sym_execs += 2;
+                    cfg.trace
+                        .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
+                        .incr(2);
+                    (sym_test(&full), sym_test(&found_syms))
+                };
+                match (a, b) {
                     (Ok(a), Ok(b)) => {
                         if a != b {
-                            guard_violations.push(prune_guard_violation("symbol", a, b));
+                            guard_violations.push(if certified {
+                                certified_audit_violation("symbol", a, b)
+                            } else {
+                                prune_guard_violation("symbol", a, b)
+                            });
                         }
                     }
                     (Err(e), _) | (_, Err(e)) => sym_outcome = Err(e),
@@ -658,7 +803,7 @@ pub fn bisect_hierarchical(
         match sym_outcome {
             Ok(r) => {
                 for v in &r.violations {
-                    violations.push(violation_string(v, |s| s.clone()));
+                    violations.push(violation_string(v, Clone::clone));
                 }
                 violations.append(&mut guard_violations);
                 if r.found.is_empty() {
@@ -834,10 +979,15 @@ pub fn bisect_hierarchical_parallel(
             let kept: Vec<usize> = all_file_ids
                 .iter()
                 .copied()
-                .filter(|id| p.file_score(*id) > 0.0)
+                .filter(|id| p.keep_file(*id))
                 .collect();
+            let pruned_counter = if p.certificates.is_some() {
+                counter_names::ABSINT_PRUNED_FILES
+            } else {
+                counter_names::LINT_PRUNED_FILES
+            };
             cfg.trace
-                .counter(counter_names::LINT_PRUNED_FILES)
+                .counter(pruned_counter)
                 .incr((all_file_ids.len() - kept.len()) as u64);
             kept
         }
@@ -911,26 +1061,55 @@ pub fn bisect_hierarchical_parallel(
     // serve these from the memo; the accounting is unconditional).
     let mut guard_violations: Vec<String> = Vec::new();
     let mut guard_error: Option<TestError> = None;
-    if prune.is_some() && file_ids.len() < all_file_ids.len() {
+    if let Some(pre) = prune.filter(|_| file_ids.len() < all_file_ids.len()) {
         if let Ok(p) = &file_result {
-            file_execs += 2;
-            cfg.trace
-                .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
-                .incr(2);
+            let certified = pre.certificates.is_some();
             let mut found_ids: Vec<usize> = p.outcome.found.iter().map(|(i, _)| *i).collect();
             found_ids.sort_unstable();
-            let full = file_oracle.eval(&all_file_ids);
-            if let Ok((_, s)) = &full {
-                file_secs += *s;
-            }
-            let found_v = file_oracle.eval(&found_ids);
-            if let Ok((_, s)) = &found_v {
-                file_secs += *s;
-            }
+            let (full, found_v) = if certified {
+                cfg.trace
+                    .counter(counter_names::ABSINT_PRUNE_AUDITS)
+                    .incr(1);
+                file_execs += 1;
+                let full = file_oracle.eval(&all_file_ids);
+                if let Ok((_, s)) = &full {
+                    file_secs += *s;
+                }
+                let found_v = match found_verification_value(&p.outcome) {
+                    Some(v) => Ok((v, 0.0)),
+                    None => {
+                        file_execs += 1;
+                        let r = file_oracle.eval(&found_ids);
+                        if let Ok((_, s)) = &r {
+                            file_secs += *s;
+                        }
+                        r
+                    }
+                };
+                (full, found_v)
+            } else {
+                file_execs += 2;
+                cfg.trace
+                    .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
+                    .incr(2);
+                let full = file_oracle.eval(&all_file_ids);
+                if let Ok((_, s)) = &full {
+                    file_secs += *s;
+                }
+                let found_v = file_oracle.eval(&found_ids);
+                if let Ok((_, s)) = &found_v {
+                    file_secs += *s;
+                }
+                (full, found_v)
+            };
             match (full, found_v) {
                 (Ok((a, _)), Ok((b, _))) => {
                     if a != b {
-                        guard_violations.push(prune_guard_violation("file", a, b));
+                        guard_violations.push(if certified {
+                            certified_audit_violation("file", a, b)
+                        } else {
+                            prune_guard_violation("file", a, b)
+                        });
                     }
                 }
                 (Err(e), _) | (_, Err(e)) => guard_error = Some(e),
@@ -1001,6 +1180,7 @@ pub fn bisect_hierarchical_parallel(
             value: *value,
         })
         .collect();
+    check_certified_bounds(cfg, &files, &mut violations);
 
     if files.is_empty() {
         let outcome = if violations.is_empty() {
@@ -1083,10 +1263,7 @@ pub fn bisect_hierarchical_parallel(
                 // order). A fully-pruned file still gets a plan so the
                 // fold has a result to consume.
                 let syms = match prune {
-                    Some(p) => syms
-                        .into_iter()
-                        .filter(|s| p.symbol_score(s) > 0.0)
-                        .collect(),
+                    Some(p) => syms.into_iter().filter(|s| p.keep_symbol(s)).collect(),
                     None => syms,
                 };
                 Some(Candidate {
@@ -1220,9 +1397,14 @@ pub fn bisect_hierarchical_parallel(
         }
         let kept_syms = match prune {
             Some(p) => {
-                let kept = all_syms.iter().filter(|s| p.symbol_score(s) > 0.0).count();
+                let kept = all_syms.iter().filter(|s| p.keep_symbol(s)).count();
+                let pruned_counter = if p.certificates.is_some() {
+                    counter_names::ABSINT_PRUNED_SYMBOLS
+                } else {
+                    counter_names::LINT_PRUNED_SYMBOLS
+                };
                 cfg.trace
-                    .counter(counter_names::LINT_PRUNED_SYMBOLS)
+                    .counter(pruned_counter)
                     .incr((all_syms.len() - kept) as u64);
                 kept
             }
@@ -1238,12 +1420,9 @@ pub fn bisect_hierarchical_parallel(
         // Symbol-level prune guard, mirroring the serial path.
         let mut guard_violations: Vec<String> = Vec::new();
         let mut guard_error: Option<TestError> = None;
-        if prune.is_some() && kept_syms < all_syms.len() {
+        if let Some(pre) = prune.filter(|_| kept_syms < all_syms.len()) {
             if let Ok(p) = &sym_result {
-                sym_execs += 2;
-                cfg.trace
-                    .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
-                    .incr(2);
+                let certified = pre.certificates.is_some();
                 let oracle = sym_oracles
                     .get(oracle_idx_by_fid[&fid])
                     .expect("oracle for every candidate");
@@ -1252,18 +1431,50 @@ pub fn bisect_hierarchical_parallel(
                 let mut found_syms: Vec<String> =
                     p.outcome.found.iter().map(|(s, _)| s.clone()).collect();
                 found_syms.sort();
-                let a = oracle.eval(&full);
-                if let Ok((_, s)) = &a {
-                    sym_secs += *s;
-                }
-                let b = oracle.eval(&found_syms);
-                if let Ok((_, s)) = &b {
-                    sym_secs += *s;
-                }
+                let (a, b) = if certified {
+                    cfg.trace
+                        .counter(counter_names::ABSINT_PRUNE_AUDITS)
+                        .incr(1);
+                    sym_execs += 1;
+                    let a = oracle.eval(&full);
+                    if let Ok((_, s)) = &a {
+                        sym_secs += *s;
+                    }
+                    let b = match found_verification_value(&p.outcome) {
+                        Some(v) => Ok((v, 0.0)),
+                        None => {
+                            sym_execs += 1;
+                            let r = oracle.eval(&found_syms);
+                            if let Ok((_, s)) = &r {
+                                sym_secs += *s;
+                            }
+                            r
+                        }
+                    };
+                    (a, b)
+                } else {
+                    sym_execs += 2;
+                    cfg.trace
+                        .counter(counter_names::LINT_PRUNE_VERIFICATIONS)
+                        .incr(2);
+                    let a = oracle.eval(&full);
+                    if let Ok((_, s)) = &a {
+                        sym_secs += *s;
+                    }
+                    let b = oracle.eval(&found_syms);
+                    if let Ok((_, s)) = &b {
+                        sym_secs += *s;
+                    }
+                    (a, b)
+                };
                 match (a, b) {
                     (Ok((av, _)), Ok((bv, _))) => {
                         if av != bv {
-                            guard_violations.push(prune_guard_violation("symbol", av, bv));
+                            guard_violations.push(if certified {
+                                certified_audit_violation("symbol", av, bv)
+                            } else {
+                                prune_guard_violation("symbol", av, bv)
+                            });
                         }
                     }
                     (Err(e), _) | (_, Err(e)) => guard_error = Some(e),
@@ -1308,7 +1519,7 @@ pub fn bisect_hierarchical_parallel(
             Ok(p) => {
                 emit_query_spans(&cfg.trace, &sym_label, &p);
                 for v in &p.outcome.violations {
-                    violations.push(violation_string(v, |s| s.clone()));
+                    violations.push(violation_string(v, Clone::clone));
                 }
                 violations.append(&mut guard_violations);
                 if p.outcome.found.is_empty() {
@@ -1837,5 +2048,287 @@ mod tests {
             .copied()
             .unwrap_or(0);
         assert!(waves > 0, "parallel search should record its waves");
+    }
+
+    fn unsafe_variable() -> Compilation {
+        Compilation::new(
+            flit_toolchain::compiler::CompilerKind::Gcc,
+            OptLevel::O3,
+            vec![Switch::Avx2FmaUnsafe],
+        )
+    }
+
+    /// Honest certificates for the fixture pair, wrapped in a pruning
+    /// prescreen — exactly what `flit bisect --prune certified` builds.
+    fn certified_prescreen(p: &SimProgram, var: &Compilation) -> Prescreen {
+        let certs = flit_absint::certify_pair(
+            p,
+            p,
+            &driver(),
+            &Compilation::baseline(),
+            var,
+            flit_toolchain::compiler::CompilerKind::Gcc,
+        );
+        Prescreen {
+            prune: true,
+            certificates: Some(certs),
+            ..Prescreen::default()
+        }
+    }
+
+    /// Soundness of the certified prune: the found sets are byte-
+    /// identical to the unpruned search — at every width — while the
+    /// search spends strictly fewer executions.
+    #[test]
+    fn certified_prune_is_byte_identical_and_strictly_cheaper() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(&p, unsafe_variable(), 1);
+        let unpruned = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+        );
+        let cfg =
+            HierarchicalConfig::all().with_prescreen(certified_prescreen(&p, &var.compilation));
+        let pruned = bisect_hierarchical(&base, &var, &driver(), &[0.5, 0.25], &l2_compare, &cfg);
+        assert_eq!(
+            pruned.outcome,
+            SearchOutcome::Completed,
+            "{:?}",
+            pruned.violations
+        );
+        assert!(pruned.violations.is_empty(), "{:?}", pruned.violations);
+        assert_eq!(pruned.files, unpruned.files, "found files must not change");
+        assert_eq!(
+            pruned.symbols, unpruned.symbols,
+            "found symbols must not change"
+        );
+        assert_eq!(pruned.file_level_only, unpruned.file_level_only);
+        assert!(
+            pruned.executions < unpruned.executions,
+            "certified prune must be a strict reduction: {} vs {}",
+            pruned.executions,
+            unpruned.executions
+        );
+        for jobs in [1, 8] {
+            let par = bisect_hierarchical_parallel(
+                &base,
+                &var,
+                &driver(),
+                &[0.5, 0.25],
+                &l2_compare,
+                &cfg,
+                &flit_exec::ThreadsBackend::new(jobs),
+            );
+            assert_eq!(par, pruned, "jobs={jobs}");
+        }
+    }
+
+    /// A certificate that wrongly claims `Invariant` for a real culprit
+    /// must surface as a structured assumption violation (the residual
+    /// audit), never as a silently dropped item.
+    #[test]
+    fn dishonest_invariant_certificate_fails_loudly() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(&p, unsafe_variable(), 1);
+        let mut screen = certified_prescreen(&p, &var.compilation);
+        // File 1 (assemble.cpp) genuinely diverges under this pair;
+        // forge an Invariant certificate for it.
+        screen.certificates.as_mut().unwrap().files[1] = flit_absint::Certificate::Invariant;
+        let cfg = HierarchicalConfig::all().with_prescreen(screen);
+        let res = bisect_hierarchical(&base, &var, &driver(), &[0.5, 0.25], &l2_compare, &cfg);
+        assert_eq!(res.outcome, SearchOutcome::AssumptionViolated);
+        assert!(
+            res.violations
+                .iter()
+                .any(|v| v.contains("certified-prune audit failed at file level")),
+            "expected a loud audit failure, got {:?}",
+            res.violations
+        );
+        for jobs in [1, 8] {
+            let par = bisect_hierarchical_parallel(
+                &base,
+                &var,
+                &driver(),
+                &[0.5, 0.25],
+                &l2_compare,
+                &cfg,
+                &flit_exec::ThreadsBackend::new(jobs),
+            );
+            assert_eq!(par, res, "jobs={jobs}");
+        }
+    }
+
+    /// A dishonest `Invariant` on a culprit *symbol* is caught by the
+    /// symbol-level residual audit of its file.
+    #[test]
+    fn dishonest_symbol_certificate_fails_loudly() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(&p, unsafe_variable(), 1);
+        let mut screen = certified_prescreen(&p, &var.compilation);
+        screen
+            .certificates
+            .as_mut()
+            .unwrap()
+            .symbols
+            .insert("solver_norm".into(), flit_absint::Certificate::Invariant);
+        let cfg = HierarchicalConfig::all().with_prescreen(screen);
+        let res = bisect_hierarchical(&base, &var, &driver(), &[0.5, 0.25], &l2_compare, &cfg);
+        assert_eq!(res.outcome, SearchOutcome::AssumptionViolated);
+        assert!(
+            res.violations
+                .iter()
+                .any(|v| v.contains("certified-prune audit failed at symbol level")),
+            "expected a loud audit failure, got {:?}",
+            res.violations
+        );
+        let par = bisect_hierarchical_parallel(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &cfg,
+            &flit_exec::ThreadsBackend::new(8),
+        );
+        assert_eq!(par, res);
+    }
+
+    /// A finite bound contradicted by the observed file divergence is
+    /// caught by the zero-execution cross-check of the found set.
+    #[test]
+    fn contradicted_bound_certificate_fails_loudly() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(&p, unsafe_variable(), 1);
+        let mut screen = certified_prescreen(&p, &var.compilation);
+        // Vastly too tight: the observed divergence of file 1 is many
+        // orders of magnitude above this.
+        screen.certificates.as_mut().unwrap().files[1] = flit_absint::Certificate::Bounded(1e-300);
+        let cfg = HierarchicalConfig::all().with_prescreen(screen);
+        let res = bisect_hierarchical(&base, &var, &driver(), &[0.5, 0.25], &l2_compare, &cfg);
+        assert_eq!(res.outcome, SearchOutcome::AssumptionViolated);
+        assert!(
+            res.violations
+                .iter()
+                .any(|v| v.contains("certified bound violated for file assemble.cpp")),
+            "expected a bound violation, got {:?}",
+            res.violations
+        );
+        // The finding itself is still reported — loud, not lossy.
+        assert!(res.files.iter().any(|f| f.file_id == 1));
+        let par = bisect_hierarchical_parallel(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &cfg,
+            &flit_exec::ThreadsBackend::new(8),
+        );
+        assert_eq!(par, res);
+    }
+
+    /// An all-Invariant pair (value-safe flags only) prunes the whole
+    /// space and still reports the unpruned `LinkStepOnly` shape.
+    #[test]
+    fn certified_prune_handles_a_fully_invariant_pair() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let clean = Compilation::new(
+            flit_toolchain::compiler::CompilerKind::Gcc,
+            OptLevel::O3,
+            vec![],
+        );
+        let var = Build::tagged(&p, clean.clone(), 1);
+        let unpruned = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5],
+            &l2_compare,
+            &HierarchicalConfig::all(),
+        );
+        assert_eq!(unpruned.outcome, SearchOutcome::LinkStepOnly);
+        let cfg = HierarchicalConfig::all().with_prescreen(certified_prescreen(&p, &clean));
+        let pruned = bisect_hierarchical(&base, &var, &driver(), &[0.5], &l2_compare, &cfg);
+        assert_eq!(pruned.outcome, SearchOutcome::LinkStepOnly);
+        assert!(pruned.violations.is_empty(), "{:?}", pruned.violations);
+        assert!(pruned.executions <= unpruned.executions);
+        let par = bisect_hierarchical_parallel(
+            &base,
+            &var,
+            &driver(),
+            &[0.5],
+            &l2_compare,
+            &cfg,
+            &flit_exec::ThreadsBackend::new(8),
+        );
+        assert_eq!(par, pruned);
+    }
+
+    /// The `absint.*` accounting: pruned-item and audit counters are
+    /// emitted (not the lint ones), and the parallel trace agrees with
+    /// the serial trace exactly.
+    #[test]
+    fn certified_prune_emits_absint_counters_identically() {
+        let p = program();
+        let base = Build::new(&p, Compilation::baseline());
+        let var = Build::tagged(&p, unsafe_variable(), 1);
+        let screen = certified_prescreen(&p, &var.compilation);
+        // `lint.speculation.skipped` is planner scheduling telemetry
+        // (parallel-only, like `exec.*`); parity is over `absint.*`.
+        let snap = |trace: &flit_trace::TraceSink| -> Vec<(String, u64)> {
+            trace
+                .registry()
+                .expect("enabled")
+                .snapshot()
+                .into_iter()
+                .filter(|(name, _)| name.starts_with("absint."))
+                .collect()
+        };
+        let serial_trace = flit_trace::TraceSink::enabled();
+        let serial = bisect_hierarchical(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all()
+                .with_prescreen(screen.clone())
+                .with_trace(serial_trace.clone()),
+        );
+        assert_eq!(serial.outcome, SearchOutcome::Completed);
+        let counters: std::collections::BTreeMap<String, u64> =
+            snap(&serial_trace).into_iter().collect();
+        // Files 0 and 2 are certified Invariant and pruned.
+        assert_eq!(counters.get("absint.pruned.files"), Some(&2));
+        // One file-level audit plus one per symbol-searched file.
+        assert!(counters.get("absint.prune.audits").copied().unwrap_or(0) >= 1);
+        // Certified mode must not book lint-prune accounting.
+        let full = serial_trace.registry().expect("enabled").snapshot();
+        assert_eq!(full.get("lint.pruned.files"), None);
+        assert_eq!(full.get("lint.prune.verifications"), None);
+
+        let par_trace = flit_trace::TraceSink::enabled();
+        let par = bisect_hierarchical_parallel(
+            &base,
+            &var,
+            &driver(),
+            &[0.5, 0.25],
+            &l2_compare,
+            &HierarchicalConfig::all()
+                .with_prescreen(screen)
+                .with_trace(par_trace.clone()),
+            &flit_exec::ThreadsBackend::new(4),
+        );
+        assert_eq!(par, serial);
+        assert_eq!(snap(&par_trace), snap(&serial_trace));
     }
 }

@@ -36,9 +36,6 @@
 //!   that root-causes which file/symbol makes a compilation *slower*,
 //!   with a confidence interval and verdict on every speedup claim.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod algo;
 pub mod baselines;
 pub mod biggest;

@@ -444,19 +444,16 @@ pub fn perf_bisect(
     };
 
     // ---- The overall gate: is the candidate slower at all? ----
-    let overall = match SpeedupReport::compare(&cand_samples, &base_samples, cfg.alpha) {
-        Some(r) => r,
-        None => {
-            return crashed(
-                "degenerate timing samples (need samples >= 1 and positive runtimes)".into(),
-                None,
-                vec![],
-                vec![],
-                vec![],
-                executions,
-                violations,
-            )
-        }
+    let Some(overall) = SpeedupReport::compare(&cand_samples, &base_samples, cfg.alpha) else {
+        return crashed(
+            "degenerate timing samples (need samples >= 1 and positive runtimes)".into(),
+            None,
+            vec![],
+            vec![],
+            vec![],
+            executions,
+            violations,
+        );
     };
     count_verdict(overall.verdict());
     if overall.verdict() != Verdict::Slower {
@@ -611,25 +608,22 @@ pub fn perf_bisect(
     // so they add no executions.
     let mut files: Vec<PerfFileFinding> = Vec::new();
     for (id, effect) in &file_outcome.outcome.found {
-        let report = match file_samples(&[*id])
+        let Some(report) = file_samples(&[*id])
             .ok()
             .and_then(|s| SpeedupReport::compare(&s, &base_samples, cfg.alpha))
-        {
-            Some(r) => r,
-            None => {
-                return crashed(
-                    format!(
-                        "singleton timing of `{}` failed",
-                        baseline.program.files[*id].name
-                    ),
-                    Some(overall),
-                    files,
-                    vec![],
-                    vec![],
-                    executions,
-                    violations,
-                )
-            }
+        else {
+            return crashed(
+                format!(
+                    "singleton timing of `{}` failed",
+                    baseline.program.files[*id].name
+                ),
+                Some(overall),
+                files,
+                vec![],
+                vec![],
+                executions,
+                violations,
+            );
         };
         count_verdict(report.verdict());
         files.push(PerfFileFinding {
@@ -831,7 +825,7 @@ pub fn perf_bisect(
                 AssumptionViolation::SingletonBlame { .. } => false,
             };
             if !explained {
-                violations.push(violation_string(v, |s| s.clone()));
+                violations.push(violation_string(v, Clone::clone));
             }
         }
         executions += sym_execs;
@@ -850,22 +844,19 @@ pub fn perf_bisect(
             file_level_only.push(fid);
         }
         for (symbol, effect) in outcome.outcome.found {
-            let report = match sym_samples(fid, std::slice::from_ref(&symbol))
+            let Some(report) = sym_samples(fid, std::slice::from_ref(&symbol))
                 .ok()
                 .and_then(|s| SpeedupReport::compare(&s, &c.symref, cfg.alpha))
-            {
-                Some(r) => r,
-                None => {
-                    return crashed(
-                        format!("singleton timing of `{symbol}` failed"),
-                        Some(overall),
-                        files,
-                        symbols,
-                        file_level_only,
-                        executions,
-                        violations,
-                    )
-                }
+            else {
+                return crashed(
+                    format!("singleton timing of `{symbol}` failed"),
+                    Some(overall),
+                    files,
+                    symbols,
+                    file_level_only,
+                    executions,
+                    violations,
+                );
             };
             count_verdict(report.verdict());
             symbols.push(PerfSymbolFinding {

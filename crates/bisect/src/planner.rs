@@ -481,7 +481,7 @@ where
         }
 
         while let Some(Node { value, items: cur }) = heap.pop() {
-            if found.len() >= k && value <= found.last().map(|(_, v)| *v).unwrap_or(f64::INFINITY) {
+            if found.len() >= k && value <= found.last().map_or(f64::INFINITY, |(_, v)| *v) {
                 break;
             }
             if cur.len() == 1 {
@@ -536,8 +536,7 @@ mod tests {
                     weights
                         .iter()
                         .find(|(w, _)| w == i)
-                        .map(|(_, v)| *v)
-                        .unwrap_or(0.0)
+                        .map_or(0.0, |(_, v)| *v)
                 })
                 .sum())
         }
@@ -743,7 +742,7 @@ mod tests {
             });
         }
         while let Some(Node { value, items: cur }) = heap.pop() {
-            if found.len() >= k && value <= found.last().map(|(_, v)| *v).unwrap_or(f64::INFINITY) {
+            if found.len() >= k && value <= found.last().map_or(f64::INFINITY, |(_, v)| *v) {
                 break;
             }
             if cur.len() == 1 {

@@ -19,8 +19,7 @@ fn weighted(weights: Vec<(u32, f64)>) -> impl FnMut(&[u32]) -> Result<f64, TestE
                 weights
                     .iter()
                     .find(|(w, _)| w == i)
-                    .map(|(_, v)| *v)
-                    .unwrap_or(0.0)
+                    .map_or(0.0, |(_, v)| *v)
             })
             .sum())
     }

@@ -49,6 +49,11 @@ pub enum Command {
         /// Additionally prune statically-clean files/symbols (adds a
         /// dynamic verification probe; implies seeding).
         lint_prune: bool,
+        /// `--prune certified`: drop `Invariant`-certified items using
+        /// sound bounds from the abstract interpreter (found sets stay
+        /// byte-identical; a single residual audit replaces the lint
+        /// prune's two-execution probe).
+        prune: Option<String>,
         /// Journal every completed Test answer to this file (atomic
         /// appends; safe to kill the process at any point).
         checkpoint: Option<String>,
@@ -94,6 +99,22 @@ pub enum Command {
         workers: Option<usize>,
         /// Deterministic worker-kill schedule (testing).
         kill_workers: Option<Vec<u64>>,
+    },
+    /// Certified per-pair divergence bounds: run the abstract
+    /// interpreter over one compilation pair and print every item's
+    /// certificate without executing anything.
+    Bound {
+        /// Application name.
+        app: String,
+        /// Test name scoping the driver (defaults to the app's first
+        /// test).
+        test: Option<String>,
+        /// Baseline compilation label, e.g. `"g++ -O0"`.
+        base: String,
+        /// Candidate compilation label, e.g. `"g++ -O3 -mavx2 -mfma"`.
+        candidate: String,
+        /// Write a JSONL trace (with `absint.*` counters) here.
+        trace: Option<String>,
     },
     /// Static FP-sensitivity analysis: predict the variable set for a
     /// compilation pair without running anything.
@@ -190,8 +211,9 @@ USAGE:
   flit apps
   flit run <app> [--compiler gcc|clang|icpc|xlc] [--json]
   flit analyze <app>
-  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>] [--jobs <n>] [--lint-seed] [--lint-prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>] [--backend threads|process] [--workers <n>]
+  flit bisect <app> --compilation \"<compiler -On [flags]>\" [--test <name>] [--biggest <k>] [--jobs <n>] [--lint-seed] [--lint-prune] [--prune certified] [--checkpoint <file.jsonl>] [--resume <file.jsonl>] [--backend threads|process] [--workers <n>]
   flit perf <app> --pair \"<base>\" \"<candidate>\" [--test <name>] [--samples <n>] [--alpha <a>] [--seed <s>] [--jobs <n>] [--trace <file.jsonl>] [--backend threads|process] [--workers <n>]
+  flit bound <app> --pair \"<base>\" \"<candidate>\" [--test <name>] [--trace <file.jsonl>]
   flit lint <app> [--compilation \"<compiler -On [flags]>\"] [--test <name>]
   flit inject <app> [--limit <n-sites>]
   flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>] [--lint seed|prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>] [--backend threads|process] [--workers <n>]
@@ -209,19 +231,19 @@ schedule for recovery testing.
 /// Parse a command line (excluding the program name).
 pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut it = args.iter();
-    let cmd = it.next().map(|s| s.as_str()).unwrap_or("help");
+    let cmd = it.next().map_or("help", String::as_str);
     let rest: Vec<&String> = it.collect();
     let flag_value = |name: &str| -> Option<String> {
         rest.iter()
             .position(|a| a.as_str() == name)
             .and_then(|i| rest.get(i + 1))
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
     };
     let has_flag = |name: &str| rest.iter().any(|a| a.as_str() == name);
     let positional = || -> Result<String, ParseError> {
         rest.first()
             .filter(|a| !a.starts_with("--"))
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .ok_or_else(|| ParseError(format!("`{cmd}` needs an application name\n\n{USAGE}")))
     };
 
@@ -261,6 +283,26 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         }
     };
 
+    let pair_labels = || -> Result<(String, String), ParseError> {
+        let pair_at = rest
+            .iter()
+            .position(|a| a.as_str() == "--pair")
+            .ok_or_else(|| {
+                ParseError(format!(
+                    "`{cmd}` needs --pair \"<base>\" \"<candidate>\"\n\n{USAGE}"
+                ))
+            })?;
+        let pair_label = |off: usize| -> Result<String, ParseError> {
+            rest.get(pair_at + off)
+                .filter(|a| !a.starts_with("--"))
+                .map(ToString::to_string)
+                .ok_or_else(|| {
+                    ParseError(format!("--pair takes two compilation labels\n\n{USAGE}"))
+                })
+        };
+        Ok((pair_label(1)?, pair_label(2)?))
+    };
+
     let command = match cmd {
         "apps" => Command::Apps,
         "run" => Command::Run {
@@ -272,6 +314,14 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         "bisect" => {
             let compilation = flag_value("--compilation")
                 .ok_or_else(|| ParseError(format!("`bisect` needs --compilation\n\n{USAGE}")))?;
+            let prune = flag_value("--prune");
+            if let Some(mode) = &prune {
+                if mode != "certified" {
+                    return Err(ParseError(format!(
+                        "--prune takes `certified`, got `{mode}` (for the static prescreen use --lint-prune)"
+                    )));
+                }
+            }
             Command::Bisect {
                 app: positional()?,
                 test: flag_value("--test"),
@@ -280,6 +330,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 jobs: num_flag("--jobs")?,
                 lint_seed: has_flag("--lint-seed"),
                 lint_prune: has_flag("--lint-prune"),
+                prune,
                 checkpoint: flag_value("--checkpoint"),
                 resume: flag_value("--resume"),
                 backend: backend_flag()?,
@@ -288,24 +339,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
             }
         }
         "perf" => {
-            let pair_at = rest
-                .iter()
-                .position(|a| a.as_str() == "--pair")
-                .ok_or_else(|| {
-                    ParseError(format!(
-                        "`perf` needs --pair \"<base>\" \"<candidate>\"\n\n{USAGE}"
-                    ))
-                })?;
-            let pair_label = |off: usize| -> Result<String, ParseError> {
-                rest.get(pair_at + off)
-                    .filter(|a| !a.starts_with("--"))
-                    .map(|s| s.to_string())
-                    .ok_or_else(|| {
-                        ParseError(format!("--pair takes two compilation labels\n\n{USAGE}"))
-                    })
-            };
-            let base = pair_label(1)?;
-            let candidate = pair_label(2)?;
+            let (base, candidate) = pair_labels()?;
             let alpha = match flag_value("--alpha") {
                 Some(v) => Some(
                     v.parse::<f64>()
@@ -337,6 +371,16 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 backend: backend_flag()?,
                 workers: num_flag("--workers")?,
                 kill_workers: kill_flag()?,
+            }
+        }
+        "bound" => {
+            let (base, candidate) = pair_labels()?;
+            Command::Bound {
+                app: positional()?,
+                test: flag_value("--test"),
+                base,
+                candidate,
+                trace: flag_value("--trace"),
             }
         }
         "lint" => Command::Lint {
@@ -402,7 +446,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
             let file = rest
                 .first()
                 .filter(|a| !a.starts_with("--"))
-                .map(|s| s.to_string())
+                .map(ToString::to_string)
                 .ok_or_else(|| ParseError(format!("`trace` needs a trace file\n\n{USAGE}")))?;
             Command::Trace {
                 file,
@@ -448,7 +492,7 @@ mod tests {
     use super::*;
 
     fn v(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(ToString::to_string).collect()
     }
 
     #[test]
@@ -493,6 +537,7 @@ mod tests {
                 jobs: Some(8),
                 lint_seed: false,
                 lint_prune: false,
+                prune: None,
                 checkpoint: None,
                 resume: None,
                 backend: None,
@@ -519,6 +564,7 @@ mod tests {
                 jobs: None,
                 lint_seed: true,
                 lint_prune: true,
+                prune: None,
                 checkpoint: None,
                 resume: None,
                 backend: None,
@@ -617,6 +663,60 @@ mod tests {
         );
         assert_eq!(parse(&v(&[])).unwrap().command, Command::Help);
         assert_eq!(parse(&v(&["help"])).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn parses_certified_prune_and_the_bound_subcommand() {
+        match parse(&v(&[
+            "bisect",
+            "mfem",
+            "--compilation",
+            "icpc -O2",
+            "--prune",
+            "certified",
+        ]))
+        .unwrap()
+        .command
+        {
+            Command::Bisect { prune, .. } => assert_eq!(prune.as_deref(), Some("certified")),
+            other => panic!("parsed {other:?}"),
+        }
+        // Any other prune mode is rejected.
+        assert!(parse(&v(&[
+            "bisect",
+            "mfem",
+            "--compilation",
+            "icpc -O2",
+            "--prune",
+            "lint"
+        ]))
+        .is_err());
+
+        assert_eq!(
+            parse(&v(&[
+                "bound",
+                "mfem",
+                "--test",
+                "ex13",
+                "--pair",
+                "g++ -O0",
+                "g++ -O3 -mavx2 -mfma",
+                "--trace",
+                "bound.jsonl"
+            ]))
+            .unwrap()
+            .command,
+            Command::Bound {
+                app: "mfem".into(),
+                test: Some("ex13".into()),
+                base: "g++ -O0".into(),
+                candidate: "g++ -O3 -mavx2 -mfma".into(),
+                trace: Some("bound.jsonl".into()),
+            }
+        );
+        // Missing or one-label pairs fail, same as perf.
+        assert!(parse(&v(&["bound", "mfem"])).is_err());
+        assert!(parse(&v(&["bound", "mfem", "--pair", "g++ -O0"])).is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             jobs,
             lint_seed,
             lint_prune,
+            prune,
             checkpoint,
             resume,
             backend,
@@ -60,10 +61,18 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             *jobs,
             *lint_seed,
             *lint_prune,
+            prune.as_deref() == Some("certified"),
             checkpoint.as_deref(),
             resume.as_deref(),
             &BackendChoice::parse(backend.as_deref(), *workers, *jobs, kill_workers.clone()),
         ),
+        Command::Bound {
+            app,
+            test,
+            base,
+            candidate,
+            trace,
+        } => cmd_bound(app, test.as_deref(), base, candidate, trace.as_deref()),
         Command::Perf {
             app,
             test,
@@ -319,10 +328,10 @@ fn cmd_analyze(app: &str) -> Result<String, ParseError> {
     for test in db.tests() {
         let v = variability_summary(&db, &test);
         let bars = category_bars(&db, &test);
-        let fastest = bars
-            .fastest_variable
-            .map(|p| format!("fastest variable {:.3} ({})", p.speedup, p.label))
-            .unwrap_or_else(|| "no variable compilations".into());
+        let fastest = bars.fastest_variable.map_or_else(
+            || "no variable compilations".into(),
+            |p| format!("fastest variable {:.3} ({})", p.speedup, p.label),
+        );
         out.push_str(&format!(
             "  {test}: {}/{} variable, rel err [{:.1e}, {:.1e}], {fastest}\n",
             v.variable_compilations, v.total_compilations, v.min_rel_err, v.max_rel_err
@@ -422,10 +431,16 @@ fn cmd_bisect(
     jobs: Option<usize>,
     lint_seed: bool,
     lint_prune: bool,
+    prune_certified: bool,
     checkpoint: Option<&str>,
     resume: Option<&str>,
     choice: &BackendChoice,
 ) -> Result<String, ParseError> {
+    if prune_certified && lint_prune {
+        return Err(ParseError(
+            "--prune certified and --lint-prune are different prune disciplines; pick one".into(),
+        ));
+    }
     let app = get_app(app)?;
     let comp = parse_compilation(compilation)?;
     let test = match test {
@@ -447,8 +462,31 @@ fn cmd_bisect(
         ledger: None,
         backend: None,
     };
-    let prescreened = lint_seed || lint_prune;
-    if prescreened {
+    if prune_certified {
+        // The certificates must model exactly the searched pair: the
+        // search links mixed binaries with the baseline's compiler
+        // (gcc), which is precisely `link_driver` above.
+        let mut certs = flit_absint::certify_pair(
+            &app.program,
+            &app.program,
+            test.driver(),
+            &Compilation::baseline(),
+            &comp,
+            CompilerKind::Gcc,
+        );
+        // Test hook (like FLIT_WORKER_EXIT_AFTER): forge a dishonest
+        // Invariant certificate for the named file so the integration
+        // suite can prove the residual audit fails the process.
+        if let Ok(name) = std::env::var("FLIT_FORGE_INVARIANT") {
+            if let Some(fid) = app.program.files.iter().position(|f| f.name == name) {
+                certs.files[fid] = flit_absint::Certificate::Invariant;
+            }
+        }
+        record_certificates(&cfg.trace, &certs);
+        let mut pred =
+            flit_lint::predict_pair(&baseline, &variable, Some(test.driver()), CompilerKind::Gcc);
+        cfg = cfg.with_prescreen(pred.certified_prescreen(certs, true));
+    } else if lint_seed || lint_prune {
         let pred =
             flit_lint::predict_pair(&baseline, &variable, Some(test.driver()), CompilerKind::Gcc);
         cfg = cfg.with_prescreen(pred.prescreen(lint_prune));
@@ -509,7 +547,9 @@ fn cmd_bisect(
         if note.is_empty() && jobs > 1 {
             note.push_str(&format!(" | {jobs} jobs"));
         }
-        if lint_prune {
+        if prune_certified {
+            note.push_str(" | certified prune");
+        } else if lint_prune {
             note.push_str(" | lint prune");
         } else if lint_seed {
             note.push_str(" | lint seed");
@@ -560,6 +600,133 @@ fn cmd_bisect(
     if let Some(ledger) = &ledger {
         out.push_str(&ledger_footer(ledger));
     }
+    if prune_certified && !res.violations.is_empty() {
+        // A violated certified prune means a certificate lied: fail the
+        // process (the report, violations included, goes to stderr).
+        return Err(ParseError(out));
+    }
+    Ok(out)
+}
+
+/// Record the `absint.*` certification counters for one pair.
+fn record_certificates(trace: &TraceSink, certs: &flit_absint::PairCertificates) {
+    use flit_trace::names::counter;
+    let (inv, bnd, unk) = certs.counts();
+    trace.counter(counter::ABSINT_CERTIFIED_INVARIANT).incr(inv);
+    trace.counter(counter::ABSINT_CERTIFIED_BOUNDED).incr(bnd);
+    trace.counter(counter::ABSINT_CERTIFIED_UNKNOWN).incr(unk);
+}
+
+/// Render one certificate as (kind, bound) table cells.
+fn cert_cells(cert: &flit_absint::Certificate) -> (String, String) {
+    let bound = match cert {
+        flit_absint::Certificate::Bounded(e) => format!("{e:.3e}"),
+        _ => "-".to_string(),
+    };
+    (cert.kind().to_string(), bound)
+}
+
+fn cmd_bound(
+    app: &str,
+    test: Option<&str>,
+    base: &str,
+    candidate: &str,
+    trace_path: Option<&str>,
+) -> Result<String, ParseError> {
+    let app = get_app(app)?;
+    let base_comp = parse_compilation(base)?;
+    let cand_comp = parse_compilation(candidate)?;
+    if base_comp == cand_comp {
+        return Err(ParseError("--pair needs two distinct compilations".into()));
+    }
+    let test = match test {
+        Some(name) => app
+            .tests
+            .iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| ParseError(format!("unknown test `{name}` for {}", app.name)))?,
+        None => &app.tests[0],
+    };
+    let trace = if trace_path.is_some() {
+        TraceSink::enabled()
+    } else {
+        TraceSink::disabled()
+    };
+    // Certify against the bisection model: mixed binaries linked by the
+    // baseline-side driver (gcc), the same contract `flit bisect` uses.
+    let certs = flit_absint::certify_pair(
+        &app.program,
+        &app.program,
+        test.driver(),
+        &base_comp,
+        &cand_comp,
+        CompilerKind::Gcc,
+    );
+    record_certificates(&trace, &certs);
+
+    let (inv, bnd, unk) = certs.counts();
+    let (whole_kind, whole_bound) = cert_cells(&certs.whole);
+    let mut out = format!(
+        "flit bound {}: test {} | {} vs {} | link driver g++\n\n",
+        app.name,
+        test.name(),
+        base_comp.label(),
+        cand_comp.label()
+    );
+    out.push_str(&format!(
+        "whole pair: {whole_kind}{}\n",
+        if whole_bound == "-" {
+            String::new()
+        } else {
+            format!(" (l2_diff <= {whole_bound})")
+        }
+    ));
+    out.push_str(&format!(
+        "items: {inv} invariant, {bnd} bounded, {unk} unknown\n\n"
+    ));
+
+    // Invariant items are the (usually vast) boring majority; list only the
+    // items that can actually move the result.
+    let mut files = Table::new(&["#", "file", "certificate", "bound"])
+        .with_title("Certified bounds — files (invariant files omitted)")
+        .with_aligns(&[Align::Right, Align::Left, Align::Left, Align::Right]);
+    let mut invariant_files = 0usize;
+    for (fid, file) in app.program.files.iter().enumerate() {
+        let cert = certs.file(fid);
+        if cert == flit_absint::Certificate::Invariant {
+            invariant_files += 1;
+            continue;
+        }
+        let (kind, bound) = cert_cells(&cert);
+        files.row(&[fid.to_string(), file.name.clone(), kind, bound]);
+    }
+    out.push_str(&files.render());
+    out.push_str(&format!("{invariant_files} invariant files omitted\n\n"));
+
+    let mut symbols = Table::new(&["symbol", "certificate", "bound"])
+        .with_title("Certified bounds — symbols (invariant symbols omitted)")
+        .with_aligns(&[Align::Left, Align::Left, Align::Right]);
+    let mut invariant_symbols = 0usize;
+    for (name, cert) in &certs.symbols {
+        if *cert == flit_absint::Certificate::Invariant {
+            invariant_symbols += 1;
+            continue;
+        }
+        let (kind, bound) = cert_cells(cert);
+        symbols.row(&[name.clone(), kind, bound]);
+    }
+    out.push_str(&symbols.render());
+    out.push_str(&format!("{invariant_symbols} invariant symbols omitted\n"));
+
+    if let Some(path) = trace_path {
+        let jsonl = trace.snapshot().to_jsonl();
+        flit_persist::write_atomic(std::path::Path::new(path), jsonl.as_bytes())
+            .map_err(|e| ParseError(format!("cannot write trace `{path}`: {e}")))?;
+        out.push_str(&format!(
+            "\ntrace: {} events written to {path} (render with `flit trace {path}`)\n",
+            jsonl.lines().count()
+        ));
+    }
     Ok(out)
 }
 
@@ -577,6 +744,7 @@ fn cmd_perf(
     choice: &BackendChoice,
 ) -> Result<String, ParseError> {
     use flit_bisect::perf::{perf_bisect, PerfConfig, PerfOutcome};
+    use flit_report::speedup::SpeedupReport;
     use flit_report::stats::Verdict;
     let app = get_app(app)?;
     let base_comp = parse_compilation(base)?;
@@ -670,7 +838,7 @@ fn cmd_perf(
         }
         PerfOutcome::NoRegression => {
             out.push_str(
-                match res.overall.as_ref().map(|r| r.verdict()) {
+                match res.overall.as_ref().map(SpeedupReport::verdict) {
                     Some(Verdict::Faster) => {
                         "no regression: the candidate is statistically FASTER — nothing to bisect\n"
                     }
@@ -737,9 +905,7 @@ fn cmd_inject(app: &str, limit: Option<usize>) -> Result<String, ParseError> {
         driver: test.driver().clone(),
         input: test.default_input(),
         seed: 42,
-        threads: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
     };
     let (records, summary) = run_study(&app.program, &cfg);
     let mut out = format!(
@@ -960,7 +1126,7 @@ mod tests {
     use crate::args::parse;
 
     fn run_cli(args: &[&str]) -> Result<String, ParseError> {
-        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let v: Vec<String> = args.iter().map(ToString::to_string).collect();
         execute(&parse(&v)?)
     }
 
@@ -1022,6 +1188,109 @@ mod tests {
             serial,
             "--jobs must not change the findings"
         );
+    }
+
+    #[test]
+    fn certified_prune_matches_the_unpruned_findings_with_fewer_executions() {
+        let args = [
+            "bisect",
+            "mfem",
+            "--test",
+            "ex13",
+            "--compilation",
+            "g++ -O3 -mavx2 -mfma",
+        ];
+        let plain = run_cli(&args).unwrap();
+        let mut pruned_args = args.to_vec();
+        pruned_args.extend(["--prune", "certified"]);
+        let pruned = run_cli(&pruned_args).unwrap();
+        assert!(pruned.contains(" | certified prune"), "{pruned}");
+        let executions = |report: &str| -> u64 {
+            report
+                .lines()
+                .find_map(|l| l.strip_prefix("program executions: "))
+                .expect("executions line")
+                .parse()
+                .unwrap()
+        };
+        let strip = |report: &str| -> String {
+            report
+                .replace(" | certified prune", "")
+                .lines()
+                .filter(|l| !l.starts_with("program executions: "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        // Same findings, strictly cheaper.
+        assert_eq!(strip(&pruned), strip(&plain));
+        assert!(
+            executions(&pruned) < executions(&plain),
+            "certified prune must reduce executions: {} vs {}",
+            executions(&pruned),
+            executions(&plain)
+        );
+        // Parallel certified prune is byte-identical to serial.
+        let mut jobs_args = pruned_args.clone();
+        jobs_args.extend(["--jobs", "8"]);
+        let parallel = run_cli(&jobs_args).unwrap();
+        assert_eq!(parallel.replace(" | 8 jobs", ""), pruned);
+    }
+
+    #[test]
+    fn certified_prune_rejects_the_lint_prune_combination() {
+        let err = run_cli(&[
+            "bisect",
+            "mfem",
+            "--compilation",
+            "g++ -O3 -mavx2 -mfma",
+            "--prune",
+            "certified",
+            "--lint-prune",
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("different prune disciplines"), "{}", err.0);
+    }
+
+    #[test]
+    fn bound_renders_certificates_for_a_pair() {
+        let out = run_cli(&[
+            "bound",
+            "mfem",
+            "--pair",
+            "g++ -O2",
+            "g++ -O3 -mavx2 -mfma -funsafe-math-optimizations",
+        ])
+        .unwrap();
+        assert!(out.contains("whole pair: bounded"), "{out}");
+        assert!(out.contains("Certified bounds — files"), "{out}");
+        assert!(out.contains("Certified bounds — symbols"), "{out}");
+        assert!(out.contains("linalg/vector.cpp"), "{out}");
+        // Identical compilations have nothing to certify.
+        let err = run_cli(&["bound", "mfem", "--pair", "g++ -O2", "g++ -O2"]).unwrap_err();
+        assert!(err.0.contains("distinct"), "{}", err.0);
+    }
+
+    #[test]
+    fn bound_writes_a_trace_with_absint_counters() {
+        let path = std::env::temp_dir().join("flit-cli-bound-trace.jsonl");
+        std::fs::remove_file(&path).ok();
+        let path_s = path.to_string_lossy().to_string();
+        let out = run_cli(&[
+            "bound",
+            "laghos",
+            "--pair",
+            "g++ -O2",
+            "g++ -O3 -mavx2 -mfma -funsafe-math-optimizations",
+            "--trace",
+            &path_s,
+        ])
+        .unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        assert!(jsonl.contains("absint.certified"), "{jsonl}");
+        let rendered = run_cli(&["trace", &path_s]).unwrap();
+        assert!(rendered.contains("Certified bounds (absint)"), "{rendered}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

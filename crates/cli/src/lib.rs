@@ -14,9 +14,6 @@
 //! flit inject <app> [--limit N]  run the perturbation-injection study
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod apps;
 pub mod args;
 pub mod commands;

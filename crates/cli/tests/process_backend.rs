@@ -64,6 +64,46 @@ fn process_bisect_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn process_certified_prune_is_byte_identical_to_serial() {
+    let certified = with(BISECT, &["--prune", "certified"]);
+    let serial = flit(&certified);
+    let process = flit(&with(
+        &certified,
+        &["--backend", "process", "--workers", "4"],
+    ));
+    assert_eq!(
+        process.replace(" | process backend (4 workers)", ""),
+        serial,
+        "the process backend must not change certified-prune findings"
+    );
+}
+
+#[test]
+fn a_forged_invariant_certificate_fails_the_process() {
+    // FLIT_FORGE_INVARIANT is the dishonest-certificate test hook: it
+    // stamps an Invariant certificate on a file the search would blame.
+    // The residual audit must catch the lie and exit nonzero, on both
+    // execution backends.
+    for backend in [&[][..], &["--backend", "process", "--workers", "2"][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_flit"))
+            .args(with(BISECT, &["--prune", "certified"]))
+            .args(backend)
+            .env("FLIT_FORGE_INVARIANT", "linalg/densemat.cpp")
+            .output()
+            .expect("flit binary runs");
+        assert!(
+            !out.status.success(),
+            "a dishonest certificate must fail the process ({backend:?})"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("certified-prune audit failed"),
+            "the violation must be reported, not silently swallowed: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn process_perf_is_byte_identical_to_serial() {
     let serial = flit(PERF);
     let process = flit(&with(PERF, &["--backend", "process", "--workers", "3"]));

@@ -139,7 +139,7 @@ pub fn variability_summary(db: &ResultsDb, test: &str) -> VariabilitySummary {
         .map(|r| r.relative_error())
         .filter(|e| e.is_finite())
         .collect();
-    errs.sort_by(|a, b| a.total_cmp(b));
+    errs.sort_by(f64::total_cmp);
     let (min, med, max) = if errs.is_empty() {
         (0.0, 0.0, 0.0)
     } else {
@@ -236,7 +236,7 @@ pub fn compiler_summary(db: &ResultsDb, compiler: CompilerKind) -> CompilerSumma
             continue;
         }
         let avg = sum / tests.len() as f64;
-        if best.as_ref().map(|(_, b)| avg > *b).unwrap_or(true) {
+        if best.as_ref().is_none_or(|(_, b)| avg > *b) {
             best = Some((label, avg));
         }
     }

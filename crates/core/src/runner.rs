@@ -103,9 +103,7 @@ impl Default for RunnerConfig {
     fn default() -> Self {
         RunnerConfig {
             baseline: Compilation::baseline(),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             cache: true,
             trace: TraceSink::disabled(),
         }
@@ -147,24 +145,21 @@ fn compile_and_run(
     ctx: &BuildCtx,
 ) -> Vec<RunRecord> {
     let build = flit_program::build::Build::new(program, comp.clone());
-    let exe = match build.executable_in(ctx) {
-        Ok(e) => e,
-        Err(_) => {
-            // A compilation that fails to link yields crashed records.
-            return tests
-                .iter()
-                .map(|t| RunRecord {
-                    test: t.name().to_string(),
-                    compilation: comp.clone(),
-                    label: comp.label(),
-                    seconds: None,
-                    comparison: f64::INFINITY,
-                    bitwise_equal: false,
-                    baseline_norm: 0.0,
-                    crashed: true,
-                })
-                .collect();
-        }
+    let Ok(exe) = build.executable_in(ctx) else {
+        // A compilation that fails to link yields crashed records.
+        return tests
+            .iter()
+            .map(|t| RunRecord {
+                test: t.name().to_string(),
+                compilation: comp.clone(),
+                label: comp.label(),
+                seconds: None,
+                comparison: f64::INFINITY,
+                bitwise_equal: false,
+                baseline_norm: 0.0,
+                crashed: true,
+            })
+            .collect();
     };
     let ctx = RunContext { program, exe: &exe };
     tests
@@ -277,7 +272,7 @@ pub fn run_matrix_in(
         }
         baseline
             .norms
-            .push(per_chunk.iter().map(|r| r.norm()).sum::<f64>());
+            .push(per_chunk.iter().map(TestResult::norm).sum::<f64>());
         baseline.results.push(per_chunk);
     }
     cfg.trace.span(

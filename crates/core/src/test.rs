@@ -177,7 +177,7 @@ pub fn split_input(default_input: &[f64], inputs_per_run: usize) -> Vec<Vec<f64>
     }
     default_input
         .chunks(inputs_per_run)
-        .map(|c| c.to_vec())
+        .map(<[f64]>::to_vec)
         .collect()
 }
 

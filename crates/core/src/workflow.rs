@@ -134,18 +134,16 @@ pub fn determinism_check(
     repetitions: usize,
 ) -> bool {
     let build = Build::new(program, baseline.clone());
-    let exe = match build.executable() {
-        Ok(e) => e,
-        Err(_) => return false,
+    let Ok(exe) = build.executable() else {
+        return false;
     };
     let ctx = crate::test::RunContext { program, exe: &exe };
     for t in tests {
         let input = t.default_input();
         let chunks = crate::test::split_input(&input, t.inputs_per_run());
         for chunk in &chunks {
-            let first = match t.run_impl(chunk, &ctx) {
-                Ok((r, _)) => r,
-                Err(_) => return false,
+            let Ok((first, _)) = t.run_impl(chunk, &ctx) else {
+                return false;
             };
             for _ in 1..repetitions.max(2) {
                 match t.run_impl(chunk, &ctx) {

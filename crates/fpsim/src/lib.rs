@@ -36,9 +36,6 @@
 //! ([`solve`]), polynomial evaluation ([`poly`]), and stencil updates
 //! ([`stencil`]).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod compensated;
 pub mod dd;
 pub mod env;

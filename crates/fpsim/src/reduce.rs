@@ -29,7 +29,7 @@ pub fn sum(env: &FpEnv, xs: &[f64]) -> f64 {
         }
         return acc.store(env);
     }
-    lane_reduce(env, xs, |acc, env, x| acc.add(env, x))
+    lane_reduce(env, xs, Accum::add)
 }
 
 /// Dot product under the environment's evaluation order and contraction.

@@ -1,0 +1,144 @@
+//! Satellite guarantee for the absint layer: interval evaluation
+//! **contains** the concrete fpsim result for random inputs under every
+//! `FpEnv`.
+//!
+//! Scalar ops are checked per-op against the outward-rounded interval
+//! version (plus FTZ widening where the env flushes); reductions are
+//! checked against the order-generic `sum_envelope`/`dot_envelope`,
+//! which must absorb every lane split, FMA contraction, extended
+//! accumulator, and flush any environment can induce.
+
+use flit_fpsim::env::{FpEnv, MathLib, SimdWidth};
+use flit_fpsim::interval::{dot_envelope, sum_envelope, Interval};
+use flit_fpsim::{ops, reduce};
+use proptest::prelude::*;
+
+fn any_env() -> impl Strategy<Value = FpEnv> {
+    (
+        any::<bool>(),
+        0usize..4,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(fma, w, ext, recip, ftz, vendor)| FpEnv {
+            fma,
+            simd_width: [SimdWidth::W1, SimdWidth::W2, SimdWidth::W4, SimdWidth::W8][w],
+            extended_precision: ext,
+            reciprocal_math: recip,
+            flush_to_zero: ftz,
+            mathlib: if vendor {
+                MathLib::Vendor
+            } else {
+                MathLib::Reference
+            },
+            exploit_ub: false,
+        })
+}
+
+/// Magnitude-diverse finite f64, deliberately including the subnormal
+/// range (the FTZ edge), zeros of both signs, and large values.
+fn wild_f64() -> impl Strategy<Value = f64> {
+    (-1.0f64..1.0, -320i32..60, 0u32..50).prop_map(|(m, e, pick)| match pick {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f64::MIN_POSITIVE / 2.0,
+        3 => -f64::MIN_POSITIVE / 2.0,
+        _ => m * 10f64.powi(e),
+    })
+}
+
+/// Apply the env's canon semantics to an interval result: under FTZ the
+/// concrete value may have been flushed to ±0.
+fn canonize(env: &FpEnv, iv: Interval) -> Interval {
+    if env.flush_to_zero {
+        iv.with_flush()
+    } else {
+        iv
+    }
+}
+
+proptest! {
+    /// Every scalar op's concrete result lies in the interval version.
+    #[test]
+    fn scalar_ops_are_contained(env in any_env(), a in wild_f64(), b in wild_f64(), c in wild_f64()) {
+        let ia = Interval::point(a);
+        let ib = Interval::point(b);
+        let ic = Interval::point(c);
+        let checks = [
+            (ops::add(&env, a, b), canonize(&env, ia.add(ib)), "add"),
+            (ops::sub(&env, a, b), canonize(&env, ia.sub(ib)), "sub"),
+            (ops::mul(&env, a, b), canonize(&env, ia.mul(ib)), "mul"),
+            (ops::div(&env, a, b), canonize(&env, ia.div(ib)), "div"),
+            (
+                ops::mul_add(&env, a, b, c),
+                canonize(&env, ia.mul(ib).add(ic)),
+                "mul_add",
+            ),
+            // ops::sqrt canons its *input* as well as its output, so a
+            // subnormal argument may flush to zero before the root.
+            (
+                ops::sqrt(&env, a),
+                canonize(&env, canonize(&env, ia).sqrt()),
+                "sqrt",
+            ),
+        ];
+        for (concrete, iv, what) in checks {
+            prop_assert!(
+                iv.contains(concrete),
+                "{what}({a:e}, {b:e}, {c:e}) = {concrete:e} ∉ {iv:?} under {env:?}"
+            );
+        }
+    }
+
+    /// `sum_envelope` contains `reduce::sum` for every env and input —
+    /// including ill-conditioned mixed-magnitude slices where different
+    /// evaluation orders genuinely produce different bits.
+    #[test]
+    fn sum_envelope_contains_every_order(env in any_env(), xs in prop::collection::vec(wild_f64(), 0..80)) {
+        let concrete = reduce::sum(&env, &xs);
+        let iv = sum_envelope(&xs);
+        prop_assert!(iv.contains(concrete), "sum {concrete:e} ∉ {iv:?} under {env:?}");
+    }
+
+    /// Same for `reduce::dot` (products add a second rounding per term
+    /// and the FMA-contraction degree of freedom).
+    #[test]
+    fn dot_envelope_contains_every_order(env in any_env(), pairs in prop::collection::vec((wild_f64(), wild_f64()), 0..60)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let concrete = reduce::dot(&env, &xs, &ys);
+        let iv = dot_envelope(&xs, &ys);
+        prop_assert!(iv.contains(concrete), "dot {concrete:e} ∉ {iv:?} under {env:?}");
+    }
+
+    /// norm_l2 = sqrt(dot): the composed interval still contains it.
+    #[test]
+    fn norm_envelope_contains_every_order(env in any_env(), xs in prop::collection::vec(wild_f64(), 0..60)) {
+        let concrete = reduce::norm_l2(&env, &xs);
+        let iv = canonize(&env, dot_envelope(&xs, &xs).sqrt());
+        prop_assert!(iv.contains(concrete), "norm {concrete:e} ∉ {iv:?} under {env:?}");
+    }
+
+    /// NaN-operand containment: once a NaN enters, interval evaluation
+    /// must stay top (contain the concrete NaN), never a garbage range.
+    #[test]
+    fn nan_operands_stay_contained(env in any_env(), a in wild_f64()) {
+        let nan = f64::NAN;
+        let ia = Interval::point(a);
+        let top = Interval::point(nan);
+        prop_assert!(top.is_nan());
+        for (concrete, iv) in [
+            (ops::add(&env, a, nan), ia.add(top)),
+            (ops::mul(&env, nan, a), top.mul(ia)),
+            (ops::div(&env, nan, a), top.div(ia)),
+            (ops::mul_add(&env, a, nan, a), ia.mul(top).add(ia)),
+        ] {
+            prop_assert!(iv.contains(concrete));
+        }
+        // And through a reduction.
+        let xs = [1.0, nan, a];
+        prop_assert!(sum_envelope(&xs).contains(reduce::sum(&env, &xs)));
+    }
+}

@@ -78,6 +78,8 @@ pub struct CampaignResult {
     pub resume_checks: u64,
     /// Seeds that ran the process-backend byte-identity layer.
     pub process_checks: u64,
+    /// Seeds that ran the certified-bound soundness layer.
+    pub bound_checks: u64,
     /// Total program executions across serial searches.
     pub executions: u64,
     /// Every divergence, in discovery order.
@@ -120,6 +122,7 @@ pub fn run_campaign(cfg: &CampaignConfig, trace: &TraceSink) -> CampaignResult {
         explained_crashes: 0,
         resume_checks: 0,
         process_checks: 0,
+        bound_checks: 0,
         executions: 0,
         divergences: Vec::new(),
         out_of_budget: false,
@@ -167,6 +170,10 @@ pub fn run_campaign(cfg: &CampaignConfig, trace: &TraceSink) -> CampaignResult {
         }
         if oracle.process_cmd.is_some() && !verdict.crashed_explained {
             result.process_checks += 1;
+        }
+        if verdict.bound_checked {
+            result.bound_checks += 1;
+            trace.counter(counter::FUZZ_BOUND_CHECKS).incr(1);
         }
         if verdict.crashed_explained {
             result.explained_crashes += 1;
@@ -223,6 +230,7 @@ pub fn render_report(cfg: &CampaignConfig, result: &CampaignResult) -> String {
          explained crashes  {:>8}  (planted ABI hazards, Table 2)\n\
          resume checks      {:>8}\n\
          process checks     {:>8}\n\
+         bound checks       {:>8}  (certified bounds vs observed divergence)\n\
          executions         {:>8}\n\
          divergences        {:>8}\n",
         result.seeds_run,
@@ -235,6 +243,7 @@ pub fn render_report(cfg: &CampaignConfig, result: &CampaignResult) -> String {
         result.explained_crashes,
         result.resume_checks,
         result.process_checks,
+        result.bound_checks,
         result.executions,
         result.divergences.len(),
     ));

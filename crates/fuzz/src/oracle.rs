@@ -17,7 +17,13 @@
 //!   kill-and-resume through a checkpoint journal must land on the
 //!   identical result;
 //! * **(d) journal round-trip** — the journal written by (c) must
-//!   reload cleanly and replay without executing a single extra query.
+//!   reload cleanly and replay without executing a single extra query;
+//! * **(f) certified-bound soundness** — `flit-absint`'s certificates
+//!   must never contradict this seed's ground truth or observations: no
+//!   planted-blame item may be certified `Invariant`, every file-level
+//!   singleton Test value must sit inside its certified bound, and the
+//!   measured whole-pair divergence must sit inside the whole-pair
+//!   bound.
 
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -82,6 +88,8 @@ pub struct SeedVerdict {
     pub divergences: Vec<String>,
     /// Program executions the serial search spent.
     pub executions: usize,
+    /// True when the certified-bound soundness layer ran.
+    pub bound_checked: bool,
 }
 
 impl SeedVerdict {
@@ -357,6 +365,78 @@ pub fn check_spec(seed: u64, spec: &PlantedSpec, cfg: &OracleConfig) -> SeedVerd
         std::fs::remove_file(&path).ok();
     }
 
+    // Layer (f): certified-bound soundness. The certifier models the
+    // same contract the search runs (mixed binaries linked by gcc), so
+    // its verdicts are checkable against both the planted truth and the
+    // values the serial search actually measured. Skipped on explained
+    // ABI crashes — there the observed side is a crash, not a number.
+    if !crashed_explained {
+        let certs = flit_absint::certify_pair(
+            &planted.program,
+            &planted.program,
+            &planted.driver,
+            &Compilation::baseline(),
+            &pair.variable,
+            CompilerKind::Gcc,
+        );
+        // (f1) No planted-blame item may be certified Invariant: the
+        // ground truth says it diverges, so an Invariant there would be
+        // an unsound certificate (and would wrongly prune the search).
+        for fid in &expected_files {
+            if certs.file(*fid) == flit_absint::Certificate::Invariant {
+                divergences.push(format!(
+                    "unsound certificate: file {fid} is planted blame but certified Invariant"
+                ));
+            }
+        }
+        for symbol in &expected_symbols {
+            if certs.symbol(symbol) == flit_absint::Certificate::Invariant {
+                divergences.push(format!(
+                    "unsound certificate: symbol {symbol} is planted blame but certified Invariant"
+                ));
+            }
+        }
+        // (f2) Every file-level singleton Test value the serial search
+        // measured must respect that file's certified bound — the exact
+        // quantity the certificate models.
+        for f in &serial.files {
+            let cert = certs.file(f.file_id);
+            if cert.contradicted_by(f.value) {
+                divergences.push(format!(
+                    "certified bound violated: file {} observed {:e} against {cert:?}",
+                    f.file_name, f.value
+                ));
+            }
+        }
+        // (f3) The measured whole-pair divergence (each pure binary
+        // linked by its own compiler, the certifier's whole-pair model)
+        // must respect the whole-pair bound.
+        let observed_whole = (|| -> Result<f64, String> {
+            let base = Build::new(&planted.program, Compilation::baseline());
+            let cand = Build::new(&planted.program, pair.variable.clone());
+            let input = &[0.3, 0.7];
+            let run = |b: &Build| -> Result<Vec<f64>, String> {
+                let exe = b.executable().map_err(|e| format!("link: {e}"))?;
+                flit_program::engine::Engine::new(&planted.program, &exe)
+                    .run(&planted.driver, input)
+                    .map(|o| o.output)
+                    .map_err(|e| format!("run: {e}"))
+            };
+            Ok(l2_compare(&run(&base)?, &run(&cand)?))
+        })();
+        match observed_whole {
+            Ok(observed) => {
+                if certs.whole.contradicted_by(observed) {
+                    divergences.push(format!(
+                        "whole-pair bound violated: observed {observed:e} against {:?}",
+                        certs.whole
+                    ));
+                }
+            }
+            Err(why) => divergences.push(format!("whole-pair measurement failed: {why}")),
+        }
+    }
+
     SeedVerdict {
         seed,
         pair: pair.name,
@@ -365,6 +445,7 @@ pub fn check_spec(seed: u64, spec: &PlantedSpec, cfg: &OracleConfig) -> SeedVerd
         crashed_explained,
         divergences,
         executions: serial.executions,
+        bound_checked: !crashed_explained,
     }
 }
 

@@ -19,9 +19,6 @@
 //! exact / indirect / wrong / missed / not-measurable classification of
 //! Table 5.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod sites;
 pub mod study;
 

@@ -99,8 +99,7 @@ pub fn table4_cell(
         .symbols
         .iter()
         .max_by(|a, b| a.value.partial_cmp(&b.value).unwrap())
-        .map(|s| s.symbol == "QUpdate_Viscosity")
-        .unwrap_or(false);
+        .is_some_and(|s| s.symbol == "QUpdate_Viscosity");
     Table4Cell {
         baseline: baseline_label.to_string(),
         digits,

@@ -14,9 +14,6 @@
 //! * the Table-4 experiment: BisectAll and BisectBiggest(k) under three
 //!   trusted baselines and digit-limited comparison functions.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod experiment;
 pub mod program;
 

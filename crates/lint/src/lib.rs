@@ -34,9 +34,6 @@
 //!
 //! [`FpEnv`]: flit_fpsim::env::FpEnv
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod analyze;
 pub mod audit;
 pub mod predict;

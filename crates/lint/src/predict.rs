@@ -131,6 +131,78 @@ impl PairPrediction {
         p
     }
 
+    /// Re-rank the predicted sets with certified divergence bounds from
+    /// `flit-absint`, replacing the feature-count ordering:
+    ///
+    /// * `Invariant` items leave the predicted sets entirely — the
+    ///   certificate *proves* Bisect cannot blame them;
+    /// * `Bounded(ε)` items score their certified bound, so items with
+    ///   more room to diverge are speculated first;
+    /// * `Unknown` items rank above every finite bound (the analysis
+    ///   reserves judgement, so the search should look there early).
+    ///
+    /// Injection evidence keeps its bonus on top of the bound score.
+    /// Only items the feature model already predicted are re-ranked;
+    /// the certified *keep/drop* decision in a pruning search comes
+    /// from the certificates themselves, not from these scores.
+    pub fn rescore_with_certificates(&mut self, certs: &flit_absint::PairCertificates) {
+        fn bound_score(cert: flit_absint::Certificate, injected: bool) -> Option<f64> {
+            let base = match cert {
+                flit_absint::Certificate::Invariant => return None,
+                flit_absint::Certificate::Bounded(e) => e,
+                // Finite so the injected bonus still discriminates.
+                flit_absint::Certificate::Unknown => f64::MAX / 2.0,
+            };
+            Some(if injected {
+                base + INJECTED_BONUS
+            } else {
+                base
+            })
+        }
+        self.files
+            .retain_mut(|f| match bound_score(certs.file(f.file_id), f.injected) {
+                Some(score) => {
+                    f.score = score;
+                    true
+                }
+                None => false,
+            });
+        self.files.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.file_id.cmp(&b.file_id))
+        });
+        self.symbols
+            .retain_mut(|s| match bound_score(certs.symbol(&s.symbol), s.injected) {
+                Some(score) => {
+                    s.score = score;
+                    true
+                }
+                None => false,
+            });
+        self.symbols.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.symbol.cmp(&b.symbol))
+        });
+    }
+
+    /// A certificate-backed pruning prescreen: bound-magnitude scores
+    /// order speculation and the certificates themselves decide what a
+    /// `--prune certified` search may drop.
+    pub fn certified_prescreen(
+        &mut self,
+        certs: flit_absint::PairCertificates,
+        prune: bool,
+    ) -> Prescreen {
+        self.rescore_with_certificates(&certs);
+        let mut p = self.prescreen(prune);
+        p.certificates = Some(certs);
+        p
+    }
+
     /// Record this prediction's counters and a span into `trace`.
     pub fn record(&self, trace: &TraceSink, label: impl Into<String>) {
         trace
@@ -378,6 +450,57 @@ mod tests {
         assert!(!pred.env_diff.contains(Feature::Mathlib));
         assert!(pred.sweep_diff.contains(Feature::Mathlib));
         assert!(pred.abi_hazard, "gcc objects + icpc objects crash");
+    }
+
+    #[test]
+    fn certificates_rescore_and_drop_invariant_items() {
+        let p = program();
+        let baseline = Build::new(&p, o0());
+        let variable = Build::new(&p, fast());
+        let mut pred = predict_pair(&baseline, &variable, None, CompilerKind::Gcc);
+        // The feature model predicts hot.cpp and trig.cpp (reduction +
+        // mathlib-adjacent features under this diff).
+        assert!(pred.file_predicted(0));
+        let driver = Driver::new("d", vec!["dot".into(), "idle".into(), "trig".into()], 1, 32);
+        let certs = flit_absint::certify_pair(&p, &p, &driver, &o0(), &fast(), CompilerKind::Gcc);
+        pred.rescore_with_certificates(&certs);
+        // Invariant-certified items leave the predicted sets...
+        for f in &pred.files {
+            assert!(
+                !certs.file(f.file_id).prunable(),
+                "invariant file {} survived rescoring",
+                f.file_name
+            );
+        }
+        for s in &pred.symbols {
+            assert!(!certs.symbol(&s.symbol).prunable());
+        }
+        // ...and the survivors carry their certified bound as score.
+        let hot = pred
+            .files
+            .iter()
+            .find(|f| f.file_id == 0)
+            .expect("hot.cpp kept");
+        match certs.file(0) {
+            flit_absint::Certificate::Bounded(e) => assert_eq!(hot.score, e),
+            other => panic!("expected a bounded hot.cpp certificate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn certified_prescreen_attaches_certificates_and_bound_scores() {
+        let p = program();
+        let baseline = Build::new(&p, o0());
+        let variable = Build::new(&p, fast());
+        let mut pred = predict_pair(&baseline, &variable, None, CompilerKind::Gcc);
+        let driver = Driver::new("d", vec!["dot".into(), "idle".into(), "trig".into()], 1, 32);
+        let certs = flit_absint::certify_pair(&p, &p, &driver, &o0(), &fast(), CompilerKind::Gcc);
+        let screen = pred.certified_prescreen(certs, true);
+        assert!(screen.prune);
+        let certs = screen.certificates.as_ref().expect("certificates attached");
+        assert_eq!(screen.file_score(0), certs.file(0).score());
+        // Scores on invariant-certified items are gone (0.0 default).
+        assert_eq!(screen.file_score(1), 0.0);
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl Feature {
         }
     }
 
-    fn bit(self) -> u8 {
+    fn bit(self) -> u16 {
         match self {
             Feature::Fma => 1 << 0,
             Feature::Simd => 1 << 1,
@@ -73,8 +73,12 @@ impl Feature {
 }
 
 /// A set of [`Feature`]s, as a bitset.
+///
+/// Backed by a `u16` (the low 7 bits are the current features) so
+/// certificate-derived features can be added without exhausting the bit
+/// budget; widening from `u8` does not change any rendered output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
-pub struct SensitivitySet(u8);
+pub struct SensitivitySet(u16);
 
 impl SensitivitySet {
     /// The empty set (provably environment-invariant).
@@ -316,6 +320,34 @@ mod tests {
         assert_eq!(SensitivitySet::FULL.len(), 7);
         assert_eq!(format!("{}", a), "fma+simd");
         assert_eq!(format!("{}", SensitivitySet::EMPTY), "-");
+    }
+
+    /// Regression pin for the u8 → u16 widening: the rendered form of
+    /// every feature set that can appear in lint output must stay
+    /// byte-identical (reports diff cleanly across the change).
+    #[test]
+    fn widening_preserves_serialized_output() {
+        for f in Feature::ALL {
+            assert_eq!(format!("{}", SensitivitySet::of(&[f])), f.name());
+        }
+        assert_eq!(
+            format!("{}", SensitivitySet::FULL),
+            "fma+simd+ext+recip+ftz+mathlib+ub"
+        );
+        assert_eq!(format!("{}", SensitivitySet::EMPTY), "-");
+        // Display order is feature order, not insertion order.
+        assert_eq!(
+            format!(
+                "{}",
+                SensitivitySet::of(&[Feature::UbExploit, Feature::Ftz, Feature::Fma])
+            ),
+            "fma+ftz+ub"
+        );
+        // The low 7 bits are unchanged, so ordering and equality of the
+        // sets themselves (which drive ranking ties) are unchanged too.
+        assert!(SensitivitySet::EMPTY < SensitivitySet::of(&[Feature::Fma]));
+        assert!(SensitivitySet::of(&[Feature::Fma]) < SensitivitySet::of(&[Feature::Simd]));
+        assert_eq!(SensitivitySet::FULL.len(), 7);
     }
 
     #[test]

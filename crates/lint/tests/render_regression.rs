@@ -1,0 +1,65 @@
+//! Byte-exact regression pin for the serialized lint report.
+//!
+//! The `SensitivitySet` bitset was widened from `u8` to `u16` to leave
+//! room for certificate-derived features; this test pins the full
+//! rendered output of a representative prediction so any change to the
+//! serialized form (feature names, ordering, table layout, scores)
+//! shows up as a diff against a known-good snapshot.
+
+use flit_lint::predict::predict_pair;
+use flit_lint::render::render_prediction;
+use flit_program::build::Build;
+use flit_program::kernel::Kernel;
+use flit_program::model::{Function, SimProgram, SourceFile};
+use flit_toolchain::compilation::Compilation;
+use flit_toolchain::compiler::{CompilerKind, OptLevel};
+use flit_toolchain::flags::Switch;
+
+const EXPECTED: &str = "\
+# flit lint — pin
+
+env diff (bisect link): fma+simd+recip    env diff (-fPIC): fma+simd+recip    sweep diff: fma+simd+recip
+functions analyzed: 2    predicted files: 1    predicted symbols: 1
+
+Predicted-variable files (ranked)
++---+---------+----------+----------+-------+
+| # | file    | features | injected | score |
++---+---------+----------+----------+-------+
+| 1 | hot.cpp | fma+simd |          |   2.0 |
++---+---------+----------+----------+-------+
+
+Predicted-variable symbols (ranked)
++---+--------+----------+----------+-------+
+| # | symbol | features | injected | score |
++---+--------+----------+----------+-------+
+| 1 | dot    | fma+simd |          |   2.0 |
++---+--------+----------+----------+-------+
+";
+
+#[test]
+fn serialized_lint_output_is_byte_identical() {
+    let p = SimProgram::new(
+        "pin",
+        vec![
+            SourceFile::new(
+                "hot.cpp",
+                vec![Function::exported("dot", Kernel::DotMix { stride: 3 })],
+            ),
+            SourceFile::new(
+                "trig.cpp",
+                vec![Function::exported("trig", Kernel::TranscMap { freq: 2.0 })],
+            ),
+        ],
+    );
+    let baseline = Build::new(
+        &p,
+        Compilation::new(CompilerKind::Gcc, OptLevel::O0, vec![]),
+    );
+    let variable = Build::new(
+        &p,
+        Compilation::new(CompilerKind::Gcc, OptLevel::O3, vec![Switch::Avx2FmaUnsafe]),
+    );
+    let pred = predict_pair(&baseline, &variable, None, CompilerKind::Gcc);
+    let text = render_prediction("pin", &pred);
+    assert_eq!(text, EXPECTED);
+}

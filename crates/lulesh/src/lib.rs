@@ -15,9 +15,6 @@
 //! driver never exercises (the paper's 702 *not measurable*
 //! injections).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod kernels;
 pub mod program;
 

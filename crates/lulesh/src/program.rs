@@ -382,7 +382,7 @@ pub fn lulesh_program() -> SimProgram {
     }
 
     // Pad SLOC to the published count.
-    let sloc: u32 = files.iter().map(|f| f.sloc()).sum();
+    let sloc: u32 = files.iter().map(SourceFile::sloc).sum();
     assert!(sloc <= LULESH_SLOC, "SLOC overshot: {sloc}");
     let deficit = LULESH_SLOC - sloc;
     files.last_mut().unwrap().functions.last_mut().unwrap().sloc += deficit;

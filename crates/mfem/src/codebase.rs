@@ -95,7 +95,7 @@ pub fn mfem_program() -> SimProgram {
     assert_eq!(files.len(), TABLE3.files);
 
     // Calibrate SLOC exactly by padding the top-up file's last function.
-    let sloc_so_far: u32 = files.iter().map(|f| f.sloc()).sum();
+    let sloc_so_far: u32 = files.iter().map(SourceFile::sloc).sum();
     assert!(
         sloc_so_far <= TABLE3.sloc,
         "SLOC budget overshot: {sloc_so_far}"

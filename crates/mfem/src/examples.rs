@@ -149,13 +149,13 @@ pub fn mfem_examples() -> Vec<DriverTest> {
 mod tests {
     use super::*;
     use crate::codebase::mfem_program;
-    use flit_core::test::FlitTest;
 
     #[test]
     fn nineteen_examples_with_unique_names() {
         let tests = mfem_examples();
         assert_eq!(tests.len(), 19);
-        let names: std::collections::HashSet<&str> = tests.iter().map(|t| t.name()).collect();
+        let names: std::collections::HashSet<&str> =
+            tests.iter().map(flit_core::FlitTest::name).collect();
         assert_eq!(names.len(), 19);
         assert_eq!(example_names()[0], "ex01");
         assert_eq!(example_names()[18], "ex19");

@@ -20,9 +20,6 @@
 //!   producing a ~190 % relative error with exactly one blamed function
 //!   (Finding 2).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod codebase;
 pub mod examples;
 pub mod files;

@@ -8,9 +8,6 @@
 //! lets the journal loader treat any mid-record EOF as *corruption*
 //! rather than an innocent crash artifact.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -24,10 +21,10 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()>
     static UNIQUE: AtomicU64 = AtomicU64::new(0);
     let path = path.as_ref();
     let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
-    let stem = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "atomic".to_string());
+    let stem = path.file_name().map_or_else(
+        || "atomic".to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
     // Unique per (process, call): concurrent writers of the same target
     // never share a temp file.
     let tmp_name = format!(
@@ -111,13 +108,12 @@ pub fn frame_record(payload: &str) -> String {
 /// below are char boundaries in any well-formed line; `get` keeps
 /// corrupted lines from turning into panics.
 pub fn unframe_record(line: &str) -> Result<&str, FrameError> {
-    let crc_hex = match (line.get(..8), line.get(8..16), line.get(16..24)) {
-        (Some("{\"crc\":\""), Some(hex), Some("\",\"rec\":")) => hex,
-        _ => {
-            return Err(FrameError::Malformed(
-                "missing `crc`/`rec` framing".to_string(),
-            ))
-        }
+    let (Some("{\"crc\":\""), Some(crc_hex), Some("\",\"rec\":")) =
+        (line.get(..8), line.get(8..16), line.get(16..24))
+    else {
+        return Err(FrameError::Malformed(
+            "missing `crc`/`rec` framing".to_string(),
+        ));
     };
     let expected = u32::from_str_radix(crc_hex, 16)
         .map_err(|_| FrameError::Malformed(format!("`{crc_hex}` is not a CRC32 in hex")))?;

@@ -479,8 +479,8 @@ mod tests {
         let funcs_b: usize = b.iter().map(|f| f.functions.len()).sum();
         // Same scale, different detail.
         assert!(funcs_a.abs_diff(funcs_b) < 100);
-        let sloc_a: u32 = a.iter().map(|f| f.sloc()).sum();
-        let sloc_b: u32 = b.iter().map(|f| f.sloc()).sum();
+        let sloc_a: u32 = a.iter().map(super::super::model::SourceFile::sloc).sum();
+        let sloc_b: u32 = b.iter().map(super::super::model::SourceFile::sloc).sum();
         assert_ne!(sloc_a, sloc_b);
     }
 

@@ -626,14 +626,7 @@ impl Kernel {
                 // `== 0.0` test then branches differently — the root
                 // cause FLiT isolated in Laghos ("an exact comparison
                 // to 0.0 in an if statement", §3.4).
-                let mut q = 0.0;
-                for series in 0..3 {
-                    let vals = zero_gate_values(series);
-                    let expected = zero_gate_expected(series);
-                    let s = reduce::sum(env, &vals);
-                    q += (s - expected).abs();
-                }
-                if q != 0.0 {
+                if zero_gate_fires(env) {
                     for x in state.iter_mut() {
                         // NaN-propagating cap (f64::min would replace a
                         // NaN with 4.0 and launder upstream poison).
@@ -792,6 +785,24 @@ fn zero_gate_values(series: usize) -> Vec<f64> {
                 * 10f64.powi(((i * mag_stride) % mag_span as usize) as i32 - mag_span / 2 - 2)
         })
         .collect()
+}
+
+/// Whether [`Kernel::ZeroGate`]'s exact-zero branch fires under `env`.
+///
+/// The gate is state-independent: it compares `reduce::sum` of three
+/// fixed datasets against their strict left-to-right checksums. Static
+/// analysis (flit-absint) uses this to decide whether two environments
+/// take the same branch — if they do, the kernel is a pure function of
+/// state with identical arithmetic on both sides.
+pub fn zero_gate_fires(env: &FpEnv) -> bool {
+    let mut q = 0.0;
+    for series in 0..3 {
+        let vals = zero_gate_values(series);
+        let expected = zero_gate_expected(series);
+        let s = reduce::sum(env, &vals);
+        q += (s - expected).abs();
+    }
+    q != 0.0
 }
 
 /// The compile-time checksum: the strict left-to-right sum of

@@ -24,9 +24,6 @@
 //! injection framework (`flit-inject`) can plant `x OP' ε` perturbations
 //! exactly like the paper's LLVM pass ([`sites`]).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod build;
 pub mod engine;
 pub mod generate;

@@ -229,7 +229,7 @@ impl SimProgram {
 
     /// Total modeled source lines of code.
     pub fn total_sloc(&self) -> u32 {
-        self.files.iter().map(|f| f.sloc()).sum()
+        self.files.iter().map(SourceFile::sloc).sum()
     }
 
     /// Exported symbol names defined in file `file_id`, sorted — the

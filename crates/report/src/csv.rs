@@ -14,7 +14,7 @@ impl CsvWriter {
             buf: String::new(),
             columns: headers.len(),
         };
-        w.push_row(headers.iter().map(|s| s.to_string()));
+        w.push_row(headers.iter().map(ToString::to_string));
         w
     }
 

@@ -8,9 +8,6 @@
 //! renders to `String` so outputs can be asserted in tests and diffed
 //! across runs.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod csv;
 pub mod plot;
 pub mod speedup;

@@ -34,7 +34,7 @@ impl Summary {
         if v.is_empty() {
             return None;
         }
-        v.sort_by(|a, b| a.total_cmp(b));
+        v.sort_by(f64::total_cmp);
         let q = |p: f64| -> f64 {
             let idx = p * (v.len() - 1) as f64;
             let lo = idx.floor() as usize;

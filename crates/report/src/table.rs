@@ -23,7 +23,7 @@ impl Table {
     pub fn new(headers: &[&str]) -> Self {
         Table {
             title: None,
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             aligns: headers.iter().map(|_| Align::Left).collect(),
             rows: vec![],
         }
@@ -52,7 +52,7 @@ impl Table {
 
     /// Append a row of string slices.
     pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
-        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        let owned: Vec<String> = cells.iter().map(ToString::to_string).collect();
         self.row(&owned)
     }
 

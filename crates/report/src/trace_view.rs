@@ -146,6 +146,33 @@ pub fn lint_activity(trace: &Trace) -> Table {
     t
 }
 
+/// Certified-bounds accounting (`flit-absint`): how many items the
+/// abstract interpreter certified per kind, and what a
+/// `--prune certified` search did with them. Rendered only when a
+/// certification pass actually ran — an all-zero table would read as
+/// "the analysis ran and certified nothing".
+pub fn certified_bounds(trace: &Trace) -> Table {
+    let mut t = Table::new(&["counter", "value"])
+        .with_title("Certified bounds (absint)")
+        .with_aligns(&[Align::Left, Align::Right]);
+    let rows = [
+        ("certified invariant", counter::ABSINT_CERTIFIED_INVARIANT),
+        ("certified bounded", counter::ABSINT_CERTIFIED_BOUNDED),
+        ("certified unknown", counter::ABSINT_CERTIFIED_UNKNOWN),
+        ("files pruned", counter::ABSINT_PRUNED_FILES),
+        ("symbols pruned", counter::ABSINT_PRUNED_SYMBOLS),
+        ("residual audits", counter::ABSINT_PRUNE_AUDITS),
+    ];
+    let total: u64 = rows.iter().map(|(_, key)| trace.counter(key)).sum();
+    if total == 0 {
+        return t;
+    }
+    for (name, key) in rows {
+        t.row(&[name.to_string(), trace.counter(key).to_string()]);
+    }
+    t
+}
+
 /// Resume & dedup accounting for the workflow-wide query ledger: how
 /// many Test queries actually executed, how many were served from the
 /// per-search memo, how many were deduplicated across sibling searches
@@ -282,6 +309,11 @@ pub fn render_trace(trace: &Trace, top: usize) -> String {
     if !lint.is_empty() {
         out.push('\n');
         out.push_str(&lint.render());
+    }
+    let certified = certified_bounds(trace);
+    if !certified.is_empty() {
+        out.push('\n');
+        out.push_str(&certified.render());
     }
     let ledger = resume_dedup(trace);
     if !ledger.is_empty() {

@@ -22,9 +22,6 @@
 //!   resulting executable would sometimes fail with a segmentation
 //!   fault", §3.3).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cache;
 pub mod compilation;
 pub mod compiler;

@@ -107,6 +107,20 @@ pub mod counter {
     /// Algorithm-1-style dynamic verification runs guarding pruning.
     pub const LINT_PRUNE_VERIFICATIONS: &str = "lint.prune.verifications";
 
+    /// Items certified `Invariant` by the abstract interpreter.
+    pub const ABSINT_CERTIFIED_INVARIANT: &str = "absint.certified.invariant";
+    /// Items certified `Bounded(ε)` by the abstract interpreter.
+    pub const ABSINT_CERTIFIED_BOUNDED: &str = "absint.certified.bounded";
+    /// Items the abstract interpreter could not certify (`Unknown`).
+    pub const ABSINT_CERTIFIED_UNKNOWN: &str = "absint.certified.unknown";
+    /// Files excluded from the search space by `--prune certified`.
+    pub const ABSINT_PRUNED_FILES: &str = "absint.pruned.files";
+    /// Symbols excluded from the search space by `--prune certified`.
+    pub const ABSINT_PRUNED_SYMBOLS: &str = "absint.pruned.symbols";
+    /// Residual audit queries run by a certified prune (one per pruned
+    /// level, vs the lint prune's two).
+    pub const ABSINT_PRUNE_AUDITS: &str = "absint.prune.audits";
+
     /// Hierarchical searches launched by the workflow driver.
     pub const WORKFLOW_BISECTIONS: &str = "workflow.bisections";
     /// Variable (test, compilation) rows found by the workflow sweep.
@@ -138,6 +152,9 @@ pub mod counter {
     pub const FUZZ_DIVERGENCES: &str = "fuzz.divergences";
     /// Seeds that additionally ran the kill-and-resume oracle layer.
     pub const FUZZ_RESUME_CHECKS: &str = "fuzz.resume.checks";
+    /// Seeds that additionally ran the certified-bound soundness layer
+    /// (observed divergence vs `flit-absint` certificates).
+    pub const FUZZ_BOUND_CHECKS: &str = "fuzz.bound.checks";
     /// Accepted delta-debugging shrink steps across all divergences.
     pub const FUZZ_SHRINK_STEPS: &str = "fuzz.shrink.steps";
 }

@@ -256,6 +256,7 @@ fn dishonest_prune_is_caught_by_the_guard() {
         file_priority: BTreeMap::new(),
         symbol_priority: BTreeMap::new(),
         prune: true,
+        certificates: None,
     };
     let cfg = HierarchicalConfig::all().with_prescreen(lie);
     let result = bisect_hierarchical(&baseline, &variable, &driver, INPUT, &l2_compare, &cfg);

@@ -18,6 +18,10 @@ if [[ "${1:-}" == "--quick" ]]; then
   cargo test -q --test resume_durability
   cargo test -q -p flit-bisect
   cargo test -q -p flit-persist
+  echo "== quick: certified bounds (flit-absint + certified prune + flit bound) =="
+  cargo test -q -p flit-absint
+  cargo test -q -p flit-cli certified
+  cargo test -q -p flit-cli bound
   echo "== quick: fuzz oracle + campaign plumbing =="
   cargo test -q -p flit-fuzz
   echo "== quick: perf bisect (planner, stats layer, CLI verdicts) =="
@@ -33,6 +37,11 @@ if [[ "${1:-}" == "--quick" ]]; then
       --backend process --workers 4 > /dev/null
   ./target/debug/flit bisect mfem --test ex13 --compilation "g++ -O3 -mavx2 -mfma" \
       --backend process --workers 4 --kill-workers 1,1,2 > /dev/null
+  echo "== quick: certified-prune + bound-soundness smoke (fuzz layer f) =="
+  ./target/debug/flit bisect mfem --test ex13 --compilation "g++ -O3 -mavx2 -mfma" \
+      --prune certified > /dev/null
+  ./target/debug/flit bound mfem --pair "g++ -O2" "g++ -O3 -mavx2 -mfma" > /dev/null
+  ./target/debug/flit fuzz --seeds 0..25 > /dev/null
   echo "verify --quick: OK"
   exit 0
 fi
