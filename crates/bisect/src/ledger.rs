@@ -140,6 +140,7 @@ pub struct QueryLedger {
     journal: Mutex<Option<JournalWriter>>,
     journal_error: Mutex<Option<String>>,
     backend_label: Mutex<String>,
+    upstream: Mutex<Option<(Arc<QueryLedger>, u64)>>,
 }
 
 impl std::fmt::Debug for QueryLedger {
@@ -172,7 +173,26 @@ impl QueryLedger {
             journal: Mutex::new(None),
             journal_error: Mutex::new(None),
             backend_label: Mutex::new(crate::journal::BACKEND_LOCAL.to_string()),
+            upstream: Mutex::new(None),
         })
+    }
+
+    /// Chain this ledger to a fleet-wide `parent`: on a local memo
+    /// miss, the answer is computed *through* `parent.eval` (tagged
+    /// with this ledger's `origin` in the parent) instead of directly.
+    ///
+    /// This is the `flit-serve` tenant-scoping layer. Each tenant's
+    /// workflow gets its own child ledger — so its journal still
+    /// records every answer the tenant needed and its resume state
+    /// stays self-contained — while actual query evaluation
+    /// single-flights in the shared parent. Give every tenant a
+    /// distinct nonzero parent origin and the parent's `shared_hits`
+    /// counts *exactly* the cross-tenant deduplication (intra-tenant
+    /// repeats are absorbed by the child memo or counted as parent
+    /// memo hits). `parent` must not itself chain back to this ledger.
+    pub fn set_upstream(&self, parent: Arc<QueryLedger>, origin: u64) {
+        assert_ne!(origin, REPLAY_ORIGIN, "origin 0 is reserved for replay");
+        *self.upstream.lock() = Some((parent, origin));
     }
 
     /// Record which execution plane computes this ledger's answers
@@ -259,7 +279,16 @@ impl QueryLedger {
         compute: impl FnOnce() -> StoredAnswer,
     ) -> StoredAnswer {
         let (entry, computed) = self.memo.get_or_compute(key.to_string(), || {
-            let answer = compute();
+            // With an upstream parent attached (tenant scoping), the
+            // computation single-flights fleet-wide in the parent; this
+            // ledger still journals the answer below, so the tenant's
+            // resume state is complete even for answers another tenant
+            // computed.
+            let upstream = self.upstream.lock().clone();
+            let answer = match upstream {
+                Some((parent, parent_origin)) => parent.eval(parent_origin, pair, key, compute),
+                None => compute(),
+            };
             // Journal before the answer is released to any waiter: a
             // crash after this point leaves the answer on disk.
             self.append_to_journal(pair, key, &answer);
@@ -609,6 +638,102 @@ mod tests {
         let snap = trace.snapshot();
         assert_eq!(snap.counter(counter_names::EXEC_QUERIES_EXECUTED), 1);
         assert_eq!(snap.counter(counter_names::EXEC_QUERIES_SHARED_HITS), 1);
+    }
+
+    #[test]
+    fn upstream_chaining_counts_cross_tenant_dedup_at_the_fleet_ledger() {
+        let fleet_trace = TraceSink::enabled();
+        let fleet = QueryLedger::new(11, &fleet_trace);
+        let tenant = |origin: u64| {
+            let child = QueryLedger::new(11, &TraceSink::disabled());
+            child.set_upstream(fleet.clone(), origin);
+            LedgerHandle::new(child, 1, "t/pair")
+        };
+        let (alpha, beta) = (tenant(1), tenant(2));
+        let k = keys().file_query("icpc -O3", &[1, 2]);
+
+        // Tenant alpha computes; tenant beta's identical query is a
+        // fleet shared hit and never recomputes.
+        assert_eq!(alpha.eval_score(&k, || Ok((2.5, 0.5))).unwrap(), (2.5, 0.5));
+        assert_eq!(
+            beta.eval_score(&k, || panic!("deduped fleet-wide"))
+                .unwrap(),
+            (2.5, 0.5)
+        );
+        // Intra-tenant repeat: absorbed by the child memo, invisible to
+        // the fleet.
+        assert_eq!(
+            alpha.eval_score(&k, || panic!("child memo hit")).unwrap(),
+            (2.5, 0.5)
+        );
+        let stats = fleet.stats();
+        assert_eq!(
+            (stats.executed, stats.memoized, stats.shared_hits),
+            (1, 0, 1),
+            "fleet shared_hits must count exactly the cross-tenant dedup"
+        );
+        assert_eq!(
+            fleet_trace
+                .snapshot()
+                .counter(counter_names::EXEC_QUERIES_SHARED_HITS),
+            1
+        );
+    }
+
+    #[test]
+    fn tenant_journal_is_complete_even_for_fleet_served_answers() {
+        let dir = std::env::temp_dir().join(format!(
+            "flit-ledger-upstream-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = TraceSink::disabled();
+        let fleet = QueryLedger::new(11, &trace);
+        let k = keys().file_query("icpc -O3", &[1]);
+
+        // Another tenant computed the answer first.
+        LedgerHandle::new(
+            {
+                let first = QueryLedger::new(11, &trace);
+                first.set_upstream(fleet.clone(), 1);
+                first
+            },
+            1,
+            "t/first",
+        )
+        .eval_score(&k, || Ok((4.0, 0.25)))
+        .unwrap();
+
+        // This tenant journals the answer it was *served*, so a
+        // restart replays it without touching the fleet.
+        let path = dir.join("tenant.jsonl");
+        let child = QueryLedger::new(11, &trace);
+        child.set_upstream(fleet.clone(), 2);
+        child.attach_journal(JournalWriter::create(&path, 11).unwrap());
+        LedgerHandle::new(child.clone(), 1, "t/second")
+            .eval_score(&k, || panic!("fleet-served"))
+            .unwrap();
+        assert_eq!(child.stats().appended, 1);
+
+        let fleet_before = fleet.stats();
+        let resumed = QueryLedger::new(11, &trace);
+        resumed.set_upstream(fleet.clone(), 2);
+        let (_, records) = JournalWriter::resume(&path, 11).unwrap();
+        resumed.preload(&records);
+        assert_eq!(
+            LedgerHandle::new(resumed, 1, "t/second")
+                .eval_score(&k, || panic!("must replay"))
+                .unwrap(),
+            (4.0, 0.25)
+        );
+        assert_eq!(
+            fleet.stats(),
+            fleet_before,
+            "journal replay must not re-query the fleet"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

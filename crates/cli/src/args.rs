@@ -189,6 +189,46 @@ pub enum Command {
     /// Serve Test/Time queries over stdin/stdout for a coordinator
     /// (the worker half of the `process` execution backend).
     Worker,
+    /// The multi-tenant workflow daemon and its control endpoints.
+    Serve {
+        /// Listen address (e.g. `127.0.0.1:7070`, port 0 for
+        /// ephemeral). Present = run the daemon (blocks until a
+        /// shutdown request drains it).
+        listen: Option<String>,
+        /// Query a running daemon's fleet status instead.
+        status: bool,
+        /// Drain and stop a running daemon instead.
+        shutdown: bool,
+        /// Daemon address for `--status` / `--shutdown`.
+        connect: Option<String>,
+        /// Root of the daemon's persistent state (per-tenant journals
+        /// live under `<dir>/tenants/`). Default `flit-serve-state`.
+        state_dir: Option<String>,
+        /// Concurrent submissions executed (runner threads).
+        max_inflight: Option<usize>,
+        /// Execution backend for submissions' bisection queries:
+        /// `threads` (default) or `process` (one shared worker pool,
+        /// drained at shutdown).
+        backend: Option<String>,
+        /// Worker count for the process backend.
+        workers: Option<usize>,
+        /// Export the daemon's JSONL trace here during shutdown drain
+        /// (render with `flit trace`; includes the Fleet table).
+        trace: Option<String>,
+    },
+    /// Submit one workflow to a running daemon and print the report.
+    Submit {
+        /// Application name.
+        app: String,
+        /// Daemon address.
+        connect: String,
+        /// Tenant id (namespaces the daemon-side checkpoint journal).
+        tenant: String,
+        /// Cap on bisections (default: all).
+        max_bisections: Option<usize>,
+        /// Worker threads for the workflow's bisection stage.
+        jobs: Option<usize>,
+    },
     /// Print usage.
     Help,
 }
@@ -219,6 +259,10 @@ USAGE:
   flit workflow <app> [--max-bisections <n>] [--jobs <n>] [--trace <file.jsonl>] [--lint seed|prune] [--checkpoint <file.jsonl>] [--resume <file.jsonl>] [--backend threads|process] [--workers <n>]
   flit fuzz --seeds <a>..<b> [--budget-secs <n>] [--shrink] [--jobs <n>] [--trace <file.jsonl>] [--backend threads|process]
   flit trace <file.jsonl> [--top <n>]
+  flit serve --listen <addr> [--state-dir <dir>] [--max-inflight <n>] [--backend threads|process] [--workers <n>] [--trace <file.jsonl>]
+  flit serve --status --connect <addr>
+  flit serve --shutdown --connect <addr>
+  flit submit <app> --connect <addr> --tenant <id> [--max-bisections <n>] [--jobs <n>]
   flit worker
   flit help
 
@@ -451,6 +495,47 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
             Command::Trace {
                 file,
                 top: num_flag("--top")?,
+            }
+        }
+        "serve" => {
+            let listen = flag_value("--listen");
+            let status = has_flag("--status");
+            let shutdown = has_flag("--shutdown");
+            let modes = usize::from(listen.is_some()) + usize::from(status) + usize::from(shutdown);
+            if modes != 1 {
+                return Err(ParseError(format!(
+                    "`serve` takes exactly one of --listen <addr>, --status, --shutdown\n\n{USAGE}"
+                )));
+            }
+            let connect = flag_value("--connect");
+            if (status || shutdown) && connect.is_none() {
+                return Err(ParseError(format!(
+                    "`serve --status`/`--shutdown` need --connect <addr>\n\n{USAGE}"
+                )));
+            }
+            Command::Serve {
+                listen,
+                status,
+                shutdown,
+                connect,
+                state_dir: flag_value("--state-dir"),
+                max_inflight: num_flag("--max-inflight")?,
+                backend: backend_flag()?,
+                workers: num_flag("--workers")?,
+                trace: flag_value("--trace"),
+            }
+        }
+        "submit" => {
+            let connect = flag_value("--connect")
+                .ok_or_else(|| ParseError(format!("`submit` needs --connect <addr>\n\n{USAGE}")))?;
+            let tenant = flag_value("--tenant")
+                .ok_or_else(|| ParseError(format!("`submit` needs --tenant <id>\n\n{USAGE}")))?;
+            Command::Submit {
+                app: positional()?,
+                connect,
+                tenant,
+                max_bisections: num_flag("--max-bisections")?,
+                jobs: num_flag("--jobs")?,
             }
         }
         "worker" => Command::Worker,
@@ -867,6 +952,112 @@ mod tests {
             "1,x"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_submit() {
+        assert_eq!(
+            parse(&v(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:7070",
+                "--state-dir",
+                "fleet",
+                "--max-inflight",
+                "4",
+                "--backend",
+                "process",
+                "--workers",
+                "3",
+                "--trace",
+                "serve.jsonl"
+            ]))
+            .unwrap()
+            .command,
+            Command::Serve {
+                listen: Some("127.0.0.1:7070".into()),
+                status: false,
+                shutdown: false,
+                connect: None,
+                state_dir: Some("fleet".into()),
+                max_inflight: Some(4),
+                backend: Some("process".into()),
+                workers: Some(3),
+                trace: Some("serve.jsonl".into()),
+            }
+        );
+        assert_eq!(
+            parse(&v(&["serve", "--status", "--connect", "127.0.0.1:7070"]))
+                .unwrap()
+                .command,
+            Command::Serve {
+                listen: None,
+                status: true,
+                shutdown: false,
+                connect: Some("127.0.0.1:7070".into()),
+                state_dir: None,
+                max_inflight: None,
+                backend: None,
+                workers: None,
+                trace: None,
+            }
+        );
+        assert_eq!(
+            parse(&v(&["serve", "--shutdown", "--connect", "127.0.0.1:7070"]))
+                .unwrap()
+                .command,
+            Command::Serve {
+                listen: None,
+                status: false,
+                shutdown: true,
+                connect: Some("127.0.0.1:7070".into()),
+                state_dir: None,
+                max_inflight: None,
+                backend: None,
+                workers: None,
+                trace: None,
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "submit",
+                "mfem",
+                "--connect",
+                "127.0.0.1:7070",
+                "--tenant",
+                "team-a",
+                "--max-bisections",
+                "2",
+                "--jobs",
+                "1"
+            ]))
+            .unwrap()
+            .command,
+            Command::Submit {
+                app: "mfem".into(),
+                connect: "127.0.0.1:7070".into(),
+                tenant: "team-a".into(),
+                max_bisections: Some(2),
+                jobs: Some(1),
+            }
+        );
+        // Exactly one serve mode; control endpoints need an address;
+        // submissions need a daemon and a tenant.
+        assert!(parse(&v(&["serve"])).is_err());
+        assert!(parse(&v(&["serve", "--listen", "127.0.0.1:0", "--status"])).is_err());
+        assert!(parse(&v(&["serve", "--status"])).is_err());
+        assert!(parse(&v(&["serve", "--shutdown"])).is_err());
+        assert!(parse(&v(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--backend",
+            "gpu"
+        ]))
+        .is_err());
+        assert!(parse(&v(&["submit", "mfem", "--tenant", "team-a"])).is_err());
+        assert!(parse(&v(&["submit", "mfem", "--connect", "127.0.0.1:7070"])).is_err());
+        assert!(parse(&v(&["submit", "--connect", "x", "--tenant", "t"])).is_err());
     }
 
     #[test]

@@ -141,6 +141,44 @@ pub fn execute(cli: &Cli) -> Result<String, ParseError> {
             backend.as_deref() == Some("process"),
         ),
         Command::Trace { file, top } => cmd_trace(file, top.unwrap_or(10)),
+        Command::Serve {
+            listen,
+            status,
+            connect,
+            state_dir,
+            max_inflight,
+            backend,
+            workers,
+            trace,
+            ..
+        } => match listen {
+            Some(listen) => crate::serve::run_serve(
+                listen,
+                state_dir.as_deref().unwrap_or("flit-serve-state"),
+                *max_inflight,
+                backend.as_deref(),
+                *workers,
+                trace.as_deref(),
+            ),
+            None => {
+                // The parser guarantees --connect for --status/--shutdown.
+                let addr = connect
+                    .as_deref()
+                    .ok_or_else(|| ParseError("`serve` control endpoints need --connect".into()))?;
+                if *status {
+                    cmd_serve_status(addr)
+                } else {
+                    cmd_serve_shutdown(addr)
+                }
+            }
+        },
+        Command::Submit {
+            app,
+            connect,
+            tenant,
+            max_bisections,
+            jobs,
+        } => cmd_submit(app, connect, tenant, *max_bisections, *jobs),
         Command::Worker => Err(ParseError(
             "`flit worker` serves a coordinator over stdin/stdout; it is spawned by \
              `--backend process`, not run for a report"
@@ -198,7 +236,7 @@ impl BackendChoice {
 /// the `worker` subcommand. `FLIT_WORKER_EXE` overrides the executable
 /// path (used by tests, whose `current_exe` is the test harness, not
 /// `flit`).
-fn worker_cmd() -> Result<Vec<String>, ParseError> {
+pub(crate) fn worker_cmd() -> Result<Vec<String>, ParseError> {
     let exe = match std::env::var("FLIT_WORKER_EXE") {
         Ok(path) => path,
         Err(_) => std::env::current_exe()
@@ -213,7 +251,7 @@ fn runner_error(e: RunnerError) -> ParseError {
     ParseError(format!("runner failed: {e}"))
 }
 
-fn get_app(name: &str) -> Result<BundledApp, ParseError> {
+pub(crate) fn get_app(name: &str) -> Result<BundledApp, ParseError> {
     resolve_app(name).ok_or_else(|| {
         ParseError(format!(
             "unknown application `{name}` (available: {})",
@@ -222,7 +260,10 @@ fn get_app(name: &str) -> Result<BundledApp, ParseError> {
     })
 }
 
-fn matrix_for(app: &BundledApp, compiler: Option<&str>) -> Result<Vec<Compilation>, ParseError> {
+pub(crate) fn matrix_for(
+    app: &BundledApp,
+    compiler: Option<&str>,
+) -> Result<Vec<Compilation>, ParseError> {
     let compilers: Vec<CompilerKind> = match compiler {
         None => {
             if app.name.starts_with("laghos") {
@@ -980,81 +1021,10 @@ fn cmd_workflow(
             ledger.set_backend_label("process");
         }
     }
-    let report = run_workflow(&app.program, &app.tests, &comps, &cfg).map_err(runner_error)?;
+    let report = run_workflow(&app.program, &app.tests, &comps, &cfg)
+        .map_err(|e| ParseError(format!("workflow failed: {e}")))?;
 
-    let mut out = format!(
-        "flit workflow {}{} (Figure 1)
-
-",
-        app.name,
-        choice.note()
-    );
-    out.push_str(&format!(
-        "[1] determinism pre-check: {}
-",
-        if report.deterministic {
-            "passed (bitwise run-to-run)"
-        } else {
-            "FAILED — determinize first (e.g. record/replay, race fixing)"
-        }
-    ));
-    let variable = report.db.rows.iter().filter(|r| r.is_variable()).count();
-    out.push_str(&format!(
-        "[2] matrix sweep: {} runs, {} variable
-",
-        report.db.rows.len(),
-        variable
-    ));
-    let (wins, total) = report.reproducible_fastest;
-    out.push_str(&format!(
-        "[2] analysis: fastest compilation is bitwise-reproducible for {wins}/{total} tests
-"
-    ));
-    out.push_str(&format!(
-        "[3] bisect: {} searches run
-",
-        report.bisections.len()
-    ));
-    use std::collections::BTreeMap;
-    let mut blame: BTreeMap<String, usize> = BTreeMap::new();
-    let mut link_step = 0usize;
-    let mut crashed = 0usize;
-    for b in &report.bisections {
-        use flit_bisect::hierarchy::SearchOutcome as SO;
-        match &b.result.outcome {
-            SO::Crashed(_) => crashed += 1,
-            SO::LinkStepOnly => link_step += 1,
-            _ => {
-                for s in &b.result.symbols {
-                    *blame.entry(s.symbol.clone()).or_default() += 1;
-                }
-            }
-        }
-    }
-    out.push_str(
-        "    blamed functions (by number of compilations):
-",
-    );
-    let mut ranked: Vec<(String, usize)> = blame.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    for (symbol, n) in ranked {
-        out.push_str(&format!(
-            "      {symbol:<32} {n}
-"
-        ));
-    }
-    if link_step > 0 {
-        out.push_str(&format!(
-            "    link-step variability (no file blame): {link_step}
-"
-        ));
-    }
-    if crashed > 0 {
-        out.push_str(&format!(
-            "    crashed mixed executables: {crashed}
-"
-        ));
-    }
+    let mut out = flit_core::workflow::render_workflow_report(app.name, &choice.note(), &report);
     if let Some(path) = trace_path {
         let jsonl = cfg.trace.snapshot().to_jsonl();
         // Atomic tmp-file + rename: a reader (or a crash mid-write) can
@@ -1106,6 +1076,106 @@ fn cmd_fuzz(
     } else {
         // A divergence is a pipeline bug: fail the process so CI trips.
         Err(ParseError(out))
+    }
+}
+
+/// Map a daemon exchange onto the command result: transport failures
+/// and the daemon's structured `Error` responses both become
+/// `ParseError`s — never a panic, never a silent empty report.
+fn daemon_response(
+    what: &str,
+    addr: &str,
+    result: std::io::Result<flit_serve::protocol::Response>,
+) -> Result<flit_serve::protocol::Response, ParseError> {
+    match result {
+        Ok(flit_serve::protocol::Response::Error { message }) => {
+            Err(ParseError(format!("daemon refused {what}: {message}")))
+        }
+        Ok(response) => Ok(response),
+        Err(e) => Err(ParseError(format!(
+            "cannot reach a flit-serve daemon at `{addr}`: {e}"
+        ))),
+    }
+}
+
+fn cmd_submit(
+    app: &str,
+    connect: &str,
+    tenant: &str,
+    max_bisections: Option<usize>,
+    jobs: Option<usize>,
+) -> Result<String, ParseError> {
+    let response = daemon_response(
+        "the submission",
+        connect,
+        flit_serve::protocol::submit(connect, tenant, app, max_bisections, jobs),
+    )?;
+    match response {
+        flit_serve::protocol::Response::Report { body, .. } => Ok(body),
+        other => Err(ParseError(format!(
+            "unexpected daemon response to a submission: {other:?}"
+        ))),
+    }
+}
+
+fn cmd_serve_status(connect: &str) -> Result<String, ParseError> {
+    let response = daemon_response(
+        "the status request",
+        connect,
+        flit_serve::protocol::status(connect),
+    )?;
+    let flit_serve::protocol::Response::Status(s) = response else {
+        return Err(ParseError(format!(
+            "unexpected daemon response to a status request: {response:?}"
+        )));
+    };
+    let mut out = format!("flit-serve status ({connect})\n\n");
+    out.push_str(&format!("protocol version: {}\n", s.version));
+    out.push_str(&format!(
+        "tenants ({}): {}\n",
+        s.tenants.len(),
+        if s.tenants.is_empty() {
+            "-".to_string()
+        } else {
+            s.tenants.join(", ")
+        }
+    ));
+    out.push_str(&format!(
+        "submissions: {} accepted, {} completed, {} rejected\n",
+        s.submissions, s.completed, s.rejected
+    ));
+    out.push_str(&format!(
+        "fleet queries: {} executed, {} memoized, {} shared hits\n",
+        s.fleet.executed, s.fleet.memoized, s.fleet.shared_hits
+    ));
+    match s.latency {
+        Some(l) => out.push_str(&format!(
+            "submit latency (simulated s): n={} mean={} ci{:.0}=[{}, {}] p95={}\n",
+            l.n,
+            fmt_f64(l.mean, 3),
+            l.level * 100.0,
+            fmt_f64(l.ci_lo, 3),
+            fmt_f64(l.ci_hi, 3),
+            fmt_f64(l.p95, 3)
+        )),
+        None => out.push_str("submit latency: no completed submissions yet\n"),
+    }
+    Ok(out)
+}
+
+fn cmd_serve_shutdown(connect: &str) -> Result<String, ParseError> {
+    let response = daemon_response(
+        "the shutdown request",
+        connect,
+        flit_serve::protocol::shutdown(connect),
+    )?;
+    match response {
+        flit_serve::protocol::Response::ShutdownAck { completed } => Ok(format!(
+            "daemon at {connect} drained and stopped ({completed} submissions completed)\n"
+        )),
+        other => Err(ParseError(format!(
+            "unexpected daemon response to a shutdown request: {other:?}"
+        ))),
     }
 }
 

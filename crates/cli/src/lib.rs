@@ -17,6 +17,7 @@
 pub mod apps;
 pub mod args;
 pub mod commands;
+pub mod serve;
 pub mod worker;
 
 pub use apps::{app_names, resolve_app, BundledApp};

@@ -239,6 +239,79 @@ fn process_checkpoint_accounts_exactly_once_and_resumes_dead() {
 }
 
 #[test]
+fn a_poisoned_pool_lock_mid_search_never_aborts_and_accounts_exactly_once() {
+    use flit_bisect::hierarchy::{bisect_hierarchical_parallel, HierarchicalConfig};
+    use flit_bisect::ledger::{LedgerHandle, QueryLedger};
+    use flit_core::test::FlitTest;
+    use flit_exec::{ExecBackend, ProcessBackend};
+    use flit_program::build::Build;
+    use flit_toolchain::cache::BuildCtx;
+    use flit_toolchain::compilation::Compilation;
+    use flit_toolchain::compiler::CompilerKind;
+    use flit_trace::sink::TraceSink;
+    use std::sync::Arc;
+
+    let app = flit_cli::resolve_app("mfem").expect("mfem is bundled");
+    let test = app
+        .tests
+        .iter()
+        .find(|t| t.name() == "ex13")
+        .expect("ex13 exists");
+    let comp = flit_cli::args::parse_compilation("g++ -O3 -mavx2 -mfma").unwrap();
+    let baseline = Build::new(&app.program, Compilation::baseline());
+    let variable = Build::tagged(&app.program, comp.clone(), 1);
+    let input = test.default_input();
+    let input = &input[..test.inputs_per_run().min(input.len())];
+
+    let worker = vec![env!("CARGO_BIN_EXE_flit").to_string(), "worker".to_string()];
+    let run = |poison: bool| {
+        let backend = Arc::new(ProcessBackend::new(worker.clone(), 2));
+        if poison {
+            // A panic while holding the pool lock used to abort every
+            // subsequent dispatch via `.expect("pool lock")`; now the
+            // poisoned lock is recovered and the search proceeds.
+            backend.poison_pool_for_tests();
+        }
+        let ledger = QueryLedger::new(app.program.fingerprint(), &TraceSink::disabled());
+        let cfg = HierarchicalConfig {
+            link_driver: CompilerKind::Gcc,
+            k: None,
+            ctx: BuildCtx::cached(),
+            trace: TraceSink::disabled(),
+            prescreen: None,
+            ledger: Some(LedgerHandle::new(
+                ledger.clone(),
+                1,
+                format!("{}/{}", test.name(), comp.label()),
+            )),
+            backend: None,
+        }
+        .with_backend(backend.clone() as Arc<dyn ExecBackend>);
+        let result = bisect_hierarchical_parallel(
+            &baseline,
+            &variable,
+            test.driver(),
+            input,
+            &flit_core::metrics::l2_compare,
+            &cfg,
+            &*backend,
+        );
+        (result, ledger.stats())
+    };
+
+    let (clean, clean_stats) = run(false);
+    let (poisoned, poisoned_stats) = run(true);
+    assert_eq!(
+        poisoned, clean,
+        "recovering a poisoned pool lock must not change findings"
+    );
+    // Exactly-once completion: the recovery path must not lose or
+    // double-count a single physical query.
+    assert_eq!(poisoned_stats, clean_stats);
+    assert!(clean_stats.executed > 0);
+}
+
+#[test]
 fn process_trace_renders_the_distributed_execution_table() {
     let path = std::env::temp_dir().join("flit-process-backend-trace.jsonl");
     std::fs::remove_file(&path).ok();

@@ -29,6 +29,47 @@ use crate::metrics::l2_compare;
 use crate::runner::{run_matrix_in, RunnerConfig, RunnerError};
 use crate::test::{DriverTest, FlitTest};
 
+/// Why a workflow could not produce a report.
+///
+/// The daemon use case (`flit-serve`) is why this is structured: a
+/// long-lived process runs many tenants' workflows, and any failure
+/// must come back as an error *response* for that one tenant, never a
+/// panic that takes the process (and every other tenant) down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowError {
+    /// The matrix sweep (or its baseline) failed.
+    Runner(RunnerError),
+    /// A results-database row names a test that is not in the current
+    /// suite. This happens when resumed state drifts from the code —
+    /// e.g. a test was renamed between checkpoint and resume — and
+    /// used to be an `expect` panic inside the bisection fan-out.
+    RowMismatch {
+        /// The test name the database row carries.
+        test: String,
+    },
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::Runner(e) => write!(f, "{e}"),
+            WorkflowError::RowMismatch { test } => write!(
+                f,
+                "results row names test `{test}`, which is not in the current suite \
+                 (did the suite change between checkpoint and resume?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<RunnerError> for WorkflowError {
+    fn from(e: RunnerError) -> Self {
+        WorkflowError::Runner(e)
+    }
+}
+
 /// One bisected compilation in the workflow report.
 #[derive(Debug)]
 pub struct BisectedCompilation {
@@ -54,6 +95,73 @@ pub struct WorkflowReport {
     /// Bisection results for the variable compilations (bounded by
     /// `max_bisections`).
     pub bisections: Vec<BisectedCompilation>,
+}
+
+/// Render a [`WorkflowReport`] as the canonical `flit workflow` text
+/// report (Figure 1): the determinism pre-check, sweep and analysis
+/// summaries, and the blamed-function ranking.
+///
+/// Both the CLI and the `flit-serve` daemon render through this one
+/// function, so a workflow submitted to the daemon is byte-identical
+/// to a serial `flit workflow` run — the invariant the serve test
+/// suite pins. `note` is appended to the header line (the CLI uses it
+/// for the backend annotation); pass `""` for none. The counters in
+/// `report` are logical (they count query *answers*, not executions),
+/// so replayed or deduplicated runs render identically too.
+pub fn render_workflow_report(name: &str, note: &str, report: &WorkflowReport) -> String {
+    let mut out = format!("flit workflow {name}{note} (Figure 1)\n\n");
+    out.push_str(&format!(
+        "[1] determinism pre-check: {}\n",
+        if report.deterministic {
+            "passed (bitwise run-to-run)"
+        } else {
+            "FAILED — determinize first (e.g. record/replay, race fixing)"
+        }
+    ));
+    let variable = report.db.rows.iter().filter(|r| r.is_variable()).count();
+    out.push_str(&format!(
+        "[2] matrix sweep: {} runs, {} variable\n",
+        report.db.rows.len(),
+        variable
+    ));
+    let (wins, total) = report.reproducible_fastest;
+    out.push_str(&format!(
+        "[2] analysis: fastest compilation is bitwise-reproducible for {wins}/{total} tests\n"
+    ));
+    out.push_str(&format!(
+        "[3] bisect: {} searches run\n",
+        report.bisections.len()
+    ));
+    let mut blame: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    let mut link_step = 0usize;
+    let mut crashed = 0usize;
+    for b in &report.bisections {
+        use flit_bisect::hierarchy::SearchOutcome as SO;
+        match &b.result.outcome {
+            SO::Crashed(_) => crashed += 1,
+            SO::LinkStepOnly => link_step += 1,
+            _ => {
+                for s in &b.result.symbols {
+                    *blame.entry(s.symbol.clone()).or_default() += 1;
+                }
+            }
+        }
+    }
+    out.push_str("    blamed functions (by number of compilations):\n");
+    let mut ranked: Vec<(String, usize)> = blame.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (symbol, n) in ranked {
+        out.push_str(&format!("      {symbol:<32} {n}\n"));
+    }
+    if link_step > 0 {
+        out.push_str(&format!(
+            "    link-step variability (no file blame): {link_step}\n"
+        ));
+    }
+    if crashed > 0 {
+        out.push_str(&format!("    crashed mixed executables: {crashed}\n"));
+    }
+    out
 }
 
 /// How the static prescreen (`flit-lint`) participates in the
@@ -167,7 +275,7 @@ pub fn run_workflow(
     tests: &[DriverTest],
     compilations: &[Compilation],
     cfg: &WorkflowConfig,
-) -> Result<WorkflowReport, RunnerError> {
+) -> Result<WorkflowReport, WorkflowError> {
     // Propagate the workflow sink downward unless a sub-config already
     // carries its own enabled sink.
     let mut runner_cfg = cfg.runner.clone();
@@ -195,7 +303,8 @@ pub fn run_workflow(
         None => BuildCtx::counting(),
     };
     let dyn_tests: Vec<&dyn FlitTest> = tests.iter().map(|t| t as &dyn FlitTest).collect();
-    let mut db = run_matrix_in(program, &dyn_tests, compilations, &runner_cfg, &ctx)?;
+    let mut db = run_matrix_in(program, &dyn_tests, compilations, &runner_cfg, &ctx)
+        .map_err(WorkflowError::Runner)?;
     trace.span(
         phase::WORKFLOW,
         "sweep",
@@ -207,7 +316,37 @@ pub fn run_workflow(
     let reproducible_fastest = fastest_is_reproducible_count(&db);
     trace.span(phase::WORKFLOW, "analysis", bars.len() as u64, 0.0);
 
-    // Level 3: bisect every variable (test, compilation) pair.
+    let bisections = bisect_variable_rows(program, tests, &db, cfg, &ctx)?;
+    db.build_stats = ctx.stats();
+
+    Ok(WorkflowReport {
+        deterministic,
+        db,
+        bars,
+        reproducible_fastest,
+        bisections,
+    })
+}
+
+/// Level 3 of the workflow as a standalone, resumable stage: bisect
+/// every variable `(test, compilation)` row of `db` (bounded by
+/// `cfg.max_bisections`) against the suite in `tests`.
+///
+/// This is public so a job owner holding persisted state — the
+/// `flit-serve` daemon resuming a tenant's workflow, or anything else
+/// that kept a [`ResultsDb`] across runs — can re-enter the bisection
+/// stage directly. Because the database may be older than the code, a
+/// row whose test name is no longer in the suite is a structured
+/// [`WorkflowError::RowMismatch`] naming the offending test, not a
+/// panic.
+pub fn bisect_variable_rows(
+    program: &SimProgram,
+    tests: &[DriverTest],
+    db: &ResultsDb,
+    cfg: &WorkflowConfig,
+    ctx: &BuildCtx,
+) -> Result<Vec<BisectedCompilation>, WorkflowError> {
+    let trace = &cfg.trace;
     let variable_rows = db.rows.iter().filter(|r| r.is_variable()).count();
     trace
         .counter(counter_names::WORKFLOW_VARIABLE_ROWS)
@@ -236,12 +375,16 @@ pub fn run_workflow(
         .unwrap_or_else(|| QueryLedger::new(program.fingerprint(), trace));
     let backend = ThreadsBackend::with_trace(cfg.jobs, trace.clone());
     let results = run_on(&backend, rows.len(), |i| {
-        launched.incr(1);
         let row = rows[i];
-        let test = tests
-            .iter()
-            .find(|t| t.name() == row.test)
-            .expect("db rows correspond to suite tests");
+        // A database resumed from disk can drift from the suite (a test
+        // renamed between checkpoint and resume): report the row, don't
+        // panic the fan-out.
+        let Some(test) = tests.iter().find(|t| t.name() == row.test) else {
+            return Err(WorkflowError::RowMismatch {
+                test: row.test.clone(),
+            });
+        };
+        launched.incr(1);
         let driver: &Driver = test.driver();
         let baseline = Build::new(program, cfg.runner.baseline.clone());
         let variable = Build::tagged(program, row.compilation.clone(), 1);
@@ -268,22 +411,27 @@ pub fn run_workflow(
                     .with_prescreen(pred.prescreen(mode == LintMode::Prune))
             }
         };
-        bisect_hierarchical(
+        Ok(bisect_hierarchical(
             &baseline,
             &variable,
             driver,
             &input[..test.inputs_per_run().min(input.len())],
             &l2_compare,
             &row_cfg.with_ledger(handle),
-        )
+        ))
     })
     .map_err(|e| match e {
-        ExecError::WorkerPanicked { job, message } => RunnerError::WorkerPanicked {
-            compilation: rows[job].compilation.label(),
-            message,
-        },
-        ExecError::Backend { message } => RunnerError::Backend { message },
+        ExecError::WorkerPanicked { job, message } => {
+            WorkflowError::Runner(RunnerError::WorkerPanicked {
+                compilation: rows[job].compilation.label(),
+                message,
+            })
+        }
+        ExecError::Backend { message } => WorkflowError::Runner(RunnerError::Backend { message }),
     })?;
+    // Mismatches are collected, not raced: the lowest row index wins,
+    // so the error is schedule-independent like everything else here.
+    let results: Vec<HierarchicalResult> = results.into_iter().collect::<Result<_, _>>()?;
     let bisections: Vec<BisectedCompilation> = rows
         .iter()
         .zip(results)
@@ -299,15 +447,7 @@ pub fn run_workflow(
         bisections.iter().map(|b| b.result.executions as u64).sum(),
         0.0,
     );
-    db.build_stats = ctx.stats();
-
-    Ok(WorkflowReport {
-        deterministic,
-        db,
-        bars,
-        reproducible_fastest,
-        bisections,
-    })
+    Ok(bisections)
 }
 
 #[cfg(test)]
@@ -409,6 +549,42 @@ mod tests {
             assert_eq!(w.compilation, s.compilation);
             assert_eq!(w.result, s.result);
         }
+    }
+
+    #[test]
+    fn stale_db_row_is_a_structured_row_mismatch_not_a_panic() {
+        // A journal checkpointed before a suite rename carries rows
+        // naming the old test. Resuming must hand the owner (a daemon
+        // tenant) a structured error naming the row, not panic.
+        let p = program();
+        let tests = suite();
+        let comp = Compilation::new(CompilerKind::Gcc, OptLevel::O2, vec![Switch::Avx2Fma]);
+        let db = ResultsDb {
+            app: p.name.clone(),
+            rows: vec![crate::db::RunRecord {
+                test: "ex1_renamed_away".into(),
+                compilation: comp.clone(),
+                label: comp.label(),
+                seconds: Some(1.0),
+                comparison: 0.25,
+                bitwise_equal: false,
+                baseline_norm: 1.0,
+                crashed: false,
+            }],
+            build_stats: Default::default(),
+        };
+        let ctx = BuildCtx::counting();
+        let err = bisect_variable_rows(&p, &tests, &db, &WorkflowConfig::default(), &ctx)
+            .expect_err("a row naming an unknown test must be rejected");
+        assert_eq!(
+            err,
+            WorkflowError::RowMismatch {
+                test: "ex1_renamed_away".into()
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("ex1_renamed_away"), "{msg}");
+        assert!(msg.contains("not in the current suite"), "{msg}");
     }
 
     #[test]

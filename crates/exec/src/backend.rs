@@ -82,6 +82,16 @@ pub trait ExecBackend: Send + Sync + fmt::Debug {
     /// Ship one query envelope to the evaluation plane and block for
     /// its answer.
     fn dispatch(&self, query: &QueryEnvelope) -> Result<AnswerEnvelope, ExecError>;
+
+    /// Gracefully wind the backend down: wait until no query is in
+    /// flight, then release whatever execution resources it holds
+    /// (worker subprocesses, pools). Long-lived owners — the
+    /// `flit-serve` daemon — call this once all submissions have
+    /// drained, before the backend is dropped; a backend with no
+    /// long-lived resources (the in-process `threads` backend) has
+    /// nothing to do. Dispatching after `drain` is allowed and simply
+    /// re-acquires resources on demand.
+    fn drain(&self) {}
 }
 
 /// Typed fan-out over any backend: run `f` for each index and collect

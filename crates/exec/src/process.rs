@@ -216,6 +216,38 @@ impl ProcessBackend {
         self.kill_schedule.len() + 3
     }
 
+    /// Lock the pool state, recovering a poisoned guard.
+    ///
+    /// A coordinator thread that panics while holding this lock (the
+    /// executor catches the unwind, but the guard is already dropped
+    /// poisoned) must not cascade into an abort for every other
+    /// in-flight dispatch. Recovery is sound here because every pool
+    /// mutation is requeue-idempotent: `idle`/`live`/`spawned` are
+    /// adjusted in single steps and a worker observed in any
+    /// intermediate state is simply retired and respawned by the
+    /// normal crash-recovery path.
+    fn pool(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Test hook: poison the pool lock by panicking a thread that holds
+    /// it, simulating a coordinator panic mid-dispatch.
+    #[doc(hidden)]
+    pub fn poison_pool_for_tests(&self) {
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = self.pool();
+                    panic!("injected pool poison");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the injected panic must poison the lock");
+        assert!(self.state.is_poisoned(), "lock must now be poisoned");
+    }
+
     fn spawn_worker(&self, index: usize) -> Result<Worker, String> {
         let mut command = Command::new(&self.cmd[0]);
         command
@@ -245,7 +277,7 @@ impl ProcessBackend {
     /// Take an idle worker, spawning one if the pool is under width;
     /// blocks while the pool is saturated.
     fn checkout(&self) -> Result<Worker, String> {
-        let mut state = self.state.lock().expect("worker pool lock poisoned");
+        let mut state = self.pool();
         loop {
             if let Some(worker) = state.idle.pop() {
                 return Ok(worker);
@@ -256,7 +288,7 @@ impl ProcessBackend {
                 state.spawned += 1;
                 drop(state);
                 return self.spawn_worker(index).inspect_err(|_| {
-                    let mut state = self.state.lock().expect("worker pool lock poisoned");
+                    let mut state = self.pool();
                     state.live -= 1;
                     self.available.notify_one();
                 });
@@ -264,12 +296,12 @@ impl ProcessBackend {
             state = self
                 .available
                 .wait(state)
-                .expect("worker pool lock poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     fn checkin(&self, worker: Worker) {
-        let mut state = self.state.lock().expect("worker pool lock poisoned");
+        let mut state = self.pool();
         state.idle.push(worker);
         self.available.notify_one();
     }
@@ -281,7 +313,7 @@ impl ProcessBackend {
             .incr(1);
         let _ = worker.child.kill();
         let _ = worker.child.wait();
-        let mut state = self.state.lock().expect("worker pool lock poisoned");
+        let mut state = self.pool();
         state.live -= 1;
         self.available.notify_one();
     }
@@ -349,6 +381,26 @@ impl ExecBackend for ProcessBackend {
         self.local.run(units, f).map(|_| ())
     }
 
+    /// Graceful drain: wait until every checked-out worker has been
+    /// returned (or retired), then reap the idle pool. The backend
+    /// stays usable — a later dispatch respawns workers on demand.
+    fn drain(&self) {
+        let mut state = self.pool();
+        while state.idle.len() < state.live {
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let idle: Vec<Worker> = state.idle.drain(..).collect();
+        state.live -= idle.len();
+        for mut worker in idle {
+            drop(worker.stdin);
+            let _ = worker.child.kill();
+            let _ = worker.child.wait();
+        }
+    }
+
     fn dispatch(&self, query: &QueryEnvelope) -> Result<AnswerEnvelope, ExecError> {
         self.trace.counter(counter::EXEC_BACKEND_DISPATCHED).incr(1);
         let mut attempts = 0usize;
@@ -382,7 +434,7 @@ impl ExecBackend for ProcessBackend {
 
 impl Drop for ProcessBackend {
     fn drop(&mut self) {
-        let mut state = self.state.lock().expect("worker pool lock poisoned");
+        let mut state = self.pool();
         for mut worker in state.idle.drain(..) {
             // Closing stdin asks the worker to exit; kill covers a
             // worker stuck mid-query.
@@ -545,6 +597,57 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("bad frame"), "{err}");
+    }
+
+    #[test]
+    fn a_poisoned_pool_lock_is_recovered_not_cascaded() {
+        // A coordinator thread that panics while holding the pool lock
+        // poisons it. Before the fix, every subsequent dispatch (any
+        // other tenant's queries) panicked in `checkout` and aborted
+        // the run; now the guard is recovered and dispatch proceeds to
+        // its normal structured-error path.
+        let backend = ProcessBackend::new(vec!["false".into()], 2);
+        backend.poison_pool_for_tests();
+        let err = backend
+            .dispatch(&QueryEnvelope {
+                task_digest: "t".into(),
+                task: "{}".into(),
+                spec: "{}".into(),
+            })
+            .unwrap_err();
+        match err {
+            ExecError::Backend { message } => {
+                assert!(message.contains("giving up"), "{message}");
+            }
+            other => panic!("expected Backend, got {other:?}"),
+        }
+        // Checkin/retire/drain paths also survive the poisoned lock.
+        backend.drain();
+    }
+
+    #[test]
+    fn drain_reaps_idle_workers_and_leaves_the_backend_usable() {
+        // `sleep` ignores stdin, so every spawned worker is immortal
+        // until killed; checkout/checkin park one in the idle pool.
+        let backend = ProcessBackend::new(vec!["sleep".into(), "30".into()], 2);
+        let worker = backend.checkout().expect("spawn succeeds");
+        let pid = worker.child.id();
+        backend.checkin(worker);
+        {
+            let state = backend.pool();
+            assert_eq!((state.idle.len(), state.live), (1, 1));
+        }
+        backend.drain();
+        {
+            let state = backend.pool();
+            assert_eq!((state.idle.len(), state.live), (0, 0));
+        }
+        // The worker process is gone (kill+wait happened), and the
+        // backend can still spawn fresh workers afterwards.
+        let again = backend.checkout().expect("respawn after drain");
+        assert_ne!(again.child.id(), pid);
+        backend.checkin(again);
+        backend.drain();
     }
 
     #[test]

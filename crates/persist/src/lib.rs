@@ -49,6 +49,49 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()>
     result
 }
 
+/// Reduce a tenant id to a filesystem-safe directory name: ASCII
+/// alphanumerics, `-`, `_`, and `.` pass through; every other byte
+/// (path separators, traversal dots are covered by the leading-dot
+/// rule below, spaces, control characters) becomes `_`. A name that
+/// would start with `.` is prefixed with `_` so no tenant can produce
+/// a hidden directory or `..`. Empty input becomes `"_"`.
+///
+/// The mapping is not injective (`a/b` and `a_b` collide); the serve
+/// layer keys its in-memory state on the *raw* tenant id and only uses
+/// this for directory names, so a collision merges journals — safe,
+/// because journal records are validated against the program
+/// fingerprint on resume — rather than crossing a trust boundary.
+pub fn sanitize_tenant(tenant: &str) -> String {
+    let mut out: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.starts_with('.') {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// The per-tenant checkpoint-journal path used by the `flit-serve`
+/// daemon: `<state_dir>/tenants/<sanitized tenant>/journal-<fingerprint
+/// as 16 hex digits>.jsonl`. Namespacing by tenant keeps each tenant's
+/// resume state independent; keying the file name on the program's
+/// structural fingerprint keeps journals for different applications
+/// (or different versions of one) from mixing in a tenant's directory.
+pub fn tenant_journal_path(state_dir: impl AsRef<Path>, tenant: &str, fingerprint: u64) -> PathBuf {
+    state_dir
+        .as_ref()
+        .join("tenants")
+        .join(sanitize_tenant(tenant))
+        .join(format!("journal-{fingerprint:016x}.jsonl"))
+}
+
 /// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes` — the
 /// per-record checksum used by the checkpoint journal.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -356,5 +399,74 @@ mod tests {
             w.join().unwrap();
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Two *processes* (daemon replicas, or daemon + CLI) checkpointing
+    /// one journal path concurrently: after the dust settles, the
+    /// surviving file must be exactly one writer's complete output, and
+    /// every framed record in it must validate — a file interleaving
+    /// two writers' records would fail both checks.
+    #[test]
+    fn concurrent_framed_checkpoints_survive_as_one_writers_crc_valid_output() {
+        let dir = tmp_dir("framed-race");
+        let p = dir.join("journal.jsonl");
+        let checkpoint = |writer: usize| -> String {
+            (0..64)
+                .map(|seq| {
+                    frame_record(&format!(
+                        "{{\"writer\":{writer},\"seq\":{seq},\"answer\":\"score {seq}\"}}"
+                    )) + "\n"
+                })
+                .collect()
+        };
+        let checkpoints: Vec<String> = (0..4).map(checkpoint).collect();
+        std::thread::scope(|scope| {
+            for pay in &checkpoints {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        write_atomic(&p, pay.as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        let survivor = fs::read_to_string(&p).unwrap();
+        assert!(
+            checkpoints.contains(&survivor),
+            "survivor is not any single writer's complete output ({} bytes)",
+            survivor.len()
+        );
+        let writers: std::collections::BTreeSet<&str> = survivor
+            .lines()
+            .map(|line| {
+                let payload = unframe_record(line).expect("every surviving record is CRC-valid");
+                &payload[..payload.find(",\"seq\"").unwrap()]
+            })
+            .collect();
+        assert_eq!(writers.len(), 1, "records from two writers interleaved");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tenant_journal_paths_are_namespaced_and_traversal_safe() {
+        let base = Path::new("/srv/flit");
+        assert_eq!(
+            tenant_journal_path(base, "team-a", 0xabcd),
+            base.join("tenants/team-a/journal-000000000000abcd.jsonl")
+        );
+        // Distinct tenants never share a directory.
+        assert_ne!(
+            tenant_journal_path(base, "team-a", 1),
+            tenant_journal_path(base, "team-b", 1)
+        );
+        // Hostile ids cannot escape the state dir or hide the journal.
+        for hostile in ["../../etc", "a/b", "a\\b", "..", ".hidden", "", "a b"] {
+            let path = tenant_journal_path(base, hostile, 1);
+            assert!(path.starts_with(base.join("tenants")), "{path:?}");
+            assert_eq!(path.components().count(), base.components().count() + 3);
+            let dir = path.parent().unwrap().file_name().unwrap();
+            assert!(!dir.to_string_lossy().starts_with('.'), "{path:?}");
+        }
+        assert_eq!(sanitize_tenant("Team_7.prod"), "Team_7.prod");
+        assert_eq!(sanitize_tenant("../../etc"), "_.._.._etc");
     }
 }

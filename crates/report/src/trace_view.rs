@@ -265,6 +265,37 @@ pub fn distributed_execution(trace: &Trace) -> Table {
     t
 }
 
+/// Fleet accounting for the `flit-serve` daemon: submission volume,
+/// tenant count, and the fleet-wide query dedup that multi-tenant
+/// single-flight buys (`exec.queries.shared_hits` recorded on the
+/// daemon's sink counts exactly the cross-tenant hits, because every
+/// tenant evaluates through the fleet ledger under its own origin).
+/// Rendered only when a daemon actually accepted submissions.
+pub fn fleet_summary(trace: &Trace) -> Table {
+    let mut t = Table::new(&["counter", "value"])
+        .with_title("Fleet (flit-serve)")
+        .with_aligns(&[Align::Left, Align::Right]);
+    if trace.counter(counter::SERVE_SUBMISSIONS) == 0 {
+        return t;
+    }
+    let rows = [
+        ("submissions accepted", counter::SERVE_SUBMISSIONS),
+        ("submissions completed", counter::SERVE_COMPLETED),
+        ("submissions rejected", counter::SERVE_REJECTED),
+        ("tenants", counter::SERVE_TENANTS),
+        ("status requests", counter::SERVE_STATUS_REQUESTS),
+        ("fleet queries executed", counter::EXEC_QUERIES_EXECUTED),
+        (
+            "cross-tenant shared hits",
+            counter::EXEC_QUERIES_SHARED_HITS,
+        ),
+    ];
+    for (name, key) in rows {
+        t.row(&[name.to_string(), trace.counter(key).to_string()]);
+    }
+    t
+}
+
 /// Fuzz-campaign accounting: seeds checked, pass/divergence split,
 /// explained ABI-hazard crashes, resume checks, and shrink effort.
 /// Rendered only when a campaign actually ran (all counters zero
@@ -329,6 +360,11 @@ pub fn render_trace(trace: &Trace, top: usize) -> String {
     if !distributed.is_empty() {
         out.push('\n');
         out.push_str(&distributed.render());
+    }
+    let fleet = fleet_summary(trace);
+    if !fleet.is_empty() {
+        out.push('\n');
+        out.push_str(&fleet.render());
     }
     let fuzz = fuzz_campaign(trace);
     if !fuzz.is_empty() {
@@ -445,6 +481,30 @@ mod tests {
         assert!(!out.contains("Static prescreen"));
         // No ledger activity → no resume/dedup section.
         assert!(!out.contains("Resume & dedup"));
+    }
+
+    #[test]
+    fn fleet_section_appears_only_when_a_daemon_accepted_submissions() {
+        let counters: BTreeMap<String, u64> = [
+            (counter::SERVE_SUBMISSIONS.to_string(), 6),
+            (counter::SERVE_COMPLETED.to_string(), 5),
+            (counter::SERVE_REJECTED.to_string(), 1),
+            (counter::SERVE_TENANTS.to_string(), 3),
+            (counter::SERVE_STATUS_REQUESTS.to_string(), 2),
+            (counter::EXEC_QUERIES_EXECUTED.to_string(), 40),
+            (counter::EXEC_QUERIES_SHARED_HITS.to_string(), 25),
+        ]
+        .into_iter()
+        .collect();
+        let out = render_trace(&Trace::from_parts(vec![], counters), 5);
+        assert!(out.contains("Fleet (flit-serve)"), "{out}");
+        let line = |name: &str| out.lines().find(|l| l.contains(name)).unwrap().to_string();
+        assert!(line("submissions accepted").contains('6'));
+        assert!(line("tenants").contains('3'));
+        assert!(line("cross-tenant shared hits").contains("25"));
+        // A serial run with ledger activity but no daemon must not
+        // surface the Fleet table.
+        assert!(!render_trace(&sample_trace(), 5).contains("Fleet (flit-serve)"));
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub mod phase {
     pub const PERF_FILE: &str = "perf.file";
     /// Symbol-level performance-bisect spans (one per searched file).
     pub const PERF_SYMBOL: &str = "perf.symbol";
+    /// `flit-serve` daemon spans: one per completed workflow submission
+    /// (cost = 1, duration = the job's simulated seconds).
+    pub const SERVE: &str = "serve";
 }
 
 /// Counter names.
@@ -157,4 +160,17 @@ pub mod counter {
     pub const FUZZ_BOUND_CHECKS: &str = "fuzz.bound.checks";
     /// Accepted delta-debugging shrink steps across all divergences.
     pub const FUZZ_SHRINK_STEPS: &str = "fuzz.shrink.steps";
+
+    /// Workflow submissions accepted by the `flit-serve` daemon.
+    pub const SERVE_SUBMISSIONS: &str = "serve.submissions";
+    /// Submissions that ran to completion (success or structured
+    /// workflow error — everything that produced a response).
+    pub const SERVE_COMPLETED: &str = "serve.completed";
+    /// Submissions refused by admission control (queue at capacity or
+    /// daemon draining).
+    pub const SERVE_REJECTED: &str = "serve.rejected";
+    /// Distinct tenant ids seen since the daemon started.
+    pub const SERVE_TENANTS: &str = "serve.tenants";
+    /// Status endpoint requests served.
+    pub const SERVE_STATUS_REQUESTS: &str = "serve.status.requests";
 }

@@ -42,6 +42,7 @@ pub use flit_mfem as mfem;
 pub use flit_persist as persist;
 pub use flit_program as program;
 pub use flit_report as report;
+pub use flit_serve as serve;
 pub use flit_toolchain as toolchain;
 pub use flit_trace as trace;
 

@@ -42,6 +42,24 @@ if [[ "${1:-}" == "--quick" ]]; then
       --prune certified > /dev/null
   ./target/debug/flit bound mfem --pair "g++ -O2" "g++ -O3 -mavx2 -mfma" > /dev/null
   ./target/debug/flit fuzz --seeds 0..25 > /dev/null
+  echo "== quick: flit-serve (protocol/sched/daemon units + multi-tenant suite) =="
+  cargo test -q -p flit-serve
+  cargo test -q -p flit-cli --test serve_daemon
+  echo "== quick: flit-serve daemon smoke (start, submit, status, graceful shutdown) =="
+  rm -rf target/serve-smoke
+  ./target/debug/flit serve --listen 127.0.0.1:0 --state-dir target/serve-smoke &
+  SERVE_PID=$!
+  for _ in $(seq 1 150); do
+    [[ -s target/serve-smoke/serve.addr ]] && break
+    sleep 0.1
+  done
+  SERVE_ADDR=$(cat target/serve-smoke/serve.addr)
+  ./target/debug/flit submit laghos --connect "$SERVE_ADDR" --tenant smoke \
+      --max-bisections 1 > /dev/null
+  ./target/debug/flit serve --status --connect "$SERVE_ADDR"
+  ./target/debug/flit serve --shutdown --connect "$SERVE_ADDR" > /dev/null
+  wait "$SERVE_PID"
+  test -s target/serve-smoke/tenants/smoke/journal-*.jsonl
   echo "verify --quick: OK"
   exit 0
 fi
@@ -57,8 +75,10 @@ if [[ "${1:-}" == "--fuzz" ]]; then
   exit 0
 fi
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo build --release --workspace =="
+# --workspace matters: the root [package] is the only default member,
+# so a bare `cargo build` would leave target/release/flit stale.
+cargo build --release --workspace
 
 echo "== cargo test -q =="
 cargo test -q
@@ -78,5 +98,9 @@ cargo run --release --example determinize_replay
 echo "== table2 characterization (emits BENCH_table2.json) =="
 cargo run --release -p flit-bench --bin table2
 test -s BENCH_table2.json
+
+echo "== flit-serve fleet characterization (emits BENCH_serve.json; enforces dedup + p95 targets) =="
+cargo run --release -p flit-bench --bin serve_bench
+test -s BENCH_serve.json
 
 echo "verify: OK"
